@@ -1,0 +1,31 @@
+//! Criterion bench for E7's analytic side: the CH query suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oltap_bench::ch::{ch_queries, load_ch, LoadSpec};
+use oltap_core::{Database, TableFormat};
+
+fn bench(c: &mut Criterion) {
+    let db = Database::new();
+    load_ch(
+        &db,
+        LoadSpec {
+            warehouses: 1,
+            format: TableFormat::Column,
+            seed: 42,
+        },
+    )
+    .unwrap();
+    db.maintenance();
+
+    let mut g = c.benchmark_group("ch_queries");
+    g.sample_size(10);
+    for q in ch_queries() {
+        g.bench_with_input(BenchmarkId::new("query", q.id), &q, |b, q| {
+            b.iter(|| db.query(q.sql).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for E2: encode + compressed-scan throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oltap_storage::encoding::IntEncoding;
+
+fn bench(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let shapes: Vec<(&str, Vec<i64>)> = vec![
+        ("runs", (0..n).map(|i| (i / 1000) as i64).collect()),
+        ("lowcard", (0..n).map(|i| ((i * 2654435761) % 8) as i64).collect()),
+        ("narrow", (0..n).map(|i| 1_000_000 + ((i * 37) % 4096) as i64).collect()),
+    ];
+    let mut g = c.benchmark_group("compression");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    for (name, values) in &shapes {
+        g.bench_with_input(BenchmarkId::new("encode", name), values, |b, v| {
+            b.iter(|| IntEncoding::choose(v))
+        });
+        let enc = IntEncoding::choose(values);
+        g.bench_with_input(BenchmarkId::new("decode_sum", name), &enc, |b, e| {
+            b.iter(|| {
+                let mut s = 0i64;
+                for i in 0..e.len() {
+                    s = s.wrapping_add(e.get(i));
+                }
+                s
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion bench for E5: ingest, merge, and scan of the delta+main table.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oltap_common::ids::TxnId;
+use oltap_common::{row, DataType, Field, Row, Schema};
+use oltap_storage::{DeltaMainTable, ScanPredicate};
+use oltap_txn::TransactionManager;
+use std::sync::Arc;
+
+const N: usize = 100_000;
+const NOBODY: TxnId = TxnId(u64::MAX - 41);
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::with_primary_key(
+            vec![
+                Field::not_null("id", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_merge");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("ingest_100k", |b| {
+        b.iter(|| {
+            let mgr = Arc::new(TransactionManager::new());
+            let t = DeltaMainTable::new(schema());
+            for chunk in (0..N).collect::<Vec<_>>().chunks(5000) {
+                let tx = mgr.begin();
+                for &i in chunk {
+                    t.insert(&tx, row![i as i64, 1i64]).unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            t.sizes().delta_rows
+        })
+    });
+    g.bench_function("ingest_100k_plus_merge", |b| {
+        b.iter(|| {
+            let mgr = Arc::new(TransactionManager::new());
+            let t = DeltaMainTable::new(schema());
+            for chunk in (0..N).collect::<Vec<_>>().chunks(5000) {
+                let tx = mgr.begin();
+                for &i in chunk {
+                    t.insert(&tx, row![i as i64, 1i64]).unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            t.merge(mgr.gc_watermark()).unwrap().rows_merged
+        })
+    });
+
+    // Scan cost: all-delta vs all-main.
+    let mgr = Arc::new(TransactionManager::new());
+    let fresh = DeltaMainTable::new(schema());
+    let merged = DeltaMainTable::new(schema());
+    let rows: Vec<Row> = (0..N).map(|i| row![i as i64, 1i64]).collect();
+    for chunk in rows.chunks(5000) {
+        let tx = mgr.begin();
+        for r in chunk {
+            fresh.insert(&tx, r.clone()).unwrap();
+            merged.insert(&tx, r.clone()).unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    merged.merge(mgr.gc_watermark()).unwrap();
+    let ts = mgr.now();
+    g.bench_function("scan_all_delta", |b| {
+        b.iter(|| {
+            fresh
+                .scan(&[1], &ScanPredicate::all(), ts, NOBODY, 4096)
+                .unwrap()
+                .len()
+        })
+    });
+    g.bench_function("scan_all_main", |b| {
+        b.iter(|| {
+            merged
+                .scan(&[1], &ScanPredicate::all(), ts, NOBODY, 4096)
+                .unwrap()
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E10: distributed scatter-gather aggregates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oltap_common::{row, DataType, Field, Schema};
+use oltap_dist::{ClusterConfig, DistributedTable, RaftConfig};
+use oltap_storage::ScanPredicate;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let schema = Arc::new(
+        Schema::with_primary_key(
+            vec![
+                Field::not_null("id", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    );
+    let mut g = c.benchmark_group("dist_query");
+    g.sample_size(10);
+    for nodes in [1usize, 4] {
+        let cfg = ClusterConfig {
+            nodes,
+            replication: 1,
+            partitions: nodes,
+            raft: RaftConfig::default(),
+        };
+        let table = DistributedTable::new(Arc::clone(&schema), cfg).unwrap();
+        for i in 0..4_000 {
+            table.insert(row![i as i64, 1i64]).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("scatter_gather", nodes), &table, |b, t| {
+            b.iter(|| t.scan_aggregate(&ScanPredicate::all(), 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for E11: the three expression engines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oltap_common::{row, Batch, Row, DataType, Field, Schema};
+use oltap_exec::compiled::compile;
+use oltap_exec::expr::{BinOp, Expr};
+
+fn bench(c: &mut Criterion) {
+    let n = 500_000usize;
+    let schema = Schema::new(vec![
+        Field::new("a", DataType::Int64),
+        Field::new("b", DataType::Int64),
+    ]);
+    let rows: Vec<Row> = (0..n).map(|i| row![i as i64, (i % 97) as i64]).collect();
+    let batches: Vec<Batch> = rows
+        .chunks(4096)
+        .map(|c| Batch::from_rows(&schema, c).unwrap())
+        .collect();
+    let expr = Expr::binary(
+        BinOp::Sub,
+        Expr::binary(
+            BinOp::Mul,
+            Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1)),
+            Expr::lit(3i64),
+        ),
+        Expr::col(0),
+    );
+    let prog = compile(&expr, &schema).unwrap();
+
+    let mut g = c.benchmark_group("expr_eval");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("tuple_at_a_time", |b| {
+        b.iter(|| {
+            let mut sink = 0usize;
+            for r in &rows {
+                sink += expr.eval_row(r).unwrap().is_null() as usize;
+            }
+            sink
+        })
+    });
+    g.bench_function("vectorized", |b| {
+        b.iter(|| {
+            let mut sink = 0usize;
+            for batch in &batches {
+                sink += expr.eval_batch(batch).unwrap().len();
+            }
+            sink
+        })
+    });
+    g.bench_function("compiled", |b| {
+        b.iter(|| {
+            let mut sink = 0usize;
+            for batch in &batches {
+                sink += prog.run(batch).unwrap().len();
+            }
+            sink
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench for E1: analytic scan + point get per table format.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oltap_common::ids::TxnId;
+use oltap_common::{row, DataType, Field, Row, Schema};
+use oltap_core::{TableFormat, TableHandle};
+use oltap_storage::ScanPredicate;
+use oltap_txn::TransactionManager;
+use std::sync::Arc;
+
+const N: usize = 200_000;
+const NOBODY: TxnId = TxnId(u64::MAX - 40);
+
+fn build(format: TableFormat) -> (Arc<TransactionManager>, TableHandle) {
+    let schema = Arc::new(
+        Schema::with_primary_key(
+            vec![
+                Field::not_null("id", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    );
+    let mgr = Arc::new(TransactionManager::new());
+    let h = TableHandle::create(schema, format).unwrap();
+    let rows: Vec<Row> = (0..N).map(|i| row![i as i64, (i % 1000) as i64]).collect();
+    for chunk in rows.chunks(10_000) {
+        let tx = mgr.begin();
+        for r in chunk {
+            h.insert(&tx, r.clone()).unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    h.maintain(mgr.gc_watermark()).unwrap();
+    (mgr, h)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_scan");
+    g.sample_size(10);
+    for format in [TableFormat::Row, TableFormat::Column, TableFormat::Dual] {
+        let (mgr, h) = build(format);
+        let ts = mgr.now();
+        g.bench_with_input(
+            BenchmarkId::new("scan_sum", format!("{format:?}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut sum = 0i64;
+                    for batch in h.scan(&[1], &ScanPredicate::all(), ts, NOBODY, 4096).unwrap() {
+                        sum += batch.column(0).as_i64().unwrap().iter().sum::<i64>();
+                    }
+                    sum
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("point_get", format!("{format:?}")),
+            &(),
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 7919) % N;
+                    h.get(&row![i as i64], ts, NOBODY)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench for E4: skip-list row store vs mutex-BTreeMap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oltap_common::{row, Row};
+use oltap_storage::SkipList;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+const N: usize = 100_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rowstore_index");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("skiplist_insert", |b| {
+        b.iter(|| {
+            let sl: SkipList<Row, i64> = SkipList::new();
+            for i in 0..N {
+                let _ = sl.insert(row![i as i64], i as i64);
+            }
+            sl.len()
+        })
+    });
+    g.bench_function("btree_mutex_insert", |b| {
+        b.iter(|| {
+            let bt: Mutex<BTreeMap<Row, i64>> = Mutex::new(BTreeMap::new());
+            for i in 0..N {
+                bt.lock().insert(row![i as i64], i as i64);
+            }
+            let n = bt.lock().len();
+            n
+        })
+    });
+
+    let sl: SkipList<Row, i64> = SkipList::new();
+    let bt: Mutex<BTreeMap<Row, i64>> = Mutex::new(BTreeMap::new());
+    for i in 0..N {
+        let _ = sl.insert(row![i as i64], i as i64);
+        bt.lock().insert(row![i as i64], i as i64);
+    }
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("skiplist_get", threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for tid in 0..t {
+                        let sl = &sl;
+                        s.spawn(move || {
+                            for i in 0..N / t {
+                                let k = (i * 7 + tid * 13) % N;
+                                sl.get(&row![k as i64]);
+                            }
+                        });
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("btree_mutex_get", threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for tid in 0..t {
+                        let bt = &bt;
+                        s.spawn(move || {
+                            for i in 0..N / t {
+                                let k = (i * 7 + tid * 13) % N;
+                                bt.lock().get(&row![k as i64]);
+                            }
+                        });
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! E1 — Physical layout: analytic scans vs. point access across
+//! row / column / dual formats.
+//!
+//! Claim (tutorial §1, §4 \[4, 7\]): columnar layouts dominate analytic
+//! scans; row layouts dominate point access; dual format buys both at a
+//! maintenance cost. Expected shape: column ≫ row on the scan (multiple
+//! ×), row ≫ column on point gets.
+
+use oltap_bench::harness::{rate, scaled, time, TextTable};
+use oltap_common::ids::TxnId;
+use oltap_common::{row, Row};
+use oltap_common::{DataType, Field, Schema};
+use oltap_core::{TableFormat, TableHandle};
+use oltap_storage::ScanPredicate;
+use oltap_txn::TransactionManager;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const NOBODY: TxnId = TxnId(u64::MAX - 10);
+
+fn main() {
+    let n = scaled(1_000_000);
+    let gets = scaled(20_000);
+    println!("E1: layout scan vs point access ({n} rows, {gets} point reads)");
+
+    let schema = Arc::new(
+        Schema::with_primary_key(
+            vec![
+                Field::not_null("id", DataType::Int64),
+                Field::new("grp", DataType::Int64),
+                Field::new("v", DataType::Int64),
+                Field::new("tag", DataType::Utf8),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    );
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            row![
+                i as i64,
+                (i % 100) as i64,
+                ((i * 37) % 1000) as i64,
+                ["alpha", "beta", "gamma", "delta"][i % 4]
+            ]
+        })
+        .collect();
+
+    let mut table = TextTable::new(&[
+        "format",
+        "load_s",
+        "scan_sum_s",
+        "scan_rate",
+        "point_gets_s",
+        "gets_rate",
+    ]);
+
+    for format in [TableFormat::Row, TableFormat::Column, TableFormat::Dual] {
+        let mgr = Arc::new(TransactionManager::new());
+        let handle = TableHandle::create(Arc::clone(&schema), format).unwrap();
+
+        let (_, load_s) = time(|| {
+            for chunk in rows.chunks(10_000) {
+                let tx = mgr.begin();
+                for r in chunk {
+                    handle.insert(&tx, r.clone()).unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            // Let each format settle into its analytic shape.
+            handle.maintain(mgr.gc_watermark()).unwrap();
+        });
+
+        // Analytic scan: SUM(v) over everything. One warm-up pass (the
+        // first scan after a merge pays one-time allocator effects), then
+        // the average of three timed passes.
+        let read_ts = mgr.now();
+        let scan_once = || {
+            let mut sum = 0i64;
+            for b in handle
+                .scan(&[2], &ScanPredicate::all(), read_ts, NOBODY, 4096)
+                .unwrap()
+            {
+                let col = b.column(0);
+                if let Ok(vals) = col.as_i64() {
+                    sum += vals.iter().sum::<i64>();
+                }
+            }
+            sum
+        };
+        let sum = scan_once();
+        let (_, scan3) = time(|| {
+            for _ in 0..3 {
+                assert_eq!(scan_once(), sum);
+            }
+        });
+        let scan_s = scan3 / 3.0;
+        assert!(sum > 0);
+
+        // Point gets: random keys.
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys: Vec<Row> = (0..gets)
+            .map(|_| row![rng.gen_range(0..n) as i64])
+            .collect();
+        let (hits, gets_s) = time(|| {
+            keys.iter()
+                .filter(|k| handle.get(k, read_ts, NOBODY).is_some())
+                .count()
+        });
+        assert_eq!(hits, gets);
+
+        table.row(&[
+            format!("{format:?}"),
+            format!("{load_s:.2}"),
+            format!("{scan_s:.3}"),
+            rate(n, scan_s),
+            format!("{gets_s:.3}"),
+            rate(gets, gets_s),
+        ]);
+        let _ = sum;
+    }
+    table.print("E1: layout scan vs point access");
+    println!(
+        "expected shape: Column/Dual scan-rate >> Row; Row/Dual gets-rate >= Column"
+    );
+}

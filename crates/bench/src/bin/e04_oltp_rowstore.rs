@@ -1,0 +1,108 @@
+//! E4 — OLTP access path: the lock-free skip-list row store vs. a
+//! mutex-guarded BTreeMap baseline under concurrency.
+//!
+//! Claim (tutorial §3, MemSQL \[26\]): a lock-free skip list sustains OLTP
+//! throughput that scales with threads, where a coarse-locked tree
+//! flattens. Expected shape: comparable at 1 thread; skip list pulls ahead
+//! as threads grow (reads especially).
+
+use oltap_bench::harness::{rate, scaled, time, TextTable};
+use oltap_common::{row, Row};
+use oltap_storage::SkipList;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn main() {
+    let per_thread = scaled(100_000);
+    println!("E4: concurrent index ops ({per_thread} ops/thread)");
+    let mut t = TextTable::new(&[
+        "threads",
+        "skiplist insert",
+        "btree+mutex insert",
+        "skiplist get",
+        "btree+mutex get",
+    ]);
+
+    for threads in [1usize, 2, 4, 8] {
+        let total = per_thread * threads;
+
+        // Inserts.
+        let sl: Arc<SkipList<Row, i64>> = Arc::new(SkipList::new());
+        let (_, sl_ins) = time(||
+
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let sl = Arc::clone(&sl);
+                    s.spawn(move || {
+                        for i in 0..per_thread {
+                            let k = (i * threads + t) as i64;
+                            let _ = sl.insert(row![k], k);
+                        }
+                    });
+                }
+            })
+        );
+
+        let bt: Arc<Mutex<BTreeMap<Row, i64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let (_, bt_ins) = time(|| {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let bt = Arc::clone(&bt);
+                    s.spawn(move || {
+                        for i in 0..per_thread {
+                            let k = (i * threads + t) as i64;
+                            bt.lock().insert(row![k], k);
+                        }
+                    });
+                }
+            })
+        });
+
+        // Point lookups over the populated structures.
+        let (_, sl_get) = time(|| {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let sl = Arc::clone(&sl);
+                    s.spawn(move || {
+                        let mut hits = 0usize;
+                        for i in 0..per_thread {
+                            let k = ((i * 7 + t * 13) % total) as i64;
+                            if sl.get(&row![k]).is_some() {
+                                hits += 1;
+                            }
+                        }
+                        assert_eq!(hits, per_thread);
+                    });
+                }
+            })
+        });
+        let (_, bt_get) = time(|| {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let bt = Arc::clone(&bt);
+                    s.spawn(move || {
+                        let mut hits = 0usize;
+                        for i in 0..per_thread {
+                            let k = ((i * 7 + t * 13) % total) as i64;
+                            if bt.lock().get(&row![k]).is_some() {
+                                hits += 1;
+                            }
+                        }
+                        assert_eq!(hits, per_thread);
+                    });
+                }
+            })
+        });
+
+        t.row(&[
+            threads.to_string(),
+            rate(total, sl_ins),
+            rate(total, bt_ins),
+            rate(total, sl_get),
+            rate(total, bt_get),
+        ]);
+    }
+    t.print("E4: skip list vs mutex-BTreeMap");
+    println!("expected shape: skip list scales with threads; the mutex baseline flattens/inverts");
+}

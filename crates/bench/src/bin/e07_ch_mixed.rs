@@ -1,0 +1,141 @@
+//! E7 — CH-benCHmark mixed workload: OLTP throughput vs. concurrent OLAP
+//! streams, with and without the workload manager.
+//!
+//! Claim (tutorial §1, §3; Psaroudakis et al. \[32\]; CH-benCHmark \[6\]):
+//! uncontrolled analytic streams depress transaction throughput; workload
+//! management (OLAP admission limits + OLTP priority) bounds the damage.
+//! Expected shape: tpmC falls as OLAP streams are added; the managed
+//! configuration retains more OLTP throughput than the unmanaged one at
+//! the same OLAP level.
+
+use oltap_bench::ch::{ch_queries, load_ch, ChTerminal, LoadSpec, TxnMix};
+use oltap_bench::harness::{scale, TextTable};
+use oltap_core::{Database, TableFormat};
+use oltap_sched::{WorkerPool, WorkloadClass};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn run_mix(
+    db: &Arc<Database>,
+    oltp_terminals: usize,
+    olap_streams: usize,
+    olap_limit: usize,
+    seconds: f64,
+) -> (f64, f64) {
+    // Pool sized like a small server; OLTP terminals and OLAP streams all
+    // go through it so admission control actually arbitrates.
+    let pool = Arc::new(WorkerPool::new(4, olap_limit));
+    let stop = Arc::new(AtomicBool::new(false));
+    let new_orders = Arc::new(AtomicU64::new(0));
+    let olap_done = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    // OLTP terminals run their short transactions on their own threads —
+    // they compete with the pool's OLAP workers for the machine, which is
+    // exactly the interference the workload manager's OLAP admission limit
+    // is there to bound.
+    let mut drivers = Vec::new();
+    for t in 0..oltp_terminals {
+        let db = Arc::clone(db);
+        let stop = Arc::clone(&stop);
+        let new_orders = Arc::clone(&new_orders);
+        drivers.push(std::thread::spawn(move || {
+            let mut term = ChTerminal::new(db, 2, 100 + t as u64);
+            let mix = TxnMix::default();
+            while !stop.load(Ordering::Relaxed) {
+                let kind = term.run_one(&mix).unwrap();
+                if kind == oltap_bench::ch::TxnKind::NewOrder {
+                    new_orders.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    // OLAP streams: each repeatedly runs one CH query on the pool.
+    for s in 0..olap_streams {
+        let db = Arc::clone(db);
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        let olap_done = Arc::clone(&olap_done);
+        drivers.push(std::thread::spawn(move || {
+            let queries = ch_queries();
+            let mut i = s;
+            while !stop.load(Ordering::Relaxed) {
+                let sql = queries[i % queries.len()].sql;
+                let db2 = Arc::clone(&db);
+                let done = Arc::clone(&olap_done);
+                pool.run(WorkloadClass::Olap, move || {
+                    if db2.query(sql).is_ok() {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                i += 1;
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::SeqCst);
+    for d in drivers {
+        d.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let tpmc = new_orders.load(Ordering::Relaxed) as f64 * 60.0 / elapsed;
+    let qps = olap_done.load(Ordering::Relaxed) as f64 / elapsed;
+    (tpmc, qps)
+}
+
+fn main() {
+    let seconds = (3.0 * scale()).clamp(1.0, 30.0);
+    println!("E7: CH-benCHmark mixed workload ({seconds:.0}s per cell)");
+    let db = Database::new();
+    let total = load_ch(
+        &db,
+        LoadSpec {
+            warehouses: 2,
+            format: TableFormat::Column,
+            seed: 42,
+        },
+    )
+    .unwrap();
+    println!("loaded {total} rows");
+    db.maintenance();
+
+    let mut t = TextTable::new(&[
+        "olap streams",
+        "manager",
+        "tpmC",
+        "olap q/s",
+        "tpmC retained",
+    ]);
+    let (base_tpmc, _) = run_mix(&db, 2, 0, 4, seconds);
+    t.row(&[
+        "0".into(),
+        "-".into(),
+        format!("{base_tpmc:.0}"),
+        "0.0".into(),
+        "100%".into(),
+    ]);
+    for streams in [1usize, 2, 4] {
+        // Unmanaged: OLAP may take every worker.
+        let (tpmc_u, qps_u) = run_mix(&db, 2, streams, 4, seconds);
+        t.row(&[
+            streams.to_string(),
+            "off".into(),
+            format!("{tpmc_u:.0}"),
+            format!("{qps_u:.1}"),
+            format!("{:.0}%", 100.0 * tpmc_u / base_tpmc),
+        ]);
+        // Managed: at most one concurrent OLAP task.
+        let (tpmc_m, qps_m) = run_mix(&db, 2, streams, 1, seconds);
+        t.row(&[
+            streams.to_string(),
+            "on (limit 1)".into(),
+            format!("{tpmc_m:.0}"),
+            format!("{qps_m:.1}"),
+            format!("{:.0}%", 100.0 * tpmc_m / base_tpmc),
+        ]);
+    }
+    t.print("E7: tpmC vs OLAP streams, workload manager off/on");
+    println!("expected shape: tpmC drops as streams grow; managed rows retain more tpmC");
+}

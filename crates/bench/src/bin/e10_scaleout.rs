@@ -1,0 +1,128 @@
+//! E10 — Scale-out: distributed scatter-gather speedup and the ingest cost
+//! of Raft replication.
+//!
+//! Claim (tutorial §3; Oracle DBIM distributed \[27\], Kudu \[24\]):
+//! partitioned scatter-gather queries speed up with node count; raising
+//! the replication factor costs ingest throughput (more copies per commit)
+//! but buys fault tolerance. Expected shape: near-linear query speedup in
+//! nodes; RF=3 ingest < RF=1 ingest; availability demo survives one node.
+
+use oltap_bench::harness::{rate, scaled, time, TextTable};
+use oltap_common::{row, Value};
+use oltap_common::{DataType, Field, Schema};
+use oltap_dist::{ClusterConfig, DistributedTable, RaftConfig};
+use oltap_storage::{CmpOp, ScanPredicate};
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::with_primary_key(
+            vec![
+                Field::not_null("id", DataType::Int64),
+                Field::new("grp", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+}
+
+fn main() {
+    let n = scaled(20_000);
+    println!("E10: distributed query speedup and replication cost ({n} rows)");
+
+    // Query scale-out: fixed data, growing node count (RF=1 so the
+    // comparison isolates parallelism).
+    let mut t = TextTable::new(&["nodes", "ingest_s", "query_ms", "speedup"]);
+    let mut base_ms = f64::NAN;
+    for nodes in [1usize, 2, 4, 8] {
+        let cfg = ClusterConfig {
+            nodes,
+            replication: 1,
+            partitions: nodes,
+            raft: RaftConfig::default(),
+        };
+        let table = DistributedTable::new(schema(), cfg).unwrap();
+        let (_, ingest_s) = time(|| {
+            for i in 0..n {
+                table
+                    .insert(row![i as i64, (i % 8) as i64, 1i64])
+                    .unwrap();
+            }
+        });
+        // Average a few runs of the scatter-gather aggregate.
+        let pred = ScanPredicate::single(1, CmpOp::Ge, Value::Int(0));
+        let (counts, q_s) = time(|| {
+            let mut last = (0, 0);
+            for _ in 0..5 {
+                last = table.scan_aggregate(&pred, 2).unwrap();
+            }
+            last
+        });
+        assert_eq!(counts.0, n as u64);
+        let q_ms = q_s * 1000.0 / 5.0;
+        if nodes == 1 {
+            base_ms = q_ms;
+        }
+        t.row(&[
+            nodes.to_string(),
+            format!("{ingest_s:.2}"),
+            format!("{q_ms:.2}"),
+            format!("{:.2}x", base_ms / q_ms),
+        ]);
+    }
+    t.print("E10a: scatter-gather query speedup vs nodes (RF=1)");
+
+    // Replication-factor sweep: same nodes, growing RF.
+    let n_rep = scaled(5_000);
+    let mut t2 = TextTable::new(&["replication", "ingest rate", "relative"]);
+    let mut base_rate = f64::NAN;
+    for rf in [1usize, 3, 5] {
+        let cfg = ClusterConfig {
+            nodes: 5,
+            replication: rf,
+            partitions: 5,
+            raft: RaftConfig::default(),
+        };
+        let table = DistributedTable::new(schema(), cfg).unwrap();
+        let (_, ingest_s) = time(|| {
+            for i in 0..n_rep {
+                table
+                    .insert(row![i as i64, (i % 8) as i64, 1i64])
+                    .unwrap();
+            }
+        });
+        let r = n_rep as f64 / ingest_s;
+        if rf == 1 {
+            base_rate = r;
+        }
+        t2.row(&[
+            format!("RF={rf}"),
+            rate(n_rep, ingest_s),
+            format!("{:.0}%", 100.0 * r / base_rate),
+        ]);
+    }
+    t2.print("E10b: ingest throughput vs replication factor (5 nodes)");
+
+    // Availability demo: RF=3 survives a node crash.
+    let cfg = ClusterConfig {
+        nodes: 3,
+        replication: 3,
+        partitions: 3,
+        raft: RaftConfig::default(),
+    };
+    let table = DistributedTable::new(schema(), cfg).unwrap();
+    for i in 0..500 {
+        table.insert(row![i as i64, 0i64, 1i64]).unwrap();
+    }
+    table.crash_node(2);
+    for i in 500..600 {
+        table.insert(row![i as i64, 0i64, 1i64]).unwrap();
+    }
+    let (count, _) = table.scan_aggregate(&ScanPredicate::all(), 2).unwrap();
+    println!("\nE10c availability: node 2 crashed mid-ingest; cluster answered \
+              count={count} (expected 600) from the surviving majority");
+    assert_eq!(count, 600);
+    println!("expected shape: E10a speedup grows with nodes; E10b RF=3/5 < RF=1");
+}

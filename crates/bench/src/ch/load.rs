@@ -1,0 +1,221 @@
+//! Deterministic CH-benCHmark population.
+
+use super::schema::{card, create_ch_tables};
+use oltap_core::{Database, TableFormat};
+use oltap_common::{Result, Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Population parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Number of warehouses (the TPC-C scale knob).
+    pub warehouses: i64,
+    /// Storage format for the tables.
+    pub format: TableFormat,
+    /// RNG seed (population is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            warehouses: 2,
+            format: TableFormat::Column,
+            seed: 42,
+        }
+    }
+}
+
+const STATES: [&str; 8] = ["CA", "NY", "TX", "WA", "IL", "MA", "FL", "OR"];
+
+fn insert_rows(db: &Arc<Database>, table: &str, rows: Vec<Row>) -> Result<()> {
+    // Bulk path: go straight at the table handle in one transaction per
+    // chunk (the SQL INSERT path would parse one statement per row).
+    let handle = db.table(table)?;
+    for chunk in rows.chunks(2000) {
+        let txn = db.txn_manager().begin();
+        for r in chunk {
+            handle.insert(&txn, r.clone())?;
+        }
+        txn.commit()
+            .map(|_| ())?;
+    }
+    Ok(())
+}
+
+/// Creates and populates the CH schema; returns total rows loaded.
+pub fn load_ch(db: &Arc<Database>, spec: LoadSpec) -> Result<usize> {
+    create_ch_tables(db, spec.format)?;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut total = 0usize;
+
+    // warehouse
+    let rows: Vec<Row> = (1..=spec.warehouses)
+        .map(|w| {
+            Row::new(vec![
+                Value::Int(w),
+                Value::Str(format!("wh-{w}")),
+                Value::Float(rng.gen_range(0.0..0.2)),
+                Value::Float(300_000.0),
+            ])
+        })
+        .collect();
+    total += rows.len();
+    insert_rows(db, "warehouse", rows)?;
+
+    // district
+    let mut rows = Vec::new();
+    for w in 1..=spec.warehouses {
+        for d in 1..=card::DISTRICTS {
+            rows.push(Row::new(vec![
+                Value::Int(w),
+                Value::Int(d),
+                Value::Str(format!("dist-{w}-{d}")),
+                Value::Float(rng.gen_range(0.0..0.2)),
+                Value::Float(30_000.0),
+                Value::Int(card::ORDERS + 1),
+            ]));
+        }
+    }
+    total += rows.len();
+    insert_rows(db, "district", rows)?;
+
+    // customer
+    let mut rows = Vec::new();
+    for w in 1..=spec.warehouses {
+        for d in 1..=card::DISTRICTS {
+            for c in 1..=card::CUSTOMERS {
+                rows.push(Row::new(vec![
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(c),
+                    Value::Str(format!("cust-{w}-{d}-{c}")),
+                    Value::Str(STATES[rng.gen_range(0..STATES.len())].to_string()),
+                    Value::Float(-10.0),
+                    Value::Float(10.0),
+                    Value::Int(1),
+                ]));
+            }
+        }
+    }
+    total += rows.len();
+    insert_rows(db, "customer", rows)?;
+
+    // item
+    let rows: Vec<Row> = (1..=card::ITEMS)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Str(format!("item-{i}")),
+                Value::Float(rng.gen_range(1.0..100.0)),
+                Value::Str(if rng.gen_bool(0.1) {
+                    "ORIGINAL".to_string()
+                } else {
+                    format!("data-{i}")
+                }),
+            ])
+        })
+        .collect();
+    total += rows.len();
+    insert_rows(db, "item", rows)?;
+
+    // stock
+    let mut rows = Vec::new();
+    for w in 1..=spec.warehouses {
+        for i in 1..=card::ITEMS {
+            rows.push(Row::new(vec![
+                Value::Int(w),
+                Value::Int(i),
+                Value::Int(rng.gen_range(10..100)),
+                Value::Int(0),
+                Value::Int(0),
+            ]));
+        }
+    }
+    total += rows.len();
+    insert_rows(db, "stock", rows)?;
+
+    // orders + order_line
+    let mut orders = Vec::new();
+    let mut lines = Vec::new();
+    let mut ts = 1_000_000i64;
+    for w in 1..=spec.warehouses {
+        for d in 1..=card::DISTRICTS {
+            for o in 1..=card::ORDERS {
+                let ol_cnt = rng.gen_range(5..=card::MAX_OL);
+                let carrier = if o < card::ORDERS * 7 / 10 {
+                    Value::Int(rng.gen_range(1..=10))
+                } else {
+                    Value::Null
+                };
+                ts += rng.gen_range(1..50);
+                orders.push(Row::new(vec![
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(o),
+                    Value::Int(rng.gen_range(1..=card::CUSTOMERS)),
+                    Value::Timestamp(ts),
+                    carrier,
+                    Value::Int(ol_cnt),
+                ]));
+                for n in 1..=ol_cnt {
+                    lines.push(Row::new(vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(o),
+                        Value::Int(n),
+                        Value::Int(rng.gen_range(1..=card::ITEMS)),
+                        Value::Int(rng.gen_range(1..=10)),
+                        Value::Float(rng.gen_range(1.0..500.0)),
+                        Value::Timestamp(ts + rng.gen_range(0..1000)),
+                    ]));
+                }
+            }
+        }
+    }
+    total += orders.len() + lines.len();
+    insert_rows(db, "orders", orders)?;
+    insert_rows(db, "order_line", lines)?;
+
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_scale_one() {
+        let db = Database::new();
+        let spec = LoadSpec {
+            warehouses: 1,
+            ..Default::default()
+        };
+        let total = load_ch(&db, spec).unwrap();
+        assert!(total > 10_000, "loaded {total}");
+        let rows = db.query("SELECT COUNT(*) FROM customer").unwrap();
+        assert_eq!(
+            rows[0][0],
+            Value::Int(card::DISTRICTS * card::CUSTOMERS)
+        );
+        let rows = db.query("SELECT COUNT(*) FROM orders").unwrap();
+        assert_eq!(rows[0][0], Value::Int(card::DISTRICTS * card::ORDERS));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Database::new();
+        let b = Database::new();
+        let spec = LoadSpec {
+            warehouses: 1,
+            ..Default::default()
+        };
+        load_ch(&a, spec).unwrap();
+        load_ch(&b, spec).unwrap();
+        let qa = a.query("SELECT SUM(ol_quantity) FROM order_line").unwrap();
+        let qb = b.query("SELECT SUM(ol_quantity) FROM order_line").unwrap();
+        assert_eq!(qa[0][0], qb[0][0]);
+    }
+}

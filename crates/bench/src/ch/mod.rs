@@ -1,0 +1,25 @@
+//! The CH-benCHmark workload: TPC-C-style transactions and TPC-H-style
+//! analytics over one shared schema.
+//!
+//! The tutorial names the CH-benCHmark \[6\] as *the* benchmark for mixed
+//! workloads ("combines TPC-C and TPC-H into a single benchmark"). This is
+//! a from-scratch implementation of its essential shape (official kits are
+//! unavailable and unnecessary — relative behaviour is what the
+//! experiments compare):
+//!
+//! * [`schema`] — warehouse, district, customer, orders, order_line,
+//!   stock, item (the TPC-C core the CH queries touch).
+//! * [`load`] — deterministic seeded population at a warehouse count.
+//! * [`txns`] — the five TPC-C transactions (NewOrder, Payment,
+//!   OrderStatus, Delivery, StockLevel) executed against
+//!   [`oltap_core::Database`] sessions.
+//! * [`queries`] — a suite of CH-style analytic SQL queries.
+
+pub mod load;
+pub mod queries;
+pub mod schema;
+pub mod txns;
+
+pub use load::{load_ch, LoadSpec};
+pub use queries::{ch_queries, ChQuery};
+pub use txns::{ChTerminal, TxnKind, TxnMix, TxnStats};

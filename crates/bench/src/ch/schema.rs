@@ -1,0 +1,106 @@
+//! CH-benCHmark schema (the TPC-C core).
+
+use oltap_core::{Database, TableFormat};
+use oltap_common::Result;
+use std::sync::Arc;
+
+/// Creates the CH tables in `db` using `format` for the large
+/// transactional-analytical tables (orders, order_line, stock) and the
+/// same format for dimensions (small either way).
+pub fn create_ch_tables(db: &Arc<Database>, format: TableFormat) -> Result<()> {
+    let fmt = match format {
+        TableFormat::Row => "ROW",
+        TableFormat::Column => "COLUMN",
+        TableFormat::Dual => "DUAL",
+    };
+    let ddl = [
+        format!(
+            "CREATE TABLE warehouse (w_id BIGINT NOT NULL, w_name TEXT, w_tax DOUBLE, \
+             w_ytd DOUBLE, PRIMARY KEY (w_id)) USING FORMAT {fmt}"
+        ),
+        format!(
+            "CREATE TABLE district (d_w_id BIGINT NOT NULL, d_id BIGINT NOT NULL, \
+             d_name TEXT, d_tax DOUBLE, d_ytd DOUBLE, d_next_o_id BIGINT, \
+             PRIMARY KEY (d_w_id, d_id)) USING FORMAT {fmt}"
+        ),
+        format!(
+            "CREATE TABLE customer (c_w_id BIGINT NOT NULL, c_d_id BIGINT NOT NULL, \
+             c_id BIGINT NOT NULL, c_name TEXT, c_state TEXT, c_balance DOUBLE, \
+             c_ytd_payment DOUBLE, c_payment_cnt BIGINT, \
+             PRIMARY KEY (c_w_id, c_d_id, c_id)) USING FORMAT {fmt}"
+        ),
+        format!(
+            "CREATE TABLE item (i_id BIGINT NOT NULL, i_name TEXT, i_price DOUBLE, \
+             i_data TEXT, PRIMARY KEY (i_id)) USING FORMAT {fmt}"
+        ),
+        format!(
+            "CREATE TABLE stock (s_w_id BIGINT NOT NULL, s_i_id BIGINT NOT NULL, \
+             s_quantity BIGINT, s_ytd BIGINT, s_order_cnt BIGINT, \
+             PRIMARY KEY (s_w_id, s_i_id)) USING FORMAT {fmt}"
+        ),
+        format!(
+            "CREATE TABLE orders (o_w_id BIGINT NOT NULL, o_d_id BIGINT NOT NULL, \
+             o_id BIGINT NOT NULL, o_c_id BIGINT, o_entry_d TIMESTAMP, \
+             o_carrier_id BIGINT, o_ol_cnt BIGINT, \
+             PRIMARY KEY (o_w_id, o_d_id, o_id)) USING FORMAT {fmt}"
+        ),
+        format!(
+            "CREATE TABLE order_line (ol_w_id BIGINT NOT NULL, ol_d_id BIGINT NOT NULL, \
+             ol_o_id BIGINT NOT NULL, ol_number BIGINT NOT NULL, ol_i_id BIGINT, \
+             ol_quantity BIGINT, ol_amount DOUBLE, ol_delivery_d TIMESTAMP, \
+             PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number)) USING FORMAT {fmt}"
+        ),
+    ];
+    for stmt in &ddl {
+        db.execute(stmt)?;
+    }
+    Ok(())
+}
+
+/// Standard cardinalities per warehouse (scaled down from TPC-C's 100k
+/// items / 3k customers to keep in-process runs quick but structured the
+/// same).
+pub mod card {
+    /// Districts per warehouse.
+    pub const DISTRICTS: i64 = 10;
+    /// Customers per district.
+    pub const CUSTOMERS: i64 = 300;
+    /// Items in the catalog.
+    pub const ITEMS: i64 = 1000;
+    /// Initial orders per district.
+    pub const ORDERS: i64 = 300;
+    /// Max order lines per order.
+    pub const MAX_OL: i64 = 10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_all_tables() {
+        let db = Database::new();
+        create_ch_tables(&db, TableFormat::Column).unwrap();
+        let names = db.table_names();
+        for t in [
+            "warehouse",
+            "district",
+            "customer",
+            "item",
+            "stock",
+            "orders",
+            "order_line",
+        ] {
+            assert!(names.contains(&t.to_string()), "{t} missing");
+        }
+    }
+
+    #[test]
+    fn creates_in_every_format() {
+        for fmt in [TableFormat::Row, TableFormat::Column, TableFormat::Dual] {
+            let db = Database::new();
+            create_ch_tables(&db, fmt).unwrap();
+            assert_eq!(db.table_names().len(), 7);
+        }
+    }
+}

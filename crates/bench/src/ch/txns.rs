@@ -1,0 +1,397 @@
+//! The five TPC-C transactions, executed through SQL sessions.
+
+use super::schema::card;
+use oltap_core::Database;
+use oltap_common::{DbError, Result, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The transaction types of TPC-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Insert an order with its lines, update stock.
+    NewOrder,
+    /// Pay against a customer balance.
+    Payment,
+    /// Read a customer's latest order.
+    OrderStatus,
+    /// Deliver the oldest undelivered orders of a warehouse.
+    Delivery,
+    /// Count low-stock items of a district.
+    StockLevel,
+}
+
+/// The standard TPC-C mix (percentages).
+#[derive(Debug, Clone, Copy)]
+pub struct TxnMix {
+    /// NewOrder weight.
+    pub new_order: u32,
+    /// Payment weight.
+    pub payment: u32,
+    /// OrderStatus weight.
+    pub order_status: u32,
+    /// Delivery weight.
+    pub delivery: u32,
+    /// StockLevel weight.
+    pub stock_level: u32,
+}
+
+impl Default for TxnMix {
+    fn default() -> Self {
+        // The canonical 45/43/4/4/4.
+        TxnMix {
+            new_order: 45,
+            payment: 43,
+            order_status: 4,
+            delivery: 4,
+            stock_level: 4,
+        }
+    }
+}
+
+impl TxnMix {
+    fn pick(&self, rng: &mut StdRng) -> TxnKind {
+        let total = self.new_order + self.payment + self.order_status + self.delivery
+            + self.stock_level;
+        let mut r = rng.gen_range(0..total);
+        for (kind, w) in [
+            (TxnKind::NewOrder, self.new_order),
+            (TxnKind::Payment, self.payment),
+            (TxnKind::OrderStatus, self.order_status),
+            (TxnKind::Delivery, self.delivery),
+            (TxnKind::StockLevel, self.stock_level),
+        ] {
+            if r < w {
+                return kind;
+            }
+            r -= w;
+        }
+        TxnKind::NewOrder
+    }
+}
+
+/// Counters for one terminal's run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxnStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions (write conflicts and retries).
+    pub aborted: u64,
+    /// NewOrder commits (the tpm-C metric numerator).
+    pub new_orders: u64,
+    /// Total latency of committed transactions, nanoseconds.
+    pub total_latency_ns: u64,
+}
+
+impl TxnStats {
+    /// Merge another terminal's counters.
+    pub fn merge(&mut self, other: &TxnStats) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.new_orders += other.new_orders;
+        self.total_latency_ns += other.total_latency_ns;
+    }
+
+    /// Mean committed-transaction latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.total_latency_ns as f64 / self.committed as f64 / 1000.0
+        }
+    }
+}
+
+/// One emulated TPC-C terminal bound to a warehouse.
+pub struct ChTerminal {
+    db: Arc<Database>,
+    rng: StdRng,
+    warehouses: i64,
+    /// Per-terminal order-id allocator (avoids contending on
+    /// district.d_next_o_id in the benchmark harness; the district row is
+    /// still updated to keep the Payment/Delivery paths realistic).
+    next_o_id: i64,
+    /// Statistics.
+    pub stats: TxnStats,
+}
+
+impl ChTerminal {
+    /// A terminal over `db` with its own RNG stream.
+    pub fn new(db: Arc<Database>, warehouses: i64, seed: u64) -> ChTerminal {
+        ChTerminal {
+            db,
+            rng: StdRng::seed_from_u64(seed),
+            warehouses,
+            next_o_id: card::ORDERS + 1 + (seed as i64 % 1000) * 1_000_000,
+            stats: TxnStats::default(),
+        }
+    }
+
+    /// Runs one randomly chosen transaction from `mix`.
+    pub fn run_one(&mut self, mix: &TxnMix) -> Result<TxnKind> {
+        let kind = mix.pick(&mut self.rng);
+        let start = Instant::now();
+        let result = match kind {
+            TxnKind::NewOrder => self.new_order(),
+            TxnKind::Payment => self.payment(),
+            TxnKind::OrderStatus => self.order_status(),
+            TxnKind::Delivery => self.delivery(),
+            TxnKind::StockLevel => self.stock_level(),
+        };
+        match result {
+            Ok(()) => {
+                self.stats.committed += 1;
+                self.stats.total_latency_ns += start.elapsed().as_nanos() as u64;
+                if kind == TxnKind::NewOrder {
+                    self.stats.new_orders += 1;
+                }
+                Ok(kind)
+            }
+            Err(DbError::WriteConflict(_)) | Err(DbError::DuplicateKey(_)) => {
+                // Conflicts are part of the workload: count and move on.
+                self.stats.aborted += 1;
+                Ok(kind)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn rand_w(&mut self) -> i64 {
+        self.rng.gen_range(1..=self.warehouses)
+    }
+
+    fn new_order(&mut self) -> Result<()> {
+        let w = self.rand_w();
+        let d = self.rng.gen_range(1..=card::DISTRICTS);
+        let c = self.rng.gen_range(1..=card::CUSTOMERS);
+        let o_id = self.next_o_id;
+        self.next_o_id += 1;
+        let ol_cnt = self.rng.gen_range(5..=card::MAX_OL);
+        let ts = 2_000_000 + o_id;
+
+        let mut s = self.db.session();
+        s.execute("BEGIN")?;
+        let r = (|| -> Result<()> {
+            s.execute(&format!(
+                "INSERT INTO orders VALUES ({w}, {d}, {o_id}, {c}, {ts}, NULL, {ol_cnt})"
+            ))?;
+            for n in 1..=ol_cnt {
+                let i = self.rng.gen_range(1..=card::ITEMS);
+                let qty = self.rng.gen_range(1..=10);
+                let amount = (qty as f64) * 7.5;
+                s.execute(&format!(
+                    "INSERT INTO order_line VALUES ({w}, {d}, {o_id}, {n}, {i}, {qty}, \
+                     {amount}, {ts})"
+                ))?;
+                s.execute(&format!(
+                    "UPDATE stock SET s_quantity = s_quantity - {qty}, \
+                     s_ytd = s_ytd + {qty}, s_order_cnt = s_order_cnt + 1 \
+                     WHERE s_w_id = {w} AND s_i_id = {i}"
+                ))?;
+            }
+            Ok(())
+        })();
+        match r {
+            Ok(()) => {
+                s.execute("COMMIT")?;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = s.execute("ROLLBACK");
+                Err(e)
+            }
+        }
+    }
+
+    fn payment(&mut self) -> Result<()> {
+        let w = self.rand_w();
+        let d = self.rng.gen_range(1..=card::DISTRICTS);
+        let c = self.rng.gen_range(1..=card::CUSTOMERS);
+        let amount = self.rng.gen_range(1.0..5000.0);
+        let mut s = self.db.session();
+        s.execute("BEGIN")?;
+        let r = (|| -> Result<()> {
+            s.execute(&format!(
+                "UPDATE customer SET c_balance = c_balance - {amount}, \
+                 c_ytd_payment = c_ytd_payment + {amount}, \
+                 c_payment_cnt = c_payment_cnt + 1 \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ))?;
+            s.execute(&format!(
+                "UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = {w}"
+            ))?;
+            s.execute(&format!(
+                "UPDATE district SET d_ytd = d_ytd + {amount} \
+                 WHERE d_w_id = {w} AND d_id = {d}"
+            ))?;
+            Ok(())
+        })();
+        match r {
+            Ok(()) => {
+                s.execute("COMMIT")?;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = s.execute("ROLLBACK");
+                Err(e)
+            }
+        }
+    }
+
+    fn order_status(&mut self) -> Result<()> {
+        let w = self.rand_w();
+        let d = self.rng.gen_range(1..=card::DISTRICTS);
+        let c = self.rng.gen_range(1..=card::CUSTOMERS);
+        let _rows = self.db.query(&format!(
+            "SELECT o_id, o_entry_d, o_carrier_id FROM orders \
+             WHERE o_w_id = {w} AND o_d_id = {d} AND o_c_id = {c} \
+             ORDER BY o_id DESC LIMIT 1"
+        ))?;
+        Ok(())
+    }
+
+    fn delivery(&mut self) -> Result<()> {
+        let w = self.rand_w();
+        // Find one undelivered order and stamp a carrier.
+        let rows = self.db.query(&format!(
+            "SELECT o_d_id, o_id FROM orders \
+             WHERE o_w_id = {w} AND o_carrier_id IS NULL \
+             ORDER BY o_id LIMIT 1"
+        ))?;
+        if let Some(r) = rows.first() {
+            let (d, o) = (r[0].as_int()?, r[1].as_int()?);
+            let carrier = self.rng.gen_range(1..=10);
+            self.db.execute(&format!(
+                "UPDATE orders SET o_carrier_id = {carrier} \
+                 WHERE o_w_id = {w} AND o_d_id = {d} AND o_id = {o}"
+            ))?;
+        }
+        Ok(())
+    }
+
+    fn stock_level(&mut self) -> Result<()> {
+        let w = self.rand_w();
+        let threshold = self.rng.gen_range(10..20);
+        let rows = self.db.query(&format!(
+            "SELECT COUNT(*) FROM stock WHERE s_w_id = {w} AND s_quantity < {threshold}"
+        ))?;
+        debug_assert!(matches!(rows[0][0], Value::Int(_)));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ch::load::{load_ch, LoadSpec};
+
+    fn small_db() -> Arc<Database> {
+        let db = Database::new();
+        load_ch(
+            &db,
+            LoadSpec {
+                warehouses: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn all_transaction_kinds_run() {
+        let db = small_db();
+        let mut t = ChTerminal::new(Arc::clone(&db), 1, 7);
+        t.new_order().unwrap();
+        t.payment().unwrap();
+        t.order_status().unwrap();
+        t.delivery().unwrap();
+        t.stock_level().unwrap();
+    }
+
+    #[test]
+    fn mixed_run_accumulates_stats() {
+        let db = small_db();
+        let mut t = ChTerminal::new(Arc::clone(&db), 1, 9);
+        let mix = TxnMix::default();
+        for _ in 0..30 {
+            t.run_one(&mix).unwrap();
+        }
+        assert_eq!(t.stats.committed + t.stats.aborted, 30);
+        assert!(t.stats.mean_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn new_order_preserves_consistency() {
+        let db = small_db();
+        let before = db
+            .query("SELECT COUNT(*) FROM orders")
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap();
+        let mut t = ChTerminal::new(Arc::clone(&db), 1, 11);
+        for _ in 0..5 {
+            t.new_order().unwrap();
+        }
+        let after = db
+            .query("SELECT COUNT(*) FROM orders")
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap();
+        assert_eq!(after, before + 5);
+        // Order lines match the o_ol_cnt sum of the new orders.
+        let lines = db
+            .query(&format!(
+                "SELECT SUM(o_ol_cnt) FROM orders WHERE o_id > {}",
+                card::ORDERS
+            ))
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap();
+        let actual = db
+            .query(&format!(
+                "SELECT COUNT(*) FROM order_line WHERE ol_o_id > {}",
+                card::ORDERS
+            ))
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap();
+        assert_eq!(lines, actual);
+    }
+
+    #[test]
+    fn payment_updates_balances() {
+        let db = small_db();
+        let mut t = ChTerminal::new(Arc::clone(&db), 1, 13);
+        let before = db
+            .query("SELECT SUM(c_payment_cnt) FROM customer")
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap();
+        t.payment().unwrap();
+        let after = db
+            .query("SELECT SUM(c_payment_cnt) FROM customer")
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn delivery_reduces_undelivered() {
+        let db = small_db();
+        let count_undelivered = || {
+            db.query("SELECT COUNT(*) FROM orders WHERE o_carrier_id IS NULL")
+                .unwrap()[0][0]
+                .as_int()
+                .unwrap()
+        };
+        let before = count_undelivered();
+        assert!(before > 0);
+        let mut t = ChTerminal::new(Arc::clone(&db), 1, 17);
+        t.delivery().unwrap();
+        assert_eq!(count_undelivered(), before - 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared utilities for the experiment harness binaries: timing, table
+//! rendering, and scale selection.
+
+use std::time::Instant;
+
+/// Times a closure, returning (result, elapsed seconds).
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Formats rows/second with a unit prefix.
+pub fn rate(rows: usize, secs: f64) -> String {
+    let rps = rows as f64 / secs.max(1e-12);
+    if rps >= 1e9 {
+        format!("{:.2} Grows/s", rps / 1e9)
+    } else if rps >= 1e6 {
+        format!("{:.2} Mrows/s", rps / 1e6)
+    } else if rps >= 1e3 {
+        format!("{:.2} Krows/s", rps / 1e3)
+    } else {
+        format!("{rps:.0} rows/s")
+    }
+}
+
+/// Formats a byte count.
+pub fn bytes(n: usize) -> String {
+    if n >= 1 << 30 {
+        format!("{:.2} GiB", n as f64 / (1u64 << 30) as f64)
+    } else if n >= 1 << 20 {
+        format!("{:.2} MiB", n as f64 / (1 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.2} KiB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// A fixed-width text table printed to stdout (the harness output format
+/// recorded in EXPERIMENTS.md).
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> TextTable {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (stringify everything up front).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===");
+        print!("{}", self.render());
+    }
+}
+
+/// Reads the experiment scale factor from `OLTAP_SCALE` (default 1.0).
+/// Harnesses multiply their row counts by this, so CI can run tiny and a
+/// workstation can run big.
+pub fn scale() -> f64 {
+    std::env::var("OLTAP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// `n` scaled by [`scale`], with a floor.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[2].starts_with(" a "));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert!(rate(2_000_000, 1.0).contains("Mrows"));
+        assert!(rate(500, 1.0).contains("rows/s"));
+        assert_eq!(bytes(512), "512 B");
+        assert!(bytes(3 << 20).contains("MiB"));
+    }
+
+    #[test]
+    fn timing_returns_result() {
+        let (v, secs) = time(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

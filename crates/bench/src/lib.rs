@@ -1,0 +1,15 @@
+//! # oltap-bench
+//!
+//! Workloads and the derived experiment suite (see DESIGN.md and
+//! EXPERIMENTS.md):
+//!
+//! * [`ch`] — a from-scratch CH-benCHmark: TPC-C-style schema,
+//!   transactions, and CH-style analytic queries.
+//! * [`workloads`] — the paper's two motivating streams
+//!   (machine telemetry, social-retail surges).
+//! * [`harness`] — timing/table utilities shared by the `e01..e12`
+//!   harness binaries (`cargo run -p oltap-bench --release --bin e01_...`).
+
+pub mod ch;
+pub mod harness;
+pub mod workloads;

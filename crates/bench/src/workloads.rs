@@ -1,0 +1,207 @@
+//! Domain workload generators for the paper's two motivating applications
+//! (§1): machine-data telemetry and social-retail surge analytics.
+
+use oltap_common::{Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Machine-telemetry stream: `(host, metric, ts, value, status)` readings
+/// from a simulated data-center fleet — "several terabytes of metrics data
+/// per day from applications, middleware, servers, VMs, and fiber ports".
+pub struct TelemetryGen {
+    rng: StdRng,
+    hosts: usize,
+    metrics: usize,
+    ts: i64,
+    seq: i64,
+}
+
+impl TelemetryGen {
+    /// A generator over `hosts` hosts × `metrics` metric kinds.
+    pub fn new(hosts: usize, metrics: usize, seed: u64) -> TelemetryGen {
+        TelemetryGen {
+            rng: StdRng::seed_from_u64(seed),
+            hosts,
+            metrics,
+            ts: 1_000_000,
+            seq: 0,
+        }
+    }
+
+    /// SQL to create the telemetry table.
+    pub fn ddl(format: &str) -> String {
+        format!(
+            "CREATE TABLE telemetry (reading_id BIGINT NOT NULL, host TEXT, \
+             metric TEXT, ts TIMESTAMP, value DOUBLE, status BIGINT, \
+             PRIMARY KEY (reading_id)) USING FORMAT {format}"
+        )
+    }
+
+    /// Number of columns per reading.
+    pub const WIDTH: usize = 6;
+
+    /// The next reading. Timestamps increase monotonically (the shape zone
+    /// maps exploit); ~1% of readings are anomalous (status 2).
+    pub fn next_row(&mut self) -> Row {
+        self.seq += 1;
+        self.ts += self.rng.gen_range(1..20);
+        let host = self.rng.gen_range(0..self.hosts);
+        let metric = self.rng.gen_range(0..self.metrics);
+        let base = (metric as f64 + 1.0) * 10.0;
+        let anomalous = self.rng.gen_bool(0.01);
+        let value = if anomalous {
+            base * self.rng.gen_range(5.0..10.0)
+        } else {
+            base * self.rng.gen_range(0.8..1.2)
+        };
+        Row::new(vec![
+            Value::Int(self.seq),
+            Value::Str(format!("host-{host:04}")),
+            Value::Str(METRIC_NAMES[metric % METRIC_NAMES.len()].to_string()),
+            Value::Timestamp(self.ts),
+            Value::Float(value),
+            Value::Int(if anomalous { 2 } else { 0 }),
+        ])
+    }
+
+    /// Generates a batch of readings.
+    pub fn batch(&mut self, n: usize) -> Vec<Row> {
+        (0..n).map(|_| self.next_row()).collect()
+    }
+}
+
+const METRIC_NAMES: [&str; 8] = [
+    "cpu_util",
+    "mem_used",
+    "disk_io",
+    "net_rx",
+    "net_tx",
+    "temp",
+    "fan_rpm",
+    "port_errors",
+];
+
+/// Social-retail stream: `(event_id, product, region, ts, mentions,
+/// purchases)` — "analytic insights on immediate surges of interest on
+/// social media platforms to derive targeted product trends in real time".
+pub struct RetailGen {
+    rng: StdRng,
+    products: usize,
+    ts: i64,
+    seq: i64,
+    /// Product currently surging (changes over time).
+    surge_product: usize,
+    surge_remaining: usize,
+}
+
+impl RetailGen {
+    /// A generator over `products` products.
+    pub fn new(products: usize, seed: u64) -> RetailGen {
+        RetailGen {
+            rng: StdRng::seed_from_u64(seed),
+            products,
+            ts: 5_000_000,
+            seq: 0,
+            surge_product: 0,
+            surge_remaining: 0,
+        }
+    }
+
+    /// SQL to create the events table.
+    pub fn ddl(format: &str) -> String {
+        format!(
+            "CREATE TABLE retail_events (event_id BIGINT NOT NULL, product TEXT, \
+             region TEXT, ts TIMESTAMP, mentions BIGINT, purchases BIGINT, \
+             PRIMARY KEY (event_id)) USING FORMAT {format}"
+        )
+    }
+
+    /// The next event. Periodically one product "goes viral": its mention
+    /// counts jump an order of magnitude for a stretch — the surge the
+    /// analytics must spot.
+    pub fn next_row(&mut self) -> Row {
+        self.seq += 1;
+        self.ts += self.rng.gen_range(1..10);
+        if self.surge_remaining == 0 && self.rng.gen_bool(0.002) {
+            self.surge_product = self.rng.gen_range(0..self.products);
+            self.surge_remaining = self.rng.gen_range(200..500);
+        }
+        let product = if self.surge_remaining > 0 && self.rng.gen_bool(0.4) {
+            self.surge_remaining -= 1;
+            self.surge_product
+        } else {
+            self.rng.gen_range(0..self.products)
+        };
+        let surging = product == self.surge_product && self.surge_remaining > 0;
+        let mentions = if surging {
+            self.rng.gen_range(50..500)
+        } else {
+            self.rng.gen_range(0..20)
+        };
+        let purchases = (mentions as f64 * self.rng.gen_range(0.01..0.1)) as i64;
+        Row::new(vec![
+            Value::Int(self.seq),
+            Value::Str(format!("product-{product:03}")),
+            Value::Str(REGIONS[self.rng.gen_range(0..REGIONS.len())].to_string()),
+            Value::Timestamp(self.ts),
+            Value::Int(mentions),
+            Value::Int(purchases),
+        ])
+    }
+
+    /// Generates a batch of events.
+    pub fn batch(&mut self, n: usize) -> Vec<Row> {
+        (0..n).map(|_| self.next_row()).collect()
+    }
+}
+
+const REGIONS: [&str; 5] = ["na", "eu", "apac", "latam", "mea"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_is_deterministic_and_monotonic() {
+        let mut a = TelemetryGen::new(10, 4, 1);
+        let mut b = TelemetryGen::new(10, 4, 1);
+        let ra = a.batch(100);
+        let rb = b.batch(100);
+        assert_eq!(ra, rb);
+        // Timestamps ascend.
+        let ts: Vec<i64> = ra.iter().map(|r| r[3].as_int().unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn telemetry_has_anomalies() {
+        let mut g = TelemetryGen::new(10, 4, 7);
+        let rows = g.batch(5000);
+        let anomalies = rows
+            .iter()
+            .filter(|r| r[5] == Value::Int(2))
+            .count();
+        assert!(anomalies > 10 && anomalies < 300, "{anomalies}");
+    }
+
+    #[test]
+    fn retail_produces_surges() {
+        let mut g = RetailGen::new(50, 3);
+        let rows = g.batch(20_000);
+        let max_mentions = rows
+            .iter()
+            .map(|r| r[4].as_int().unwrap())
+            .max()
+            .unwrap();
+        assert!(max_mentions >= 50, "no surge observed: {max_mentions}");
+    }
+
+    #[test]
+    fn ddl_parses() {
+        use oltap_core::Database;
+        let db = Database::new();
+        db.execute(&TelemetryGen::ddl("COLUMN")).unwrap();
+        db.execute(&RetailGen::ddl("DUAL")).unwrap();
+        assert_eq!(db.table_names().len(), 2);
+    }
+}

@@ -1,0 +1,319 @@
+//! A packed bitmap used for validity masks, selection vectors, and delete
+//! vectors.
+//!
+//! The representation is a `Vec<u64>` of words plus a logical length in
+//! bits. All bulk operations (`union`, `intersect`, `count_ones`) work a
+//! word at a time, which the compiler autovectorizes — this matters because
+//! delete-vector application sits on the scan hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// A growable, packed bitmap.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitset of `len` bits, all clear.
+    pub fn with_len(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bitset of `len` bits, all set.
+    pub fn all_set(len: usize) -> Self {
+        let mut s = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        s.clear_trailing();
+        s
+    }
+
+    fn clear_trailing(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Extends the bitset with `n` clear bits.
+    pub fn grow(&mut self, n: usize) {
+        self.len += n;
+        let need = self.len.div_ceil(64);
+        if need > self.words.len() {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn push(&mut self, bit: bool) {
+        let idx = self.len;
+        self.grow(1);
+        if bit {
+            self.set(idx);
+        }
+    }
+
+    /// Sets bit `i`. Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`. Panics if out of range.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Returns bit `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns bit `i`, or `false` when out of range (useful for sparse
+    /// delete vectors that only grow on first delete).
+    #[inline]
+    pub fn get_or_false(&self, i: usize) -> bool {
+        if i < self.len {
+            self.get(i)
+        } else {
+            false
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union with `other` (must have the same length).
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection with `other` (must have the same length).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place set difference: clears every bit set in `other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Flips every bit in place.
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_trailing();
+    }
+
+    /// Iterator over the indexes of set bits, ascending.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            len: self.len,
+        }
+    }
+
+    /// Collects set-bit indexes into a `Vec<u32>` selection vector.
+    pub fn to_selection(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        out.extend(self.iter_ones().map(|i| i as u32));
+        out
+    }
+
+    /// Builds a bitset of length `len` with the given positions set.
+    pub fn from_indexes(len: usize, idx: &[usize]) -> Self {
+        let mut s = Self::with_len(len);
+        for &i in idx {
+            s.set(i);
+        }
+        s
+    }
+
+    /// ORs a full 64-bit word of bits into word slot `idx` (bit `idx*64 + j`
+    /// for each set bit `j`). Bits beyond the logical length are masked
+    /// off. Used by vectorized kernels that produce hits a word at a time.
+    pub fn or_word(&mut self, idx: usize, bits: u64) {
+        if idx >= self.words.len() || bits == 0 {
+            return;
+        }
+        self.words[idx] |= bits;
+        if idx == self.words.len() - 1 {
+            self.clear_trailing();
+        }
+    }
+
+    /// Raw word access (read-only), used by vectorized kernels.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Iterator over set-bit indexes produced by [`BitSet::iter_ones`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    len: usize,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * 64 + bit;
+                if idx < self.len {
+                    return Some(idx);
+                }
+                return None;
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::with_len(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let b = BitSet::with_len(10);
+        b.get(10);
+    }
+
+    #[test]
+    fn get_or_false_tolerates_short_sets() {
+        let mut b = BitSet::with_len(5);
+        b.set(3);
+        assert!(b.get_or_false(3));
+        assert!(!b.get_or_false(1000));
+    }
+
+    #[test]
+    fn all_set_masks_trailing_bits() {
+        let b = BitSet::all_set(70);
+        assert_eq!(b.count_ones(), 70);
+        let b = BitSet::all_set(64);
+        assert_eq!(b.count_ones(), 64);
+        let b = BitSet::all_set(0);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn push_and_grow() {
+        let mut b = BitSet::new();
+        for i in 0..100 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_ones(), 34); // 0,3,...,99
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut a = BitSet::from_indexes(10, &[1, 3, 5]);
+        let b = BitSet::from_indexes(10, &[3, 5, 7]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_selection(), vec![1, 3, 5, 7]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_selection(), vec![3, 5]);
+        a.difference_with(&b);
+        assert_eq!(a.to_selection(), vec![1]);
+    }
+
+    #[test]
+    fn negate_respects_length() {
+        let mut b = BitSet::from_indexes(70, &[0, 69]);
+        b.negate();
+        assert_eq!(b.count_ones(), 68);
+        assert!(!b.get(0) && !b.get(69));
+        assert!(b.get(1));
+    }
+
+    #[test]
+    fn iter_ones_crosses_words() {
+        let idx = [0usize, 63, 64, 127, 128, 199];
+        let b = BitSet::from_indexes(200, &idx);
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, idx);
+    }
+
+    #[test]
+    fn iter_ones_empty_and_full() {
+        assert_eq!(BitSet::with_len(100).iter_ones().count(), 0);
+        assert_eq!(BitSet::all_set(100).iter_ones().count(), 100);
+        assert_eq!(BitSet::new().iter_ones().count(), 0);
+    }
+}

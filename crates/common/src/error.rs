@@ -1,0 +1,118 @@
+//! The error type shared by every `oltapdb` crate.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = DbError> = std::result::Result<T, E>;
+
+/// Errors surfaced by any layer of the engine.
+///
+/// The engine keeps a single flat error enum rather than per-crate error
+/// types so that errors can flow from the storage layer through the executor
+/// and out of the SQL front end without conversion boilerplate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A value had an unexpected [`crate::DataType`] for the operation.
+    TypeMismatch {
+        /// What the operation required.
+        expected: String,
+        /// What it actually received.
+        actual: String,
+    },
+    /// A named table does not exist in the catalog.
+    TableNotFound(String),
+    /// A named column does not exist in the referenced table.
+    ColumnNotFound(String),
+    /// An object with the same name already exists.
+    AlreadyExists(String),
+    /// A primary-key constraint was violated.
+    DuplicateKey(String),
+    /// A row with the requested key does not exist.
+    KeyNotFound(String),
+    /// The transaction lost a first-committer-wins conflict and must abort.
+    WriteConflict(String),
+    /// The transaction was already committed or aborted.
+    TxnClosed(String),
+    /// SQL text failed to tokenize or parse.
+    Parse(String),
+    /// The query was well-formed but cannot be planned/bound.
+    Plan(String),
+    /// A runtime execution failure (overflow, division by zero, ...).
+    Execution(String),
+    /// Corrupt or truncated data encountered (e.g. WAL replay).
+    Corruption(String),
+    /// A distributed-layer failure (no leader, node down, quorum lost).
+    Cluster(String),
+    /// The operation is not supported by this table format or engine build.
+    Unsupported(String),
+    /// Invalid argument supplied by the caller.
+    InvalidArgument(String),
+    /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            DbError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            DbError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            DbError::AlreadyExists(o) => write!(f, "already exists: {o}"),
+            DbError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            DbError::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            DbError::WriteConflict(m) => write!(f, "write-write conflict: {m}"),
+            DbError::TxnClosed(m) => write!(f, "transaction closed: {m}"),
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Plan(m) => write!(f, "plan error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::Corruption(m) => write!(f, "corruption: {m}"),
+            DbError::Cluster(m) => write!(f, "cluster error: {m}"),
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            DbError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_payload() {
+        let e = DbError::TableNotFound("orders".into());
+        assert_eq!(e.to_string(), "table not found: orders");
+        let e = DbError::TypeMismatch {
+            expected: "Int64".into(),
+            actual: "Utf8".into(),
+        };
+        assert!(e.to_string().contains("Int64"));
+        assert!(e.to_string().contains("Utf8"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: DbError = io.into();
+        assert!(matches!(e, DbError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            DbError::Parse("x".into()),
+            DbError::Parse("x".into())
+        );
+        assert_ne!(DbError::Parse("x".into()), DbError::Plan("x".into()));
+    }
+}

@@ -1,0 +1,140 @@
+//! A fast, non-cryptographic hasher for engine-internal hash tables.
+//!
+//! Hash joins, hash aggregation, and dictionary encoding all hash millions
+//! of keys per query; the default SipHash is needlessly slow for that
+//! (HashDoS resistance is irrelevant for in-process query state). This is
+//! an implementation of the Fx multiply-rotate hash used by rustc, written
+//! from scratch so the workspace adds no extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (64-bit golden-ratio-derived, as in rustc's Fx).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hash. Use on all hot paths.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hash.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hashes one `u64` directly (used by vectorized hash kernels where going
+/// through the `Hasher` trait would obscure autovectorization).
+#[inline]
+pub fn hash_u64(v: u64) -> u64 {
+    // Two rounds of the Fx mix to spread low-entropy integers.
+    let h = (v ^ v.rotate_left(25)).wrapping_mul(SEED);
+    (h ^ (h >> 29)).wrapping_mul(SEED)
+}
+
+/// Hashes a byte slice to `u64` without constructing a hasher.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+        assert_eq!(hash_u64(42), hash_u64(42));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+        assert_ne!(hash_u64(1), hash_u64(2));
+        // Length mixing: a prefix plus zero bytes must differ.
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ab\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn map_works_with_fx() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(format!("key{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m["key513"], 513);
+    }
+
+    #[test]
+    fn low_entropy_integers_spread() {
+        // Sequential integers must not collide in low bits (bucket index).
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            buckets.insert(hash_u64(i) & 1023);
+        }
+        // Expect decent coverage of the 1024 buckets.
+        assert!(buckets.len() > 600, "only {} distinct buckets", buckets.len());
+    }
+}

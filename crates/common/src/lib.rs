@@ -1,0 +1,38 @@
+//! # oltap-common
+//!
+//! The shared data model underneath every other `oltapdb` crate.
+//!
+//! This crate deliberately has no dependencies on the rest of the system so
+//! that storage, transaction, execution, and distribution layers can all
+//! agree on a single vocabulary:
+//!
+//! * [`types::DataType`] / [`types::Value`] — the logical type system and
+//!   dynamically typed scalar values.
+//! * [`schema::Schema`] / [`schema::Field`] — table schemas with primary-key
+//!   metadata.
+//! * [`row::Row`] — an N-tuple of values (the unit of the row store and of
+//!   DML).
+//! * [`vector::ColumnVector`] / [`vector::Batch`] — typed columnar batches
+//!   (the unit of the vectorized executor).
+//! * [`bitset::BitSet`] — packed validity/selection/delete bitmaps.
+//! * [`hash`] — a fast, non-cryptographic hasher (Fx-style) plus `HashMap`
+//!   aliases used on hot paths throughout the engine.
+//! * [`ids`] — newtype identifiers (tables, columns, segments, transactions,
+//!   cluster nodes, partitions).
+//! * [`error::DbError`] — the error type shared across crates.
+
+pub mod bitset;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod row;
+pub mod schema;
+pub mod types;
+pub mod vector;
+
+pub use bitset::BitSet;
+pub use error::{DbError, Result};
+pub use row::Row;
+pub use schema::{Field, Schema};
+pub use types::{DataType, Value};
+pub use vector::{Batch, ColumnVector};

@@ -1,0 +1,165 @@
+//! [`Row`]: an N-tuple of [`Value`]s — the unit of DML and of the row store.
+
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A materialized tuple.
+///
+/// Rows are the currency of the OLTP side of the engine: inserts, point
+/// reads, and the writable delta store all traffic in `Row`s, while the
+/// analytic side converts them into [`crate::vector::Batch`]es.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Wraps a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The values, in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access (used by UPDATE application).
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at ordinal `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Consumes the row, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Builds a new row containing only the given ordinals, in order.
+    pub fn project(&self, indexes: &[usize]) -> Row {
+        Row::new(indexes.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenates two rows (used by join output assembly).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Row::new(v)
+    }
+
+    /// Approximate in-memory footprint in bytes (used by memory accounting
+    /// and merge policies).
+    pub fn approx_size(&self) -> usize {
+        let mut n = std::mem::size_of::<Row>();
+        for v in &self.values {
+            n += std::mem::size_of::<Value>();
+            if let Value::Str(s) = v {
+                n += s.len();
+            }
+        }
+        n
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+/// Convenience macro for building rows in tests and examples:
+/// `row![1i64, "abc", 2.5f64, Value::Null]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::row::Row::new(vec![$($crate::types::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    #[test]
+    fn basic_access() {
+        let r = Row::new(vec![Value::Int(1), Value::Str("a".into())]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r.get(1).as_str().unwrap(), "a");
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let r = Row::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            r.project(&[2, 0]).values(),
+            &[Value::Int(3), Value::Int(1)]
+        );
+        let s = Row::new(vec![Value::Int(9)]);
+        assert_eq!(r.concat(&s).len(), 4);
+    }
+
+    #[test]
+    fn row_macro() {
+        let r = row![1i64, "abc", 2.5f64, true];
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[1], Value::Str("abc".into()));
+        assert_eq!(r[3], Value::Bool(true));
+    }
+
+    #[test]
+    fn display() {
+        let r = row![1i64, "x"];
+        assert_eq!(r.to_string(), "(1, 'x')");
+    }
+
+    #[test]
+    fn approx_size_counts_strings() {
+        let small = row![1i64];
+        let big = Row::new(vec![Value::Str("x".repeat(1000))]);
+        assert!(big.approx_size() > small.approx_size() + 900);
+    }
+
+    #[test]
+    fn ordering_lexicographic() {
+        assert!(row![1i64, 2i64] < row![1i64, 3i64]);
+        assert!(row![1i64] < row![1i64, 0i64]);
+    }
+}

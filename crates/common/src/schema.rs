@@ -1,0 +1,250 @@
+//! Table schemas: ordered, named, typed fields plus primary-key metadata.
+
+use crate::error::{DbError, Result};
+use crate::row::Row;
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (unique within a schema, case-sensitive).
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether NULL is admissible.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL field.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s with optional primary-key columns.
+///
+/// Schemas are immutable once built and shared via `Arc` (see
+/// [`SchemaRef`]); every storage segment, batch, and plan node points at the
+/// same allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+    /// Ordinal indexes of the primary-key columns, in key order.
+    primary_key: Vec<usize>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Builds a schema without a primary key.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields,
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Builds a schema with the named primary-key columns.
+    ///
+    /// # Errors
+    /// Returns [`DbError::ColumnNotFound`] if a key column is unknown, and
+    /// [`DbError::InvalidArgument`] for duplicate field names.
+    pub fn with_primary_key(fields: Vec<Field>, key_columns: &[&str]) -> Result<Self> {
+        let mut schema = Schema::new(fields);
+        schema.validate_unique_names()?;
+        let mut pk = Vec::with_capacity(key_columns.len());
+        for &k in key_columns {
+            pk.push(schema.index_of(k)?);
+        }
+        schema.primary_key = pk;
+        Ok(schema)
+    }
+
+    fn validate_unique_names(&self) -> Result<()> {
+        for (i, f) in self.fields.iter().enumerate() {
+            if self.fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(DbError::InvalidArgument(format!(
+                    "duplicate column name: {}",
+                    f.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at ordinal `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Ordinal index of the named column.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| DbError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Primary-key column ordinals (empty when no key is declared).
+    pub fn primary_key(&self) -> &[usize] {
+        &self.primary_key
+    }
+
+    /// True when a primary key is declared.
+    pub fn has_primary_key(&self) -> bool {
+        !self.primary_key.is_empty()
+    }
+
+    /// Extracts the primary-key values of `row` (in key-column order).
+    pub fn key_of(&self, row: &Row) -> Row {
+        Row::new(
+            self.primary_key
+                .iter()
+                .map(|&i| row.values()[i].clone())
+                .collect(),
+        )
+    }
+
+    /// Type-checks a row against the schema: arity, per-column type, and
+    /// NOT NULL constraints (primary-key columns are implicitly NOT NULL).
+    pub fn check_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.fields.len() {
+            return Err(DbError::InvalidArgument(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.fields.len()
+            )));
+        }
+        for (i, (v, f)) in row.values().iter().zip(&self.fields).enumerate() {
+            v.check_type(f.data_type)?;
+            if v.is_null() && (!f.nullable || self.primary_key.contains(&i)) {
+                return Err(DbError::InvalidArgument(format!(
+                    "NULL in non-nullable column {}",
+                    f.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects the schema to the given column ordinals (no primary key is
+    /// carried over — projections are not keyed).
+    pub fn project(&self, indexes: &[usize]) -> Schema {
+        Schema::new(indexes.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn sample() -> Schema {
+        Schema::with_primary_key(
+            vec![
+                Field::not_null("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+                Field::new("score", DataType::Float64),
+            ],
+            &["id"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("name").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(DbError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let r = Schema::with_primary_key(
+            vec![
+                Field::new("a", DataType::Int64),
+                Field::new("a", DataType::Int64),
+            ],
+            &[],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_key_column() {
+        let r = Schema::with_primary_key(vec![Field::new("a", DataType::Int64)], &["b"]);
+        assert!(matches!(r, Err(DbError::ColumnNotFound(_))));
+    }
+
+    #[test]
+    fn check_row_validates_arity_types_nulls() {
+        let s = sample();
+        let ok = Row::new(vec![Value::Int(1), Value::Str("x".into()), Value::Float(0.5)]);
+        assert!(s.check_row(&ok).is_ok());
+
+        let short = Row::new(vec![Value::Int(1)]);
+        assert!(s.check_row(&short).is_err());
+
+        let wrong = Row::new(vec![Value::Str("1".into()), Value::Null, Value::Null]);
+        assert!(s.check_row(&wrong).is_err());
+
+        // NULL primary key rejected even though column 0 is also NOT NULL.
+        let null_pk = Row::new(vec![Value::Null, Value::Null, Value::Null]);
+        assert!(s.check_row(&null_pk).is_err());
+
+        // NULL in nullable column accepted.
+        let null_name = Row::new(vec![Value::Int(2), Value::Null, Value::Null]);
+        assert!(s.check_row(&null_name).is_ok());
+    }
+
+    #[test]
+    fn key_extraction() {
+        let s = sample();
+        let r = Row::new(vec![Value::Int(9), Value::Str("x".into()), Value::Null]);
+        assert_eq!(s.key_of(&r).values(), &[Value::Int(9)]);
+    }
+
+    #[test]
+    fn projection_drops_key() {
+        let s = sample();
+        let p = s.project(&[1, 2]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).name, "name");
+        assert!(!p.has_primary_key());
+    }
+}

@@ -1,0 +1,25 @@
+//! # oltap-core
+//!
+//! The integrated operational-analytics engine — the piece that assembles
+//! every substrate the tutorial describes into one system:
+//!
+//! * a [`catalog::Catalog`] of tables in any of three physical formats
+//!   (row store / delta+columnar main / dual-format);
+//! * MVCC [`Database::session`] sessions with snapshot isolation;
+//! * a SQL surface ([`Database::execute`] /
+//!   [`session::Session::execute`]) covering DDL, DML, transactions, and
+//!   analytic queries, planned by `oltap-sql` and run on `oltap-exec`
+//!   operators;
+//! * write-ahead logging and recovery ([`Database::open`]);
+//! * background [`Database::maintenance`] (delta merge, dual-format
+//!   population, MVCC garbage collection) and an optional
+//!   [`MaintenanceDaemon`] thread.
+
+pub mod catalog;
+pub mod database;
+pub mod physical;
+pub mod session;
+
+pub use catalog::{Catalog, TableFormat, TableHandle};
+pub use database::{Database, DbConfig, MaintenanceDaemon, MaintenanceStats};
+pub use session::{QueryResult, Session};

@@ -1,0 +1,213 @@
+//! Physical planning: lowers an optimized [`LogicalPlan`] onto the
+//! vectorized operators of `oltap-exec`.
+//!
+//! The only physical decision beyond 1:1 lowering is `Sort + Limit →
+//! TopK`, the bounded-heap optimization for dashboard-style
+//! `ORDER BY ... LIMIT k` queries.
+
+use crate::catalog::Catalog;
+use oltap_common::ids::TxnId;
+use oltap_common::Result;
+use oltap_exec::operator::{BoxedOperator, FilterOp, LimitOp, MemorySource, ProjectOp};
+use oltap_exec::{HashAggregateOp, HashJoinOp, SortOp, TopKOp};
+use oltap_sql::LogicalPlan;
+use oltap_txn::Ts;
+
+/// Execution-time context: the snapshot the query reads at.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecContext {
+    /// Snapshot timestamp.
+    pub read_ts: Ts,
+    /// Transaction identity (sees its own uncommitted writes).
+    pub me: TxnId,
+    /// Batch size for scans.
+    pub batch_size: usize,
+}
+
+/// Lowers a logical plan to a pulling operator tree.
+pub fn lower(plan: &LogicalPlan, catalog: &Catalog, ctx: ExecContext) -> Result<BoxedOperator> {
+    Ok(match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            pushdown,
+            ..
+        } => {
+            let handle = catalog.get(table)?;
+            let batches =
+                handle.scan(projection, pushdown, ctx.read_ts, ctx.me, ctx.batch_size)?;
+            let schema = plan.output_schema()?;
+            Box::new(MemorySource::new(schema, batches))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let child = lower(input, catalog, ctx)?;
+            Box::new(FilterOp::new(child, predicate.clone())?)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let child = lower(input, catalog, ctx)?;
+            let (es, names): (Vec<_>, Vec<_>) = exprs.iter().cloned().unzip();
+            Box::new(ProjectOp::new(child, es, names)?)
+        }
+        LogicalPlan::Aggregate { input, group, aggs } => {
+            let child = lower(input, catalog, ctx)?;
+            Box::new(HashAggregateOp::new(child, group.clone(), aggs.clone())?)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => {
+            let l = lower(left, catalog, ctx)?;
+            let r = lower(right, catalog, ctx)?;
+            Box::new(HashJoinOp::new(
+                l,
+                r,
+                left_keys.clone(),
+                right_keys.clone(),
+                *join_type,
+            )?)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = lower(input, catalog, ctx)?;
+            Box::new(SortOp::new(child, keys.clone()))
+        }
+        LogicalPlan::Limit {
+            input,
+            offset,
+            limit,
+        } => {
+            // Physical rewrite: Limit(Sort(x)) with offset 0 → TopK.
+            if let LogicalPlan::Sort { input: sort_in, keys } = input.as_ref() {
+                if *offset == 0 && *limit != usize::MAX {
+                    let child = lower(sort_in, catalog, ctx)?;
+                    return Ok(Box::new(TopKOp::new(child, keys.clone(), *limit)));
+                }
+            }
+            let child = lower(input, catalog, ctx)?;
+            Box::new(LimitOp::new(child, *offset, *limit))
+        }
+    })
+}
+
+/// Convenience: lower + drain into batches.
+pub fn execute_plan(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: ExecContext,
+) -> Result<Vec<oltap_common::Batch>> {
+    let op = lower(plan, catalog, ctx)?;
+    oltap_exec::operator::collect(op)
+}
+
+/// The schema a plan's results will carry.
+pub fn result_schema(plan: &LogicalPlan) -> Result<oltap_common::schema::SchemaRef> {
+    plan.output_schema()
+}
+
+/// Default execution context for a snapshot read.
+pub fn snapshot_ctx(read_ts: Ts) -> ExecContext {
+    ExecContext {
+        read_ts,
+        me: TxnId(u64::MAX - 8),
+        batch_size: oltap_common::vector::BATCH_SIZE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{TableFormat, TableHandle};
+    use oltap_common::row;
+    use oltap_common::{DataType, Field, Schema, Value};
+    use oltap_sql::{bind_select, optimize, parse, Statement};
+    use oltap_txn::TransactionManager;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<TransactionManager>, Catalog) {
+        let mgr = Arc::new(TransactionManager::new());
+        let mut cat = Catalog::new();
+        let schema = Arc::new(
+            Schema::with_primary_key(
+                vec![
+                    Field::not_null("id", DataType::Int64),
+                    Field::new("grp", DataType::Utf8),
+                    Field::new("v", DataType::Int64),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        );
+        let h = TableHandle::create(schema, TableFormat::Column).unwrap();
+        let tx = mgr.begin();
+        for i in 0..100 {
+            h.insert(&tx, row![i as i64, ["a", "b"][i % 2], (i % 10) as i64])
+                .unwrap();
+        }
+        tx.commit().unwrap();
+        cat.create("t", h).unwrap();
+        (mgr, cat)
+    }
+
+    fn run(sql: &str, mgr: &TransactionManager, cat: &Catalog) -> Vec<oltap_common::Row> {
+        let stmt = parse(sql).unwrap();
+        let sel = match stmt {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let plan = optimize(bind_select(&sel, cat).unwrap()).unwrap();
+        let batches = execute_plan(&plan, cat, snapshot_ctx(mgr.now())).unwrap();
+        batches.iter().flat_map(|b| b.to_rows()).collect()
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let (mgr, cat) = setup();
+        let rows = run("SELECT id FROM t WHERE v = 3 ORDER BY id", &mgr, &cat);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn end_to_end_aggregate() {
+        let (mgr, cat) = setup();
+        let rows = run(
+            "SELECT grp, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY grp ORDER BY grp",
+            &mgr,
+            &cat,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Str("a".into()));
+        assert_eq!(rows[0][1], Value::Int(50));
+    }
+
+    #[test]
+    fn topk_rewrite_fires() {
+        let (mgr, cat) = setup();
+        let rows = run("SELECT id FROM t ORDER BY id DESC LIMIT 3", &mgr, &cat);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], Value::Int(99));
+        assert_eq!(rows[2][0], Value::Int(97));
+    }
+
+    #[test]
+    fn limit_with_offset_not_rewritten() {
+        let (mgr, cat) = setup();
+        let rows = run("SELECT id FROM t ORDER BY id LIMIT 5 OFFSET 10", &mgr, &cat);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0][0], Value::Int(10));
+    }
+
+    #[test]
+    fn self_join() {
+        let (mgr, cat) = setup();
+        let rows = run(
+            "SELECT a.id FROM t a JOIN t b ON a.id = b.id WHERE a.v > 7 ORDER BY a.id LIMIT 2",
+            &mgr,
+            &cat,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(8));
+    }
+}

@@ -1,0 +1,414 @@
+//! Sessions: statement execution with explicit or automatic transactions.
+
+use crate::database::Database;
+use crate::physical::{execute_plan, ExecContext};
+use oltap_common::ids::TxnId;
+use oltap_common::schema::SchemaRef;
+use oltap_common::{DbError, Result, Row, Value};
+use oltap_sql::ast::{AstExpr, SelectStmt, Statement};
+use oltap_sql::plan::{bind_scalar, literal_value};
+use oltap_sql::{bind_select, optimize, parse};
+use oltap_txn::wal::WalOp;
+use oltap_txn::Transaction;
+use std::sync::Arc;
+
+/// The result of executing one statement.
+#[derive(Debug)]
+pub enum QueryResult {
+    /// A result set.
+    Rows {
+        /// Result schema.
+        schema: SchemaRef,
+        /// Materialized rows.
+        rows: Vec<Row>,
+    },
+    /// Number of rows a DML statement touched.
+    Affected(usize),
+    /// DDL completed.
+    Ddl,
+    /// Transaction-control statement completed ("BEGIN"/"COMMIT"/...).
+    Txn(&'static str),
+}
+
+impl QueryResult {
+    /// The rows, for tests/examples that know they ran a query.
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// Affected-row count (0 for non-DML).
+    pub fn affected(&self) -> usize {
+        match self {
+            QueryResult::Affected(n) => *n,
+            _ => 0,
+        }
+    }
+}
+
+/// An interactive session: holds at most one open transaction.
+pub struct Session {
+    db: Arc<Database>,
+    txn: Option<Transaction>,
+    pending_ops: Vec<WalOp>,
+}
+
+impl Session {
+    pub(crate) fn new(db: Arc<Database>) -> Session {
+        Session {
+            db,
+            txn: None,
+            pending_ops: Vec::new(),
+        }
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Executes one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_statement(stmt, sql)
+    }
+
+    /// Executes an already parsed statement (`sql` is kept for DDL
+    /// logging).
+    pub fn execute_statement(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
+        match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(DbError::InvalidArgument(
+                        "transaction already open".into(),
+                    ));
+                }
+                self.txn = Some(self.db.txn_manager().begin());
+                self.pending_ops.clear();
+                Ok(QueryResult::Txn("BEGIN"))
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| DbError::InvalidArgument("no open transaction".into()))?;
+                let ops = std::mem::take(&mut self.pending_ops);
+                self.db.commit_txn(&txn, ops)?;
+                Ok(QueryResult::Txn("COMMIT"))
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| DbError::InvalidArgument("no open transaction".into()))?;
+                txn.abort()?;
+                self.pending_ops.clear();
+                Ok(QueryResult::Txn("ROLLBACK"))
+            }
+            Statement::CreateTable { .. } | Statement::DropTable { .. } => {
+                if self.txn.is_some() {
+                    return Err(DbError::Unsupported(
+                        "DDL inside an open transaction".into(),
+                    ));
+                }
+                self.db.execute_ddl(&stmt, sql)?;
+                Ok(QueryResult::Ddl)
+            }
+            Statement::Select(sel) => self.execute_select(&sel),
+            Statement::Explain(sel) => self.execute_explain(&sel),
+            dml => self.execute_dml(dml),
+        }
+    }
+
+    fn snapshot(&self) -> (oltap_txn::Ts, TxnId) {
+        match &self.txn {
+            Some(t) => (t.begin_ts(), t.id()),
+            None => (self.db.txn_manager().now(), TxnId(u64::MAX - 8)),
+        }
+    }
+
+    fn execute_select(&self, sel: &SelectStmt) -> Result<QueryResult> {
+        let (read_ts, me) = self.snapshot();
+        let catalog = self.db.catalog_read();
+        let plan = optimize(bind_select(sel, &*catalog)?)?;
+        let schema = plan.output_schema()?;
+        let batches = execute_plan(
+            &plan,
+            &catalog,
+            ExecContext {
+                read_ts,
+                me,
+                batch_size: oltap_common::vector::BATCH_SIZE,
+            },
+        )?;
+        let rows: Vec<Row> = batches.iter().flat_map(|b| b.to_rows()).collect();
+        Ok(QueryResult::Rows { schema, rows })
+    }
+
+    /// EXPLAIN: bind + optimize, render the plan tree as one row per line.
+    fn execute_explain(&self, sel: &SelectStmt) -> Result<QueryResult> {
+        let catalog = self.db.catalog_read();
+        let plan = optimize(bind_select(sel, &*catalog)?)?;
+        let schema = Arc::new(oltap_common::Schema::new(vec![oltap_common::Field::new(
+            "plan",
+            oltap_common::DataType::Utf8,
+        )]));
+        let rows: Vec<Row> = plan
+            .explain()
+            .lines()
+            .map(|l| Row::new(vec![Value::Str(l.to_string())]))
+            .collect();
+        Ok(QueryResult::Rows { schema, rows })
+    }
+
+    /// Runs DML in the open transaction, or in a fresh auto-commit one.
+    fn execute_dml(&mut self, stmt: Statement) -> Result<QueryResult> {
+        if self.txn.is_some() {
+            // Split borrows: take the txn out during execution.
+            let txn = self.txn.take().unwrap();
+            let result = self.apply_dml(&txn, &stmt);
+            self.txn = Some(txn);
+            let (n, ops) = result?;
+            self.pending_ops.extend(ops);
+            Ok(QueryResult::Affected(n))
+        } else {
+            let txn = self.db.txn_manager().begin();
+            match self.apply_dml(&txn, &stmt) {
+                Ok((n, ops)) => {
+                    self.db.commit_txn(&txn, ops)?;
+                    Ok(QueryResult::Affected(n))
+                }
+                Err(e) => {
+                    let _ = txn.abort();
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Applies a DML statement under `txn`; returns (affected, redo ops).
+    fn apply_dml(&self, txn: &Transaction, stmt: &Statement) -> Result<(usize, Vec<WalOp>)> {
+        match stmt {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let handle = self.db.table(table)?;
+                let schema = Arc::clone(handle.schema());
+                let mut ops = Vec::with_capacity(rows.len());
+                for literal_row in rows {
+                    let row = build_insert_row(&schema, columns.as_deref(), literal_row)?;
+                    handle.insert(txn, row.clone())?;
+                    ops.push(WalOp::Insert {
+                        table: table.clone(),
+                        row,
+                    });
+                }
+                Ok((rows.len(), ops))
+            }
+            Statement::Update { table, set, filter } => {
+                let handle = self.db.table(table)?;
+                let schema = Arc::clone(handle.schema());
+                if !schema.has_primary_key() {
+                    return Err(DbError::Unsupported(
+                        "UPDATE on table without primary key".into(),
+                    ));
+                }
+                let set_bound: Vec<(usize, oltap_exec::Expr)> = set
+                    .iter()
+                    .map(|(c, e)| Ok((schema.index_of(c)?, bind_scalar(e, &schema)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                let targets = self.matching_rows(txn, &handle, &schema, filter.as_ref())?;
+                let mut ops = Vec::with_capacity(targets.len());
+                let pk_cols = schema.primary_key().to_vec();
+                for old in targets {
+                    let mut new = old.clone();
+                    for (i, e) in &set_bound {
+                        let v = e.eval_row(&old)?;
+                        v.check_type(schema.field(*i).data_type)?;
+                        new.values_mut()[*i] = v;
+                    }
+                    let old_key = schema.key_of(&old);
+                    let pk_changed = pk_cols
+                        .iter()
+                        .any(|&i| old.values()[i] != new.values()[i]);
+                    if pk_changed {
+                        handle.delete(txn, &old_key)?;
+                        handle.insert(txn, new.clone())?;
+                        ops.push(WalOp::Delete {
+                            table: table.clone(),
+                            key: old_key,
+                        });
+                        ops.push(WalOp::Insert {
+                            table: table.clone(),
+                            row: new,
+                        });
+                    } else {
+                        handle.update(txn, &old_key, new.clone())?;
+                        ops.push(WalOp::Update {
+                            table: table.clone(),
+                            key: old_key,
+                            row: new,
+                        });
+                    }
+                }
+                Ok((ops.len(), ops))
+            }
+            Statement::Delete { table, filter } => {
+                let handle = self.db.table(table)?;
+                let schema = Arc::clone(handle.schema());
+                if !schema.has_primary_key() {
+                    return Err(DbError::Unsupported(
+                        "DELETE on table without primary key".into(),
+                    ));
+                }
+                let targets = self.matching_rows(txn, &handle, &schema, filter.as_ref())?;
+                let mut ops = Vec::with_capacity(targets.len());
+                for row in &targets {
+                    let key = schema.key_of(row);
+                    handle.delete(txn, &key)?;
+                    ops.push(WalOp::Delete {
+                        table: table.clone(),
+                        key,
+                    });
+                }
+                Ok((targets.len(), ops))
+            }
+            other => Err(DbError::Unsupported(format!("not DML: {other:?}"))),
+        }
+    }
+
+    /// Materializes the rows a DML statement targets, at the transaction's
+    /// snapshot (its own writes included). Predicates that pin every
+    /// primary-key column with equality take the point-lookup fast path
+    /// (the OLTP shape: `WHERE pk = ...`).
+    fn matching_rows(
+        &self,
+        txn: &Transaction,
+        handle: &crate::catalog::TableHandle,
+        schema: &oltap_common::Schema,
+        filter: Option<&AstExpr>,
+    ) -> Result<Vec<Row>> {
+        let predicate = filter.map(|f| bind_scalar(f, schema)).transpose()?;
+        if let Some(p) = &predicate {
+            if let Some(key) = pk_equality_key(p, schema) {
+                return Ok(match handle.get(&key, txn.begin_ts(), txn.id()) {
+                    // Re-check the full predicate (it may have residual
+                    // conjuncts beyond the key columns).
+                    Some(row) if matches!(p.eval_row(&row)?, Value::Bool(true)) => {
+                        vec![row]
+                    }
+                    _ => Vec::new(),
+                });
+            }
+        }
+        let all: Vec<usize> = (0..schema.len()).collect();
+        let batches = handle.scan(
+            &all,
+            &oltap_storage::ScanPredicate::all(),
+            txn.begin_ts(),
+            txn.id(),
+            oltap_common::vector::BATCH_SIZE,
+        )?;
+        let mut out = Vec::new();
+        for b in &batches {
+            for i in 0..b.len() {
+                let row = b.row(i);
+                let keep = match &predicate {
+                    None => true,
+                    Some(p) => matches!(p.eval_row(&row)?, Value::Bool(true)),
+                };
+                if keep {
+                    out.push(row);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // An un-finalized transaction aborts implicitly (Transaction::drop).
+        self.txn = None;
+        self.pending_ops.clear();
+    }
+}
+
+/// If the (bound) predicate is a conjunction containing `col = literal`
+/// for every primary-key column, returns the key row — the point-lookup
+/// fast path for OLTP-style DML.
+fn pk_equality_key(pred: &oltap_exec::Expr, schema: &oltap_common::Schema) -> Option<Row> {
+    use oltap_exec::expr::BinOp;
+    use oltap_exec::Expr;
+    if !schema.has_primary_key() {
+        return None;
+    }
+    let mut bindings: Vec<Option<Value>> = vec![None; schema.len()];
+    let mut stack = vec![pred];
+    while let Some(e) = stack.pop() {
+        if let Expr::Binary { op, left, right } = e {
+            match op {
+                BinOp::And => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                BinOp::Eq => match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column(c), Expr::Literal(v))
+                    | (Expr::Literal(v), Expr::Column(c))
+                        if *c < bindings.len() && !v.is_null() => {
+                            bindings[*c] = Some(v.clone());
+                        }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    let key: Option<Vec<Value>> = schema
+        .primary_key()
+        .iter()
+        .map(|&i| bindings[i].clone())
+        .collect();
+    key.map(Row::new)
+}
+
+/// Builds a full-width row from an INSERT's literal list, honoring an
+/// explicit column list (missing columns become NULL).
+fn build_insert_row(
+    schema: &oltap_common::Schema,
+    columns: Option<&[String]>,
+    literals: &[AstExpr],
+) -> Result<Row> {
+    match columns {
+        None => {
+            if literals.len() != schema.len() {
+                return Err(DbError::InvalidArgument(format!(
+                    "INSERT has {} values, table has {} columns",
+                    literals.len(),
+                    schema.len()
+                )));
+            }
+            let vals = literals
+                .iter()
+                .map(literal_value)
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Row::new(vals))
+        }
+        Some(cols) => {
+            if literals.len() != cols.len() {
+                return Err(DbError::InvalidArgument(
+                    "INSERT column/value count mismatch".into(),
+                ));
+            }
+            let mut vals = vec![Value::Null; schema.len()];
+            for (c, l) in cols.iter().zip(literals) {
+                vals[schema.index_of(c)?] = literal_value(l)?;
+            }
+            Ok(Row::new(vals))
+        }
+    }
+}

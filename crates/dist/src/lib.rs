@@ -1,0 +1,22 @@
+//! # oltap-dist
+//!
+//! The scale-out substrate: horizontal partitioning, an in-process
+//! replicated cluster, and distributed scatter-gather query execution —
+//! the tutorial's "scaling out to distributed deployments" dimension
+//! (§1, §3; Kudu \[24\], Oracle DBIM distributed architecture \[27\]).
+//!
+//! * [`partition`] — hash and range partitioners over primary keys.
+//! * [`raft`] — a from-scratch simplified Raft (elections, log
+//!   replication, majority commit, crash/restart, link failures).
+//! * [`cluster`] — [`cluster::DistributedTable`]: partitions × replicas,
+//!   each partition driven by a Raft group applying into a local
+//!   delta+main table; queries scatter partial aggregates to partition
+//!   leaders and gather.
+
+pub mod cluster;
+pub mod partition;
+pub mod raft;
+
+pub use cluster::{ClusterConfig, DistributedTable, PartitionGroup, Replica};
+pub use partition::Partitioner;
+pub use raft::{Network, NodeReport, RaftConfig, RaftGroup, RaftNode, Role};

@@ -1,0 +1,524 @@
+//! Blocking hash aggregation (GROUP BY) with the standard SQL aggregates.
+
+use crate::expr::Expr;
+use crate::operator::{BoxedOperator, Operator};
+use oltap_common::hash::FxHashMap;
+use oltap_common::schema::SchemaRef;
+use oltap_common::{Batch, DataType, DbError, Field, Result, Row, Schema, Value};
+use std::sync::Arc;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(expr)` — counts non-NULL values.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)` — always Float64.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Input expression (`None` only for `COUNT(*)`).
+    pub input: Option<Expr>,
+    /// Output column label.
+    pub label: String,
+}
+
+impl AggExpr {
+    /// `COUNT(*)`.
+    pub fn count_star(label: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::CountStar,
+            input: None,
+            label: label.into(),
+        }
+    }
+
+    /// An aggregate over an expression.
+    pub fn new(func: AggFunc, input: Expr, label: impl Into<String>) -> Self {
+        AggExpr {
+            func,
+            input: Some(input),
+            label: label.into(),
+        }
+    }
+
+    fn output_type(&self, schema: &Schema) -> Result<DataType> {
+        match self.func {
+            AggFunc::CountStar | AggFunc::Count => Ok(DataType::Int64),
+            AggFunc::Avg => Ok(DataType::Float64),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                let t = self
+                    .input
+                    .as_ref()
+                    .ok_or_else(|| DbError::Plan("aggregate needs an input".into()))?
+                    .data_type(schema)?;
+                if self.func == AggFunc::Sum
+                    && !matches!(t, DataType::Int64 | DataType::Float64)
+                {
+                    return Err(DbError::Plan(format!("SUM over non-numeric {t}")));
+                }
+                Ok(t)
+            }
+        }
+    }
+}
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumI {
+        sum: i64,
+        seen: bool,
+    },
+    SumF {
+        sum: f64,
+        seen: bool,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg {
+        sum: f64,
+        count: i64,
+    },
+}
+
+impl AggState {
+    fn new(func: AggFunc, input_type: DataType) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match input_type {
+                DataType::Float64 => AggState::SumF {
+                    sum: 0.0,
+                    seen: false,
+                },
+                _ => AggState::SumI { sum: 0, seen: false },
+            },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            AggState::Count(c) => {
+                if !v.is_null() {
+                    *c += 1;
+                }
+            }
+            AggState::SumI { sum, seen } => {
+                if !v.is_null() {
+                    *sum = sum.wrapping_add(v.as_int()?);
+                    *seen = true;
+                }
+            }
+            AggState::SumF { sum, seen } => {
+                if !v.is_null() {
+                    *sum += v.as_float()?;
+                    *seen = true;
+                }
+            }
+            AggState::Min(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            AggState::Max(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if !v.is_null() {
+                    *sum += v.as_float()?;
+                    *count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn count_row(&mut self) {
+        if let AggState::Count(c) = self {
+            *c += 1;
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(*c),
+            AggState::SumI { sum, seen } => {
+                if *seen {
+                    Value::Int(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumF { sum, seen } => {
+                if *seen {
+                    Value::Float(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Min(m) | AggState::Max(m) => m.clone().unwrap_or(Value::Null),
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Blocking hash-aggregation operator.
+pub struct HashAggregateOp {
+    input: Option<BoxedOperator>,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggExpr>,
+    input_types: Vec<DataType>,
+    schema: SchemaRef,
+    output: Option<std::vec::IntoIter<Batch>>,
+    batch_size: usize,
+}
+
+impl HashAggregateOp {
+    /// Builds the operator. Output schema = group-by columns (labeled
+    /// `names`) followed by one column per aggregate.
+    pub fn new(
+        input: BoxedOperator,
+        group_by: Vec<(Expr, String)>,
+        aggs: Vec<AggExpr>,
+    ) -> Result<Self> {
+        let in_schema = input.schema();
+        let mut fields = Vec::new();
+        let mut group_exprs = Vec::new();
+        for (e, name) in group_by {
+            fields.push(Field::new(name, e.data_type(&in_schema)?));
+            group_exprs.push(e);
+        }
+        let mut input_types = Vec::new();
+        for a in &aggs {
+            fields.push(Field::new(a.label.clone(), a.output_type(&in_schema)?));
+            input_types.push(match &a.input {
+                Some(e) => e.data_type(&in_schema)?,
+                None => DataType::Int64,
+            });
+        }
+        Ok(HashAggregateOp {
+            input: Some(input),
+            group_by: group_exprs,
+            aggs,
+            input_types,
+            schema: Arc::new(Schema::new(fields)),
+            output: None,
+            batch_size: 4096,
+        })
+    }
+
+    fn execute(&mut self) -> Result<Vec<Batch>> {
+        let mut input = self.input.take().expect("executed twice");
+        let mut groups: FxHashMap<Row, Vec<AggState>> = FxHashMap::default();
+        let make_states = |aggs: &[AggExpr], types: &[DataType]| -> Vec<AggState> {
+            aggs.iter()
+                .zip(types)
+                .map(|(a, t)| AggState::new(a.func, *t))
+                .collect()
+        };
+
+        while let Some(batch) = input.next()? {
+            if batch.is_empty() {
+                continue;
+            }
+            // Evaluate group keys and aggregate inputs vectorized.
+            let key_cols = self
+                .group_by
+                .iter()
+                .map(|e| e.eval_batch(&batch))
+                .collect::<Result<Vec<_>>>()?;
+            let agg_cols = self
+                .aggs
+                .iter()
+                .map(|a| {
+                    a.input
+                        .as_ref()
+                        .map(|e| e.eval_batch(&batch))
+                        .transpose()
+                })
+                .collect::<Result<Vec<_>>>()?;
+
+            for i in 0..batch.len() {
+                let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| make_states(&self.aggs, &self.input_types));
+                for (s, (a, col)) in states.iter_mut().zip(self.aggs.iter().zip(&agg_cols)) {
+                    match (a.func, col) {
+                        (AggFunc::CountStar, _) => s.count_row(),
+                        (_, Some(c)) => s.update(&c.value_at(i))?,
+                        (_, None) => {
+                            return Err(DbError::Plan(
+                                "non-COUNT(*) aggregate without input".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+
+        // Global aggregation over empty input still yields one row.
+        if groups.is_empty() && self.group_by.is_empty() {
+            groups.insert(
+                Row::new(Vec::new()),
+                make_states(&self.aggs, &self.input_types),
+            );
+        }
+
+        // Deterministic output order: sort by group key.
+        let mut entries: Vec<(Row, Vec<AggState>)> = groups.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let rows: Vec<Row> = entries
+            .into_iter()
+            .map(|(key, states)| {
+                let mut vals = key.into_values();
+                vals.extend(states.iter().map(|s| s.finish()));
+                Row::new(vals)
+            })
+            .collect();
+        rows.chunks(self.batch_size)
+            .map(|c| Batch::from_rows(&self.schema, c))
+            .collect()
+    }
+}
+
+impl Operator for HashAggregateOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let batches = self.execute()?;
+            self.output = Some(batches.into_iter());
+        }
+        Ok(self.output.as_mut().unwrap().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::operator::{collect, MemorySource};
+    use oltap_common::row;
+
+    fn source() -> BoxedOperator {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("g", DataType::Utf8),
+            Field::new("v", DataType::Int64),
+            Field::new("f", DataType::Float64),
+        ]));
+        let rows: Vec<Row> = (0..100)
+            .map(|i| {
+                if i % 10 == 9 {
+                    Row::new(vec![
+                        Value::Str(["a", "b"][i % 2].into()),
+                        Value::Null,
+                        Value::Null,
+                    ])
+                } else {
+                    row![["a", "b"][i % 2], i as i64, i as f64]
+                }
+            })
+            .collect();
+        let batches: Vec<Batch> = rows
+            .chunks(33)
+            .map(|c| Batch::from_rows(&schema, c).unwrap())
+            .collect();
+        Box::new(MemorySource::new(schema, batches))
+    }
+
+    fn run(op: HashAggregateOp) -> Vec<Row> {
+        collect(Box::new(op))
+            .unwrap()
+            .iter()
+            .flat_map(|b| b.to_rows())
+            .collect()
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let op = HashAggregateOp::new(
+            source(),
+            vec![(Expr::col(0), "g".into())],
+            vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Count, Expr::col(1), "nv"),
+                AggExpr::new(AggFunc::Sum, Expr::col(1), "sv"),
+                AggExpr::new(AggFunc::Min, Expr::col(1), "mn"),
+                AggExpr::new(AggFunc::Max, Expr::col(1), "mx"),
+                AggExpr::new(AggFunc::Avg, Expr::col(2), "av"),
+            ],
+        )
+        .unwrap();
+        let rows = run(op);
+        assert_eq!(rows.len(), 2);
+        // Group "a": even i in 0..100 → 50 rows; i%10==9 never even → all valid.
+        let a = &rows[0];
+        assert_eq!(a[0], Value::Str("a".into()));
+        assert_eq!(a[1], Value::Int(50));
+        assert_eq!(a[2], Value::Int(50));
+        assert_eq!(a[3], Value::Int((0..100).filter(|i| i % 2 == 0).sum::<i64>()));
+        assert_eq!(a[4], Value::Int(0));
+        assert_eq!(a[5], Value::Int(98));
+        // Group "b": odd i; i%10==9 is odd → 10 NULLs out of 50.
+        let b = &rows[1];
+        assert_eq!(b[1], Value::Int(50));
+        assert_eq!(b[2], Value::Int(40));
+        let expected_sum: i64 = (0..100).filter(|i| i % 2 == 1 && i % 10 != 9).sum();
+        assert_eq!(b[3], Value::Int(expected_sum));
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let op = HashAggregateOp::new(
+            source(),
+            vec![],
+            vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Sum, Expr::col(1), "s"),
+            ],
+        )
+        .unwrap();
+        let rows = run(op);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(100));
+    }
+
+    #[test]
+    fn global_aggregate_empty_input() {
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int64)]));
+        let src = Box::new(MemorySource::new(Arc::clone(&schema), vec![]));
+        let op = HashAggregateOp::new(
+            src,
+            vec![],
+            vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Sum, Expr::col(0), "s"),
+                AggExpr::new(AggFunc::Min, Expr::col(0), "m"),
+                AggExpr::new(AggFunc::Avg, Expr::col(0), "a"),
+            ],
+        )
+        .unwrap();
+        let rows = run(op);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert_eq!(rows[0][1], Value::Null);
+        assert_eq!(rows[0][2], Value::Null);
+        assert_eq!(rows[0][3], Value::Null);
+    }
+
+    #[test]
+    fn grouped_empty_input_yields_no_rows() {
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int64)]));
+        let src = Box::new(MemorySource::new(Arc::clone(&schema), vec![]));
+        let op = HashAggregateOp::new(
+            src,
+            vec![(Expr::col(0), "v".into())],
+            vec![AggExpr::count_star("n")],
+        )
+        .unwrap();
+        assert!(run(op).is_empty());
+    }
+
+    #[test]
+    fn group_by_expression() {
+        let op = HashAggregateOp::new(
+            source(),
+            vec![(
+                Expr::binary(BinOp::Mod, Expr::col(1), Expr::lit(3i64)),
+                "m3".into(),
+            )],
+            vec![AggExpr::count_star("n")],
+        )
+        .unwrap();
+        let rows = run(op);
+        // Groups: NULL (from null v), 0, 1, 2.
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0][0], Value::Null); // NULL sorts first
+    }
+
+    #[test]
+    fn avg_matches_sum_over_count() {
+        let op = HashAggregateOp::new(
+            source(),
+            vec![],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(2), "s"),
+                AggExpr::new(AggFunc::Count, Expr::col(2), "c"),
+                AggExpr::new(AggFunc::Avg, Expr::col(2), "a"),
+            ],
+        )
+        .unwrap();
+        let rows = run(op);
+        let s = rows[0][0].as_float().unwrap();
+        let c = rows[0][1].as_int().unwrap() as f64;
+        let a = rows[0][2].as_float().unwrap();
+        assert!((s / c - a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_strings() {
+        let op = HashAggregateOp::new(
+            source(),
+            vec![],
+            vec![
+                AggExpr::new(AggFunc::Min, Expr::col(0), "mn"),
+                AggExpr::new(AggFunc::Max, Expr::col(0), "mx"),
+            ],
+        )
+        .unwrap();
+        let rows = run(op);
+        assert_eq!(rows[0][0], Value::Str("a".into()));
+        assert_eq!(rows[0][1], Value::Str("b".into()));
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        assert!(HashAggregateOp::new(
+            source(),
+            vec![],
+            vec![AggExpr::new(AggFunc::Sum, Expr::col(0), "s")],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Hash joins (inner and left outer) on equality keys.
+
+use crate::expr::Expr;
+use crate::operator::{BoxedOperator, Operator};
+use oltap_common::hash::FxHashMap;
+use oltap_common::schema::SchemaRef;
+use oltap_common::{Batch, Result, Row, Schema, Value};
+use std::sync::Arc;
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Emit matching pairs only.
+    Inner,
+    /// Emit every left row; unmatched rows pad the right side with NULLs.
+    Left,
+}
+
+/// Hash join: blocking build on the right input, streaming probe from the
+/// left. Output schema = left columns followed by right columns.
+pub struct HashJoinOp {
+    left: BoxedOperator,
+    right: Option<BoxedOperator>,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    join_type: JoinType,
+    schema: SchemaRef,
+    right_width: usize,
+    /// Build side: key → right rows with that key.
+    table: Option<FxHashMap<Row, Vec<Row>>>,
+    batch_size: usize,
+}
+
+impl HashJoinOp {
+    /// Builds a hash join. `left_keys`/`right_keys` are positionally
+    /// paired equality conditions.
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        join_type: JoinType,
+    ) -> Result<Self> {
+        if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+            return Err(oltap_common::DbError::Plan(
+                "join requires one or more positionally paired keys".into(),
+            ));
+        }
+        let ls = left.schema();
+        let rs = right.schema();
+        let mut fields = ls.fields().to_vec();
+        fields.extend(rs.fields().iter().cloned().map(|mut f| {
+            if join_type == JoinType::Left {
+                f.nullable = true;
+            }
+            f
+        }));
+        // Joined schemas may repeat names; disambiguate mechanically.
+        for i in 0..fields.len() {
+            if fields[..i].iter().any(|f| f.name == fields[i].name) {
+                fields[i].name = format!("{}#{}", fields[i].name, i);
+            }
+        }
+        Ok(HashJoinOp {
+            schema: Arc::new(Schema::new(fields)),
+            right_width: rs.len(),
+            left,
+            right: Some(right),
+            left_keys,
+            right_keys,
+            join_type,
+            table: None,
+            batch_size: 4096,
+        })
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut right = self.right.take().expect("built twice");
+        let mut table: FxHashMap<Row, Vec<Row>> = FxHashMap::default();
+        while let Some(batch) = right.next()? {
+            let key_cols = self
+                .right_keys
+                .iter()
+                .map(|e| e.eval_batch(&batch))
+                .collect::<Result<Vec<_>>>()?;
+            for i in 0..batch.len() {
+                let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+                // SQL equality: NULL keys never join.
+                if key.values().iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                table.entry(key).or_default().push(batch.row(i));
+            }
+        }
+        self.table = Some(table);
+        Ok(())
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.table.is_none() {
+            self.build()?;
+        }
+        let table = self.table.as_ref().unwrap();
+        loop {
+            let batch = match self.left.next()? {
+                Some(b) => b,
+                None => return Ok(None),
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            let key_cols = self
+                .left_keys
+                .iter()
+                .map(|e| e.eval_batch(&batch))
+                .collect::<Result<Vec<_>>>()?;
+            let mut out_rows: Vec<Row> = Vec::with_capacity(self.batch_size.min(batch.len()));
+            for i in 0..batch.len() {
+                let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+                let has_null = key.values().iter().any(|v| v.is_null());
+                let matches = if has_null { None } else { table.get(&key) };
+                match matches {
+                    Some(rows) => {
+                        let l = batch.row(i);
+                        for r in rows {
+                            out_rows.push(l.concat(r));
+                        }
+                    }
+                    None => {
+                        if self.join_type == JoinType::Left {
+                            let pad =
+                                Row::new(vec![Value::Null; self.right_width]);
+                            out_rows.push(batch.row(i).concat(&pad));
+                        }
+                    }
+                }
+            }
+            if !out_rows.is_empty() {
+                return Ok(Some(Batch::from_rows(&self.schema, &out_rows)?));
+            }
+            // All left rows unmatched under inner join: pull next batch.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{collect, MemorySource};
+    use oltap_common::row;
+    use oltap_common::{DataType, Field};
+
+    fn orders() -> BoxedOperator {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("oid", DataType::Int64),
+            Field::new("cust", DataType::Int64),
+            Field::new("amt", DataType::Int64),
+        ]));
+        let rows = vec![
+            row![1i64, 10i64, 100i64],
+            row![2i64, 20i64, 200i64],
+            row![3i64, 10i64, 300i64],
+            row![4i64, 99i64, 400i64], // no matching customer
+            Row::new(vec![Value::Int(5), Value::Null, Value::Int(500)]),
+        ];
+        let b = Batch::from_rows(&schema, &rows).unwrap();
+        Box::new(MemorySource::new(schema, vec![b]))
+    }
+
+    fn customers() -> BoxedOperator {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("cid", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]));
+        let rows = vec![row![10i64, "ada"], row![20i64, "bob"], row![30i64, "cat"]];
+        let b = Batch::from_rows(&schema, &rows).unwrap();
+        Box::new(MemorySource::new(schema, vec![b]))
+    }
+
+    fn rows_of(op: HashJoinOp) -> Vec<Row> {
+        let mut rows: Vec<Row> = collect(Box::new(op))
+            .unwrap()
+            .iter()
+            .flat_map(|b| b.to_rows())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let op = HashJoinOp::new(
+            orders(),
+            customers(),
+            vec![Expr::col(1)],
+            vec![Expr::col(0)],
+            JoinType::Inner,
+        )
+        .unwrap();
+        let rows = rows_of(op);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], Value::Int(1));
+        assert_eq!(rows[0][4], Value::Str("ada".into()));
+        // NULL keys never join; order 4 has no match.
+        assert!(!rows.iter().any(|r| r[0] == Value::Int(4)));
+        assert!(!rows.iter().any(|r| r[0] == Value::Int(5)));
+    }
+
+    #[test]
+    fn left_join_pads_with_nulls() {
+        let op = HashJoinOp::new(
+            orders(),
+            customers(),
+            vec![Expr::col(1)],
+            vec![Expr::col(0)],
+            JoinType::Left,
+        )
+        .unwrap();
+        let rows = rows_of(op);
+        assert_eq!(rows.len(), 5);
+        let unmatched: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r[0] == Value::Int(4) || r[0] == Value::Int(5))
+            .collect();
+        assert_eq!(unmatched.len(), 2);
+        for r in unmatched {
+            assert_eq!(r[3], Value::Null);
+            assert_eq!(r[4], Value::Null);
+        }
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        // Two customers with the same id value on the build side.
+        let schema = Arc::new(Schema::new(vec![Field::new("cid", DataType::Int64)]));
+        let b = Batch::from_rows(&schema, &[row![10i64], row![10i64]]).unwrap();
+        let right = Box::new(MemorySource::new(schema, vec![b]));
+        let op = HashJoinOp::new(
+            orders(),
+            right,
+            vec![Expr::col(1)],
+            vec![Expr::col(0)],
+            JoinType::Inner,
+        )
+        .unwrap();
+        // Orders 1 and 3 have cust=10 → 2 × 2 = 4 output rows.
+        assert_eq!(rows_of(op).len(), 4);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ]));
+        let left_rows = vec![row![1i64, 1i64], row![1i64, 2i64], row![2i64, 1i64]];
+        let right_rows = vec![row![1i64, 1i64], row![2i64, 1i64]];
+        let left = Box::new(MemorySource::new(
+            Arc::clone(&schema),
+            vec![Batch::from_rows(&schema, &left_rows).unwrap()],
+        ));
+        let right = Box::new(MemorySource::new(
+            Arc::clone(&schema),
+            vec![Batch::from_rows(&schema, &right_rows).unwrap()],
+        ));
+        let op = HashJoinOp::new(
+            left,
+            right,
+            vec![Expr::col(0), Expr::col(1)],
+            vec![Expr::col(0), Expr::col(1)],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(rows_of(op).len(), 2);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let schema = Arc::new(Schema::new(vec![Field::new("a", DataType::Int64)]));
+        let empty = || -> BoxedOperator {
+            Box::new(MemorySource::new(
+                Arc::new(Schema::new(vec![Field::new("a", DataType::Int64)])),
+                vec![],
+            ))
+        };
+        // Empty build: inner join yields nothing, left join pads all.
+        let left_data = Box::new(MemorySource::new(
+            Arc::clone(&schema),
+            vec![Batch::from_rows(&schema, &[row![1i64]]).unwrap()],
+        ));
+        let op = HashJoinOp::new(
+            left_data,
+            empty(),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert!(rows_of(op).is_empty());
+
+        let left_data = Box::new(MemorySource::new(
+            Arc::clone(&schema),
+            vec![Batch::from_rows(&schema, &[row![1i64]]).unwrap()],
+        ));
+        let op = HashJoinOp::new(
+            left_data,
+            empty(),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            JoinType::Left,
+        )
+        .unwrap();
+        let rows = rows_of(op);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn schema_disambiguates_names() {
+        let op = HashJoinOp::new(
+            orders(),
+            orders(),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            JoinType::Inner,
+        )
+        .unwrap();
+        let s = op.schema();
+        let names: Vec<&str> = s.fields().iter().map(|f| f.name.as_str()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names not unique: {names:?}");
+    }
+}

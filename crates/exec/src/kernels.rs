@@ -1,0 +1,283 @@
+//! SIMD-style scan kernels over bit-packed codes.
+//!
+//! Willhalm et al.'s SIMD-scan (paper §3, \[42\]) evaluates predicates
+//! directly on packed dictionary codes, processing many codes per vector
+//! register. Without unstable `std::simd`, this module reproduces the idea
+//! two ways:
+//!
+//! * [`scan_unpack_block`] — block-decode 1024 codes into a stack buffer,
+//!   then a branch-free compare loop the autovectorizer turns into SIMD.
+//! * [`scan_swar`] — SIMD-within-a-register: for widths that divide 64,
+//!   compare all codes inside each `u64` word *simultaneously* using the
+//!   classic parallel-compare bit tricks (no per-code loop at all).
+//!
+//! The naive baseline [`scan_naive`] does a bounds-checked `get(i)` per
+//! code — the shape every row-at-a-time engine is stuck with. Experiment
+//! E3 measures all three.
+
+use oltap_common::BitSet;
+use oltap_storage::encoding::BitPacked;
+
+/// Comparison supported by the packed kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedCmp {
+    /// code == literal
+    Eq,
+    /// code < literal
+    Lt,
+    /// code > literal
+    Gt,
+}
+
+/// Naive per-code scan: random-access decode and compare, one at a time.
+pub fn scan_naive(codes: &BitPacked, cmp: PackedCmp, literal: u64) -> BitSet {
+    let n = codes.len();
+    let mut out = BitSet::with_len(n);
+    for i in 0..n {
+        let v = codes.get(i);
+        let hit = match cmp {
+            PackedCmp::Eq => v == literal,
+            PackedCmp::Lt => v < literal,
+            PackedCmp::Gt => v > literal,
+        };
+        if hit {
+            out.set(i);
+        }
+    }
+    out
+}
+
+/// Block size of the unpack kernel.
+const UNPACK_BLOCK: usize = 1024;
+
+/// Vectorized scan: decode a block of codes into a stack buffer, then run a
+/// branch-free compare loop over it. The two inner loops are written so
+/// LLVM autovectorizes them.
+pub fn scan_unpack_block(codes: &BitPacked, cmp: PackedCmp, literal: u64) -> BitSet {
+    let n = codes.len();
+    let mut out = BitSet::with_len(n);
+    let mut buf = [0u64; UNPACK_BLOCK];
+    let mut start = 0usize;
+    // UNPACK_BLOCK is a multiple of 64, so every block (and every 64-code
+    // sub-chunk below) starts word-aligned in the output bitmap.
+    while start < n {
+        let len = (n - start).min(UNPACK_BLOCK);
+        // Decode loop (sequential positions share words; the compiler
+        // unrolls this well for fixed widths).
+        for (o, slot) in buf[..len].iter_mut().enumerate() {
+            *slot = codes.get(start + o);
+        }
+        // Branch-free compare, 64 hits packed per output word.
+        let mut o = 0usize;
+        while o < len {
+            let chunk = (len - o).min(64);
+            let mut word = 0u64;
+            for (j, &v) in buf[o..o + chunk].iter().enumerate() {
+                let hit = match cmp {
+                    PackedCmp::Eq => (v == literal) as u64,
+                    PackedCmp::Lt => (v < literal) as u64,
+                    PackedCmp::Gt => (v > literal) as u64,
+                };
+                word |= hit << j;
+            }
+            out.or_word((start + o) / 64, word);
+            o += 64;
+        }
+        start += len;
+    }
+    out
+}
+
+/// SWAR scan: for widths 1/2/4/8/16/32 (codes aligned within words),
+/// compare every code of a 64-bit word at once.
+///
+/// Technique (Lamport 1975 / Willhalm et al.): with `w`-bit lanes,
+/// `x - y` per lane with borrow isolation gives per-lane `<`; equality is
+/// `~(x ^ y)` collapsing to the lane's top bit. Returns `None` when the
+/// width is unsupported (caller falls back to the block kernel).
+pub fn scan_swar(codes: &BitPacked, cmp: PackedCmp, literal: u64) -> Option<BitSet> {
+    let w = codes.width() as usize;
+    if !matches!(w, 1 | 2 | 4 | 8 | 16 | 32) {
+        return None;
+    }
+    if literal >= (1u64 << w) {
+        // Literal outside the code domain: Eq/Gt match nothing; Lt matches
+        // everything.
+        let n = codes.len();
+        return Some(match cmp {
+            PackedCmp::Lt => BitSet::all_set(n),
+            _ => BitSet::with_len(n),
+        });
+    }
+    let n = codes.len();
+    let lanes = 64 / w;
+    // Replicate the literal into every lane.
+    let mut rep = 0u64;
+    for _ in 0..lanes {
+        rep = (rep << w) | literal;
+    }
+    // Per-lane MSB and low-bits masks.
+    let lane_mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+    let mut high = 0u64; // MSB of each lane
+    for lane in 0..lanes {
+        high |= 1u64 << (lane * w + (w - 1));
+    }
+    let low = !high & {
+        let mut m = 0u64;
+        for lane in 0..lanes {
+            m |= lane_mask << (lane * w);
+        }
+        m
+    };
+
+    let words = codes.words();
+    let mut out = BitSet::with_len(n);
+    for (wi, &x) in words.iter().enumerate() {
+        // Per-lane comparison producing a 1 in each matching lane's MSB.
+        let msb_hits = match cmp {
+            PackedCmp::Eq => {
+                // z = x ^ rep is 0 in matching lanes. Detect zero lanes:
+                // (z | ((z & low) + low)) has MSB set iff lane non-zero.
+                let z = x ^ rep;
+                !((z | ((z & low) + low)) | z) & high
+            }
+            PackedCmp::Lt => {
+                // x < rep per lane: borrow out of (x - rep).
+                // Standard SWAR subtract-borrow: (~x & rep) | ((~x | rep) & (x - rep per lane)).
+                let d = (x | high).wrapping_sub(rep & !high);
+                let borrow = (!x & rep) | ((!x | rep) & !d);
+                borrow & high
+            }
+            PackedCmp::Gt => {
+                let d = (rep | high).wrapping_sub(x & !high);
+                let borrow = (!rep & x) | ((!rep | x) & !d);
+                borrow & high
+            }
+        };
+        // Scatter lane MSB hits into the selection bitmap.
+        let mut hits = msb_hits;
+        while hits != 0 {
+            let bit = hits.trailing_zeros() as usize;
+            hits &= hits - 1;
+            let lane = bit / w;
+            let idx = wi * lanes + lane;
+            if idx < n {
+                out.set(idx);
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_with_width(width: u8, n: usize) -> (Vec<u64>, BitPacked) {
+        let max = if width == 0 { 0 } else { (1u64 << width) - 1 };
+        let values: Vec<u64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761)) & max)
+            .collect();
+        let packed = BitPacked::pack(&values, width).unwrap();
+        (values, packed)
+    }
+
+    fn reference(values: &[u64], cmp: PackedCmp, lit: u64) -> Vec<usize> {
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| match cmp {
+                PackedCmp::Eq => v == lit,
+                PackedCmp::Lt => v < lit,
+                PackedCmp::Gt => v > lit,
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        let (values, packed) = codes_with_width(7, 500);
+        for cmp in [PackedCmp::Eq, PackedCmp::Lt, PackedCmp::Gt] {
+            let got: Vec<usize> = scan_naive(&packed, cmp, 42).iter_ones().collect();
+            assert_eq!(got, reference(&values, cmp, 42));
+        }
+    }
+
+    #[test]
+    fn unpack_block_matches_naive_all_widths() {
+        for width in [1u8, 2, 3, 5, 8, 11, 13, 16, 21, 32, 40, 63] {
+            let (_, packed) = codes_with_width(width, 3000);
+            let lit = 1u64 << (width / 2);
+            for cmp in [PackedCmp::Eq, PackedCmp::Lt, PackedCmp::Gt] {
+                let a: Vec<usize> = scan_naive(&packed, cmp, lit).iter_ones().collect();
+                let b: Vec<usize> = scan_unpack_block(&packed, cmp, lit).iter_ones().collect();
+                assert_eq!(a, b, "width {width} cmp {cmp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn swar_matches_naive_supported_widths() {
+        for width in [1u8, 2, 4, 8, 16, 32] {
+            let (_, packed) = codes_with_width(width, 2048);
+            let max = (1u64 << width) - 1;
+            for lit in [0u64, 1, max / 2, max] {
+                for cmp in [PackedCmp::Eq, PackedCmp::Lt, PackedCmp::Gt] {
+                    let a: Vec<usize> = scan_naive(&packed, cmp, lit).iter_ones().collect();
+                    let b: Vec<usize> = scan_swar(&packed, cmp, lit)
+                        .unwrap()
+                        .iter_ones()
+                        .collect();
+                    assert_eq!(a, b, "width {width} lit {lit} cmp {cmp:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swar_rejects_odd_widths() {
+        let (_, packed) = codes_with_width(7, 100);
+        assert!(scan_swar(&packed, PackedCmp::Eq, 3).is_none());
+    }
+
+    #[test]
+    fn swar_out_of_domain_literal() {
+        let (_, packed) = codes_with_width(8, 100);
+        let all = scan_swar(&packed, PackedCmp::Lt, 1 << 8).unwrap();
+        assert_eq!(all.count_ones(), 100);
+        let none = scan_swar(&packed, PackedCmp::Gt, 1 << 8).unwrap();
+        assert_eq!(none.count_ones(), 0);
+    }
+
+    #[test]
+    fn non_multiple_lengths() {
+        // Lengths that do not fill the last word's lanes.
+        for n in [1usize, 7, 63, 64, 65, 1023, 1025] {
+            let (values, packed) = codes_with_width(8, n);
+            let a: Vec<usize> = scan_naive(&packed, PackedCmp::Gt, 100).iter_ones().collect();
+            let b: Vec<usize> = scan_swar(&packed, PackedCmp::Gt, 100)
+                .unwrap()
+                .iter_ones()
+                .collect();
+            let c: Vec<usize> = scan_unpack_block(&packed, PackedCmp::Gt, 100)
+                .iter_ones()
+                .collect();
+            let r = reference(&values, PackedCmp::Gt, 100);
+            assert_eq!(a, r, "n {n}");
+            assert_eq!(b, r, "n {n}");
+            assert_eq!(c, r, "n {n}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let packed = BitPacked::pack(&[], 8).unwrap();
+        assert_eq!(scan_naive(&packed, PackedCmp::Eq, 0).count_ones(), 0);
+        assert_eq!(scan_unpack_block(&packed, PackedCmp::Eq, 0).count_ones(), 0);
+        assert_eq!(
+            scan_swar(&packed, PackedCmp::Eq, 0).unwrap().count_ones(),
+            0
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # oltap-exec
+//!
+//! Vectorized query execution for `oltapdb`, implementing the
+//! query-processing dimensions the tutorial enumerates:
+//!
+//! * [`expr`] — expression trees with tuple-at-a-time *and* vectorized
+//!   interpretation (the execution-model spectrum of §4).
+//! * [`compiled`] — a fused register-program evaluator standing in for
+//!   LLVM query compilation (HyPer \[28\] / Impala \[41\] analog).
+//! * [`kernels`] — SIMD-style predicate scans over bit-packed codes
+//!   (Willhalm et al. \[42\] analog), including a SWAR variant.
+//! * [`operator`], [`aggregate`], [`join`], [`sort`] — the batched
+//!   operator set: filter, project, limit, hash aggregation, hash join,
+//!   sort, top-K.
+//! * [`shared_scan`] — circular/clock shared scans (QPipe \[12\] /
+//!   Crescando \[39\] analog).
+
+pub mod aggregate;
+pub mod compiled;
+pub mod expr;
+pub mod join;
+pub mod kernels;
+pub mod operator;
+pub mod shared_scan;
+pub mod sort;
+
+pub use aggregate::{AggExpr, AggFunc, HashAggregateOp};
+pub use compiled::{compile, CompiledExpr, Program};
+pub use expr::{BinOp, Expr, UnOp};
+pub use join::{HashJoinOp, JoinType};
+pub use operator::{collect, count_rows, BoxedOperator, FilterOp, LimitOp, MemorySource, Operator, ProjectOp};
+pub use shared_scan::{ClockScan, ScanQuery, ScanQueryResult};
+pub use sort::{SortKey, SortOp, TopKOp};

@@ -1,0 +1,333 @@
+//! Blocking sort and top-K operators.
+
+use crate::expr::Expr;
+use crate::operator::{BoxedOperator, Operator};
+use oltap_common::schema::SchemaRef;
+use oltap_common::{Batch, Result, Row};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One ORDER BY key.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// Key expression.
+    pub expr: Expr,
+    /// Descending order?
+    pub desc: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(expr: Expr) -> Self {
+        SortKey { expr, desc: false }
+    }
+
+    /// Descending key.
+    pub fn desc(expr: Expr) -> Self {
+        SortKey { expr, desc: true }
+    }
+}
+
+fn compare_keys(a: &Row, b: &Row, keys: &[SortKey]) -> Ordering {
+    for (i, k) in keys.iter().enumerate() {
+        let ord = a[i].cmp(&b[i]);
+        let ord = if k.desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Full blocking sort.
+pub struct SortOp {
+    input: Option<BoxedOperator>,
+    keys: Vec<SortKey>,
+    schema: SchemaRef,
+    output: Option<std::vec::IntoIter<Batch>>,
+    batch_size: usize,
+}
+
+impl SortOp {
+    /// Builds a sort over `input`.
+    pub fn new(input: BoxedOperator, keys: Vec<SortKey>) -> Self {
+        let schema = input.schema();
+        SortOp {
+            input: Some(input),
+            keys,
+            schema,
+            output: None,
+            batch_size: 4096,
+        }
+    }
+
+    fn execute(&mut self) -> Result<Vec<Batch>> {
+        let mut input = self.input.take().expect("executed twice");
+        // (key values, full row) pairs; evaluate keys vectorized per batch.
+        let mut pairs: Vec<(Row, Row)> = Vec::new();
+        while let Some(batch) = input.next()? {
+            let key_cols = self
+                .keys
+                .iter()
+                .map(|k| k.expr.eval_batch(&batch))
+                .collect::<Result<Vec<_>>>()?;
+            for i in 0..batch.len() {
+                let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+                pairs.push((key, batch.row(i)));
+            }
+        }
+        pairs.sort_by(|a, b| compare_keys(&a.0, &b.0, &self.keys));
+        let rows: Vec<Row> = pairs.into_iter().map(|(_, r)| r).collect();
+        rows.chunks(self.batch_size)
+            .map(|c| Batch::from_rows(&self.schema, c))
+            .collect()
+    }
+}
+
+impl Operator for SortOp {
+    fn schema(&self) -> SchemaRef {
+        SchemaRef::clone(&self.schema)
+    }
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let batches = self.execute()?;
+            self.output = Some(batches.into_iter());
+        }
+        Ok(self.output.as_mut().unwrap().next())
+    }
+}
+
+/// Heap entry for top-K (max-heap of the worst retained row).
+struct HeapRow {
+    key: Row,
+    row: Row,
+    desc_mask: Vec<bool>,
+}
+
+impl PartialEq for HeapRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapRow {}
+impl PartialOrd for HeapRow {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapRow {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (i, desc) in self.desc_mask.iter().enumerate() {
+            let ord = self.key[i].cmp(&other.key[i]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// Top-K: keeps only the first `k` rows of the sort order, using a bounded
+/// heap — O(n log k) instead of a full sort, the classic optimization for
+/// `ORDER BY ... LIMIT k` dashboards (the paper's real-time monitoring
+/// use cases).
+pub struct TopKOp {
+    input: Option<BoxedOperator>,
+    keys: Vec<SortKey>,
+    k: usize,
+    schema: SchemaRef,
+    output: Option<std::vec::IntoIter<Batch>>,
+}
+
+impl TopKOp {
+    /// Builds a top-K over `input`.
+    pub fn new(input: BoxedOperator, keys: Vec<SortKey>, k: usize) -> Self {
+        let schema = input.schema();
+        TopKOp {
+            input: Some(input),
+            keys,
+            k,
+            schema,
+            output: None,
+        }
+    }
+
+    fn execute(&mut self) -> Result<Vec<Batch>> {
+        let mut input = self.input.take().expect("executed twice");
+        let desc_mask: Vec<bool> = self.keys.iter().map(|k| k.desc).collect();
+        let mut heap: BinaryHeap<HeapRow> = BinaryHeap::with_capacity(self.k + 1);
+        if self.k == 0 {
+            return Ok(Vec::new());
+        }
+        while let Some(batch) = input.next()? {
+            let key_cols = self
+                .keys
+                .iter()
+                .map(|k| k.expr.eval_batch(&batch))
+                .collect::<Result<Vec<_>>>()?;
+            for i in 0..batch.len() {
+                let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+                let entry = HeapRow {
+                    key,
+                    row: batch.row(i),
+                    desc_mask: desc_mask.clone(),
+                };
+                if heap.len() < self.k {
+                    heap.push(entry);
+                } else if let Some(worst) = heap.peek() {
+                    if entry.cmp(worst) == Ordering::Less {
+                        heap.pop();
+                        heap.push(entry);
+                    }
+                }
+            }
+        }
+        let mut retained: Vec<HeapRow> = heap.into_vec();
+        retained.sort();
+        let rows: Vec<Row> = retained.into_iter().map(|h| h.row).collect();
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(vec![Batch::from_rows(&self.schema, &rows)?])
+    }
+}
+
+impl Operator for TopKOp {
+    fn schema(&self) -> SchemaRef {
+        SchemaRef::clone(&self.schema)
+    }
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let batches = self.execute()?;
+            self.output = Some(batches.into_iter());
+        }
+        Ok(self.output.as_mut().unwrap().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{collect, MemorySource};
+    use oltap_common::row;
+    use oltap_common::{DataType, Field, Schema, Value};
+    use std::sync::Arc;
+
+    fn source(values: &[i64]) -> BoxedOperator {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("v", DataType::Int64),
+            Field::new("tag", DataType::Utf8),
+        ]));
+        let rows: Vec<Row> = values
+            .iter()
+            .map(|&v| row![v, if v % 2 == 0 { "even" } else { "odd" }])
+            .collect();
+        let batches: Vec<Batch> = rows
+            .chunks(7)
+            .map(|c| Batch::from_rows(&schema, c).unwrap())
+            .collect();
+        Box::new(MemorySource::new(schema, batches))
+    }
+
+    fn first_col(batches: &[Batch]) -> Vec<i64> {
+        batches
+            .iter()
+            .flat_map(|b| b.to_rows())
+            .map(|r| r[0].as_int().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sort_ascending_descending() {
+        let vals = [5i64, 3, 9, 1, 7, 3, 8, 2];
+        let op = SortOp::new(source(&vals), vec![SortKey::asc(Expr::col(0))]);
+        let got = first_col(&collect(Box::new(op)).unwrap());
+        assert_eq!(got, vec![1, 2, 3, 3, 5, 7, 8, 9]);
+
+        let op = SortOp::new(source(&vals), vec![SortKey::desc(Expr::col(0))]);
+        let got = first_col(&collect(Box::new(op)).unwrap());
+        assert_eq!(got, vec![9, 8, 7, 5, 3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let vals = [5i64, 4, 3, 2, 1, 0];
+        // tag asc (even < odd lexicographically), then v desc.
+        let op = SortOp::new(
+            source(&vals),
+            vec![SortKey::asc(Expr::col(1)), SortKey::desc(Expr::col(0))],
+        );
+        let got = first_col(&collect(Box::new(op)).unwrap());
+        assert_eq!(got, vec![4, 2, 0, 5, 3, 1]);
+    }
+
+    #[test]
+    fn nulls_sort_first_ascending() {
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int64)]));
+        let rows = vec![
+            row![2i64],
+            Row::new(vec![Value::Null]),
+            row![1i64],
+        ];
+        let src = Box::new(MemorySource::new(
+            Arc::clone(&schema),
+            vec![Batch::from_rows(&schema, &rows).unwrap()],
+        ));
+        let op = SortOp::new(src, vec![SortKey::asc(Expr::col(0))]);
+        let rows: Vec<Row> = collect(Box::new(op))
+            .unwrap()
+            .iter()
+            .flat_map(|b| b.to_rows())
+            .collect();
+        assert_eq!(rows[0][0], Value::Null);
+        assert_eq!(rows[1][0], Value::Int(1));
+    }
+
+    #[test]
+    fn topk_matches_sort_prefix() {
+        let vals: Vec<i64> = (0..200).map(|i| (i * 37) % 101).collect();
+        let sorted = {
+            let op = SortOp::new(source(&vals), vec![SortKey::asc(Expr::col(0))]);
+            first_col(&collect(Box::new(op)).unwrap())
+        };
+        for k in [1usize, 5, 50, 200, 500] {
+            let op = TopKOp::new(source(&vals), vec![SortKey::asc(Expr::col(0))], k);
+            let got = first_col(&collect(Box::new(op)).unwrap());
+            assert_eq!(got, sorted[..k.min(sorted.len())].to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn topk_descending() {
+        let vals: Vec<i64> = (0..100).collect();
+        let op = TopKOp::new(source(&vals), vec![SortKey::desc(Expr::col(0))], 3);
+        let got = first_col(&collect(Box::new(op)).unwrap());
+        assert_eq!(got, vec![99, 98, 97]);
+    }
+
+    #[test]
+    fn topk_zero_and_empty() {
+        let op = TopKOp::new(source(&[1, 2, 3]), vec![SortKey::asc(Expr::col(0))], 0);
+        assert!(collect(Box::new(op)).unwrap().is_empty());
+        let op = TopKOp::new(source(&[]), vec![SortKey::asc(Expr::col(0))], 5);
+        assert!(collect(Box::new(op)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sort_by_computed_key() {
+        use crate::expr::BinOp;
+        let vals = [10i64, 25, 17, 2];
+        // Sort by v % 10.
+        let op = SortOp::new(
+            source(&vals),
+            vec![SortKey::asc(Expr::binary(
+                BinOp::Mod,
+                Expr::col(0),
+                Expr::lit(10i64),
+            ))],
+        );
+        let got = first_col(&collect(Box::new(op)).unwrap());
+        assert_eq!(got, vec![10, 2, 25, 17]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # oltap-sched
+//!
+//! Workload management for mixed OLTP + OLAP workloads and simulated-NUMA
+//! placement — the tutorial's "workload management" and "NUMA-awareness"
+//! dimensions (§1, \[31, 32\]).
+//!
+//! * [`pool`] — a class-aware worker pool: OLTP tasks preempt queued OLAP
+//!   work, an admission limit bounds concurrent analytics, and an adaptive
+//!   [`pool::WorkloadManager`] throttles OLAP when transactions queue.
+//! * [`numa`] — a simulated multi-socket topology with data/task placement
+//!   policies and a cost model charging local vs. remote memory accesses.
+
+pub mod numa;
+pub mod pool;
+
+pub use numa::{DataPlacement, NumaStats, NumaTopology, ScanTask, TaskPlacementPolicy};
+pub use pool::{PoolStats, WorkerPool, WorkloadClass, WorkloadManager};

@@ -1,0 +1,852 @@
+//! Rule-based logical optimization: constant folding, predicate pushdown
+//! into storage scans, and scan projection pruning.
+//!
+//! These are the three optimizations that matter most for the column-store
+//! architecture the engine implements (tutorial §1/§3): pushdown lets the
+//! storage layer use zone maps and compressed-domain evaluation; pruning
+//! means a scan decodes only the referenced columns — the defining
+//! advantage of columnar layouts.
+
+use crate::plan::LogicalPlan;
+use oltap_common::{Result, Value};
+use oltap_exec::expr::{BinOp, Expr, UnOp};
+use oltap_storage::{CmpOp, ColumnPredicate};
+use std::collections::BTreeSet;
+
+/// Runs every rule to fixpoint-ish (each rule once, in dependency order —
+/// folding first so pushdown sees literals, pruning last so it sees the
+/// final column references).
+pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = fold_plan(plan)?;
+    let plan = push_down_predicates(plan)?;
+    let plan = prune_scan_projections(plan)?;
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+fn fold_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(fold_plan(*input)?),
+            predicate: fold_expr(predicate),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(fold_plan(*input)?),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (fold_expr(e), n))
+                .collect(),
+        },
+        LogicalPlan::Aggregate { input, group, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(fold_plan(*input)?),
+            group: group.into_iter().map(|(e, n)| (fold_expr(e), n)).collect(),
+            aggs,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => LogicalPlan::Join {
+            left: Box::new(fold_plan(*left)?),
+            right: Box::new(fold_plan(*right)?),
+            left_keys,
+            right_keys,
+            join_type,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_plan(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            offset,
+            limit,
+        } => LogicalPlan::Limit {
+            input: Box::new(fold_plan(*input)?),
+            offset,
+            limit,
+        },
+        scan @ LogicalPlan::Scan { .. } => scan,
+    })
+}
+
+/// Folds literal-only subtrees bottom-up. Division by zero and other
+/// runtime errors are left unfolded (they must surface at execution).
+pub fn fold_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Binary { op, left, right } => {
+            let left = fold_expr(*left);
+            let right = fold_expr(*right);
+            if let (Expr::Literal(a), Expr::Literal(b)) = (&left, &right) {
+                if let Some(v) = fold_binary(op, a, b) {
+                    return Expr::Literal(v);
+                }
+            }
+            // Boolean identities: TRUE AND x → x, FALSE OR x → x, etc.
+            match (op, &left, &right) {
+                (BinOp::And, Expr::Literal(Value::Bool(true)), _) => return right,
+                (BinOp::And, _, Expr::Literal(Value::Bool(true))) => return left,
+                (BinOp::Or, Expr::Literal(Value::Bool(false)), _) => return right,
+                (BinOp::Or, _, Expr::Literal(Value::Bool(false))) => return left,
+                (BinOp::And, Expr::Literal(Value::Bool(false)), _)
+                | (BinOp::And, _, Expr::Literal(Value::Bool(false))) => {
+                    return Expr::Literal(Value::Bool(false))
+                }
+                (BinOp::Or, Expr::Literal(Value::Bool(true)), _)
+                | (BinOp::Or, _, Expr::Literal(Value::Bool(true))) => {
+                    return Expr::Literal(Value::Bool(true))
+                }
+                _ => {}
+            }
+            Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let inner = fold_expr(*expr);
+            if let Expr::Literal(v) = &inner {
+                match (op, v) {
+                    (UnOp::Neg, Value::Int(i)) => return Expr::Literal(Value::Int(-i)),
+                    (UnOp::Neg, Value::Float(f)) => return Expr::Literal(Value::Float(-f)),
+                    (UnOp::Not, Value::Bool(b)) => return Expr::Literal(Value::Bool(!b)),
+                    (_, Value::Null) => return Expr::Literal(Value::Null),
+                    _ => {}
+                }
+            }
+            Expr::Unary {
+                op,
+                expr: Box::new(inner),
+            }
+        }
+        Expr::IsNull(inner) => {
+            let inner = fold_expr(*inner);
+            if let Expr::Literal(v) = &inner {
+                return Expr::Literal(Value::Bool(v.is_null()));
+            }
+            Expr::IsNull(Box::new(inner))
+        }
+        Expr::IsNotNull(inner) => {
+            let inner = fold_expr(*inner);
+            if let Expr::Literal(v) = &inner {
+                return Expr::Literal(Value::Bool(!v.is_null()));
+            }
+            Expr::IsNotNull(Box::new(inner))
+        }
+        other => other,
+    }
+}
+
+fn fold_binary(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
+    use oltap_common::Value::*;
+    if a.is_null() || b.is_null() {
+        // NULL propagation for non-logic ops; Kleene handled by identities.
+        if !matches!(op, BinOp::And | BinOp::Or) {
+            return Some(Null);
+        }
+        return None;
+    }
+    Some(match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => match (a, b) {
+            (Int(x), Int(y)) => Int(match op {
+                BinOp::Add => x.wrapping_add(*y),
+                BinOp::Sub => x.wrapping_sub(*y),
+                _ => x.wrapping_mul(*y),
+            }),
+            _ => {
+                let (x, y) = (a.as_float().ok()?, b.as_float().ok()?);
+                Float(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    _ => x * y,
+                })
+            }
+        },
+        // Division folds only when safe.
+        BinOp::Div | BinOp::Mod => match (a, b) {
+            (Int(_), Int(0)) => return None,
+            (Int(x), Int(y)) => Int(if op == BinOp::Div { x / y } else { x % y }),
+            _ => {
+                let (x, y) = (a.as_float().ok()?, b.as_float().ok()?);
+                Float(if op == BinOp::Div { x / y } else { x % y })
+            }
+        },
+        BinOp::Eq => Bool(a == b),
+        BinOp::Ne => Bool(a != b),
+        BinOp::Lt => Bool(a < b),
+        BinOp::Le => Bool(a <= b),
+        BinOp::Gt => Bool(a > b),
+        BinOp::Ge => Bool(a >= b),
+        BinOp::And | BinOp::Or => {
+            let (x, y) = (a.as_bool().ok()?, b.as_bool().ok()?);
+            Bool(if op == BinOp::And { x && y } else { x || y })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown
+// ---------------------------------------------------------------------------
+
+fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_down_predicates(*input)?;
+            match input {
+                LogicalPlan::Scan {
+                    table,
+                    table_schema,
+                    projection,
+                    mut pushdown,
+                } => {
+                    let mut residual = Vec::new();
+                    for conj in split_conjuncts(predicate) {
+                        match to_column_predicate(&conj, &projection) {
+                            Some(cp) => pushdown.conjuncts.push(cp),
+                            None => residual.push(conj),
+                        }
+                    }
+                    let scan = LogicalPlan::Scan {
+                        table,
+                        table_schema,
+                        projection,
+                        pushdown,
+                    };
+                    match rebuild_conjunction(residual) {
+                        Some(pred) => LogicalPlan::Filter {
+                            input: Box::new(scan),
+                            predicate: pred,
+                        },
+                        None => scan,
+                    }
+                }
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    join_type,
+                } => {
+                    // Route single-side conjuncts below the join. For LEFT
+                    // joins only left-side conjuncts may move (right-side
+                    // ones would incorrectly eliminate NULL-padded rows).
+                    let left_width = left.output_schema()?.len();
+                    let mut left_preds = Vec::new();
+                    let mut right_preds = Vec::new();
+                    let mut keep = Vec::new();
+                    for conj in split_conjuncts(predicate) {
+                        let mut refs = BTreeSet::new();
+                        add_refs(&conj, &mut refs);
+                        if refs.iter().all(|&i| i < left_width) {
+                            left_preds.push(conj);
+                        } else if refs.iter().all(|&i| i >= left_width)
+                            && join_type == oltap_exec::join::JoinType::Inner
+                        {
+                            right_preds.push(shift_expr(conj, left_width));
+                        } else {
+                            keep.push(conj);
+                        }
+                    }
+                    let mut new_left = *left;
+                    if let Some(p) = rebuild_conjunction(left_preds) {
+                        new_left = push_down_predicates(LogicalPlan::Filter {
+                            input: Box::new(new_left),
+                            predicate: p,
+                        })?;
+                    }
+                    let mut new_right = *right;
+                    if let Some(p) = rebuild_conjunction(right_preds) {
+                        new_right = push_down_predicates(LogicalPlan::Filter {
+                            input: Box::new(new_right),
+                            predicate: p,
+                        })?;
+                    }
+                    let join = LogicalPlan::Join {
+                        left: Box::new(new_left),
+                        right: Box::new(new_right),
+                        left_keys,
+                        right_keys,
+                        join_type,
+                    };
+                    match rebuild_conjunction(keep) {
+                        Some(p) => LogicalPlan::Filter {
+                            input: Box::new(join),
+                            predicate: p,
+                        },
+                        None => join,
+                    }
+                }
+                other => LogicalPlan::Filter {
+                    input: Box::new(other),
+                    predicate,
+                },
+            }
+        }
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(push_down_predicates(*input)?),
+            exprs,
+        },
+        LogicalPlan::Aggregate { input, group, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(push_down_predicates(*input)?),
+            group,
+            aggs,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => LogicalPlan::Join {
+            left: Box::new(push_down_predicates(*left)?),
+            right: Box::new(push_down_predicates(*right)?),
+            left_keys,
+            right_keys,
+            join_type,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_down_predicates(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            offset,
+            limit,
+        } => LogicalPlan::Limit {
+            input: Box::new(push_down_predicates(*input)?),
+            offset,
+            limit,
+        },
+        scan @ LogicalPlan::Scan { .. } => scan,
+    })
+}
+
+/// Splits an AND tree into conjuncts.
+pub fn split_conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut out = split_conjuncts(*left);
+            out.extend(split_conjuncts(*right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn rebuild_conjunction(mut conjuncts: Vec<Expr>) -> Option<Expr> {
+    let first = if conjuncts.is_empty() {
+        return None;
+    } else {
+        conjuncts.remove(0)
+    };
+    Some(conjuncts.into_iter().fold(first, |acc, c| Expr::Binary {
+        op: BinOp::And,
+        left: Box::new(acc),
+        right: Box::new(c),
+    }))
+}
+
+/// Tries to convert `#col op literal` (either side) into a storage
+/// predicate. `projection` maps plan ordinals back to table ordinals.
+fn to_column_predicate(e: &Expr, projection: &[usize]) -> Option<ColumnPredicate> {
+    let (op, l, r) = match e {
+        Expr::Binary { op, left, right } => (*op, left.as_ref(), right.as_ref()),
+        _ => return None,
+    };
+    let cmp = match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        _ => return None,
+    };
+    match (l, r) {
+        (Expr::Column(c), Expr::Literal(v)) => Some(ColumnPredicate::new(
+            *projection.get(*c)?,
+            cmp,
+            v.clone(),
+        )),
+        (Expr::Literal(v), Expr::Column(c)) => {
+            let flipped = match cmp {
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+                other => other,
+            };
+            Some(ColumnPredicate::new(
+                *projection.get(*c)?,
+                flipped,
+                v.clone(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan projection pruning
+// ---------------------------------------------------------------------------
+
+/// Prunes every scan to the columns its ancestors actually reference,
+/// rewriting ordinals along the way. The root requires all of its output.
+fn prune_scan_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let width = plan.output_schema()?.len();
+    let all: BTreeSet<usize> = (0..width).collect();
+    let (plan, _mapping) = prune(plan, &all)?;
+    Ok(plan)
+}
+
+/// Returns the rewritten plan and, for each *old* output ordinal, its new
+/// ordinal (plans other than Scan keep their output shape, so the mapping
+/// is identity except under Scan).
+fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, Vec<usize>)> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            table_schema,
+            projection,
+            pushdown,
+        } => {
+            // Keep only required ordinals (in original order). A scan must
+            // keep at least one column, otherwise batches lose their row
+            // count (COUNT(*) with no column references).
+            let mut keep: Vec<usize> = (0..projection.len())
+                .filter(|i| required.contains(i))
+                .collect();
+            if keep.is_empty() && !projection.is_empty() {
+                keep.push(0);
+            }
+            let new_projection: Vec<usize> = keep.iter().map(|&i| projection[i]).collect();
+            let mut mapping = vec![usize::MAX; projection.len()];
+            for (new, &old) in keep.iter().enumerate() {
+                mapping[old] = new;
+            }
+            Ok((
+                LogicalPlan::Scan {
+                    table,
+                    table_schema,
+                    projection: new_projection,
+                    pushdown, // table-ordinal based: unaffected
+                },
+                mapping,
+            ))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut need = required.clone();
+            add_refs(&predicate, &mut need);
+            let (input, mapping) = prune(*input, &need)?;
+            Ok((
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate: remap_expr(predicate, &mapping),
+                },
+                mapping,
+            ))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut need = required.clone();
+            for k in &keys {
+                add_refs(&k.expr, &mut need);
+            }
+            let (input, mapping) = prune(*input, &need)?;
+            let keys = keys
+                .into_iter()
+                .map(|k| oltap_exec::sort::SortKey {
+                    expr: remap_expr(k.expr, &mapping),
+                    desc: k.desc,
+                })
+                .collect();
+            Ok((
+                LogicalPlan::Sort {
+                    input: Box::new(input),
+                    keys,
+                },
+                mapping,
+            ))
+        }
+        LogicalPlan::Limit {
+            input,
+            offset,
+            limit,
+        } => {
+            let (input, mapping) = prune(*input, required)?;
+            Ok((
+                LogicalPlan::Limit {
+                    input: Box::new(input),
+                    offset,
+                    limit,
+                },
+                mapping,
+            ))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            // Output shape is fixed by the projection; the child needs the
+            // union of refs of all projected expressions.
+            let mut need = BTreeSet::new();
+            for (e, _) in &exprs {
+                add_refs(e, &mut need);
+            }
+            let (input, child_map) = prune(*input, &need)?;
+            let exprs = exprs
+                .into_iter()
+                .map(|(e, n)| (remap_expr(e, &child_map), n))
+                .collect::<Vec<_>>();
+            let identity: Vec<usize> = (0..exprs.len()).collect();
+            Ok((
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    exprs,
+                },
+                identity,
+            ))
+        }
+        LogicalPlan::Aggregate { input, group, aggs } => {
+            let mut need = BTreeSet::new();
+            for (e, _) in &group {
+                add_refs(e, &mut need);
+            }
+            for a in &aggs {
+                if let Some(e) = &a.input {
+                    add_refs(e, &mut need);
+                }
+            }
+            let (input, child_map) = prune(*input, &need)?;
+            let group = group
+                .into_iter()
+                .map(|(e, n)| (remap_expr(e, &child_map), n))
+                .collect::<Vec<(Expr, String)>>();
+            let aggs = aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.input = a.input.map(|e| remap_expr(e, &child_map));
+                    a
+                })
+                .collect::<Vec<_>>();
+            let identity: Vec<usize> = (0..group.len() + aggs.len()).collect();
+            Ok((
+                LogicalPlan::Aggregate {
+                    input: Box::new(input),
+                    group,
+                    aggs,
+                },
+                identity,
+            ))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => {
+            // The join output is the concatenation of both inputs; keep
+            // everything required above plus the key columns on each side.
+            let left_width = left.output_schema()?.len();
+            let mut left_need: BTreeSet<usize> = required
+                .iter()
+                .copied()
+                .filter(|&i| i < left_width)
+                .collect();
+            let mut right_need: BTreeSet<usize> = required
+                .iter()
+                .copied()
+                .filter(|&i| i >= left_width)
+                .map(|i| i - left_width)
+                .collect();
+            for k in &left_keys {
+                add_refs(k, &mut left_need);
+            }
+            for k in &right_keys {
+                add_refs(k, &mut right_need);
+            }
+            let (left, lmap) = prune(*left, &left_need)?;
+            let (right, rmap) = prune(*right, &right_need)?;
+            let new_left_width = left.output_schema()?.len();
+            let left_keys = left_keys
+                .into_iter()
+                .map(|e| remap_expr(e, &lmap))
+                .collect();
+            let right_keys = right_keys
+                .into_iter()
+                .map(|e| remap_expr(e, &rmap))
+                .collect();
+            // Combined old→new mapping over the concatenated output.
+            let mut mapping = vec![usize::MAX; left_width + rmap.len()];
+            for (old, &new) in lmap.iter().enumerate() {
+                if new != usize::MAX {
+                    mapping[old] = new;
+                }
+            }
+            for (old, &new) in rmap.iter().enumerate() {
+                if new != usize::MAX {
+                    mapping[left_width + old] = new_left_width + new;
+                }
+            }
+            Ok((
+                LogicalPlan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    left_keys,
+                    right_keys,
+                    join_type,
+                },
+                mapping,
+            ))
+        }
+    }
+}
+
+/// Shifts every column ordinal down by `by` (join-output → right-input).
+fn shift_expr(e: Expr, by: usize) -> Expr {
+    match e {
+        Expr::Column(i) => Expr::Column(i - by),
+        Expr::Literal(v) => Expr::Literal(v),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(shift_expr(*left, by)),
+            right: Box::new(shift_expr(*right, by)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(shift_expr(*expr, by)),
+        },
+        Expr::IsNull(x) => Expr::IsNull(Box::new(shift_expr(*x, by))),
+        Expr::IsNotNull(x) => Expr::IsNotNull(Box::new(shift_expr(*x, by))),
+    }
+}
+
+fn add_refs(e: &Expr, out: &mut BTreeSet<usize>) {
+    let mut cols = Vec::new();
+    e.referenced_columns(&mut cols);
+    out.extend(cols);
+}
+
+fn remap_expr(e: Expr, mapping: &[usize]) -> Expr {
+    match e {
+        Expr::Column(i) => {
+            let new = mapping.get(i).copied().unwrap_or(i);
+            Expr::Column(if new == usize::MAX { i } else { new })
+        }
+        Expr::Literal(v) => Expr::Literal(v),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(remap_expr(*left, mapping)),
+            right: Box::new(remap_expr(*right, mapping)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(remap_expr(*expr, mapping)),
+        },
+        Expr::IsNull(x) => Expr::IsNull(Box::new(remap_expr(*x, mapping))),
+        Expr::IsNotNull(x) => Expr::IsNotNull(Box::new(remap_expr(*x, mapping))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::plan::{bind_select, CatalogView};
+    use oltap_common::hash::FxHashMap;
+    use oltap_common::schema::SchemaRef;
+    use oltap_common::{DataType, DbError, Field, Schema};
+    use oltap_storage::ScanPredicate;
+    use std::sync::Arc;
+
+    struct TestCatalog {
+        tables: FxHashMap<String, SchemaRef>,
+    }
+    impl CatalogView for TestCatalog {
+        fn table_schema(&self, name: &str) -> Result<SchemaRef> {
+            self.tables
+                .get(name)
+                .cloned()
+                .ok_or_else(|| DbError::TableNotFound(name.into()))
+        }
+    }
+
+    fn catalog() -> TestCatalog {
+        let mut tables = FxHashMap::default();
+        tables.insert(
+            "t".to_string(),
+            Arc::new(Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+                Field::new("c", DataType::Utf8),
+                Field::new("d", DataType::Float64),
+            ])),
+        );
+        tables.insert(
+            "u".to_string(),
+            Arc::new(Schema::new(vec![
+                Field::new("x", DataType::Int64),
+                Field::new("y", DataType::Utf8),
+            ])),
+        );
+        TestCatalog { tables }
+    }
+
+    fn optimized(sql: &str) -> LogicalPlan {
+        let stmt = parse(sql).unwrap();
+        let sel = match stmt {
+            crate::ast::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        optimize(bind_select(&sel, &catalog()).unwrap()).unwrap()
+    }
+
+    fn find_scan(p: &LogicalPlan) -> (&Vec<usize>, &ScanPredicate) {
+        match p {
+            LogicalPlan::Scan {
+                projection,
+                pushdown,
+                ..
+            } => (projection, pushdown),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Limit { input, .. } => find_scan(input),
+            LogicalPlan::Join { left, .. } => find_scan(left),
+        }
+    }
+
+    #[test]
+    fn folds_constants() {
+        let e = fold_expr(Expr::binary(
+            BinOp::Mul,
+            Expr::binary(BinOp::Add, Expr::lit(2i64), Expr::lit(3i64)),
+            Expr::lit(4i64),
+        ));
+        assert_eq!(e, Expr::Literal(Value::Int(20)));
+        // Boolean identities.
+        let e = fold_expr(Expr::lit(true).and(Expr::col(0)));
+        assert_eq!(e, Expr::col(0));
+        // Division by zero must NOT fold.
+        let e = fold_expr(Expr::binary(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64)));
+        assert!(matches!(e, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn pushdown_simple_comparisons() {
+        let p = optimized("SELECT a FROM t WHERE a > 5 AND b <= 10 AND c = 'x'");
+        let (_, pushdown) = find_scan(&p);
+        assert_eq!(pushdown.conjuncts.len(), 3);
+        // No residual Filter should remain.
+        assert!(!p.explain().contains("Filter"));
+    }
+
+    #[test]
+    fn pushdown_flips_literal_first() {
+        let p = optimized("SELECT a FROM t WHERE 5 < a");
+        let (_, pushdown) = find_scan(&p);
+        assert_eq!(pushdown.conjuncts[0].op, CmpOp::Gt);
+        assert_eq!(pushdown.conjuncts[0].value, Value::Int(5));
+    }
+
+    #[test]
+    fn residual_stays_in_filter() {
+        // a + b = 3 is not a simple column-literal comparison.
+        let p = optimized("SELECT a FROM t WHERE a > 5 AND a + b = 3");
+        let (_, pushdown) = find_scan(&p);
+        assert_eq!(pushdown.conjuncts.len(), 1);
+        assert!(p.explain().contains("Filter"));
+    }
+
+    #[test]
+    fn or_predicates_not_pushed() {
+        let p = optimized("SELECT a FROM t WHERE a > 5 OR b < 2");
+        let (_, pushdown) = find_scan(&p);
+        assert!(pushdown.is_trivial());
+        assert!(p.explain().contains("Filter"));
+    }
+
+    #[test]
+    fn projection_pruned_to_referenced_columns() {
+        let p = optimized("SELECT a FROM t WHERE d > 0.5");
+        let (projection, pushdown) = find_scan(&p);
+        // Needs a (projected) and d (pushed down, evaluated in storage →
+        // not needed in the output!).
+        assert_eq!(pushdown.conjuncts.len(), 1);
+        assert_eq!(pushdown.conjuncts[0].column, 3); // table ordinal of d
+        assert_eq!(projection, &vec![0]);
+    }
+
+    #[test]
+    fn pruning_keeps_residual_filter_columns() {
+        let p = optimized("SELECT a FROM t WHERE a + b = 3");
+        let (projection, _) = find_scan(&p);
+        assert_eq!(projection, &vec![0, 1]);
+    }
+
+    #[test]
+    fn pruning_under_aggregate() {
+        let p = optimized("SELECT c, SUM(a) FROM t GROUP BY c");
+        let (projection, _) = find_scan(&p);
+        assert_eq!(projection, &vec![0, 2]); // a and c
+    }
+
+    #[test]
+    fn pruning_under_join_keeps_keys() {
+        let p = optimized(
+            "SELECT t.a, u.y FROM t JOIN u ON t.b = u.x WHERE u.y <> 'z'",
+        );
+        // Left scan needs a (projected) + b (key); right needs x (key) +
+        // y (projected; its predicate is pushed into storage).
+        match &p {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Join { left, right, .. } => {
+                    let (lp, _) = find_scan(left);
+                    let (rp, rpush) = find_scan(right);
+                    assert_eq!(lp, &vec![0, 1]);
+                    assert_eq!(rp, &vec![0, 1]);
+                    assert_eq!(rpush.conjuncts.len(), 1);
+                }
+                other => panic!("expected join, got {}", other.explain()),
+            },
+            other => panic!("expected project, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn join_side_filters_pushed_through() {
+        // WHERE references only the right side; the binder put the Filter
+        // above the Join, so the conjunct cannot reach the right scan's
+        // pushdown — but the plan must still be correct.
+        let p = optimized("SELECT t.a FROM t JOIN u ON t.b = u.x WHERE t.a > 1");
+        let total: usize = p.output_schema().unwrap().len();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn optimized_plans_keep_schema() {
+        for sql in [
+            "SELECT a, b FROM t WHERE a > 1 ORDER BY d LIMIT 3",
+            "SELECT c, COUNT(*) FROM t WHERE b = 2 GROUP BY c",
+            "SELECT t.a, u.y FROM t LEFT JOIN u ON t.b = u.x",
+        ] {
+            let stmt = parse(sql).unwrap();
+            let sel = match stmt {
+                crate::ast::Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
+            let bound = bind_select(&sel, &catalog()).unwrap();
+            let before = bound.output_schema().unwrap();
+            let after = optimize(bound).unwrap().output_schema().unwrap();
+            assert_eq!(before, after, "{sql}");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The SQL lexer.
+
+use oltap_common::{DbError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier (lowercased) or double-quoted identifier (verbatim).
+    Ident(String),
+    /// Keyword (uppercased).
+    Keyword(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "OFFSET", "ASC", "DESC",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "PRIMARY",
+    "KEY", "NOT", "NULL", "AND", "OR", "AS", "JOIN", "INNER", "LEFT", "OUTER", "ON",
+    "INT", "BIGINT", "DOUBLE", "FLOAT", "TEXT", "VARCHAR", "BOOLEAN", "BOOL", "TIMESTAMP",
+    "TRUE", "FALSE", "IS", "COUNT", "SUM", "MIN", "MAX", "AVG", "USING", "FORMAT", "ROW",
+    "COLUMN", "DUAL", "HAVING", "DISTINCT", "BEGIN", "COMMIT", "ROLLBACK", "DROP", "EXPLAIN",
+];
+
+/// Tokenizes `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping. Bytes are collected and
+                // re-validated so multi-byte UTF-8 passes through intact.
+                let mut buf: Vec<u8> = Vec::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DbError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            buf.push(b'\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        buf.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                let s = String::from_utf8(buf)
+                    .map_err(|_| DbError::Parse("invalid utf8 in string literal".into()))?;
+                out.push(Token::Str(s));
+            }
+            '"' => {
+                // Quoted identifier.
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(DbError::Parse("unterminated quoted identifier".into()));
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad integer literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word.to_ascii_lowercase()));
+                }
+            }
+            other => {
+                return Err(DbError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 10;").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Int(10)));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = tokenize("1 2.5 'it''s' 'plain'").unwrap();
+        assert_eq!(toks[0], Token::Int(1));
+        assert_eq!(toks[1], Token::Float(2.5));
+        assert_eq!(toks[2], Token::Str("it's".into()));
+        assert_eq!(toks[3], Token::Str("plain".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("= <> != < <= > >= + - * / %").unwrap();
+        use Token::*;
+        assert_eq!(
+            toks,
+            vec![Eq, Ne, Ne, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash, Percent, Eof]
+        );
+    }
+
+    #[test]
+    fn case_insensitive_keywords_lowercased_idents() {
+        let toks = tokenize("select FooBar froM T1").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("foobar".into()));
+        assert_eq!(toks[2], Token::Keyword("FROM".into()));
+        assert_eq!(toks[3], Token::Ident("t1".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert!(toks.contains(&Token::Int(2)));
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_case() {
+        let toks = tokenize("\"MiXeD\"").unwrap();
+        assert_eq!(toks[0], Token::Ident("MiXeD".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("SELECT @").is_err());
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn qualified_name() {
+        let toks = tokenize("t.a").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Dot,
+                Token::Ident("a".into()),
+                Token::Eof
+            ]
+        );
+    }
+}

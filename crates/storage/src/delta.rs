@@ -1,0 +1,769 @@
+//! The delta + main architecture: a writable row-format delta store in
+//! front of immutable compressed columnar segments, reconciled by a merge.
+//!
+//! This is the storage design the tutorial traces from differential files
+//! and LSM-trees (§4, \[29, 16\]) into HANA's delta/main and MemSQL's
+//! row-store-plus-column-store: ingest lands in the row-format delta at
+//! OLTP speed; a background **merge** periodically drains committed delta
+//! rows into a new compressed segment; analytic scans read segments (fast,
+//! compressed, zone-mapped) plus the small delta (fresh).
+//!
+//! # MVCC correctness of merge
+//!
+//! Merge moves only rows committed at or before the transaction manager's
+//! GC `watermark` (the minimum active snapshot). A moved row's delta
+//! version is closed at `watermark` and the receiving segment is stamped
+//! `visible_from = watermark`, so for every snapshot `s`:
+//!
+//! * `s < watermark` — impossible for active/future snapshots, by the
+//!   definition of the watermark;
+//! * `s ≥ watermark` — the delta version is closed (`end = watermark ≤ s`)
+//!   and the segment is visible: the row is seen exactly once.
+//!
+//! The close-and-publish pair runs under the table's state write lock,
+//! which scans take for read, so no reader observes the intermediate
+//! state.
+
+use crate::predicate::ScanPredicate;
+use crate::rowstore::RowStore;
+use crate::segment::Segment;
+use oltap_common::hash::FxHashMap;
+use oltap_common::ids::{SegmentId, TxnId};
+use oltap_common::schema::SchemaRef;
+use oltap_common::{Batch, DbError, Result, Row};
+use oltap_txn::{Stamp, Transaction, Ts, WriteSetEntry};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Write-set adapter finalizing a transaction's delete stamps in a segment.
+struct SegmentDeleteEntry {
+    segment: Arc<Segment>,
+}
+
+impl WriteSetEntry for SegmentDeleteEntry {
+    fn commit(&self, txn: TxnId, commit_ts: Ts) {
+        self.segment.commit_deletes(txn, commit_ts);
+    }
+    fn abort(&self, txn: TxnId) {
+        self.segment.abort_deletes(txn);
+    }
+}
+
+/// Statistics returned by [`DeltaMainTable::merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Rows moved from the delta into the new segment.
+    pub rows_merged: usize,
+    /// Id of the created segment (None when nothing was merged).
+    pub new_segment: Option<u64>,
+}
+
+/// Statistics returned by [`DeltaMainTable::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactStats {
+    /// Segments rewritten into the compacted segment.
+    pub segments_compacted: usize,
+    /// Rows dropped because their deletion is below the watermark.
+    pub rows_dropped: usize,
+    /// Segments skipped because of in-flight (pending) deletes.
+    pub segments_skipped: usize,
+}
+
+/// Snapshot of table size for merge policies and planners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableSizes {
+    /// Rows resident in main segments (including logically deleted).
+    pub main_rows: usize,
+    /// Distinct keys resident in the delta store.
+    pub delta_rows: usize,
+    /// Number of main segments.
+    pub segments: usize,
+    /// Compressed main bytes.
+    pub main_bytes: usize,
+}
+
+struct TableState {
+    delta: RowStore,
+    segments: Vec<Arc<Segment>>,
+    /// Primary key → every main-store location that ever held the key.
+    /// At most one location is visible to a given snapshot.
+    pk_locs: FxHashMap<Row, Vec<(SegmentId, u32)>>,
+}
+
+impl TableState {
+    fn segment(&self, id: SegmentId) -> Option<&Arc<Segment>> {
+        self.segments.iter().find(|s| s.id() == id)
+    }
+}
+
+/// A delta + main table (the engine's column-store format).
+pub struct DeltaMainTable {
+    schema: SchemaRef,
+    state: RwLock<TableState>,
+    next_segment: AtomicU64,
+}
+
+impl std::fmt::Debug for DeltaMainTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sizes = self.sizes();
+        f.debug_struct("DeltaMainTable")
+            .field("main_rows", &sizes.main_rows)
+            .field("delta_rows", &sizes.delta_rows)
+            .field("segments", &sizes.segments)
+            .finish()
+    }
+}
+
+impl DeltaMainTable {
+    /// An empty table.
+    pub fn new(schema: SchemaRef) -> Self {
+        DeltaMainTable {
+            state: RwLock::new(TableState {
+                delta: RowStore::new(Arc::clone(&schema)),
+                segments: Vec::new(),
+                pk_locs: FxHashMap::default(),
+            }),
+            schema,
+            next_segment: AtomicU64::new(1),
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Current size snapshot.
+    pub fn sizes(&self) -> TableSizes {
+        let state = self.state.read();
+        TableSizes {
+            main_rows: state.segments.iter().map(|s| s.row_count()).sum(),
+            delta_rows: state.delta.key_count(),
+            segments: state.segments.len(),
+            main_bytes: state.segments.iter().map(|s| s.size_bytes()).sum(),
+        }
+    }
+
+    /// Bulk-loads rows directly into a main segment, visible to every
+    /// snapshot (for initial population; bypasses transactions).
+    pub fn bulk_load(&self, rows: &[Row]) -> Result<()> {
+        for r in rows {
+            self.schema.check_row(r)?;
+        }
+        let mut state = self.state.write();
+        // Duplicate-key screening against both delta and existing main.
+        if self.schema.has_primary_key() {
+            for r in rows {
+                let key = self.schema.key_of(r);
+                if state.pk_locs.contains_key(&key) {
+                    return Err(DbError::DuplicateKey(format!("{key}")));
+                }
+            }
+        }
+        let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
+        let seg = Arc::new(Segment::build(id, Arc::clone(&self.schema), rows)?);
+        if self.schema.has_primary_key() {
+            for (i, r) in rows.iter().enumerate() {
+                let key = self.schema.key_of(r);
+                state.pk_locs.entry(key).or_default().push((id, i as u32));
+            }
+        }
+        state.segments.push(seg);
+        Ok(())
+    }
+
+    /// Transactional insert. Checks primary-key uniqueness against both the
+    /// main store (MVCC-aware) and the delta.
+    pub fn insert(&self, txn: &Transaction, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        let state = self.state.read();
+        if self.schema.has_primary_key() {
+            let key = self.schema.key_of(&row);
+            self.check_main_insertable(&state, &key, txn)?;
+        }
+        state.delta.insert(txn, row)
+    }
+
+    /// Can `key` be inserted given the main store's contents?
+    fn check_main_insertable(
+        &self,
+        state: &TableState,
+        key: &Row,
+        txn: &Transaction,
+    ) -> Result<()> {
+        let locs = match state.pk_locs.get(key) {
+            Some(l) => l,
+            None => return Ok(()),
+        };
+        for &(sid, off) in locs {
+            let seg = state
+                .segment(sid)
+                .ok_or_else(|| DbError::Corruption(format!("missing segment {sid}")))?;
+            match seg.delete_stamp(off) {
+                None => {
+                    return Err(DbError::DuplicateKey(format!("{key}")));
+                }
+                Some(Stamp::Pending(t)) if t == txn.id() => {
+                    // We deleted it in this transaction: insert may proceed.
+                }
+                Some(Stamp::Pending(_)) => {
+                    return Err(DbError::WriteConflict(
+                        "concurrent delete on key".into(),
+                    ))
+                }
+                Some(Stamp::Committed(ts)) if ts > txn.begin_ts() => {
+                    return Err(DbError::WriteConflict(
+                        "key deleted after snapshot".into(),
+                    ))
+                }
+                Some(Stamp::Committed(_)) | Some(Stamp::Infinity) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Point lookup at a snapshot.
+    pub fn get(&self, key: &Row, read_ts: Ts, me: TxnId) -> Option<Row> {
+        let state = self.state.read();
+        if let Some(r) = state.delta.get(key, read_ts, me) {
+            return Some(r);
+        }
+        let locs = state.pk_locs.get(key)?;
+        for &(sid, off) in locs {
+            if let Some(seg) = state.segment(sid) {
+                if seg.visible_to(read_ts) && !seg.is_deleted(off, read_ts, me) {
+                    return Some(seg.row_at(off));
+                }
+            }
+        }
+        None
+    }
+
+    /// Transactional update (full-row image; the key must not change).
+    pub fn update(&self, txn: &Transaction, key: &Row, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        if !self.schema.has_primary_key() {
+            return Err(DbError::Unsupported(
+                "point operation on table without primary key".into(),
+            ));
+        }
+        if self.schema.key_of(&row) != *key {
+            return Err(DbError::InvalidArgument(
+                "update must not change the primary key".into(),
+            ));
+        }
+        let state = self.state.read();
+        // Route to the delta when the delta holds the visible version.
+        if state.delta.get(key, txn.begin_ts(), txn.id()).is_some() {
+            return state.delta.update(txn, key, row);
+        }
+        // Main path: logical delete + re-insert into the delta.
+        self.delete_in_main(&state, key, txn)?;
+        state.delta.insert(txn, row)
+    }
+
+    /// Transactional delete.
+    pub fn delete(&self, txn: &Transaction, key: &Row) -> Result<()> {
+        if !self.schema.has_primary_key() {
+            return Err(DbError::Unsupported(
+                "point operation on table without primary key".into(),
+            ));
+        }
+        let state = self.state.read();
+        if state.delta.get(key, txn.begin_ts(), txn.id()).is_some() {
+            return state.delta.delete(txn, key);
+        }
+        self.delete_in_main(&state, key, txn)
+    }
+
+    fn delete_in_main(&self, state: &TableState, key: &Row, txn: &Transaction) -> Result<()> {
+        let locs = state
+            .pk_locs
+            .get(key)
+            .ok_or_else(|| DbError::KeyNotFound(format!("{key}")))?;
+        for &(sid, off) in locs {
+            let seg = state
+                .segment(sid)
+                .ok_or_else(|| DbError::Corruption(format!("missing segment {sid}")))?;
+            if !seg.visible_to(txn.begin_ts()) {
+                continue;
+            }
+            match seg.delete_row(off, txn.id(), txn.begin_ts()) {
+                Ok(()) => {
+                    txn.enlist(Arc::new(SegmentDeleteEntry {
+                        segment: Arc::clone(seg),
+                    }))?;
+                    return Ok(());
+                }
+                // Already deleted at this location: try the next one.
+                Err(DbError::KeyNotFound(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(DbError::KeyNotFound(format!("{key}")))
+    }
+
+    /// Scans main segments (zone-map pruned, predicate pushdown on
+    /// compressed data) plus the delta, producing batches.
+    pub fn scan(
+        &self,
+        projection: &[usize],
+        pred: &ScanPredicate,
+        read_ts: Ts,
+        me: TxnId,
+        batch_size: usize,
+    ) -> Result<Vec<Batch>> {
+        pred.validate(&self.schema)?;
+        let state = self.state.read();
+        let mut out = Vec::new();
+        for seg in &state.segments {
+            if seg.visible_to(read_ts) {
+                out.extend(seg.scan(projection, pred, read_ts, me, batch_size)?);
+            }
+        }
+        out.extend(state.delta.scan(projection, pred, read_ts, me, batch_size)?);
+        Ok(out)
+    }
+
+    /// Merges committed delta rows (at or below `watermark`) into a new
+    /// main segment. See the module docs for why this is MVCC-safe.
+    pub fn merge(&self, watermark: Ts) -> Result<MergeStats> {
+        let mut state = self.state.write();
+        let drained = state.delta.drain_committed(watermark);
+        if drained.is_empty() {
+            return Ok(MergeStats::default());
+        }
+        let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
+        let seg = Arc::new(Segment::build_visible_from(
+            id,
+            Arc::clone(&self.schema),
+            &drained,
+            watermark,
+        )?);
+        if self.schema.has_primary_key() {
+            for (i, r) in drained.iter().enumerate() {
+                let key = self.schema.key_of(r);
+                state.pk_locs.entry(key).or_default().push((id, i as u32));
+            }
+        }
+        state.segments.push(seg);
+        // Compact the delta index: drop chains now dead to every snapshot
+        // (their data lives in the new segment). Live/pending chains move
+        // over by Arc.
+        state.delta = state.delta.rebuilt_without_dead(watermark);
+        Ok(MergeStats {
+            rows_merged: drained.len(),
+            new_segment: Some(id.raw()),
+        })
+    }
+
+    /// Rewrites main segments, dropping rows whose deletion committed at or
+    /// before `watermark` and folding the rest into a single segment.
+    /// Segments with in-flight (pending) deletes are left untouched.
+    pub fn compact(&self, watermark: Ts) -> Result<CompactStats> {
+        let mut state = self.state.write();
+        let mut stats = CompactStats::default();
+        let mut keep: Vec<Arc<Segment>> = Vec::new();
+        let mut rows: Vec<Row> = Vec::new();
+        // (row index in `rows`) → surviving delete stamp to re-register.
+        let mut carried_stamps: Vec<(u32, Stamp)> = Vec::new();
+        for seg in state.segments.drain(..) {
+            if seg.has_pending_deletes() || !seg.visible_to(watermark) {
+                stats.segments_skipped += 1;
+                keep.push(seg);
+                continue;
+            }
+            stats.segments_compacted += 1;
+            for off in 0..seg.row_count() as u32 {
+                match seg.delete_stamp(off) {
+                    Some(Stamp::Committed(ts)) if ts <= watermark => {
+                        stats.rows_dropped += 1;
+                    }
+                    Some(stamp @ Stamp::Committed(_)) => {
+                        carried_stamps.push((rows.len() as u32, stamp));
+                        rows.push(seg.row_at(off));
+                    }
+                    _ => rows.push(seg.row_at(off)),
+                }
+            }
+        }
+        if stats.segments_compacted == 0 {
+            state.segments = keep;
+            return Ok(stats);
+        }
+        let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
+        let seg = Arc::new(Segment::build_visible_from(
+            id,
+            Arc::clone(&self.schema),
+            &rows,
+            watermark,
+        )?);
+        for (off, stamp) in carried_stamps {
+            seg.restore_delete_stamp(off, stamp);
+        }
+        // Rebuild the pk index from scratch: surviving segments + new one.
+        state.pk_locs.clear();
+        state.segments = keep;
+        state.segments.push(Arc::clone(&seg));
+        if self.schema.has_primary_key() {
+            let segments = std::mem::take(&mut state.segments);
+            for s in &segments {
+                for off in 0..s.row_count() as u32 {
+                    let key = self.schema.key_of(&s.row_at(off));
+                    state.pk_locs.entry(key).or_default().push((s.id(), off));
+                }
+            }
+            state.segments = segments;
+        }
+        Ok(stats)
+    }
+
+    /// Runs version GC on the delta store.
+    pub fn gc(&self, watermark: Ts) -> usize {
+        self.state.read().delta.gc(watermark)
+    }
+
+    /// Estimated visible row count (cheap, approximate: main rows minus
+    /// committed deletes plus delta keys).
+    pub fn row_count_estimate(&self) -> usize {
+        let state = self.state.read();
+        let main: usize = state
+            .segments
+            .iter()
+            .map(|s| s.row_count().saturating_sub(s.delete_count()))
+            .sum();
+        main + state.delta.key_count()
+    }
+
+    /// Per-segment encoding names of column `c` (diagnostics / EXPLAIN).
+    pub fn column_encodings(&self, c: usize) -> Vec<&'static str> {
+        self.state
+            .read()
+            .segments
+            .iter()
+            .map(|s| s.columns()[c].encoding_name())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use oltap_common::row;
+    use oltap_common::{DataType, Field, Schema, Value};
+    use oltap_txn::TransactionManager;
+
+    const NOBODY: TxnId = TxnId(u64::MAX - 1);
+
+    fn table() -> (Arc<TransactionManager>, DeltaMainTable) {
+        let schema = Arc::new(
+            Schema::with_primary_key(
+                vec![
+                    Field::not_null("id", DataType::Int64),
+                    Field::new("tag", DataType::Utf8),
+                    Field::new("v", DataType::Int64),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        );
+        (
+            Arc::new(TransactionManager::new()),
+            DeltaMainTable::new(schema),
+        )
+    }
+
+    fn count(t: &DeltaMainTable, read_ts: Ts) -> usize {
+        t.scan(&[0], &ScanPredicate::all(), read_ts, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum()
+    }
+
+    #[test]
+    fn insert_lands_in_delta_then_merges_to_main() {
+        let (mgr, t) = table();
+        let tx = mgr.begin();
+        for i in 0..100 {
+            t.insert(&tx, row![i as i64, "a", i as i64]).unwrap();
+        }
+        let cts = tx.commit().unwrap();
+        assert_eq!(t.sizes().delta_rows, 100);
+        assert_eq!(t.sizes().main_rows, 0);
+        assert_eq!(count(&t, cts), 100);
+
+        let stats = t.merge(mgr.gc_watermark()).unwrap();
+        assert_eq!(stats.rows_merged, 100);
+        assert_eq!(t.sizes().main_rows, 100);
+        assert_eq!(count(&t, mgr.now()), 100);
+        // Point reads route to main now.
+        assert!(t.get(&row![42i64], mgr.now(), NOBODY).is_some());
+    }
+
+    #[test]
+    fn merge_respects_watermark() {
+        let (mgr, t) = table();
+        let tx = mgr.begin();
+        t.insert(&tx, row![1i64, "a", 1i64]).unwrap();
+        tx.commit().unwrap();
+
+        // A long-running reader pins an old snapshot.
+        let reader = mgr.begin();
+
+        let tx2 = mgr.begin();
+        t.insert(&tx2, row![2i64, "b", 2i64]).unwrap();
+        tx2.commit().unwrap();
+
+        // Watermark is the reader's begin_ts: row 2 (committed later) must
+        // stay in the delta.
+        let stats = t.merge(mgr.gc_watermark()).unwrap();
+        assert_eq!(stats.rows_merged, 1);
+        // Key 2 is still live in the delta; key 1's chain was compacted
+        // away (its data now lives in the segment).
+        assert_eq!(t.sizes().delta_rows, 1);
+        // The reader still sees exactly row 1.
+        assert_eq!(count(&t, reader.begin_ts()), 1);
+        // A fresh snapshot sees both, exactly once each.
+        assert_eq!(count(&t, mgr.now()), 2);
+        reader.commit().unwrap();
+
+        // Now everything can merge.
+        let stats = t.merge(mgr.gc_watermark()).unwrap();
+        assert_eq!(stats.rows_merged, 1);
+        assert_eq!(count(&t, mgr.now()), 2);
+    }
+
+    #[test]
+    fn no_double_visibility_after_merge() {
+        let (mgr, t) = table();
+        let tx = mgr.begin();
+        for i in 0..10 {
+            t.insert(&tx, row![i as i64, "x", 0i64]).unwrap();
+        }
+        let cts = tx.commit().unwrap();
+        t.merge(mgr.gc_watermark()).unwrap();
+        // Snapshot taken before the merge but after commit: exactly 10.
+        assert_eq!(count(&t, cts), 10);
+        assert_eq!(count(&t, mgr.now()), 10);
+    }
+
+    #[test]
+    fn update_of_main_row_is_delete_plus_delta_insert() {
+        let (mgr, t) = table();
+        t.bulk_load(&[row![1i64, "a", 10i64], row![2i64, "b", 20i64]])
+            .unwrap();
+        let tx = mgr.begin();
+        t.update(&tx, &row![1i64], row![1i64, "a", 99i64]).unwrap();
+        let cts = tx.commit().unwrap();
+
+        assert_eq!(t.get(&row![1i64], cts, NOBODY).unwrap()[2], Value::Int(99));
+        // Old snapshot sees the old value.
+        assert_eq!(
+            t.get(&row![1i64], cts - 1, NOBODY).unwrap()[2],
+            Value::Int(10)
+        );
+        // Still exactly two visible rows.
+        assert_eq!(count(&t, cts), 2);
+    }
+
+    #[test]
+    fn delete_from_main_and_from_delta() {
+        let (mgr, t) = table();
+        t.bulk_load(&[row![1i64, "m", 1i64]]).unwrap();
+        let tx = mgr.begin();
+        t.insert(&tx, row![2i64, "d", 2i64]).unwrap();
+        tx.commit().unwrap();
+
+        let tx = mgr.begin();
+        t.delete(&tx, &row![1i64]).unwrap(); // main row
+        t.delete(&tx, &row![2i64]).unwrap(); // delta row
+        let cts = tx.commit().unwrap();
+        assert_eq!(count(&t, cts), 0);
+        assert_eq!(count(&t, cts - 1), 2);
+        assert!(t.get(&row![1i64], cts, NOBODY).is_none());
+    }
+
+    #[test]
+    fn duplicate_key_against_main_detected() {
+        let (mgr, t) = table();
+        t.bulk_load(&[row![1i64, "a", 1i64]]).unwrap();
+        let tx = mgr.begin();
+        assert!(matches!(
+            t.insert(&tx, row![1i64, "dup", 0i64]),
+            Err(DbError::DuplicateKey(_))
+        ));
+        // Delete-then-insert in one transaction is allowed.
+        t.delete(&tx, &row![1i64]).unwrap();
+        t.insert(&tx, row![1i64, "new", 5i64]).unwrap();
+        let cts = tx.commit().unwrap();
+        assert_eq!(
+            t.get(&row![1i64], cts, NOBODY).unwrap()[1],
+            Value::Str("new".into())
+        );
+        assert_eq!(count(&t, cts), 1);
+    }
+
+    #[test]
+    fn write_conflict_on_main_row() {
+        let (mgr, t) = table();
+        t.bulk_load(&[row![1i64, "a", 1i64]]).unwrap();
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        t.update(&t1, &row![1i64], row![1i64, "a", 2i64]).unwrap();
+        assert!(matches!(
+            t.update(&t2, &row![1i64], row![1i64, "a", 3i64]),
+            Err(DbError::WriteConflict(_))
+        ));
+        t1.commit().unwrap();
+        // FCW against a stale snapshot.
+        assert!(matches!(
+            t.delete(&t2, &row![1i64]),
+            Err(DbError::WriteConflict(_))
+        ));
+    }
+
+    #[test]
+    fn abort_of_main_update_restores_row() {
+        let (mgr, t) = table();
+        t.bulk_load(&[row![1i64, "a", 1i64]]).unwrap();
+        let tx = mgr.begin();
+        t.update(&tx, &row![1i64], row![1i64, "a", 2i64]).unwrap();
+        tx.abort().unwrap();
+        assert_eq!(
+            t.get(&row![1i64], mgr.now(), NOBODY).unwrap()[2],
+            Value::Int(1)
+        );
+        assert_eq!(count(&t, mgr.now()), 1);
+    }
+
+    #[test]
+    fn scan_pushdown_covers_delta_and_main() {
+        let (mgr, t) = table();
+        t.bulk_load(
+            &(0..100)
+                .map(|i| row![i as i64, "m", (i % 10) as i64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let tx = mgr.begin();
+        for i in 100..120 {
+            t.insert(&tx, row![i as i64, "d", (i % 10) as i64]).unwrap();
+        }
+        let cts = tx.commit().unwrap();
+        let pred = ScanPredicate::single(2, CmpOp::Eq, Value::Int(3));
+        let total: usize = t
+            .scan(&[0, 2], &pred, cts, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(total, 12); // 10 from main, 2 from delta
+    }
+
+    #[test]
+    fn repeated_update_merge_cycles() {
+        let (mgr, t) = table();
+        t.bulk_load(&[row![1i64, "a", 0i64]]).unwrap();
+        for round in 1..=5 {
+            let tx = mgr.begin();
+            t.update(&tx, &row![1i64], row![1i64, "a", round as i64])
+                .unwrap();
+            tx.commit().unwrap();
+            t.merge(mgr.gc_watermark()).unwrap();
+            assert_eq!(
+                t.get(&row![1i64], mgr.now(), NOBODY).unwrap()[2],
+                Value::Int(round as i64),
+                "round {round}"
+            );
+            assert_eq!(count(&t, mgr.now()), 1, "round {round}");
+        }
+        // 1 bulk segment + 5 merge segments accumulated.
+        assert_eq!(t.sizes().segments, 6);
+        // Compaction folds them and drops dead rows.
+        let stats = t.compact(mgr.gc_watermark()).unwrap();
+        assert_eq!(stats.segments_compacted, 6);
+        assert_eq!(stats.rows_dropped, 5);
+        assert_eq!(t.sizes().segments, 1);
+        assert_eq!(count(&t, mgr.now()), 1);
+        assert_eq!(
+            t.get(&row![1i64], mgr.now(), NOBODY).unwrap()[2],
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn compact_skips_segments_with_pending_deletes() {
+        let (mgr, t) = table();
+        t.bulk_load(&[row![1i64, "a", 1i64], row![2i64, "b", 2i64]])
+            .unwrap();
+        let tx = mgr.begin();
+        t.delete(&tx, &row![1i64]).unwrap();
+        let stats = t.compact(mgr.gc_watermark()).unwrap();
+        assert_eq!(stats.segments_skipped, 1);
+        assert_eq!(stats.segments_compacted, 0);
+        tx.abort().unwrap();
+        assert_eq!(count(&t, mgr.now()), 2);
+    }
+
+    #[test]
+    fn merge_then_update_routes_to_main_path() {
+        let (mgr, t) = table();
+        let tx = mgr.begin();
+        t.insert(&tx, row![1i64, "a", 1i64]).unwrap();
+        tx.commit().unwrap();
+        t.merge(mgr.gc_watermark()).unwrap();
+
+        let tx = mgr.begin();
+        t.update(&tx, &row![1i64], row![1i64, "a", 2i64]).unwrap();
+        let cts = tx.commit().unwrap();
+        assert_eq!(t.get(&row![1i64], cts, NOBODY).unwrap()[2], Value::Int(2));
+        assert_eq!(count(&t, cts), 1);
+    }
+
+    #[test]
+    fn keyless_table_ingest_and_merge() {
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int64)]));
+        let t = DeltaMainTable::new(schema);
+        let mgr = Arc::new(TransactionManager::new());
+        let tx = mgr.begin();
+        for i in 0..50 {
+            t.insert(&tx, row![i as i64]).unwrap();
+        }
+        tx.commit().unwrap();
+        let stats = t.merge(mgr.gc_watermark()).unwrap();
+        assert_eq!(stats.rows_merged, 50);
+        assert_eq!(count(&t, mgr.now()), 50);
+    }
+
+    #[test]
+    fn concurrent_scans_during_merge() {
+        let (mgr, t) = table();
+        let t = Arc::new(t);
+        let tx = mgr.begin();
+        for i in 0..2000 {
+            t.insert(&tx, row![i as i64, "x", i as i64]).unwrap();
+        }
+        tx.commit().unwrap();
+
+        let scanners: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let mgr = Arc::clone(&mgr);
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let n = count(&t, mgr.now());
+                        assert_eq!(n, 2000);
+                    }
+                })
+            })
+            .collect();
+        t.merge(mgr.gc_watermark()).unwrap();
+        for s in scanners {
+            s.join().unwrap();
+        }
+        assert_eq!(count(&t, mgr.now()), 2000);
+    }
+}

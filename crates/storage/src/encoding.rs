@@ -1,0 +1,717 @@
+//! Column encodings for the compressed in-memory column store.
+//!
+//! The tutorial attributes much of the analytic speed of HANA, DB2 BLU, and
+//! Oracle DBIM to *processing data in compressed form*: order-preserving
+//! dictionary compression, run-length encoding, and dense bit-packing let a
+//! scan touch a fraction of the bytes and evaluate predicates on small
+//! integer codes instead of full values (§3; Willhalm et al. \[42\],
+//! Raman et al. \[34\]). This module implements those encodings from scratch:
+//!
+//! * [`BitPacked`] — fixed-width bit-packing of `u64` codes (the substrate
+//!   for everything else).
+//! * [`ForPacked`] — frame-of-reference: store `v - min` bit-packed.
+//! * [`Rle`] — run-length encoding for sorted/low-churn columns.
+//! * [`Dictionary`] — order-preserving dictionary (sorted distinct values,
+//!   codes are ranks) over any `Ord` value; comparisons against a literal
+//!   become comparisons against a code.
+//! * [`IntEncoding`] / [`StrEncoding`] — per-column choice made by a simple
+//!   cost model ([`IntEncoding::choose`]).
+
+use oltap_common::hash::FxHashMap;
+use oltap_common::{DbError, Result};
+
+// ---------------------------------------------------------------------------
+// Bit packing
+// ---------------------------------------------------------------------------
+
+/// Densely bit-packed unsigned codes with a fixed width of 0..=64 bits.
+///
+/// Width 0 is the degenerate "all values are zero" case and stores nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPacked {
+    width: u8,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitPacked {
+    /// Packs `values`, each of which must fit in `width` bits.
+    pub fn pack(values: &[u64], width: u8) -> Result<Self> {
+        assert!(width as usize <= 64);
+        if width < 64 {
+            let limit = 1u64 << width;
+            if let Some(&bad) = values.iter().find(|&&v| v >= limit) {
+                return Err(DbError::InvalidArgument(format!(
+                    "value {bad} does not fit in {width} bits"
+                )));
+            }
+        }
+        let total_bits = values.len() * width as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        let w = width as usize;
+        for (i, &v) in values.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let bit = i * w;
+            let word = bit / 64;
+            let off = bit % 64;
+            words[word] |= v << off;
+            if off + w > 64 {
+                words[word + 1] |= v >> (64 - off);
+            }
+        }
+        Ok(BitPacked {
+            width,
+            len: values.len(),
+            words,
+        })
+    }
+
+    /// Minimal width able to represent every value in `values`.
+    pub fn width_for(values: &[u64]) -> u8 {
+        let max = values.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            0
+        } else {
+            (64 - max.leading_zeros()) as u8
+        }
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed width in bits.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Random access to value `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let w = self.width as usize;
+        if w == 0 {
+            return 0;
+        }
+        let bit = i * w;
+        let word = bit / 64;
+        let off = bit % 64;
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let mut v = self.words[word] >> off;
+        if off + w > 64 {
+            v |= self.words[word + 1] << (64 - off);
+        }
+        v & mask
+    }
+
+    /// Unpacks everything into a fresh vector.
+    pub fn unpack(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.unpack_into(&mut out);
+        out
+    }
+
+    /// Unpacks into `out` (cleared first). The loop is written so the
+    /// compiler can unroll and vectorize the common widths.
+    pub fn unpack_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.len);
+        for i in 0..self.len {
+            out.push(self.get(i));
+        }
+    }
+
+    /// Heap bytes used by the packed representation.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Raw packed words (vectorized kernels operate on these directly).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame of reference
+// ---------------------------------------------------------------------------
+
+/// Frame-of-reference encoding of signed integers: stores `v - min`
+/// bit-packed with the minimal width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForPacked {
+    base: i64,
+    packed: BitPacked,
+}
+
+impl ForPacked {
+    /// Encodes `values`.
+    pub fn encode(values: &[i64]) -> Self {
+        let base = values.iter().copied().min().unwrap_or(0);
+        let shifted: Vec<u64> = values.iter().map(|&v| (v.wrapping_sub(base)) as u64).collect();
+        let width = BitPacked::width_for(&shifted);
+        ForPacked {
+            base,
+            packed: BitPacked::pack(&shifted, width).expect("width_for guarantees fit"),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Random access.
+    #[inline]
+    pub fn get(&self, i: usize) -> i64 {
+        self.base.wrapping_add(self.packed.get(i) as i64)
+    }
+
+    /// Decodes everything.
+    pub fn decode(&self) -> Vec<i64> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// The raw shifted code at `i` (`value - base` as unsigned). Predicate
+    /// evaluation compares in this code domain to skip per-row adds.
+    #[inline]
+    pub fn raw_code(&self, i: usize) -> u64 {
+        self.packed.get(i)
+    }
+
+    /// The frame base (minimum value).
+    pub fn base(&self) -> i64 {
+        self.base
+    }
+
+    /// Bits per value.
+    pub fn width(&self) -> u8 {
+        self.packed.width()
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        self.packed.size_bytes() + 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run-length encoding
+// ---------------------------------------------------------------------------
+
+/// Run-length encoding of `i64` values: `(value, run_length)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rle {
+    runs: Vec<(i64, u32)>,
+    len: usize,
+}
+
+impl Rle {
+    /// Encodes `values`.
+    pub fn encode(values: &[i64]) -> Self {
+        let mut runs: Vec<(i64, u32)> = Vec::new();
+        for &v in values {
+            match runs.last_mut() {
+                Some((rv, rl)) if *rv == v && *rl < u32::MAX => *rl += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        Rle {
+            runs,
+            len: values.len(),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs (compression quality metric).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The runs.
+    pub fn runs(&self) -> &[(i64, u32)] {
+        &self.runs
+    }
+
+    /// Decodes everything.
+    pub fn decode(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len);
+        for &(v, n) in &self.runs {
+            out.extend(std::iter::repeat_n(v, n as usize));
+        }
+        out
+    }
+
+    /// Random access by binary search over cumulative run offsets — O(runs)
+    /// here since we do a linear scan; callers needing hot random access
+    /// should decode first.
+    pub fn get(&self, mut i: usize) -> i64 {
+        for &(v, n) in &self.runs {
+            if i < n as usize {
+                return v;
+            }
+            i -= n as usize;
+        }
+        panic!("RLE index out of range");
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        self.runs.len() * 12
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving dictionary
+// ---------------------------------------------------------------------------
+
+/// Order-preserving dictionary encoding over any `Ord + Clone` value.
+///
+/// The dictionary is the sorted distinct values; a code is the rank of its
+/// value, so `code_a < code_b ⇔ value_a < value_b` and range predicates can
+/// be evaluated entirely on codes (the HANA/BLU trick the paper highlights).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dictionary<T: Ord + Clone> {
+    dict: Vec<T>,
+    codes: BitPacked,
+}
+
+impl<T: Ord + Clone + std::hash::Hash> Dictionary<T> {
+    /// Builds the dictionary and codes for `values`.
+    pub fn encode(values: &[T]) -> Self {
+        let mut dict: Vec<T> = values.to_vec();
+        dict.sort_unstable();
+        dict.dedup();
+        let rank: FxHashMap<&T, u64> = dict
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u64))
+            .collect();
+        let codes: Vec<u64> = values.iter().map(|v| rank[v]).collect();
+        let width = BitPacked::width_for(&codes);
+        Dictionary {
+            dict,
+            codes: BitPacked::pack(&codes, width).expect("codes fit"),
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Dictionary cardinality.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// The sorted distinct values.
+    pub fn dict(&self) -> &[T] {
+        &self.dict
+    }
+
+    /// The packed codes.
+    pub fn codes(&self) -> &BitPacked {
+        &self.codes
+    }
+
+    /// The value at row `i`.
+    pub fn get(&self, i: usize) -> &T {
+        &self.dict[self.codes.get(i) as usize]
+    }
+
+    /// Decodes all rows.
+    pub fn decode(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get(i).clone()).collect()
+    }
+
+    /// The code for `value` if it occurs in the dictionary.
+    pub fn code_of(&self, value: &T) -> Option<u64> {
+        self.dict.binary_search(value).ok().map(|i| i as u64)
+    }
+
+    /// The rank a value *would* have: the number of dictionary entries
+    /// `< value`. Lets range predicates on absent literals still be lowered
+    /// to code comparisons.
+    pub fn lower_bound_code(&self, value: &T) -> u64 {
+        match self.dict.binary_search(value) {
+            Ok(i) | Err(i) => i as u64,
+        }
+    }
+}
+
+impl Dictionary<String> {
+    /// Heap bytes used (dictionary strings + packed codes).
+    pub fn size_bytes(&self) -> usize {
+        self.dict.iter().map(|s| s.len() + 24).sum::<usize>() + self.codes.size_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-column encoding selection
+// ---------------------------------------------------------------------------
+
+/// The encoding chosen for an `i64` column chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntEncoding {
+    /// Uncompressed values (fallback / incompressible).
+    Raw(Vec<i64>),
+    /// Frame-of-reference bit-packed.
+    For(ForPacked),
+    /// Run-length encoded.
+    Rle(Rle),
+    /// Dictionary (pays off at very low cardinality with wide ranges).
+    Dict(Box<Dictionary<i64>>),
+}
+
+impl IntEncoding {
+    /// Picks the smallest encoding for `values` by measuring each
+    /// candidate's footprint (cheap: FOR and RLE are O(n), dictionary is
+    /// only attempted when a sample suggests low cardinality).
+    pub fn choose(values: &[i64]) -> Self {
+        if values.is_empty() {
+            return IntEncoding::Raw(Vec::new());
+        }
+        let raw_size = values.len() * 8;
+        let fo = ForPacked::encode(values);
+        let fo_size = fo.size_bytes();
+
+        let rle = Rle::encode(values);
+        let rle_size = rle.size_bytes();
+        // Sample cardinality to decide whether a dictionary is worth building.
+        let sample_card = {
+            let mut set = oltap_common::hash::FxHashSet::default();
+            for &v in values.iter().take(1024) {
+                set.insert(v);
+            }
+            set.len()
+        };
+        let dict = if sample_card <= 256 {
+            Some(Dictionary::encode(values))
+        } else {
+            None
+        };
+        let dict_size = dict
+            .as_ref()
+            .map(|d| d.dict().len() * 8 + d.codes().size_bytes())
+            .unwrap_or(usize::MAX);
+
+        let best = [
+            (raw_size, 0usize),
+            (fo_size, 1),
+            (rle_size, 2),
+            (dict_size, 3),
+        ]
+        .into_iter()
+        .min_by_key(|&(s, _)| s)
+        .unwrap()
+        .1;
+
+        match best {
+            1 => IntEncoding::For(fo),
+            2 => IntEncoding::Rle(rle),
+            3 => IntEncoding::Dict(Box::new(dict.unwrap())),
+            _ => IntEncoding::Raw(values.to_vec()),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            IntEncoding::Raw(v) => v.len(),
+            IntEncoding::For(f) => f.len(),
+            IntEncoding::Rle(r) => r.len(),
+            IntEncoding::Dict(d) => d.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Random access.
+    pub fn get(&self, i: usize) -> i64 {
+        match self {
+            IntEncoding::Raw(v) => v[i],
+            IntEncoding::For(f) => f.get(i),
+            IntEncoding::Rle(r) => r.get(i),
+            IntEncoding::Dict(d) => *d.get(i),
+        }
+    }
+
+    /// Decodes the whole chunk.
+    pub fn decode(&self) -> Vec<i64> {
+        match self {
+            IntEncoding::Raw(v) => v.clone(),
+            IntEncoding::For(f) => f.decode(),
+            IntEncoding::Rle(r) => r.decode(),
+            IntEncoding::Dict(d) => d.decode(),
+        }
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            IntEncoding::Raw(v) => v.len() * 8,
+            IntEncoding::For(f) => f.size_bytes(),
+            IntEncoding::Rle(r) => r.size_bytes(),
+            IntEncoding::Dict(d) => d.dict().len() * 8 + d.codes().size_bytes(),
+        }
+    }
+
+    /// Short name for diagnostics and the compression experiment.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IntEncoding::Raw(_) => "raw",
+            IntEncoding::For(_) => "for",
+            IntEncoding::Rle(_) => "rle",
+            IntEncoding::Dict(_) => "dict",
+        }
+    }
+}
+
+/// The encoding chosen for a string column chunk (always dictionary — the
+/// paper's systems do the same; raw is kept for incompressible columns).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrEncoding {
+    /// Uncompressed strings.
+    Raw(Vec<String>),
+    /// Order-preserving dictionary.
+    Dict(Box<Dictionary<String>>),
+}
+
+impl StrEncoding {
+    /// Chooses dictionary when it is smaller than raw storage.
+    pub fn choose(values: &[String]) -> Self {
+        if values.is_empty() {
+            return StrEncoding::Raw(Vec::new());
+        }
+        let dict = Dictionary::encode(values);
+        let raw_size: usize = values.iter().map(|s| s.len() + 24).sum();
+        if dict.size_bytes() < raw_size {
+            StrEncoding::Dict(Box::new(dict))
+        } else {
+            StrEncoding::Raw(values.to_vec())
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            StrEncoding::Raw(v) => v.len(),
+            StrEncoding::Dict(d) => d.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Random access.
+    pub fn get(&self, i: usize) -> &str {
+        match self {
+            StrEncoding::Raw(v) => &v[i],
+            StrEncoding::Dict(d) => d.get(i),
+        }
+    }
+
+    /// Decodes the whole chunk.
+    pub fn decode(&self) -> Vec<String> {
+        match self {
+            StrEncoding::Raw(v) => v.clone(),
+            StrEncoding::Dict(d) => d.decode(),
+        }
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            StrEncoding::Raw(v) => v.iter().map(|s| s.len() + 24).sum(),
+            StrEncoding::Dict(d) => d.size_bytes(),
+        }
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrEncoding::Raw(_) => "raw",
+            StrEncoding::Dict(_) => "dict",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitpack_roundtrip_widths() {
+        for width in [0u8, 1, 3, 7, 8, 13, 31, 32, 33, 63, 64] {
+            let max = if width == 0 {
+                0
+            } else if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..257).map(|i| (i as u64 * 2654435761) & max).collect();
+            let packed = BitPacked::pack(&values, width).unwrap();
+            assert_eq!(packed.unpack(), values, "width {width}");
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(packed.get(i), v, "width {width} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitpack_rejects_oversized() {
+        assert!(BitPacked::pack(&[8], 3).is_err());
+        assert!(BitPacked::pack(&[7], 3).is_ok());
+    }
+
+    #[test]
+    fn width_for_examples() {
+        assert_eq!(BitPacked::width_for(&[]), 0);
+        assert_eq!(BitPacked::width_for(&[0, 0]), 0);
+        assert_eq!(BitPacked::width_for(&[1]), 1);
+        assert_eq!(BitPacked::width_for(&[255]), 8);
+        assert_eq!(BitPacked::width_for(&[256]), 9);
+        assert_eq!(BitPacked::width_for(&[u64::MAX]), 64);
+    }
+
+    #[test]
+    fn for_roundtrip_negative_values() {
+        let values = vec![-100i64, -50, 0, 25, 99, -100, 99];
+        let f = ForPacked::encode(&values);
+        assert_eq!(f.decode(), values);
+        assert_eq!(f.base(), -100);
+        assert_eq!(f.width(), 8); // range 199 fits in 8 bits
+    }
+
+    #[test]
+    fn for_handles_extremes() {
+        let values = vec![i64::MIN, i64::MAX, 0];
+        let f = ForPacked::encode(&values);
+        assert_eq!(f.decode(), values);
+    }
+
+    #[test]
+    fn rle_roundtrip_and_compression() {
+        let values: Vec<i64> = (0..1000).map(|i| i / 100).collect();
+        let r = Rle::encode(&values);
+        assert_eq!(r.run_count(), 10);
+        assert_eq!(r.decode(), values);
+        assert_eq!(r.get(0), 0);
+        assert_eq!(r.get(999), 9);
+        assert!(r.size_bytes() < values.len() * 8 / 10);
+    }
+
+    #[test]
+    fn dict_is_order_preserving() {
+        let values: Vec<String> = ["pear", "apple", "fig", "apple", "pear"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let d = Dictionary::encode(&values);
+        assert_eq!(d.cardinality(), 3);
+        assert_eq!(d.decode(), values);
+        // Codes order like values: apple < fig < pear.
+        let ca = d.code_of(&"apple".to_string()).unwrap();
+        let cf = d.code_of(&"fig".to_string()).unwrap();
+        let cp = d.code_of(&"pear".to_string()).unwrap();
+        assert!(ca < cf && cf < cp);
+        assert_eq!(d.code_of(&"grape".to_string()), None);
+        // lower_bound: 'grape' sorts between fig and pear.
+        assert_eq!(d.lower_bound_code(&"grape".to_string()), cp);
+    }
+
+    #[test]
+    fn int_encoding_choices() {
+        // Sorted low-churn → RLE.
+        let runs: Vec<i64> = (0..10_000).map(|i| i / 1000).collect();
+        assert_eq!(IntEncoding::choose(&runs).name(), "rle");
+        // Narrow range randoms → FOR.
+        let narrow: Vec<i64> = (0..10_000)
+            .map(|i| 1_000_000 + ((i * 2654435761u64 as i64) % 1000).abs())
+            .collect();
+        let e = IntEncoding::choose(&narrow);
+        assert!(e.name() == "for" || e.name() == "dict", "got {}", e.name());
+        assert_eq!(e.decode(), narrow);
+        // Wide-range randoms → raw or for(64); must roundtrip regardless.
+        let wide: Vec<i64> = (0..1000)
+            .map(|i| (i as i64).wrapping_mul(0x9E3779B97F4A7C15u64 as i64))
+            .collect();
+        let e = IntEncoding::choose(&wide);
+        assert_eq!(e.decode(), wide);
+    }
+
+    #[test]
+    fn int_encoding_random_access_matches_decode() {
+        let values: Vec<i64> = (0..500).map(|i| (i % 7) * 100).collect();
+        for enc in [
+            IntEncoding::Raw(values.clone()),
+            IntEncoding::For(ForPacked::encode(&values)),
+            IntEncoding::Rle(Rle::encode(&values)),
+            IntEncoding::Dict(Box::new(Dictionary::encode(&values))),
+        ] {
+            let dec = enc.decode();
+            for i in [0usize, 1, 250, 499] {
+                assert_eq!(enc.get(i), dec[i], "{}", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn str_encoding_chooses_dict_for_low_cardinality() {
+        let values: Vec<String> = (0..1000).map(|i| format!("status_{}", i % 4)).collect();
+        let e = StrEncoding::choose(&values);
+        assert_eq!(e.name(), "dict");
+        assert_eq!(e.decode(), values);
+        assert!(e.size_bytes() < 1000 * 10);
+    }
+
+    #[test]
+    fn str_encoding_falls_back_to_raw() {
+        // All-distinct long strings: dictionary adds only overhead.
+        let values: Vec<String> = (0..100).map(|i| format!("unique-value-{i:06}")).collect();
+        let e = StrEncoding::choose(&values);
+        assert_eq!(e.decode(), values);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(IntEncoding::choose(&[]).len(), 0);
+        assert_eq!(StrEncoding::choose(&[]).len(), 0);
+        assert!(ForPacked::encode(&[]).is_empty());
+        assert!(Rle::encode(&[]).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # oltap-storage
+//!
+//! The storage engines of `oltapdb`, covering the physical-design spectrum
+//! the tutorial's §1 lays out ("row-based, column-oriented, or hybrid"):
+//!
+//! * [`rowstore`] — an OLTP row store: a lock-free insert-only concurrent
+//!   [`skiplist`] indexing MVCC version chains (MemSQL-style).
+//! * [`segment`] + [`encoding`] + [`zonemap`] — the compressed, immutable,
+//!   zone-mapped columnar "main" store (HANA / DB2 BLU / Oracle DBIM
+//!   style), with predicate evaluation over compressed codes.
+//! * [`delta`] — the delta + main architecture with an MVCC-safe merge
+//!   (differential files / LSM lineage, §4).
+//! * [`dual`] — dual-format tables keeping a row store and a columnar
+//!   image simultaneously consistent via an invalidation journal
+//!   (Oracle Database In-Memory style, §3).
+//! * [`predicate`] — pushed-down scan predicates shared by all formats.
+
+pub mod delta;
+pub mod dual;
+pub mod encoding;
+pub mod predicate;
+pub mod rowstore;
+pub mod segment;
+pub mod skiplist;
+pub mod zonemap;
+
+pub use delta::{DeltaMainTable, MergeStats, TableSizes};
+pub use dual::DualFormatTable;
+pub use predicate::{CmpOp, ColumnPredicate, ScanPredicate};
+pub use rowstore::RowStore;
+pub use segment::Segment;
+pub use skiplist::SkipList;
+pub use zonemap::{ColumnZone, ZoneMap};

@@ -1,0 +1,222 @@
+//! Scan predicates that storage can evaluate natively.
+//!
+//! The executor lowers the pushable part of a WHERE clause into a
+//! conjunction of simple column-vs-literal comparisons. The column store
+//! uses them twice: against zone maps to skip whole segments (Oracle's
+//! "in-memory storage indexes") and against compressed codes inside a
+//! segment (the SIMD-scan idea).
+
+use oltap_common::{Result, Row, Value};
+
+/// Comparison operator of a simple predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering result.
+    #[inline]
+    pub fn matches(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One `column <op> literal` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPredicate {
+    /// Ordinal of the column in the table schema.
+    pub column: usize,
+    /// The comparison.
+    pub op: CmpOp,
+    /// The literal. NULL never matches (SQL three-valued logic collapses
+    /// to false for filtering).
+    pub value: Value,
+}
+
+impl ColumnPredicate {
+    /// Builds a predicate.
+    pub fn new(column: usize, op: CmpOp, value: Value) -> Self {
+        ColumnPredicate { column, op, value }
+    }
+
+    /// Evaluates against a materialized row.
+    pub fn matches_row(&self, row: &Row) -> bool {
+        let v = &row[self.column];
+        if v.is_null() || self.value.is_null() {
+            return false;
+        }
+        self.op.matches(v.cmp(&self.value))
+    }
+}
+
+/// A conjunction of simple predicates (empty = always true).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanPredicate {
+    /// The conjuncts.
+    pub conjuncts: Vec<ColumnPredicate>,
+}
+
+impl ScanPredicate {
+    /// The always-true predicate.
+    pub fn all() -> Self {
+        ScanPredicate::default()
+    }
+
+    /// A single-conjunct predicate.
+    pub fn single(column: usize, op: CmpOp, value: Value) -> Self {
+        ScanPredicate {
+            conjuncts: vec![ColumnPredicate::new(column, op, value)],
+        }
+    }
+
+    /// Adds a conjunct (builder style).
+    pub fn and(mut self, column: usize, op: CmpOp, value: Value) -> Self {
+        self.conjuncts.push(ColumnPredicate::new(column, op, value));
+        self
+    }
+
+    /// True when there are no conjuncts.
+    pub fn is_trivial(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Evaluates against a materialized row.
+    pub fn matches_row(&self, row: &Row) -> bool {
+        self.conjuncts.iter().all(|c| c.matches_row(row))
+    }
+
+    /// Checks that referenced columns exist and literals are comparable
+    /// with the column type.
+    pub fn validate(&self, schema: &oltap_common::Schema) -> Result<()> {
+        for c in &self.conjuncts {
+            if c.column >= schema.len() {
+                return Err(oltap_common::DbError::ColumnNotFound(format!(
+                    "ordinal {}",
+                    c.column
+                )));
+            }
+            if !c.value.is_null() {
+                let field = schema.field(c.column);
+                // Numeric cross-comparisons (Int vs Float) are permitted.
+                let ok = match (field.data_type, c.value.data_type()) {
+                    (_, None) => true,
+                    (a, Some(b)) if a == b => true,
+                    (oltap_common::DataType::Int64, Some(oltap_common::DataType::Float64))
+                    | (oltap_common::DataType::Float64, Some(oltap_common::DataType::Int64))
+                    | (oltap_common::DataType::Timestamp, Some(oltap_common::DataType::Int64))
+                    | (oltap_common::DataType::Int64, Some(oltap_common::DataType::Timestamp)) => {
+                        true
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    return Err(oltap_common::DbError::TypeMismatch {
+                        expected: field.data_type.name().into(),
+                        actual: c.value.type_name().into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oltap_common::row;
+    use oltap_common::{DataType, Field, Schema};
+
+    #[test]
+    fn cmp_ops() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.matches(Equal));
+        assert!(!CmpOp::Eq.matches(Less));
+        assert!(CmpOp::Ne.matches(Greater));
+        assert!(CmpOp::Le.matches(Equal));
+        assert!(CmpOp::Le.matches(Less));
+        assert!(!CmpOp::Lt.matches(Equal));
+        assert!(CmpOp::Ge.matches(Greater));
+    }
+
+    #[test]
+    fn row_matching() {
+        let r = row![5i64, "berlin"];
+        assert!(ColumnPredicate::new(0, CmpOp::Gt, Value::Int(3)).matches_row(&r));
+        assert!(!ColumnPredicate::new(0, CmpOp::Lt, Value::Int(3)).matches_row(&r));
+        assert!(ColumnPredicate::new(1, CmpOp::Eq, Value::Str("berlin".into())).matches_row(&r));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let r = Row::new(vec![Value::Null]);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
+            assert!(!ColumnPredicate::new(0, op, Value::Int(1)).matches_row(&r));
+        }
+        let r2 = row![1i64];
+        assert!(!ColumnPredicate::new(0, CmpOp::Eq, Value::Null).matches_row(&r2));
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let p = ScanPredicate::all()
+            .and(0, CmpOp::Ge, Value::Int(10))
+            .and(0, CmpOp::Lt, Value::Int(20));
+        assert!(p.matches_row(&row![15i64]));
+        assert!(!p.matches_row(&row![25i64]));
+        assert!(!p.matches_row(&row![5i64]));
+        assert!(ScanPredicate::all().matches_row(&row![1i64]));
+    }
+
+    #[test]
+    fn validation() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ]);
+        assert!(ScanPredicate::single(0, CmpOp::Eq, Value::Int(1))
+            .validate(&s)
+            .is_ok());
+        assert!(ScanPredicate::single(0, CmpOp::Eq, Value::Float(1.5))
+            .validate(&s)
+            .is_ok());
+        assert!(ScanPredicate::single(1, CmpOp::Eq, Value::Int(1))
+            .validate(&s)
+            .is_err());
+        assert!(ScanPredicate::single(9, CmpOp::Eq, Value::Int(1))
+            .validate(&s)
+            .is_err());
+    }
+}

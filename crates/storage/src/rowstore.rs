@@ -1,0 +1,509 @@
+//! The row store: a concurrent skip-list primary-key index over MVCC
+//! version chains.
+//!
+//! This is the OLTP-facing store of the engine, modeled on MemSQL's
+//! lock-free skip-list row store (paper §3, \[26\]): point inserts, lookups,
+//! updates, and deletes are index traversals plus version-chain operations
+//! — no latching of unrelated keys, readers never block.
+
+use crate::predicate::ScanPredicate;
+use crate::skiplist::SkipList;
+use oltap_common::ids::TxnId;
+use oltap_common::schema::SchemaRef;
+use oltap_common::{Batch, DbError, Result, Row, Value};
+use oltap_txn::{Transaction, Ts, VersionChain, WriteSetEntry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Adapter enlisting one version chain in a transaction's write set.
+struct ChainWriteEntry {
+    chain: Arc<VersionChain<Row>>,
+}
+
+impl WriteSetEntry for ChainWriteEntry {
+    fn commit(&self, txn: TxnId, commit_ts: Ts) {
+        self.chain.commit(txn, commit_ts);
+    }
+    fn abort(&self, txn: TxnId) {
+        self.chain.abort(txn);
+    }
+}
+
+/// A row store table.
+pub struct RowStore {
+    schema: SchemaRef,
+    index: SkipList<Row, Arc<VersionChain<Row>>>,
+    /// Sequence for tables without a declared primary key (each row gets a
+    /// hidden, monotonically increasing key; point DML is then unsupported).
+    hidden_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for RowStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowStore")
+            .field("keys", &self.index.len())
+            .finish()
+    }
+}
+
+impl RowStore {
+    /// Creates an empty row store for `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        RowStore {
+            schema,
+            index: SkipList::new(),
+            hidden_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of distinct keys ever inserted (includes logically deleted).
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn key_for_insert(&self, row: &Row) -> Row {
+        if self.schema.has_primary_key() {
+            self.schema.key_of(row)
+        } else {
+            Row::new(vec![Value::Int(
+                self.hidden_seq.fetch_add(1, Ordering::Relaxed) as i64,
+            )])
+        }
+    }
+
+    fn require_pk(&self) -> Result<()> {
+        if self.schema.has_primary_key() {
+            Ok(())
+        } else {
+            Err(DbError::Unsupported(
+                "point operation on table without primary key".into(),
+            ))
+        }
+    }
+
+    /// Inserts `row` under `txn`. Duplicate-key and write-conflict errors
+    /// propagate from the version chain.
+    pub fn insert(&self, txn: &Transaction, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        let key = self.key_for_insert(&row);
+        let chain = self.chain_for(key);
+        chain.insert(row, txn.id(), txn.begin_ts())?;
+        txn.enlist(Arc::new(ChainWriteEntry {
+            chain: Arc::clone(&chain),
+        }))?;
+        Ok(())
+    }
+
+    /// Bulk-loads `row` as already-committed data stamped at `ts`
+    /// (bypasses transactions; used by loaders, merge, and recovery).
+    pub fn load_committed(&self, row: Row, ts: Ts) -> Result<()> {
+        self.schema.check_row(&row)?;
+        let key = self.key_for_insert(&row);
+        match self.index.get(&key) {
+            Some(chain) => {
+                if chain.has_committed_live() {
+                    return Err(DbError::DuplicateKey(format!("{key}")));
+                }
+                // Re-insert under a synthetic bootstrap txn then commit.
+                let boot = TxnId(u64::MAX);
+                chain.insert(row, boot, ts)?;
+                chain.commit(boot, ts);
+                Ok(())
+            }
+            None => {
+                match self.index.insert(key, Arc::new(VersionChain::with_committed(row.clone(), ts))) {
+                    Ok(_) => Ok(()),
+                    Err(existing) => {
+                        // Raced with another loader on the same key.
+                        if existing.has_committed_live() {
+                            Err(DbError::DuplicateKey("concurrent load".into()))
+                        } else {
+                            let boot = TxnId(u64::MAX);
+                            existing.insert(row, boot, ts)?;
+                            existing.commit(boot, ts);
+                            Ok(())
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn chain_for(&self, key: Row) -> Arc<VersionChain<Row>> {
+        if let Some(chain) = self.index.get(&key) {
+            return Arc::clone(chain);
+        }
+        match self.index.insert(key, Arc::new(VersionChain::new())) {
+            Ok(chain) => Arc::clone(chain),
+            Err(existing) => Arc::clone(existing),
+        }
+    }
+
+    /// Point lookup at a snapshot.
+    pub fn get(&self, key: &Row, read_ts: Ts, me: TxnId) -> Option<Row> {
+        self.index
+            .get(key)
+            .and_then(|chain| chain.read(read_ts, me))
+    }
+
+    /// Updates the row at `key` to `row` under `txn`.
+    pub fn update(&self, txn: &Transaction, key: &Row, row: Row) -> Result<()> {
+        self.require_pk()?;
+        self.schema.check_row(&row)?;
+        if self.schema.key_of(&row) != *key {
+            return Err(DbError::InvalidArgument(
+                "update must not change the primary key".into(),
+            ));
+        }
+        let chain = self
+            .index
+            .get(key)
+            .ok_or_else(|| DbError::KeyNotFound(format!("{key}")))?;
+        chain.update(row, txn.id(), txn.begin_ts())?;
+        txn.enlist(Arc::new(ChainWriteEntry {
+            chain: Arc::clone(chain),
+        }))?;
+        Ok(())
+    }
+
+    /// Deletes the row at `key` under `txn`.
+    pub fn delete(&self, txn: &Transaction, key: &Row) -> Result<()> {
+        self.require_pk()?;
+        let chain = self
+            .index
+            .get(key)
+            .ok_or_else(|| DbError::KeyNotFound(format!("{key}")))?;
+        chain.delete(txn.id(), txn.begin_ts())?;
+        txn.enlist(Arc::new(ChainWriteEntry {
+            chain: Arc::clone(chain),
+        }))?;
+        Ok(())
+    }
+
+    /// Iterates the visible rows at a snapshot, in key order, optionally
+    /// starting at `start_key`.
+    pub fn scan_rows<'a>(
+        &'a self,
+        read_ts: Ts,
+        me: TxnId,
+        start_key: Option<&Row>,
+    ) -> impl Iterator<Item = Row> + 'a {
+        self.index
+            .iter_from(start_key)
+            .filter_map(move |(_, chain)| chain.read(read_ts, me))
+    }
+
+    /// Full scan into batches with a residual predicate applied row-wise.
+    pub fn scan(
+        &self,
+        projection: &[usize],
+        pred: &ScanPredicate,
+        read_ts: Ts,
+        me: TxnId,
+        batch_size: usize,
+    ) -> Result<Vec<Batch>> {
+        pred.validate(&self.schema)?;
+        let proj_schema = self.schema.project(projection);
+        let mut out = Vec::new();
+        let mut buf: Vec<Row> = Vec::with_capacity(batch_size.min(4096));
+        for row in self.scan_rows(read_ts, me, None) {
+            if pred.matches_row(&row) {
+                buf.push(row.project(projection));
+                if buf.len() >= batch_size {
+                    out.push(Batch::from_rows(&proj_schema, &buf)?);
+                    buf.clear();
+                }
+            }
+        }
+        if !buf.is_empty() {
+            out.push(Batch::from_rows(&proj_schema, &buf)?);
+        }
+        Ok(out)
+    }
+
+    /// Counts visible rows at a snapshot (O(n)).
+    pub fn count_visible(&self, read_ts: Ts, me: TxnId) -> usize {
+        self.index
+            .iter()
+            .filter(|(_, chain)| chain.exists_for(read_ts, me))
+            .count()
+    }
+
+    /// Runs MVCC garbage collection on every chain; returns pruned
+    /// version count.
+    pub fn gc(&self, watermark: Ts) -> usize {
+        self.index.iter().map(|(_, chain)| chain.gc(watermark)).sum()
+    }
+
+    /// Iterates `(key, latest committed row)` pairs regardless of
+    /// snapshots — the merge path uses this to drain the delta.
+    pub fn latest_committed_rows<'a>(&'a self) -> impl Iterator<Item = (Row, Row)> + 'a {
+        self.index
+            .iter()
+            .filter_map(|(k, chain)| chain.latest_committed().map(|r| (k.clone(), r)))
+    }
+
+    /// Merge hook: closes (at `watermark`) and returns every row whose
+    /// latest version committed at or before `watermark` and is not being
+    /// rewritten by an in-flight transaction. The caller must re-publish
+    /// the returned rows in a main-store segment with
+    /// `visible_from = watermark` (see [`crate::delta`]); the table-level
+    /// lock makes close + publish atomic with respect to readers.
+    pub fn drain_committed(&self, watermark: Ts) -> Vec<Row> {
+        self.index
+            .iter()
+            .filter_map(|(_, chain)| chain.close_latest_committed(watermark))
+            .collect()
+    }
+
+    /// Rebuilds the store without chains that are dead to every snapshot
+    /// at or after `watermark` (the skip list is insert-only, so merged
+    /// keys otherwise accumulate and slow down delta scans forever).
+    /// Chains are moved by `Arc`, so transactions holding write-set
+    /// references keep operating on the same objects.
+    pub fn rebuilt_without_dead(&self, watermark: Ts) -> RowStore {
+        let fresh = RowStore::new(Arc::clone(&self.schema));
+        for (key, chain) in self.index.iter() {
+            chain.gc(watermark);
+            if chain.version_count() > 0 {
+                let _ = fresh.index.insert(key.clone(), Arc::clone(chain));
+            }
+        }
+        // Hidden-key sequences must keep ascending across rebuilds.
+        fresh
+            .hidden_seq
+            .store(self.hidden_seq.load(Ordering::SeqCst), Ordering::SeqCst);
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oltap_common::row;
+    use oltap_common::{DataType, Field, Schema};
+    use oltap_txn::TransactionManager;
+
+    fn store() -> (Arc<TransactionManager>, RowStore) {
+        let schema = Arc::new(
+            Schema::with_primary_key(
+                vec![
+                    Field::not_null("id", DataType::Int64),
+                    Field::new("name", DataType::Utf8),
+                    Field::new("qty", DataType::Int64),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        );
+        (Arc::new(TransactionManager::new()), RowStore::new(schema))
+    }
+
+    const NOBODY: TxnId = TxnId(u64::MAX - 1);
+
+    #[test]
+    fn insert_commit_read() {
+        let (mgr, rs) = store();
+        let t = mgr.begin();
+        rs.insert(&t, row![1i64, "ada", 10i64]).unwrap();
+        rs.insert(&t, row![2i64, "bob", 20i64]).unwrap();
+        let cts = t.commit().unwrap();
+        assert_eq!(
+            rs.get(&row![1i64], cts, NOBODY).unwrap(),
+            row![1i64, "ada", 10i64]
+        );
+        assert_eq!(rs.count_visible(cts, NOBODY), 2);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let (mgr, rs) = store();
+        let t = mgr.begin();
+        rs.insert(&t, row![1i64, "ada", 10i64]).unwrap();
+        t.commit().unwrap();
+        let t2 = mgr.begin();
+        assert!(matches!(
+            rs.insert(&t2, row![1i64, "eve", 5i64]),
+            Err(DbError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn update_delete_roundtrip() {
+        let (mgr, rs) = store();
+        let t = mgr.begin();
+        rs.insert(&t, row![1i64, "ada", 10i64]).unwrap();
+        t.commit().unwrap();
+
+        let t2 = mgr.begin();
+        rs.update(&t2, &row![1i64], row![1i64, "ada", 99i64]).unwrap();
+        let cts2 = t2.commit().unwrap();
+        assert_eq!(
+            rs.get(&row![1i64], cts2, NOBODY).unwrap()[2],
+            Value::Int(99)
+        );
+
+        let t3 = mgr.begin();
+        rs.delete(&t3, &row![1i64]).unwrap();
+        let cts3 = t3.commit().unwrap();
+        assert!(rs.get(&row![1i64], cts3, NOBODY).is_none());
+        // Older snapshot still sees it.
+        assert!(rs.get(&row![1i64], cts2, NOBODY).is_some());
+    }
+
+    #[test]
+    fn pk_change_rejected() {
+        let (mgr, rs) = store();
+        let t = mgr.begin();
+        rs.insert(&t, row![1i64, "ada", 10i64]).unwrap();
+        t.commit().unwrap();
+        let t2 = mgr.begin();
+        assert!(rs
+            .update(&t2, &row![1i64], row![2i64, "ada", 10i64])
+            .is_err());
+    }
+
+    #[test]
+    fn write_conflict_between_txns() {
+        let (mgr, rs) = store();
+        let t = mgr.begin();
+        rs.insert(&t, row![1i64, "ada", 10i64]).unwrap();
+        t.commit().unwrap();
+
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        rs.update(&t1, &row![1i64], row![1i64, "ada", 11i64]).unwrap();
+        assert!(matches!(
+            rs.update(&t2, &row![1i64], row![1i64, "ada", 12i64]),
+            Err(DbError::WriteConflict(_))
+        ));
+        t1.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_via_drop_leaves_no_trace() {
+        let (mgr, rs) = store();
+        {
+            let t = mgr.begin();
+            rs.insert(&t, row![1i64, "ada", 10i64]).unwrap();
+        }
+        assert_eq!(rs.count_visible(mgr.now(), NOBODY), 0);
+        // Key can be reused after the implicit abort.
+        let t = mgr.begin();
+        rs.insert(&t, row![1i64, "eve", 1i64]).unwrap();
+        let cts = t.commit().unwrap();
+        assert_eq!(
+            rs.get(&row![1i64], cts, NOBODY).unwrap()[1],
+            Value::Str("eve".into())
+        );
+    }
+
+    #[test]
+    fn scan_is_key_ordered_and_snapshot_consistent() {
+        let (mgr, rs) = store();
+        let t = mgr.begin();
+        for i in (0..50).rev() {
+            rs.insert(&t, row![i as i64, "x", i as i64]).unwrap();
+        }
+        let cts = t.commit().unwrap();
+
+        // A writer modifies concurrently; the old snapshot is unaffected.
+        let t2 = mgr.begin();
+        rs.update(&t2, &row![0i64], row![0i64, "x", 999i64]).unwrap();
+
+        let rows: Vec<Row> = rs.scan_rows(cts, NOBODY, None).collect();
+        assert_eq!(rows.len(), 50);
+        assert!(rows.windows(2).all(|w| w[0][0] < w[1][0]));
+        assert_eq!(rows[0][2], Value::Int(0));
+        t2.commit().unwrap();
+    }
+
+    #[test]
+    fn scan_batches_with_predicate() {
+        let (mgr, rs) = store();
+        let t = mgr.begin();
+        for i in 0..100 {
+            rs.insert(&t, row![i as i64, "x", (i % 10) as i64]).unwrap();
+        }
+        let cts = t.commit().unwrap();
+        let pred = ScanPredicate::single(2, crate::predicate::CmpOp::Eq, Value::Int(3));
+        let batches = rs.scan(&[0, 2], &pred, cts, NOBODY, 7).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+        assert!(batches.iter().all(|b| b.len() <= 7));
+        assert!(batches[0].row(0)[1] == Value::Int(3));
+    }
+
+    #[test]
+    fn load_committed_bypasses_txns() {
+        let (mgr, rs) = store();
+        rs.load_committed(row![1i64, "bulk", 0i64], 0).unwrap();
+        assert!(rs.get(&row![1i64], mgr.now(), NOBODY).is_some());
+        assert!(matches!(
+            rs.load_committed(row![1i64, "dup", 0i64], 0),
+            Err(DbError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn hidden_key_table_supports_insert_and_scan_only() {
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int64)]));
+        let rs = RowStore::new(schema);
+        let mgr = Arc::new(TransactionManager::new());
+        let t = mgr.begin();
+        rs.insert(&t, row![7i64]).unwrap();
+        rs.insert(&t, row![7i64]).unwrap(); // duplicates fine
+        let cts = t.commit().unwrap();
+        assert_eq!(rs.count_visible(cts, NOBODY), 2);
+        let t2 = mgr.begin();
+        assert!(matches!(
+            rs.delete(&t2, &row![0i64]),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn gc_reduces_version_counts() {
+        let (mgr, rs) = store();
+        let t = mgr.begin();
+        rs.insert(&t, row![1i64, "a", 0i64]).unwrap();
+        t.commit().unwrap();
+        for i in 0..10 {
+            let t = mgr.begin();
+            rs.update(&t, &row![1i64], row![1i64, "a", i as i64]).unwrap();
+            t.commit().unwrap();
+        }
+        let pruned = rs.gc(mgr.gc_watermark());
+        assert!(pruned >= 9, "pruned {pruned}");
+        assert!(rs.get(&row![1i64], mgr.now(), NOBODY).is_some());
+    }
+
+    #[test]
+    fn concurrent_inserts_across_threads() {
+        let (mgr, rs) = store();
+        let rs = Arc::new(rs);
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let mgr = Arc::clone(&mgr);
+                let rs = Arc::clone(&rs);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let t = mgr.begin();
+                        let id = (tid * 1000 + i) as i64;
+                        rs.insert(&t, row![id, "w", 1i64]).unwrap();
+                        t.commit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rs.count_visible(mgr.now(), NOBODY), 2000);
+    }
+}

@@ -1,0 +1,934 @@
+//! Immutable compressed columnar segments — the "main" store.
+//!
+//! A segment is the unit of the read-optimized column store: a few hundred
+//! thousand rows, each column independently encoded
+//! ([`crate::encoding`]), fronted by a [`ZoneMap`], and carrying an MVCC
+//! *delete-stamp table* so that logical deletes/updates of merged rows
+//! remain snapshot-consistent (the DB2 BLU approach: "deletes are logical
+//! operations that retain the old version rows").
+//!
+//! MVCC contract: segments are built only from rows whose commit timestamp
+//! is at or below the transaction manager's GC watermark at merge time, so
+//! every live snapshot can see every merged row. Visibility therefore
+//! reduces to "not (visibly deleted)".
+
+use crate::encoding::{IntEncoding, StrEncoding};
+use crate::predicate::{CmpOp, ColumnPredicate, ScanPredicate};
+use crate::zonemap::ZoneMap;
+use oltap_common::hash::FxHashMap;
+use oltap_common::ids::{SegmentId, TxnId};
+use oltap_common::{BitSet, ColumnVector, DataType, DbError, Result, Row, Value};
+use oltap_common::schema::SchemaRef;
+use oltap_txn::{Stamp, Ts};
+use parking_lot::RwLock;
+
+/// One encoded column plus its validity bitmap.
+#[derive(Debug, Clone)]
+pub enum EncodedColumn {
+    /// Int64/Timestamp column.
+    Int {
+        /// The chosen encoding.
+        enc: IntEncoding,
+        /// Validity (None = all valid).
+        validity: Option<BitSet>,
+    },
+    /// Float64 column (stored raw: float compression is future work).
+    Float {
+        /// Dense values.
+        values: Vec<f64>,
+        /// Validity.
+        validity: Option<BitSet>,
+    },
+    /// Utf8 column.
+    Str {
+        /// The chosen encoding.
+        enc: StrEncoding,
+        /// Validity.
+        validity: Option<BitSet>,
+    },
+    /// Bool column.
+    Bool {
+        /// Packed values.
+        values: BitSet,
+        /// Validity.
+        validity: Option<BitSet>,
+    },
+}
+
+impl EncodedColumn {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedColumn::Int { enc, .. } => enc.len(),
+            EncodedColumn::Float { values, .. } => values.len(),
+            EncodedColumn::Str { enc, .. } => enc.len(),
+            EncodedColumn::Bool { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes used by the encoded form.
+    pub fn size_bytes(&self) -> usize {
+        let v = match self {
+            EncodedColumn::Int { enc, .. } => enc.size_bytes(),
+            EncodedColumn::Float { values, .. } => values.len() * 8,
+            EncodedColumn::Str { enc, .. } => enc.size_bytes(),
+            EncodedColumn::Bool { values, .. } => values.len() / 8 + 8,
+        };
+        v + self.validity().map_or(0, |b| b.len() / 8 + 8)
+    }
+
+    fn validity(&self) -> Option<&BitSet> {
+        match self {
+            EncodedColumn::Int { validity, .. }
+            | EncodedColumn::Float { validity, .. }
+            | EncodedColumn::Str { validity, .. }
+            | EncodedColumn::Bool { validity, .. } => validity.as_ref(),
+        }
+    }
+
+    /// Encoding name for diagnostics.
+    pub fn encoding_name(&self) -> &'static str {
+        match self {
+            EncodedColumn::Int { enc, .. } => enc.name(),
+            EncodedColumn::Float { .. } => "raw",
+            EncodedColumn::Str { enc, .. } => enc.name(),
+            EncodedColumn::Bool { .. } => "bitpack",
+        }
+    }
+
+    /// Materializes the value at row `i`.
+    pub fn value_at(&self, i: usize) -> Value {
+        if let Some(v) = self.validity() {
+            if !v.get(i) {
+                return Value::Null;
+            }
+        }
+        match self {
+            EncodedColumn::Int { enc, .. } => Value::Int(enc.get(i)),
+            EncodedColumn::Float { values, .. } => Value::Float(values[i]),
+            EncodedColumn::Str { enc, .. } => Value::Str(enc.get(i).to_string()),
+            EncodedColumn::Bool { values, .. } => Value::Bool(values.get(i)),
+        }
+    }
+
+    /// Gathers `sel` rows into a decoded [`ColumnVector`].
+    pub fn gather(&self, sel: &[u32]) -> ColumnVector {
+        let gather_validity = |validity: &Option<BitSet>| {
+            validity.as_ref().map(|v| {
+                let mut out = BitSet::with_len(sel.len());
+                for (o, &s) in sel.iter().enumerate() {
+                    if v.get(s as usize) {
+                        out.set(o);
+                    }
+                }
+                out
+            })
+        };
+        match self {
+            EncodedColumn::Int { enc, validity } => ColumnVector::Int64 {
+                values: sel.iter().map(|&i| enc.get(i as usize)).collect(),
+                validity: gather_validity(validity),
+            },
+            EncodedColumn::Float { values, validity } => ColumnVector::Float64 {
+                values: sel.iter().map(|&i| values[i as usize]).collect(),
+                validity: gather_validity(validity),
+            },
+            EncodedColumn::Str { enc, validity } => ColumnVector::Utf8 {
+                values: sel.iter().map(|&i| enc.get(i as usize).to_string()).collect(),
+                validity: gather_validity(validity),
+            },
+            EncodedColumn::Bool { values, validity } => {
+                let mut bits = BitSet::with_len(sel.len());
+                for (o, &s) in sel.iter().enumerate() {
+                    if values.get(s as usize) {
+                        bits.set(o);
+                    }
+                }
+                ColumnVector::Bool {
+                    values: bits,
+                    validity: gather_validity(validity),
+                }
+            }
+        }
+    }
+
+    /// Evaluates `op literal` over all rows, AND-ing the result into `sel`
+    /// (rows whose bit is already clear are skipped implicitly since AND
+    /// only clears bits). NULL rows never match.
+    pub fn eval_predicate(&self, op: CmpOp, literal: &Value, sel: &mut BitSet) -> Result<()> {
+        let n = self.len();
+        let mut matches = BitSet::with_len(n);
+        if literal.is_null() {
+            sel.intersect_with(&matches); // all clear
+            return Ok(());
+        }
+        match self {
+            EncodedColumn::Int { enc, .. } => {
+                let lit = literal.as_int()?;
+                eval_int(enc, op, lit, &mut matches);
+            }
+            EncodedColumn::Float { values, .. } => {
+                let lit = literal.as_float()?;
+                for (i, &v) in values.iter().enumerate() {
+                    if op.matches(v.total_cmp(&lit)) {
+                        matches.set(i);
+                    }
+                }
+            }
+            EncodedColumn::Str { enc, .. } => {
+                let lit = literal.as_str()?;
+                eval_str(enc, op, lit, &mut matches);
+            }
+            EncodedColumn::Bool { values, .. } => {
+                let lit = literal.as_bool()?;
+                for i in 0..n {
+                    if op.matches(values.get(i).cmp(&lit)) {
+                        matches.set(i);
+                    }
+                }
+            }
+        }
+        if let Some(validity) = self.validity() {
+            matches.intersect_with(validity);
+        }
+        sel.intersect_with(&matches);
+        Ok(())
+    }
+}
+
+/// Predicate evaluation over encoded integers, operating on the compressed
+/// form where profitable (codes for dictionary, shifted domain for FOR,
+/// runs for RLE).
+fn eval_int(enc: &IntEncoding, op: CmpOp, lit: i64, out: &mut BitSet) {
+    match enc {
+        IntEncoding::Raw(values) => {
+            for (i, &v) in values.iter().enumerate() {
+                if op.matches(v.cmp(&lit)) {
+                    out.set(i);
+                }
+            }
+        }
+        IntEncoding::For(f) => {
+            // Compare in the shifted (code) domain to avoid per-row adds.
+            let n = f.len();
+            let base = f.base();
+            let max_code = if f.width() == 64 {
+                u64::MAX
+            } else if f.width() == 0 {
+                0
+            } else {
+                (1u64 << f.width()) - 1
+            };
+            // lit relative to base, clamped to the representable window.
+            let rel = (lit as i128) - (base as i128);
+            let (all, none): (bool, bool) = match op {
+                CmpOp::Eq => (false, rel < 0 || rel > max_code as i128),
+                CmpOp::Ne => (rel < 0 || rel > max_code as i128, false),
+                CmpOp::Lt => (rel > max_code as i128, rel <= 0),
+                CmpOp::Le => (rel >= max_code as i128, rel < 0),
+                CmpOp::Gt => (rel < 0, rel >= max_code as i128),
+                CmpOp::Ge => (rel <= 0, rel > max_code as i128),
+            };
+            if none {
+                return;
+            }
+            if all {
+                for i in 0..n {
+                    out.set(i);
+                }
+                return;
+            }
+            let rel = rel as u64;
+            for i in 0..n {
+                if op.matches(f.raw_code(i).cmp(&rel)) {
+                    out.set(i);
+                }
+            }
+        }
+        IntEncoding::Rle(r) => {
+            let mut offset = 0usize;
+            for &(v, run) in r.runs() {
+                if op.matches(v.cmp(&lit)) {
+                    for i in offset..offset + run as usize {
+                        out.set(i);
+                    }
+                }
+                offset += run as usize;
+            }
+        }
+        IntEncoding::Dict(d) => {
+            let n = d.len();
+            // Translate to a code comparison.
+            let (code_op, code) = match translate_code_pred(op, d.code_of(&lit), d.lower_bound_code(&lit)) {
+                TranslatedPred::None => return,
+                TranslatedPred::All => {
+                    for i in 0..n {
+                        out.set(i);
+                    }
+                    return;
+                }
+                TranslatedPred::Cmp(o, c) => (o, c),
+            };
+            let codes = d.codes();
+            for i in 0..n {
+                if code_op.matches(codes.get(i).cmp(&code)) {
+                    out.set(i);
+                }
+            }
+        }
+    }
+}
+
+fn eval_str(enc: &StrEncoding, op: CmpOp, lit: &str, out: &mut BitSet) {
+    match enc {
+        StrEncoding::Raw(values) => {
+            for (i, v) in values.iter().enumerate() {
+                if op.matches(v.as_str().cmp(lit)) {
+                    out.set(i);
+                }
+            }
+        }
+        StrEncoding::Dict(d) => {
+            let n = d.len();
+            let lit_owned = lit.to_string();
+            let (code_op, code) = match translate_code_pred(
+                op,
+                d.code_of(&lit_owned),
+                d.lower_bound_code(&lit_owned),
+            ) {
+                TranslatedPred::None => return,
+                TranslatedPred::All => {
+                    for i in 0..n {
+                        out.set(i);
+                    }
+                    return;
+                }
+                TranslatedPred::Cmp(o, c) => (o, c),
+            };
+            let codes = d.codes();
+            for i in 0..n {
+                if code_op.matches(codes.get(i).cmp(&code)) {
+                    out.set(i);
+                }
+            }
+        }
+    }
+}
+
+enum TranslatedPred {
+    /// No row can match.
+    None,
+    /// Every row matches.
+    All,
+    /// Compare codes against this code with this operator.
+    Cmp(CmpOp, u64),
+}
+
+/// Rewrites `value <op> literal` into code space for an order-preserving
+/// dictionary. `exact` is the literal's code if present; `lb` is the number
+/// of dictionary entries strictly less than the literal.
+fn translate_code_pred(op: CmpOp, exact: Option<u64>, lb: u64) -> TranslatedPred {
+    match (op, exact) {
+        (CmpOp::Eq, Some(c)) => TranslatedPred::Cmp(CmpOp::Eq, c),
+        (CmpOp::Eq, None) => TranslatedPred::None,
+        (CmpOp::Ne, Some(c)) => TranslatedPred::Cmp(CmpOp::Ne, c),
+        (CmpOp::Ne, None) => TranslatedPred::All,
+        // value < literal  ⇔  code < lb (entries below the literal)
+        (CmpOp::Lt, _) => {
+            if lb == 0 {
+                TranslatedPred::None
+            } else {
+                TranslatedPred::Cmp(CmpOp::Lt, lb)
+            }
+        }
+        (CmpOp::Le, Some(c)) => TranslatedPred::Cmp(CmpOp::Le, c),
+        (CmpOp::Le, None) => {
+            if lb == 0 {
+                TranslatedPred::None
+            } else {
+                TranslatedPred::Cmp(CmpOp::Lt, lb)
+            }
+        }
+        // value > literal ⇔ code ≥ first entry greater than the literal
+        (CmpOp::Gt, Some(c)) => TranslatedPred::Cmp(CmpOp::Gt, c),
+        (CmpOp::Gt, None) => TranslatedPred::Cmp(CmpOp::Ge, lb),
+        (CmpOp::Ge, _) => TranslatedPred::Cmp(CmpOp::Ge, lb),
+    }
+}
+
+/// An immutable columnar segment.
+#[derive(Debug)]
+pub struct Segment {
+    id: SegmentId,
+    schema: SchemaRef,
+    row_count: usize,
+    columns: Vec<EncodedColumn>,
+    zone_map: ZoneMap,
+    /// Snapshots older than this timestamp must not see the segment's rows
+    /// (they see them in the delta store instead). `0` for bulk loads.
+    visible_from: Ts,
+    /// MVCC delete stamps: row offset → stamp of the deleting transaction.
+    deletes: RwLock<FxHashMap<u32, Stamp>>,
+}
+
+impl Segment {
+    /// Builds a segment from materialized rows, visible to snapshots at or
+    /// after `visible_from` (use 0 for bulk loads).
+    pub fn build_visible_from(
+        id: SegmentId,
+        schema: SchemaRef,
+        rows: &[Row],
+        visible_from: Ts,
+    ) -> Result<Self> {
+        let mut seg = Self::build(id, schema, rows)?;
+        seg.visible_from = visible_from;
+        Ok(seg)
+    }
+
+    /// Builds a segment from materialized rows (visible to all snapshots).
+    pub fn build(id: SegmentId, schema: SchemaRef, rows: &[Row]) -> Result<Self> {
+        let n = rows.len();
+        let ncols = schema.len();
+        // Transpose into per-column Value vectors for the zone map, and
+        // typed vectors for encoding.
+        let mut value_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(n); ncols];
+        for row in rows {
+            if row.len() != ncols {
+                return Err(DbError::InvalidArgument(
+                    "row arity mismatch while building segment".into(),
+                ));
+            }
+            for (c, v) in row.values().iter().enumerate() {
+                value_cols[c].push(v.clone());
+            }
+        }
+        let zone_map = ZoneMap::build(&value_cols);
+        let mut columns = Vec::with_capacity(ncols);
+        for (c, field) in schema.fields().iter().enumerate() {
+            columns.push(encode_column(field.data_type, &value_cols[c])?);
+        }
+        Ok(Segment {
+            id,
+            schema,
+            row_count: n,
+            columns,
+            zone_map,
+            visible_from: 0,
+            deletes: RwLock::new(FxHashMap::default()),
+        })
+    }
+
+    /// The earliest snapshot timestamp that may see this segment's rows.
+    pub fn visible_from(&self) -> Ts {
+        self.visible_from
+    }
+
+    /// Whether a snapshot at `read_ts` may see this segment at all.
+    #[inline]
+    pub fn visible_to(&self, read_ts: Ts) -> bool {
+        read_ts >= self.visible_from
+    }
+
+    /// The delete stamp of row `offset`, if any (conflict analysis).
+    pub fn delete_stamp(&self, offset: u32) -> Option<Stamp> {
+        self.deletes.read().get(&offset).copied()
+    }
+
+    /// True when any delete stamp is still pending (blocks compaction from
+    /// dropping this segment).
+    pub fn has_pending_deletes(&self) -> bool {
+        self.deletes
+            .read()
+            .values()
+            .any(|s| matches!(s, Stamp::Pending(_)))
+    }
+
+    /// The segment id.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Total rows (including logically deleted ones).
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// The zone map.
+    pub fn zone_map(&self) -> &ZoneMap {
+        &self.zone_map
+    }
+
+    /// The encoded columns.
+    pub fn columns(&self) -> &[EncodedColumn] {
+        &self.columns
+    }
+
+    /// Compressed heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.size_bytes()).sum()
+    }
+
+    /// Number of delete stamps (committed or pending).
+    pub fn delete_count(&self) -> usize {
+        self.deletes.read().len()
+    }
+
+    /// Is row `offset` visibly deleted for snapshot (`read_ts`, `me`)?
+    pub fn is_deleted(&self, offset: u32, read_ts: Ts, me: TxnId) -> bool {
+        match self.deletes.read().get(&offset) {
+            Some(Stamp::Committed(ts)) => *ts <= read_ts,
+            Some(Stamp::Pending(t)) => *t == me,
+            Some(Stamp::Infinity) => false,
+            None => false,
+        }
+    }
+
+    /// Marks row `offset` deleted by `me` (first-committer-wins).
+    pub fn delete_row(&self, offset: u32, me: TxnId, begin_ts: Ts) -> Result<()> {
+        if offset as usize >= self.row_count {
+            return Err(DbError::InvalidArgument(format!(
+                "offset {offset} out of range"
+            )));
+        }
+        let mut deletes = self.deletes.write();
+        match deletes.get(&offset) {
+            Some(Stamp::Pending(t)) if *t == me => Ok(()), // idempotent
+            Some(Stamp::Pending(_)) => {
+                Err(DbError::WriteConflict("row delete in flight".into()))
+            }
+            Some(Stamp::Committed(ts)) if *ts > begin_ts => Err(DbError::WriteConflict(
+                "row deleted after snapshot".into(),
+            )),
+            Some(Stamp::Committed(_)) => {
+                Err(DbError::KeyNotFound("row already deleted".into()))
+            }
+            Some(Stamp::Infinity) | None => {
+                deletes.insert(offset, Stamp::Pending(me));
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-registers a delete stamp at a new offset (compaction carries
+    /// not-yet-globally-dead stamps into the rewritten segment).
+    pub fn restore_delete_stamp(&self, offset: u32, stamp: Stamp) {
+        self.deletes.write().insert(offset, stamp);
+    }
+
+    /// Commit hook: finalizes `me`'s pending delete stamps at `cts`.
+    pub fn commit_deletes(&self, me: TxnId, cts: Ts) {
+        let mut deletes = self.deletes.write();
+        for stamp in deletes.values_mut() {
+            if matches!(stamp, Stamp::Pending(t) if *t == me) {
+                *stamp = Stamp::Committed(cts);
+            }
+        }
+    }
+
+    /// Abort hook: removes `me`'s pending delete stamps.
+    pub fn abort_deletes(&self, me: TxnId) {
+        self.deletes
+            .write()
+            .retain(|_, stamp| !matches!(stamp, Stamp::Pending(t) if *t == me));
+    }
+
+    /// Builds the visible-row selection for a snapshot: all rows, minus
+    /// rows whose predicate bits fail, minus visibly deleted rows.
+    /// Returns `None` when the zone map proves nothing matches.
+    pub fn select(
+        &self,
+        pred: &ScanPredicate,
+        read_ts: Ts,
+        me: TxnId,
+    ) -> Result<Option<BitSet>> {
+        if !self.zone_map.may_match(pred) {
+            return Ok(None);
+        }
+        let mut sel = BitSet::all_set(self.row_count);
+        for ColumnPredicate { column, op, value } in &pred.conjuncts {
+            let col = self
+                .columns
+                .get(*column)
+                .ok_or_else(|| DbError::ColumnNotFound(format!("ordinal {column}")))?;
+            col.eval_predicate(*op, value, &mut sel)?;
+            if sel.none_set() {
+                return Ok(Some(sel));
+            }
+        }
+        // Apply delete stamps.
+        let deletes = self.deletes.read();
+        for (&offset, stamp) in deletes.iter() {
+            let visible_delete = match stamp {
+                Stamp::Committed(ts) => *ts <= read_ts,
+                Stamp::Pending(t) => *t == me,
+                Stamp::Infinity => false,
+            };
+            if visible_delete && (offset as usize) < sel.len() {
+                sel.clear(offset as usize);
+            }
+        }
+        Ok(Some(sel))
+    }
+
+    /// Scans the segment: predicate + visibility + projection, producing
+    /// batches of at most `batch_size` rows.
+    pub fn scan(
+        &self,
+        projection: &[usize],
+        pred: &ScanPredicate,
+        read_ts: Ts,
+        me: TxnId,
+        batch_size: usize,
+    ) -> Result<Vec<oltap_common::Batch>> {
+        let sel = match self.select(pred, read_ts, me)? {
+            Some(sel) => sel,
+            None => return Ok(Vec::new()),
+        };
+        let indexes = sel.to_selection();
+        let mut out = Vec::new();
+        for chunk in indexes.chunks(batch_size.max(1)) {
+            let cols: Vec<ColumnVector> = projection
+                .iter()
+                .map(|&c| self.columns[c].gather(chunk))
+                .collect();
+            out.push(oltap_common::Batch::new(cols)?);
+        }
+        Ok(out)
+    }
+
+    /// Materializes the full row at `offset` (no visibility check — caller
+    /// is responsible).
+    pub fn row_at(&self, offset: u32) -> Row {
+        Row::new(
+            self.columns
+                .iter()
+                .map(|c| c.value_at(offset as usize))
+                .collect(),
+        )
+    }
+}
+
+fn encode_column(data_type: DataType, values: &[Value]) -> Result<EncodedColumn> {
+    let n = values.len();
+    let mut validity: Option<BitSet> = None;
+    let mark_null = |validity: &mut Option<BitSet>, i: usize| {
+        validity
+            .get_or_insert_with(|| BitSet::all_set(n))
+            .clear(i);
+    };
+    Ok(match data_type {
+        DataType::Int64 | DataType::Timestamp => {
+            let mut ints = Vec::with_capacity(n);
+            for (i, v) in values.iter().enumerate() {
+                if v.is_null() {
+                    mark_null(&mut validity, i);
+                    ints.push(0);
+                } else {
+                    ints.push(v.as_int()?);
+                }
+            }
+            EncodedColumn::Int {
+                enc: IntEncoding::choose(&ints),
+                validity,
+            }
+        }
+        DataType::Float64 => {
+            let mut floats = Vec::with_capacity(n);
+            for (i, v) in values.iter().enumerate() {
+                if v.is_null() {
+                    mark_null(&mut validity, i);
+                    floats.push(0.0);
+                } else {
+                    floats.push(v.as_float()?);
+                }
+            }
+            EncodedColumn::Float {
+                values: floats,
+                validity,
+            }
+        }
+        DataType::Utf8 => {
+            let mut strs = Vec::with_capacity(n);
+            for (i, v) in values.iter().enumerate() {
+                if v.is_null() {
+                    mark_null(&mut validity, i);
+                    strs.push(String::new());
+                } else {
+                    strs.push(v.as_str()?.to_string());
+                }
+            }
+            EncodedColumn::Str {
+                enc: StrEncoding::choose(&strs),
+                validity,
+            }
+        }
+        DataType::Bool => {
+            let mut bits = BitSet::with_len(n);
+            for (i, v) in values.iter().enumerate() {
+                if v.is_null() {
+                    mark_null(&mut validity, i);
+                } else if v.as_bool()? {
+                    bits.set(i);
+                }
+            }
+            EncodedColumn::Bool {
+                values: bits,
+                validity,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oltap_common::row;
+    use oltap_common::{Field, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::new("city", DataType::Utf8),
+            Field::new("temp", DataType::Float64),
+        ]))
+    }
+
+    fn sample_segment() -> Segment {
+        let rows: Vec<Row> = (0..1000)
+            .map(|i| {
+                row![
+                    i as i64,
+                    ["berlin", "munich", "cologne", "hamburg"][i % 4],
+                    (i as f64) / 10.0
+                ]
+            })
+            .collect();
+        Segment::build(SegmentId(1), schema(), &rows).unwrap()
+    }
+
+    const NOBODY: TxnId = TxnId(u64::MAX);
+
+    #[test]
+    fn build_and_read_back() {
+        let s = sample_segment();
+        assert_eq!(s.row_count(), 1000);
+        assert_eq!(s.row_at(0), row![0i64, "berlin", 0.0f64]);
+        assert_eq!(s.row_at(999), row![999i64, "hamburg", 99.9f64]);
+    }
+
+    #[test]
+    fn compression_kicks_in() {
+        let s = sample_segment();
+        // 1000 rows * (8 + ~7 + 8) raw ≈ 23KB; encoded should be far less
+        // for id (FOR 10-bit) and city (dict 2-bit).
+        assert!(s.size_bytes() < 12_000, "size {}", s.size_bytes());
+        assert_eq!(s.columns()[1].encoding_name(), "dict");
+    }
+
+    #[test]
+    fn scan_with_int_predicate() {
+        let s = sample_segment();
+        let pred = ScanPredicate::all()
+            .and(0, CmpOp::Ge, Value::Int(100))
+            .and(0, CmpOp::Lt, Value::Int(110));
+        let batches = s.scan(&[0, 1], &pred, 100, NOBODY, 4096).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(batches[0].row(0)[0], Value::Int(100));
+    }
+
+    #[test]
+    fn scan_with_string_predicate() {
+        let s = sample_segment();
+        let pred = ScanPredicate::single(1, CmpOp::Eq, Value::Str("munich".into()));
+        let batches = s.scan(&[0], &pred, 100, NOBODY, 4096).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 250);
+        // First munich row is id 1.
+        assert_eq!(batches[0].row(0)[0], Value::Int(1));
+    }
+
+    #[test]
+    fn string_range_predicate_on_dict() {
+        let s = sample_segment();
+        // city < "c" matches only berlin (250 rows).
+        let pred = ScanPredicate::single(1, CmpOp::Lt, Value::Str("c".into()));
+        let total: usize = s
+            .scan(&[1], &pred, 100, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(total, 250);
+        // city >= "munich": only munich (literal present).
+        let pred = ScanPredicate::single(1, CmpOp::Ge, Value::Str("munich".into()));
+        let total: usize = s
+            .scan(&[1], &pred, 100, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(total, 250);
+        // city > "dresden" (absent literal): hamburg + munich.
+        let pred = ScanPredicate::single(1, CmpOp::Gt, Value::Str("dresden".into()));
+        let total: usize = s
+            .scan(&[1], &pred, 100, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn zone_map_skips_impossible_scans() {
+        let s = sample_segment();
+        let pred = ScanPredicate::single(0, CmpOp::Gt, Value::Int(10_000));
+        assert!(s.select(&pred, 100, NOBODY).unwrap().is_none());
+    }
+
+    #[test]
+    fn float_predicate() {
+        let s = sample_segment();
+        let pred = ScanPredicate::single(2, CmpOp::Ge, Value::Float(99.0));
+        let total: usize = s
+            .scan(&[2], &pred, 100, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(total, 10); // 99.0 .. 99.9
+    }
+
+    #[test]
+    fn mvcc_deletes_respect_snapshots() {
+        let s = sample_segment();
+        let t1 = TxnId(1);
+        s.delete_row(5, t1, 100).unwrap();
+        // Pending: invisible deletion for others, visible for deleter.
+        assert!(!s.is_deleted(5, 100, NOBODY));
+        assert!(s.is_deleted(5, 100, t1));
+        s.commit_deletes(t1, 150);
+        // Old snapshot still sees the row; new snapshot does not.
+        assert!(!s.is_deleted(5, 149, NOBODY));
+        assert!(s.is_deleted(5, 150, NOBODY));
+
+        let pred = ScanPredicate::all();
+        let old: usize = s
+            .scan(&[0], &pred, 149, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        let new: usize = s
+            .scan(&[0], &pred, 150, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(old, 1000);
+        assert_eq!(new, 999);
+    }
+
+    #[test]
+    fn delete_conflicts() {
+        let s = sample_segment();
+        let (t1, t2) = (TxnId(1), TxnId(2));
+        s.delete_row(7, t1, 100).unwrap();
+        assert!(matches!(
+            s.delete_row(7, t2, 100),
+            Err(DbError::WriteConflict(_))
+        ));
+        s.commit_deletes(t1, 120);
+        // FCW: t2's snapshot (100) predates the delete commit.
+        assert!(matches!(
+            s.delete_row(7, t2, 100),
+            Err(DbError::WriteConflict(_))
+        ));
+        // A fresh snapshot sees it already deleted.
+        assert!(matches!(
+            s.delete_row(7, t2, 120),
+            Err(DbError::KeyNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn abort_restores_row() {
+        let s = sample_segment();
+        let t1 = TxnId(1);
+        s.delete_row(3, t1, 100).unwrap();
+        s.abort_deletes(t1);
+        assert!(!s.is_deleted(3, 200, NOBODY));
+        assert_eq!(s.delete_count(), 0);
+    }
+
+    #[test]
+    fn nulls_in_segment() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let rows: Vec<Row> = (0..10)
+            .map(|i| {
+                Row::new(vec![if i % 2 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i)
+                }])
+            })
+            .collect();
+        let s = Segment::build(SegmentId(2), schema, &rows).unwrap();
+        assert_eq!(s.row_at(0), Row::new(vec![Value::Null]));
+        assert_eq!(s.row_at(1), row![1i64]);
+        // NULL rows never match predicates.
+        let pred = ScanPredicate::single(0, CmpOp::Ge, Value::Int(0));
+        let total: usize = s
+            .scan(&[0], &pred, 10, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn ne_predicate_on_dict() {
+        let s = sample_segment();
+        let pred = ScanPredicate::single(1, CmpOp::Ne, Value::Str("berlin".into()));
+        let total: usize = s
+            .scan(&[1], &pred, 100, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(total, 750);
+        // Ne with absent literal matches everything.
+        let pred = ScanPredicate::single(1, CmpOp::Ne, Value::Str("zzz".into()));
+        let total: usize = s
+            .scan(&[1], &pred, 100, NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn empty_segment() {
+        let s = Segment::build(SegmentId(3), schema(), &[]).unwrap();
+        assert_eq!(s.row_count(), 0);
+        let batches = s
+            .scan(&[0], &ScanPredicate::all(), 10, NOBODY, 4096)
+            .unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # oltap-txn
+//!
+//! Multi-version concurrency control (MVCC) with snapshot isolation, the
+//! transaction manager, and the write-ahead log.
+//!
+//! The tutorial's central observation is that operational analytics systems
+//! must let long analytic scans and short transactional updates coexist
+//! *without blocking each other*. Every system it surveys — HANA, DB2 BLU,
+//! Oracle DBIM, MemSQL, HyPer — achieves this with some form of
+//! multiversioning: readers pin a snapshot, writers create new versions.
+//! (HyPer used OS virtual-memory snapshots; the industry systems and this
+//! engine use timestamp-based version chains, which generalize to
+//! fine-grained updates.)
+//!
+//! Architecture (Hekaton-style timestamp MVCC):
+//!
+//! * A global logical [`clock::Clock`] issues begin and commit timestamps.
+//! * Every record version carries a `begin` and `end` [`version::Stamp`];
+//!   a stamp is either a committed timestamp or a *pending* marker naming
+//!   the transaction that created/ended it.
+//! * A reader with snapshot `read_ts` sees exactly the versions with
+//!   `begin ≤ read_ts < end` (plus its own uncommitted writes).
+//! * Writers claim the `end` stamp of the latest committed version;
+//!   first-committer-wins conflicts surface as
+//!   [`oltap_common::DbError::WriteConflict`].
+//! * Commit stamps every version in the write set with the commit
+//!   timestamp; abort rolls the stamps back. Both are coordinated through
+//!   the [`manager::TransactionManager`].
+//! * All DML is logged to the [`wal::Wal`] before commit; [`wal::replay`]
+//!   reconstructs state after a crash.
+
+pub mod clock;
+pub mod manager;
+pub mod version;
+pub mod wal;
+
+pub use clock::{Clock, Ts};
+pub use manager::{Transaction, TransactionManager, TxnStatus, WriteSetEntry};
+pub use version::{Stamp, Version, VersionChain};

@@ -1,0 +1,108 @@
+//! Mixed OLTP + OLAP on one engine: a miniature CH-benCHmark session.
+//!
+//! TPC-C-style terminals hammer transactions while CH-style analytic
+//! queries run concurrently on the same tables — the defining workload of
+//! the paper. Demonstrates snapshot-isolated analytics over live data and
+//! the OLAP admission throttle.
+//!
+//! ```bash
+//! cargo run --release --example mixed_workload
+//! ```
+
+use oltap_bench::ch::{ch_queries, load_ch, ChTerminal, LoadSpec, TxnMix};
+use oltap_bench::harness::TextTable;
+use oltapdb::core::{Database, TableFormat};
+use oltapdb::sched::{WorkerPool, WorkloadClass};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new();
+    let rows = load_ch(
+        &db,
+        LoadSpec {
+            warehouses: 1,
+            format: TableFormat::Column,
+            seed: 1,
+        },
+    )?;
+    println!("CH-benCHmark loaded: {rows} rows across {} tables", db.table_names().len());
+    db.maintenance();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+
+    // Two OLTP terminals.
+    let mut terminals = Vec::new();
+    for t in 0..2u64 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        terminals.push(std::thread::spawn(move || {
+            let mut term = ChTerminal::new(db, 1, 10 + t);
+            let mix = TxnMix::default();
+            while !stop.load(Ordering::Relaxed) {
+                term.run_one(&mix).expect("txn");
+            }
+            committed.fetch_add(term.stats.committed, Ordering::Relaxed);
+            term.stats
+        }));
+    }
+
+    // One OLAP stream through the workload-managed pool (admission limit 1
+    // keeps analytics from monopolizing the box).
+    let pool = Arc::new(WorkerPool::new(2, 1));
+    let olap_done = Arc::new(AtomicU64::new(0));
+    let olap = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let pool = Arc::clone(&pool);
+        let done = Arc::clone(&olap_done);
+        std::thread::spawn(move || {
+            let queries = ch_queries();
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let sql = queries[i % queries.len()].sql;
+                let db2 = Arc::clone(&db);
+                let done2 = Arc::clone(&done);
+                pool.run(WorkloadClass::Olap, move || {
+                    if db2.query(sql).is_ok() {
+                        done2.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                i += 1;
+            }
+        })
+    };
+
+    std::thread::sleep(Duration::from_secs(3));
+    stop.store(true, Ordering::SeqCst);
+    let mut oltp_stats = Vec::new();
+    for t in terminals {
+        oltp_stats.push(t.join().expect("terminal"));
+    }
+    olap.join().expect("olap stream");
+
+    let mut table = TextTable::new(&["metric", "value"]);
+    let total_committed: u64 = oltp_stats.iter().map(|s| s.committed).sum();
+    let total_aborted: u64 = oltp_stats.iter().map(|s| s.aborted).sum();
+    let new_orders: u64 = oltp_stats.iter().map(|s| s.new_orders).sum();
+    table.row(&["OLTP committed".into(), total_committed.to_string()]);
+    table.row(&["OLTP conflicts/aborts".into(), total_aborted.to_string()]);
+    table.row(&["NewOrder txns (tpmC basis)".into(), new_orders.to_string()]);
+    table.row(&[
+        "mean OLTP latency".into(),
+        format!("{:.0} us", oltp_stats.iter().map(|s| s.mean_latency_us()).sum::<f64>() / 2.0),
+    ]);
+    table.row(&["OLAP queries answered".into(), olap_done.load(Ordering::Relaxed).to_string()]);
+    table.print("3-second mixed workload");
+
+    // Verify transactional consistency survived the storm: every order's
+    // line count matches its order_line rows.
+    let orders: i64 = db.query("SELECT SUM(o_ol_cnt) FROM orders")?[0][0].as_int()?;
+    let lines: i64 = db.query("SELECT COUNT(*) FROM order_line")?[0][0].as_int()?;
+    println!("consistency: SUM(o_ol_cnt)={orders} == COUNT(order_line)={lines}");
+    assert_eq!(orders, lines);
+    Ok(())
+}

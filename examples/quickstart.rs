@@ -1,0 +1,91 @@
+//! Quickstart: the SQL surface of `oltapdb` in two minutes.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use oltapdb::core::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ephemeral in-memory database. Database::open("my.wal") would give
+    // a durable one that recovers on restart.
+    let db = Database::new();
+
+    // DDL: pick a physical format per table. COLUMN (delta + compressed
+    // columnar main) is the operational-analytics default; ROW is pure
+    // OLTP; DUAL keeps both formats live (Oracle-style).
+    db.execute(
+        "CREATE TABLE orders (
+            id BIGINT PRIMARY KEY,
+            region TEXT,
+            product TEXT,
+            amount DOUBLE,
+            placed_at TIMESTAMP
+        ) USING FORMAT COLUMN",
+    )?;
+
+    // DML with auto-commit.
+    db.execute(
+        "INSERT INTO orders VALUES
+            (1, 'eu', 'widget', 19.99, 1000),
+            (2, 'us', 'gadget', 120.50, 1010),
+            (3, 'eu', 'widget', 19.99, 1020),
+            (4, 'apac', 'gizmo', 5.25, 1030),
+            (5, 'eu', 'gadget', 120.50, 1040)",
+    )?;
+
+    // Analytics: aggregation, grouping, ordering.
+    println!("revenue by region:");
+    for row in db.query(
+        "SELECT region, COUNT(*) AS n, SUM(amount) AS revenue
+         FROM orders GROUP BY region ORDER BY revenue DESC",
+    )? {
+        println!("  {row}");
+    }
+
+    // Explicit transactions with snapshot isolation.
+    let mut writer = db.session();
+    writer.execute("BEGIN")?;
+    writer.execute("UPDATE orders SET amount = 25.00 WHERE product = 'widget'")?;
+    // Another session still sees the old prices (snapshot isolation).
+    let before = db.query("SELECT SUM(amount) FROM orders")?;
+    println!("sum before writer commits: {}", before[0][0]);
+    writer.execute("COMMIT")?;
+    let after = db.query("SELECT SUM(amount) FROM orders")?;
+    println!("sum after writer commits:  {}", after[0][0]);
+
+    // Point reads go through the primary key.
+    let row = db.query("SELECT product, amount FROM orders WHERE id = 2")?;
+    println!("order 2: {}", row[0]);
+
+    // Maintenance merges the write-optimized delta into the compressed
+    // columnar main (normally done by the background daemon).
+    for (table, note) in db.maintenance().notes {
+        println!("maintenance[{table}]: {note}");
+    }
+
+    // EXPLAIN shows the optimized plan: predicate pushdown into the
+    // storage scan, projection pruning, and the TopK rewrite.
+    println!("\nEXPLAIN SELECT region FROM orders WHERE amount > 50 ORDER BY amount DESC LIMIT 2:");
+    for row in db.query(
+        "EXPLAIN SELECT region FROM orders WHERE amount > 50
+         ORDER BY amount DESC LIMIT 2",
+    )? {
+        println!("  {}", row[0].as_str()?);
+    }
+
+    // Joins.
+    db.execute(
+        "CREATE TABLE regions (code TEXT NOT NULL, name TEXT, PRIMARY KEY (code))",
+    )?;
+    db.execute("INSERT INTO regions VALUES ('eu', 'Europe'), ('us', 'United States')")?;
+    println!("orders with region names:");
+    for row in db.query(
+        "SELECT o.id, r.name, o.amount
+         FROM orders o JOIN regions r ON o.region = r.code
+         ORDER BY o.id LIMIT 3",
+    )? {
+        println!("  {row}");
+    }
+    Ok(())
+}

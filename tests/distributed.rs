@@ -1,0 +1,139 @@
+//! Integration tests for the distributed layer: cluster vs. single-node
+//! oracle, fault tolerance, convergence.
+
+use oltapdb::common::{row, DataType, Field, Schema, Value};
+use oltapdb::core::Database;
+use oltapdb::dist::{ClusterConfig, DistributedTable, RaftConfig};
+use oltapdb::storage::{CmpOp, ScanPredicate};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::with_primary_key(
+            vec![
+                Field::not_null("id", DataType::Int64),
+                Field::new("g", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn cluster_matches_single_node_database() {
+    let cluster = DistributedTable::new(schema(), ClusterConfig::small()).unwrap();
+    let local = Database::new();
+    local
+        .execute("CREATE TABLE t (id BIGINT PRIMARY KEY, g BIGINT, v BIGINT)")
+        .unwrap();
+
+    for i in 0..150i64 {
+        let (g, v) = (i % 5, (i * 13) % 97);
+        cluster.insert(row![i, g, v]).unwrap();
+        local
+            .execute(&format!("INSERT INTO t VALUES ({i}, {g}, {v})"))
+            .unwrap();
+    }
+
+    for threshold in [0i64, 30, 96] {
+        let pred = ScanPredicate::single(2, CmpOp::Gt, Value::Int(threshold));
+        let (dc, ds) = cluster.scan_aggregate(&pred, 2).unwrap();
+        let rows = local
+            .query(&format!(
+                "SELECT COUNT(*), SUM(v) FROM t WHERE v > {threshold}"
+            ))
+            .unwrap();
+        assert_eq!(Value::Int(dc as i64), rows[0][0], "count @ {threshold}");
+        let local_sum = match &rows[0][1] {
+            Value::Null => 0,
+            v => v.as_int().unwrap(),
+        };
+        assert_eq!(ds, local_sum, "sum @ {threshold}");
+    }
+
+    // Row-level equality through collect_all.
+    let cluster_rows = cluster.collect_all().unwrap();
+    let mut local_rows = local.query("SELECT * FROM t ORDER BY id").unwrap();
+    local_rows.sort();
+    assert_eq!(cluster_rows, local_rows);
+}
+
+#[test]
+fn duplicate_keys_rejected_cluster_wide() {
+    let cluster = DistributedTable::new(schema(), ClusterConfig::small()).unwrap();
+    cluster.insert(row![1i64, 0i64, 0i64]).unwrap();
+    // The replicated apply path swallows the duplicate (log is authority),
+    // so verify via row count: a second insert of the same key must not
+    // create a second visible row.
+    let _ = cluster.insert(row![1i64, 0i64, 99i64]);
+    cluster.wait_converged(Duration::from_secs(10));
+    let rows = cluster.collect_all().unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][2], Value::Int(0), "first writer wins");
+}
+
+#[test]
+fn rolling_single_node_failures() {
+    let cfg = ClusterConfig {
+        nodes: 3,
+        replication: 3,
+        partitions: 3,
+        raft: RaftConfig::default(),
+    };
+    let cluster = DistributedTable::new(schema(), cfg).unwrap();
+    let mut next = 0i64;
+    for round in 0..3usize {
+        // Crash one node per round, keep writing, restart it.
+        cluster.crash_node(round);
+        for _ in 0..30 {
+            cluster.insert(row![next, 0i64, 1i64]).unwrap();
+            next += 1;
+        }
+        cluster.restart_node(round);
+        assert!(
+            cluster.wait_converged(Duration::from_secs(20)),
+            "round {round}: replicas failed to converge"
+        );
+    }
+    let (count, sum) = cluster.scan_aggregate(&ScanPredicate::all(), 2).unwrap();
+    assert_eq!(count, 90);
+    assert_eq!(sum, 90);
+}
+
+#[test]
+fn all_replicas_identical_after_convergence() {
+    let cluster = DistributedTable::new(schema(), ClusterConfig::small()).unwrap();
+    for i in 0..60i64 {
+        cluster.insert(row![i, i % 3, i]).unwrap();
+    }
+    assert!(cluster.wait_converged(Duration::from_secs(10)));
+    for g in cluster.groups() {
+        let views: Vec<Vec<oltapdb::common::Row>> = g
+            .replicas
+            .iter()
+            .map(|r| {
+                let mut rows: Vec<_> = r
+                    .table
+                    .scan(
+                        &[0, 1, 2],
+                        &ScanPredicate::all(),
+                        r.mgr.now(),
+                        oltapdb::common::ids::TxnId(u64::MAX - 31),
+                        4096,
+                    )
+                    .unwrap()
+                    .iter()
+                    .flat_map(|b| b.to_rows())
+                    .collect();
+                rows.sort();
+                rows
+            })
+            .collect();
+        for w in views.windows(2) {
+            assert_eq!(w[0], w[1], "replica divergence in partition {}", g.id);
+        }
+    }
+}
