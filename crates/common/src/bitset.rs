@@ -6,10 +6,9 @@
 //! word at a time, which the compiler autovectorizes — this matters because
 //! delete-vector application sits on the scan hot path.
 
-use serde::{Deserialize, Serialize};
 
 /// A growable, packed bitmap.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
     len: usize,

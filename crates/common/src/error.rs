@@ -49,6 +49,12 @@ pub enum DbError {
     InvalidArgument(String),
     /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
     Io(String),
+    /// The operation was cancelled (query deadline expired, session closed,
+    /// or the admission controller shed the request).
+    Cancelled(String),
+    /// An injected fault fired (chaos testing only; never in production
+    /// paths unless a [`crate::fault::FaultInjector`] is installed).
+    FaultInjected(String),
 }
 
 impl fmt::Display for DbError {
@@ -72,6 +78,8 @@ impl fmt::Display for DbError {
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            DbError::FaultInjected(m) => write!(f, "fault injected: {m}"),
         }
     }
 }

@@ -4,14 +4,13 @@
 //! entire class of "passed the segment id where the table id was expected"
 //! bugs at zero runtime cost.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u64);
 
@@ -77,7 +76,7 @@ define_id!(
 /// A stable physical locator for a row: which segment (or delta) it lives
 /// in and its ordinal position there. `segment == None` means the row is in
 /// the writable delta store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RowId {
     /// The containing segment, or `None` for the delta store.
     pub segment: Option<SegmentId>,

@@ -20,10 +20,19 @@
 //! * [`ids`] — newtype identifiers (tables, columns, segments, transactions,
 //!   cluster nodes, partitions).
 //! * [`error::DbError`] — the error type shared across crates.
+//! * [`fault::FaultInjector`] — seeded, deterministic fault injection for
+//!   chaos testing (named points, per-point RNG streams, decision log).
+//! * [`cancel::CancellationToken`] — cooperative cancellation + deadlines,
+//!   checked at batch boundaries by the executor.
+//! * [`retry::Backoff`] — exponential backoff with deterministic jitter
+//!   for distributed retry loops.
 
 pub mod bitset;
+pub mod cancel;
 pub mod error;
+pub mod fault;
 pub mod hash;
+pub mod retry;
 pub mod ids;
 pub mod row;
 pub mod schema;
@@ -31,7 +40,9 @@ pub mod types;
 pub mod vector;
 
 pub use bitset::BitSet;
+pub use cancel::CancellationToken;
 pub use error::{DbError, Result};
+pub use fault::{FaultInjector, FaultPoint};
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use types::{DataType, Value};

@@ -1,0 +1,138 @@
+//! Exponential backoff with deterministic jitter.
+//!
+//! Retry loops in the distributed layer (leader discovery, replicated
+//! writes, scatter-gather reads) previously spun on fixed short sleeps —
+//! fine at three in-process nodes, a thundering herd at cluster scale.
+//! [`Backoff`] centralizes the policy: exponential growth, a cap, and
+//! jitter drawn from a SplitMix64 stream seeded by the caller so chaos
+//! runs stay replayable (wall-clock sleeps still vary, but the *schedule*
+//! of attempted delays does not).
+
+use std::time::{Duration, Instant};
+
+/// Iterator-style exponential backoff: `delay = min(base * 2^attempt, cap)`
+/// plus up to 50% deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng_state: u64,
+}
+
+impl Backoff {
+    /// A policy starting at `base` and capping at `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng_state: 0x5EED_BACC_0FF5_EED5,
+        }
+    }
+
+    /// The default policy for intra-process cluster retries: 1ms → 64ms.
+    pub fn for_cluster() -> Self {
+        Self::new(Duration::from_millis(1), Duration::from_millis(64))
+    }
+
+    /// Reseeds the jitter stream (chaos tests pass the scenario seed).
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.rng_state = seed | 1;
+        self
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Resets the exponential schedule (e.g. after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next delay in the schedule (does not sleep).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << self.attempt.min(16));
+        let capped = exp.min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        // Up to +50% jitter, deterministic given the seed and attempt.
+        let jitter_ns = (capped.as_nanos() as u64 / 2).max(1);
+        let jitter = Duration::from_nanos(self.next_u64() % jitter_ns);
+        capped + jitter
+    }
+
+    /// Sleeps for the next delay in the schedule.
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+
+    /// Sleeps for the next delay, but never past `deadline`; returns false
+    /// if the deadline has already passed (caller should give up).
+    pub fn sleep_until_deadline(&mut self, deadline: Instant) -> bool {
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        let d = self.next_delay().min(deadline - now);
+        std::thread::sleep(d);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(8)).seeded(1);
+        let d: Vec<Duration> = (0..6).map(|_| b.next_delay()).collect();
+        // Base component grows 1,2,4,8 then caps at 8 (jitter adds <50%).
+        assert!(d[1] >= Duration::from_millis(2));
+        assert!(d[3] >= Duration::from_millis(8));
+        for x in &d {
+            assert!(*x <= Duration::from_millis(12), "jitter exceeded 50%: {x:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let sched = |seed| {
+            let mut b = Backoff::for_cluster().seeded(seed);
+            (0..10).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(sched(5), sched(5));
+        assert_ne!(sched(5), sched(6));
+    }
+
+    #[test]
+    fn reset_restarts_schedule() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_secs(1));
+        let first = b.next_delay();
+        b.next_delay();
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        // After reset the base component is back to 1ms (delays are small).
+        let again = b.next_delay();
+        assert!(again < first + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn deadline_stops_sleeping() {
+        let mut b = Backoff::for_cluster();
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(!b.sleep_until_deadline(past));
+        let soon = Instant::now() + Duration::from_millis(5);
+        assert!(b.sleep_until_deadline(soon));
+    }
+}

@@ -1,7 +1,6 @@
 //! [`Row`]: an N-tuple of [`Value`]s — the unit of DML and of the row store.
 
 use crate::types::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A materialized tuple.
@@ -9,7 +8,7 @@ use std::fmt;
 /// Rows are the currency of the OLTP side of the engine: inserts, point
 /// reads, and the writable delta store all traffic in `Row`s, while the
 /// analytic side converts them into [`crate::vector::Batch`]es.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Row {
     values: Vec<Value>,
 }

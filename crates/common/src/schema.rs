@@ -3,11 +3,10 @@
 use crate::error::{DbError, Result};
 use crate::row::Row;
 use crate::types::DataType;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A single column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Column name (unique within a schema, case-sensitive).
     pub name: String,
@@ -42,7 +41,7 @@ impl Field {
 /// Schemas are immutable once built and shared via `Arc` (see
 /// [`SchemaRef`]); every storage segment, batch, and plan node points at the
 /// same allocation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
     /// Ordinal indexes of the primary-key columns, in key order.

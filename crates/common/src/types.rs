@@ -1,7 +1,6 @@
 //! The logical type system: [`DataType`] and dynamically typed [`Value`]s.
 
 use crate::error::{DbError, Result};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 /// motivating applications need: integers and floats for metrics, strings
 /// for dimensions, booleans for flags, and timestamps (microseconds since
 /// epoch) for event time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int64,
@@ -57,7 +56,7 @@ impl fmt::Display for DataType {
 /// different types order by a fixed type rank (`Null < Bool < Int64 <
 /// Timestamp < Float64 < Utf8`); `Float64` uses IEEE `total_cmp`, so `NaN`
 /// participates in the order deterministically.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL (untyped).
     Null,

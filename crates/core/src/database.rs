@@ -2,6 +2,7 @@
 
 use crate::catalog::{Catalog, TableFormat, TableHandle};
 use crate::session::{QueryResult, Session};
+use oltap_common::fault::{points, FaultInjector};
 use oltap_common::schema::SchemaRef;
 use oltap_common::{DataType, DbError, Field, Result, Schema};
 use oltap_sql::ast::Statement;
@@ -10,7 +11,7 @@ use oltap_txn::wal::{CommitRecord, Wal, WalOp};
 use oltap_txn::{Transaction, TransactionManager, Ts};
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -19,6 +20,8 @@ use std::time::Duration;
 pub struct DbConfig {
     /// WAL file path; `None` keeps the log in memory (ephemeral database).
     pub wal_path: Option<PathBuf>,
+    /// Fault injector for chaos testing; `None` means no faults.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 /// The engine.
@@ -26,6 +29,7 @@ pub struct Database {
     catalog: RwLock<Catalog>,
     txn_mgr: Arc<TransactionManager>,
     wal: Wal,
+    faults: Arc<FaultInjector>,
 }
 
 impl std::fmt::Debug for Database {
@@ -44,28 +48,37 @@ impl Database {
             catalog: RwLock::new(Catalog::new()),
             txn_mgr: Arc::new(TransactionManager::new()),
             wal: Wal::new_in_memory(),
+            faults: FaultInjector::disabled(),
         })
     }
 
     /// Opens (and recovers) a database according to `config`.
     pub fn with_config(config: DbConfig) -> Result<Arc<Database>> {
+        let faults = config.faults.unwrap_or_else(FaultInjector::disabled);
         let wal = match &config.wal_path {
-            Some(p) => Wal::open(p)?,
-            None => Wal::new_in_memory(),
+            Some(p) => Wal::open_with_faults(p, Arc::clone(&faults))?,
+            None => Wal::with_faults(Arc::clone(&faults)),
         };
         let db = Arc::new(Database {
             catalog: RwLock::new(Catalog::new()),
             txn_mgr: Arc::new(TransactionManager::new()),
             wal,
+            faults,
         });
         db.recover()?;
         Ok(db)
+    }
+
+    /// The fault injector (disabled unless configured via [`DbConfig`]).
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
     }
 
     /// Opens a file-backed database at `path` (recovering prior state).
     pub fn open(path: impl Into<PathBuf>) -> Result<Arc<Database>> {
         Self::with_config(DbConfig {
             wal_path: Some(path.into()),
+            ..DbConfig::default()
         })
     }
 
@@ -236,6 +249,11 @@ impl Database {
     /// Runs one maintenance pass over every table at the current GC
     /// watermark: delta merges, dual-format population, version GC.
     pub fn maintenance(&self) -> MaintenanceStats {
+        // Chaos point: a merge pass that dies mid-flight. The background
+        // daemon must survive this (see `start_maintenance`).
+        if self.faults.should_fire(points::MERGE_ABORT) {
+            panic!("fault injected: merge.abort");
+        }
         let watermark = self.txn_mgr.gc_watermark();
         let catalog = self.catalog.read();
         let mut notes = Vec::new();
@@ -249,10 +267,19 @@ impl Database {
     }
 
     /// Spawns a background maintenance thread ticking every `interval`.
+    ///
+    /// The daemon is panic-safe: a merge pass that panics (a bug, or the
+    /// `merge.abort` chaos point) is caught and counted, and the daemon
+    /// keeps ticking — one bad pass must not silently stop compaction
+    /// for the lifetime of the process.
     pub fn start_maintenance(self: &Arc<Self>, interval: Duration) -> MaintenanceDaemon {
         let db = Arc::clone(self);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let panics = Arc::new(AtomicU64::new(0));
+        let panics2 = Arc::clone(&panics);
+        let ticks = Arc::new(AtomicU64::new(0));
+        let ticks2 = Arc::clone(&ticks);
         let handle = std::thread::Builder::new()
             .name("oltap-maintenance".into())
             .spawn(move || {
@@ -261,12 +288,21 @@ impl Database {
                     if stop2.load(Ordering::SeqCst) {
                         break;
                     }
-                    let _ = db.maintenance();
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        db.maintenance()
+                    }));
+                    if res.is_err() {
+                        panics2.fetch_add(1, Ordering::SeqCst);
+                        eprintln!("maintenance pass panicked; daemon continues");
+                    }
+                    ticks2.fetch_add(1, Ordering::SeqCst);
                 }
             })
             .expect("spawn maintenance daemon");
         MaintenanceDaemon {
             stop,
+            panics,
+            ticks,
             handle: Some(handle),
         }
     }
@@ -284,7 +320,21 @@ pub struct MaintenanceStats {
 /// Handle to the background maintenance thread (stops on drop).
 pub struct MaintenanceDaemon {
     stop: Arc<AtomicBool>,
+    panics: Arc<AtomicU64>,
+    ticks: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MaintenanceDaemon {
+    /// Number of maintenance passes that panicked (and were survived).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::SeqCst)
+    }
+
+    /// Number of completed ticks (including panicked ones).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
 }
 
 impl Drop for MaintenanceDaemon {
@@ -375,6 +425,69 @@ mod tests {
         assert_eq!(r.affected(), 1);
         let rows = db.query("SELECT COUNT(*) FROM orders").unwrap();
         assert_eq!(rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn query_timeout_cancels_select() {
+        let db = Database::new();
+        db.execute("CREATE TABLE big (id BIGINT PRIMARY KEY, v BIGINT)")
+            .unwrap();
+        for chunk in 0..4 {
+            let vals: Vec<String> = (0..250)
+                .map(|i| format!("({}, {})", chunk * 250 + i, i))
+                .collect();
+            db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", ")))
+                .unwrap();
+        }
+        let mut s = db.session();
+        // An already-expired deadline: the query must terminate at the
+        // first batch boundary with a cancellation error — no hang, no
+        // panic, no partial result.
+        s.set_query_timeout(Some(Duration::ZERO));
+        let err = s.execute("SELECT SUM(v) FROM big").unwrap_err();
+        assert!(matches!(err, DbError::Cancelled(_)), "{err}");
+        // Clearing the timeout restores normal execution on the same
+        // session.
+        s.set_query_timeout(None);
+        let r = s.execute("SELECT COUNT(*) FROM big").unwrap();
+        assert_eq!(r.rows()[0][0], Value::Int(1000));
+    }
+
+    #[test]
+    fn maintenance_daemon_survives_injected_panic() {
+        let faults = FaultInjector::new(3);
+        faults.arm(
+            oltap_common::fault::points::MERGE_ABORT,
+            oltap_common::FaultPoint::times(2),
+        );
+        let db = Database::with_config(DbConfig {
+            wal_path: None,
+            faults: Some(faults),
+        })
+        .unwrap();
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+            .unwrap();
+        let daemon = db.start_maintenance(Duration::from_millis(2));
+        // Wait until the daemon has both panicked (twice) and completed
+        // at least one clean pass afterwards.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while (daemon.panics() < 2 || daemon.ticks() <= daemon.panics())
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(daemon.panics(), 2, "both injected aborts observed");
+        assert!(
+            daemon.ticks() > daemon.panics(),
+            "daemon kept ticking after the panics"
+        );
+        // The database is still fully functional.
+        db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+            Value::Int(1)
+        );
+        drop(daemon); // must join cleanly
     }
 
     #[test]

@@ -7,14 +7,15 @@
 
 use crate::catalog::Catalog;
 use oltap_common::ids::TxnId;
-use oltap_common::Result;
-use oltap_exec::operator::{BoxedOperator, FilterOp, LimitOp, MemorySource, ProjectOp};
+use oltap_common::{CancellationToken, Result};
+use oltap_exec::operator::{BoxedOperator, CancelOp, FilterOp, LimitOp, MemorySource, ProjectOp};
 use oltap_exec::{HashAggregateOp, HashJoinOp, SortOp, TopKOp};
 use oltap_sql::LogicalPlan;
 use oltap_txn::Ts;
 
-/// Execution-time context: the snapshot the query reads at.
-#[derive(Debug, Clone, Copy)]
+/// Execution-time context: the snapshot the query reads at, plus the
+/// cancellation token the operator tree is guarded by.
+#[derive(Debug, Clone)]
 pub struct ExecContext {
     /// Snapshot timestamp.
     pub read_ts: Ts,
@@ -22,11 +23,17 @@ pub struct ExecContext {
     pub me: TxnId,
     /// Batch size for scans.
     pub batch_size: usize,
+    /// Cancellation/deadline token; [`CancellationToken::none`] for
+    /// unguarded execution.
+    pub cancel: CancellationToken,
 }
 
-/// Lowers a logical plan to a pulling operator tree.
-pub fn lower(plan: &LogicalPlan, catalog: &Catalog, ctx: ExecContext) -> Result<BoxedOperator> {
-    Ok(match plan {
+/// Lowers a logical plan to a pulling operator tree. Every plan edge gets
+/// a [`CancelOp`] guard, so cancellation (explicit or deadline) is
+/// observed within one batch boundary no matter which operator is
+/// currently pulling.
+pub fn lower(plan: &LogicalPlan, catalog: &Catalog, ctx: &ExecContext) -> Result<BoxedOperator> {
+    let op: BoxedOperator = match plan {
         LogicalPlan::Scan {
             table,
             projection,
@@ -82,20 +89,22 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog, ctx: ExecContext) -> Result<
             if let LogicalPlan::Sort { input: sort_in, keys } = input.as_ref() {
                 if *offset == 0 && *limit != usize::MAX {
                     let child = lower(sort_in, catalog, ctx)?;
-                    return Ok(Box::new(TopKOp::new(child, keys.clone(), *limit)));
+                    let topk = Box::new(TopKOp::new(child, keys.clone(), *limit));
+                    return Ok(Box::new(CancelOp::new(topk, ctx.cancel.clone())));
                 }
             }
             let child = lower(input, catalog, ctx)?;
             Box::new(LimitOp::new(child, *offset, *limit))
         }
-    })
+    };
+    Ok(Box::new(CancelOp::new(op, ctx.cancel.clone())))
 }
 
 /// Convenience: lower + drain into batches.
 pub fn execute_plan(
     plan: &LogicalPlan,
     catalog: &Catalog,
-    ctx: ExecContext,
+    ctx: &ExecContext,
 ) -> Result<Vec<oltap_common::Batch>> {
     let op = lower(plan, catalog, ctx)?;
     oltap_exec::operator::collect(op)
@@ -112,6 +121,7 @@ pub fn snapshot_ctx(read_ts: Ts) -> ExecContext {
         read_ts,
         me: TxnId(u64::MAX - 8),
         batch_size: oltap_common::vector::BATCH_SIZE,
+        cancel: CancellationToken::none(),
     }
 }
 
@@ -157,7 +167,7 @@ mod tests {
             _ => unreachable!(),
         };
         let plan = optimize(bind_select(&sel, cat).unwrap()).unwrap();
-        let batches = execute_plan(&plan, cat, snapshot_ctx(mgr.now())).unwrap();
+        let batches = execute_plan(&plan, cat, &snapshot_ctx(mgr.now())).unwrap();
         batches.iter().flat_map(|b| b.to_rows()).collect()
     }
 

@@ -4,7 +4,7 @@ use crate::database::Database;
 use crate::physical::{execute_plan, ExecContext};
 use oltap_common::ids::TxnId;
 use oltap_common::schema::SchemaRef;
-use oltap_common::{DbError, Result, Row, Value};
+use oltap_common::{CancellationToken, DbError, Result, Row, Value};
 use oltap_sql::ast::{AstExpr, SelectStmt, Statement};
 use oltap_sql::plan::{bind_scalar, literal_value};
 use oltap_sql::{bind_select, optimize, parse};
@@ -53,6 +53,8 @@ pub struct Session {
     db: Arc<Database>,
     txn: Option<Transaction>,
     pending_ops: Vec<WalOp>,
+    query_timeout: Option<std::time::Duration>,
+    active_cancel: parking_lot::Mutex<Option<CancellationToken>>,
 }
 
 impl Session {
@@ -61,12 +63,28 @@ impl Session {
             db,
             txn: None,
             pending_ops: Vec::new(),
+            query_timeout: None,
+            active_cancel: parking_lot::Mutex::new(None),
         }
     }
 
     /// Whether a transaction is open.
     pub fn in_transaction(&self) -> bool {
         self.txn.is_some()
+    }
+
+    /// Sets a per-statement timeout for SELECTs: a query past its deadline
+    /// terminates at the next batch boundary with [`DbError::Cancelled`].
+    /// `None` disables the timeout.
+    pub fn set_query_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.query_timeout = timeout;
+    }
+
+    /// A handle to cancel the currently running SELECT (if any) from
+    /// another thread. Each SELECT installs a fresh token, so grab this
+    /// after the query has started.
+    pub fn cancel_token(&self) -> Option<CancellationToken> {
+        self.active_cancel.lock().clone()
     }
 
     /// Executes one SQL statement.
@@ -131,19 +149,26 @@ impl Session {
 
     fn execute_select(&self, sel: &SelectStmt) -> Result<QueryResult> {
         let (read_ts, me) = self.snapshot();
+        let cancel = match self.query_timeout {
+            Some(t) => CancellationToken::with_timeout(t),
+            None => CancellationToken::new(),
+        };
+        *self.active_cancel.lock() = Some(cancel.clone());
         let catalog = self.db.catalog_read();
         let plan = optimize(bind_select(sel, &*catalog)?)?;
         let schema = plan.output_schema()?;
-        let batches = execute_plan(
+        let result = execute_plan(
             &plan,
             &catalog,
-            ExecContext {
+            &ExecContext {
                 read_ts,
                 me,
                 batch_size: oltap_common::vector::BATCH_SIZE,
+                cancel,
             },
-        )?;
-        let rows: Vec<Row> = batches.iter().flat_map(|b| b.to_rows()).collect();
+        );
+        *self.active_cancel.lock() = None;
+        let rows: Vec<Row> = result?.iter().flat_map(|b| b.to_rows()).collect();
         Ok(QueryResult::Rows { schema, rows })
     }
 

@@ -15,26 +15,96 @@
 
 use crate::partition::Partitioner;
 use crate::raft::{ApplyFn, Network, RaftConfig, RaftNode, Role};
+use oltap_common::fault::{points, FaultInjector};
 use oltap_common::ids::{NodeId, PartitionId, TxnId};
+use oltap_common::retry::Backoff;
 use oltap_common::schema::SchemaRef;
 use oltap_common::{DbError, Result, Row};
 use oltap_storage::{DeltaMainTable, ScanPredicate};
 use oltap_txn::wal::{decode_row, encode_row};
 use oltap_txn::TransactionManager;
+use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::Duration;
 
 const NOBODY: TxnId = TxnId(u64::MAX - 4);
 
-/// One replica of one partition: a local table + transaction manager fed
-/// by the partition's Raft log.
+/// Swappable replica storage: the table + transaction manager the Raft
+/// apply function writes into. Held behind a lock so a crash-restart can
+/// *wipe* the replica (simulating loss of the machine's data disk) and
+/// rebuild it purely from the Raft log — the re-applied entries land in
+/// the fresh table.
+pub struct ReplicaStore {
+    schema: SchemaRef,
+    inner: RwLock<(Arc<DeltaMainTable>, Arc<TransactionManager>)>,
+}
+
+impl ReplicaStore {
+    fn new(schema: SchemaRef) -> Arc<ReplicaStore> {
+        let table = Arc::new(DeltaMainTable::new(Arc::clone(&schema)));
+        let mgr = Arc::new(TransactionManager::new());
+        Arc::new(ReplicaStore {
+            schema,
+            inner: RwLock::new((table, mgr)),
+        })
+    }
+
+    /// The current table (snapshot of the swappable slot).
+    pub fn table(&self) -> Arc<DeltaMainTable> {
+        Arc::clone(&self.inner.read().0)
+    }
+
+    /// The current transaction manager.
+    pub fn mgr(&self) -> Arc<TransactionManager> {
+        Arc::clone(&self.inner.read().1)
+    }
+
+    /// Drops all local state, replacing table and manager with empty ones.
+    /// The next Raft re-apply pass repopulates from the log.
+    pub fn wipe(&self) {
+        let table = Arc::new(DeltaMainTable::new(Arc::clone(&self.schema)));
+        let mgr = Arc::new(TransactionManager::new());
+        *self.inner.write() = (table, mgr);
+    }
+
+    /// Applies one replicated command (called from the Raft apply fn).
+    fn apply(&self, cmd: &[u8]) {
+        if let Ok(row) = decode_row(cmd) {
+            let (table, mgr) = {
+                let g = self.inner.read();
+                (Arc::clone(&g.0), Arc::clone(&g.1))
+            };
+            let tx = mgr.begin();
+            // Replicated commands are already committed cluster-wide;
+            // local conflicts cannot occur because all writes flow
+            // through the same log. Duplicate keys appear only during
+            // re-apply after restart and are safely skipped.
+            if table.insert(&tx, row).is_ok() {
+                let _ = tx.commit();
+            }
+        }
+    }
+}
+
+/// One replica of one partition: swappable local storage fed by the
+/// partition's Raft log.
 pub struct Replica {
-    /// The local storage (delta + main).
-    pub table: Arc<DeltaMainTable>,
-    /// The replica-local transaction manager.
-    pub mgr: Arc<TransactionManager>,
+    /// The replica's storage slot (wipe-able for rebuild tests).
+    pub store: Arc<ReplicaStore>,
     /// The Raft node driving this replica.
     pub raft: Arc<RaftNode>,
+}
+
+impl Replica {
+    /// The current local table.
+    pub fn table(&self) -> Arc<DeltaMainTable> {
+        self.store.table()
+    }
+
+    /// The current transaction manager.
+    pub fn mgr(&self) -> Arc<TransactionManager> {
+        self.store.mgr()
+    }
 }
 
 /// One partition: a Raft group of replicas.
@@ -50,51 +120,75 @@ pub struct PartitionGroup {
 }
 
 impl PartitionGroup {
+    fn current_leader(&self) -> Option<usize> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.raft.is_running())
+            .filter_map(|(i, r)| {
+                r.raft
+                    .report()
+                    .filter(|rep| rep.role == Role::Leader)
+                    .map(|rep| (i, rep.term))
+            })
+            .max_by_key(|&(_, term)| term)
+            .map(|(i, _)| i)
+    }
+
     /// Index (into `replicas`) of the current leader, waiting up to
-    /// `timeout` for an election to settle.
+    /// `timeout` for an election to settle. Polls with exponential
+    /// backoff + jitter rather than a fixed-interval spin, so a stalled
+    /// election doesn't keep a client thread hot.
     pub fn leader_index(&self, timeout: Duration) -> Result<usize> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut backoff = Backoff::for_cluster();
         loop {
-            let leader = self
-                .replicas
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.raft.is_running())
-                .filter_map(|(i, r)| {
-                    r.raft
-                        .report()
-                        .filter(|rep| rep.role == Role::Leader)
-                        .map(|rep| (i, rep.term))
-                })
-                .max_by_key(|&(_, term)| term)
-                .map(|(i, _)| i);
-            if let Some(i) = leader {
+            if let Some(i) = self.current_leader() {
                 return Ok(i);
             }
-            if std::time::Instant::now() > deadline {
+            if !backoff.sleep_until_deadline(deadline) {
                 return Err(DbError::Cluster(format!(
                     "no leader for partition {}",
                     self.id
                 )));
             }
-            std::thread::sleep(Duration::from_millis(10));
         }
     }
 
+    /// Best-effort read target: the leader if one exists, otherwise — the
+    /// degraded-read path — the running replica with the highest commit
+    /// index. Returns `(replica_index, degraded)`. A degraded read is
+    /// *not* linearizable (it may miss entries committed elsewhere) but
+    /// keeps analytics available while the partition has no quorum.
+    pub fn read_index(&self, leader_timeout: Duration) -> Result<(usize, bool)> {
+        if let Ok(i) = self.leader_index(leader_timeout) {
+            return Ok((i, false));
+        }
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.raft.is_running())
+            .filter_map(|(i, r)| r.raft.report().map(|rep| (i, rep.commit_index)))
+            .max_by_key(|&(_, ci)| ci)
+            .map(|(i, _)| (i, true))
+            .ok_or_else(|| {
+                DbError::Cluster(format!("no running replica for partition {}", self.id))
+            })
+    }
+
     /// Proposes a row insert through the leader, retrying across
-    /// elections.
+    /// elections with exponential backoff.
     pub fn replicate_insert(&self, row: &Row, timeout: Duration) -> Result<()> {
         let cmd = encode_row(row);
         let deadline = std::time::Instant::now() + timeout;
+        let mut backoff = Backoff::for_cluster();
         loop {
             let leader = self.leader_index(deadline.saturating_duration_since(
                 std::time::Instant::now(),
             ))?;
             match self.replicas[leader].raft.propose(cmd.clone()) {
                 Ok(_) => return Ok(()),
-                Err(_) if std::time::Instant::now() < deadline => {
-                    std::thread::sleep(Duration::from_millis(15));
-                }
+                Err(_) if backoff.sleep_until_deadline(deadline) => {}
                 Err(e) => return Err(e),
             }
         }
@@ -132,12 +226,28 @@ pub struct DistributedTable {
     partitioner: Partitioner,
     groups: Vec<PartitionGroup>,
     config: ClusterConfig,
+    faults: Arc<FaultInjector>,
 }
 
 impl DistributedTable {
     /// Builds the cluster: one Raft group per partition, replicas placed
     /// round-robin over nodes.
     pub fn new(schema: SchemaRef, config: ClusterConfig) -> Result<Self> {
+        Self::new_with_faults(schema, config, FaultInjector::disabled())
+    }
+
+    /// Builds the cluster with a fault injector shared by every replica's
+    /// transport (`raft.*` points) and the scatter-gather read path
+    /// (`scan.partition_fail`). Cross-node probe interleaving makes the
+    /// `raft.*` decision *order* timing-dependent at this scope — safety
+    /// invariants must hold on every schedule; for strictly replayable
+    /// message-level schedules use [`crate::raft::RaftGroup::spawn_with_faults`]
+    /// with per-node injectors.
+    pub fn new_with_faults(
+        schema: SchemaRef,
+        config: ClusterConfig,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Self> {
         if config.replication > config.nodes {
             return Err(DbError::InvalidArgument(
                 "replication factor exceeds node count".into(),
@@ -153,30 +263,18 @@ impl DistributedTable {
             let ids: Vec<NodeId> = members.iter().map(|&m| NodeId(m as u64)).collect();
             let mut replicas = Vec::with_capacity(members.len());
             for &id in &ids {
-                let table = Arc::new(DeltaMainTable::new(Arc::clone(&schema)));
-                let mgr = Arc::new(TransactionManager::new());
-                let t2 = Arc::clone(&table);
-                let m2 = Arc::clone(&mgr);
-                let apply: ApplyFn = Arc::new(move |_idx, cmd| {
-                    if let Ok(row) = decode_row(cmd) {
-                        let tx = m2.begin();
-                        // Replicated commands are already committed
-                        // cluster-wide; local conflicts cannot occur
-                        // because all writes flow through the same log.
-                        if t2.insert(&tx, row).is_ok() {
-                            let _ = tx.commit();
-                        }
-                    }
-                });
+                let store = ReplicaStore::new(Arc::clone(&schema));
+                let s2 = Arc::clone(&store);
+                let apply: ApplyFn = Arc::new(move |_idx, cmd| s2.apply(cmd));
                 replicas.push(Replica {
-                    table,
-                    mgr,
-                    raft: RaftNode::spawn(
+                    store,
+                    raft: RaftNode::spawn_with_faults(
                         id,
                         ids.clone(),
                         Arc::clone(&network),
                         config.raft,
                         apply,
+                        Arc::clone(&faults),
                     ),
                 });
             }
@@ -192,7 +290,13 @@ impl DistributedTable {
             partitioner,
             groups,
             config,
+            faults,
         })
+    }
+
+    /// The fault injector wired into this cluster.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
     }
 
     /// The table schema.
@@ -223,6 +327,64 @@ impl DistributedTable {
         self.groups[p.raw() as usize].replicate_insert(&row, Duration::from_secs(10))
     }
 
+    /// One partition's partial aggregate, with per-partition retry: a
+    /// failed scan (injected via `scan.partition_fail` or a transient
+    /// leader gap) is retried with exponential backoff before the whole
+    /// query is failed. Falls back to a degraded (non-linearizable) read
+    /// from the best surviving replica if the partition has no leader.
+    fn partition_aggregate(
+        &self,
+        g: &PartitionGroup,
+        pred: &ScanPredicate,
+        agg_column: usize,
+    ) -> Result<(u64, i64)> {
+        let mut backoff = Backoff::for_cluster();
+        let mut last_err = None;
+        for attempt in 0..4 {
+            if attempt > 0 {
+                backoff.sleep();
+            }
+            if self.faults.should_fire(points::SCAN_PARTITION_FAIL) {
+                last_err = Some(DbError::FaultInjected(format!(
+                    "scan.partition_fail on partition {}",
+                    g.id
+                )));
+                continue;
+            }
+            let (idx, _degraded) = match g.read_index(Duration::from_secs(5)) {
+                Ok(x) => x,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            let r = &g.replicas[idx];
+            let (table, mgr) = (r.table(), r.mgr());
+            match table.scan(&[agg_column], pred, mgr.now(), NOBODY, 4096) {
+                Ok(batches) => {
+                    let mut count = 0u64;
+                    let mut sum = 0i64;
+                    for b in &batches {
+                        count += b.len() as u64;
+                        let col = b.column(0);
+                        for i in 0..b.len() {
+                            if col.is_valid(i) {
+                                if let oltap_common::Value::Int(x) = col.value_at(i) {
+                                    sum = sum.wrapping_add(x);
+                                }
+                            }
+                        }
+                    }
+                    return Ok((count, sum));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            DbError::Cluster(format!("partition {} unavailable", g.id))
+        }))
+    }
+
     /// Scatter-gather filtered aggregate:
     /// `SELECT count(*), sum(col) WHERE pred`, computed as partials on
     /// each partition's leader replica and combined.
@@ -235,33 +397,7 @@ impl DistributedTable {
             let handles: Vec<_> = self
                 .groups
                 .iter()
-                .map(|g| {
-                    scope.spawn(move || -> Result<(u64, i64)> {
-                        let leader = g.leader_index(Duration::from_secs(5))?;
-                        let r = &g.replicas[leader];
-                        let batches = r.table.scan(
-                            &[agg_column],
-                            pred,
-                            r.mgr.now(),
-                            NOBODY,
-                            4096,
-                        )?;
-                        let mut count = 0u64;
-                        let mut sum = 0i64;
-                        for b in &batches {
-                            count += b.len() as u64;
-                            let col = b.column(0);
-                            for i in 0..b.len() {
-                                if col.is_valid(i) {
-                                    if let oltap_common::Value::Int(x) = col.value_at(i) {
-                                        sum = sum.wrapping_add(x);
-                                    }
-                                }
-                            }
-                        }
-                        Ok((count, sum))
-                    })
-                })
+                .map(|g| scope.spawn(move || self.partition_aggregate(g, pred, agg_column)))
                 .collect();
             handles
                 .into_iter()
@@ -275,13 +411,15 @@ impl DistributedTable {
     }
 
     /// Collects every visible row (test oracle; sorts by primary key).
+    /// Uses the degraded-read path, so it stays available without quorum.
     pub fn collect_all(&self) -> Result<Vec<Row>> {
         let all: Vec<usize> = (0..self.schema.len()).collect();
         let mut rows = Vec::new();
         for g in &self.groups {
-            let leader = g.leader_index(Duration::from_secs(5))?;
-            let r = &g.replicas[leader];
-            for b in r.table.scan(&all, &ScanPredicate::all(), r.mgr.now(), NOBODY, 4096)? {
+            let (idx, _degraded) = g.read_index(Duration::from_secs(5))?;
+            let r = &g.replicas[idx];
+            let (table, mgr) = (r.table(), r.mgr());
+            for b in table.scan(&all, &ScanPredicate::all(), mgr.now(), NOBODY, 4096)? {
                 rows.extend(b.to_rows());
             }
         }
@@ -311,6 +449,21 @@ impl DistributedTable {
         }
     }
 
+    /// Restarts every replica on `node` after *wiping* its local storage
+    /// (the machine came back with its Raft log but an empty data disk).
+    /// The restarted Raft workers re-apply the whole log into the fresh
+    /// tables, so the node converges back to the replicated state.
+    pub fn restart_node_rebuilt(&self, node: usize) {
+        for g in &self.groups {
+            for (i, &m) in g.members.iter().enumerate() {
+                if m == node {
+                    g.replicas[i].store.wipe();
+                    g.replicas[i].raft.restart();
+                }
+            }
+        }
+    }
+
     /// Waits until every partition's replicas have applied the same number
     /// of entries (quiesce helper for tests).
     pub fn wait_converged(&self, timeout: Duration) -> bool {
@@ -321,7 +474,7 @@ impl DistributedTable {
                     .replicas
                     .iter()
                     .filter(|r| r.raft.is_running())
-                    .map(|r| r.table.row_count_estimate())
+                    .map(|r| r.table().row_count_estimate())
                     .collect();
                 counts.windows(2).all(|w| w[0] == w[1])
             });
@@ -371,7 +524,7 @@ mod tests {
     fn matches_single_node_oracle() {
         let t = DistributedTable::new(schema(), ClusterConfig::small()).unwrap();
         let local = DeltaMainTable::new(schema());
-        let mgr = Arc::new(TransactionManager::new());
+        let mgr: Arc<TransactionManager> = Arc::new(TransactionManager::new());
         for i in 0..40 {
             let r = row![i as i64, (i % 7) as i64];
             t.insert(r.clone()).unwrap();
@@ -419,8 +572,8 @@ mod tests {
             let mut views: Vec<Vec<Row>> = Vec::new();
             for r in &g.replicas {
                 let mut rows: Vec<Row> = r
-                    .table
-                    .scan(&all, &ScanPredicate::all(), r.mgr.now(), NOBODY, 4096)
+                    .table()
+                    .scan(&all, &ScanPredicate::all(), r.mgr().now(), NOBODY, 4096)
                     .unwrap()
                     .iter()
                     .flat_map(|b| b.to_rows())
@@ -450,6 +603,93 @@ mod tests {
         // The crashed node catches up after restart.
         t.restart_node(1);
         assert!(t.wait_converged(Duration::from_secs(15)));
+    }
+
+    #[test]
+    fn degraded_read_without_quorum() {
+        let cfg = ClusterConfig {
+            nodes: 3,
+            replication: 3,
+            partitions: 1,
+            raft: RaftConfig::default(),
+        };
+        let t = DistributedTable::new(schema(), cfg).unwrap();
+        for i in 0..12 {
+            t.insert(row![i as i64, 1i64]).unwrap();
+        }
+        assert!(t.wait_converged(Duration::from_secs(10)));
+        // Kill two of three replicas: the survivor cannot win an election,
+        // so the partition has no leader...
+        let g = &t.groups()[0];
+        let survivor = (g.leader_index(Duration::from_secs(5)).unwrap() + 1) % 3;
+        for i in 0..3 {
+            if i != survivor {
+                g.replicas[i].raft.crash();
+            }
+        }
+        assert!(g.leader_index(Duration::from_millis(600)).is_err());
+        // ...but the degraded-read path still serves the replicated data.
+        let (idx, degraded) = g.read_index(Duration::from_millis(300)).unwrap();
+        assert_eq!(idx, survivor);
+        assert!(degraded);
+        let (count, _) = t.scan_aggregate(&ScanPredicate::all(), 1).unwrap();
+        assert_eq!(count, 12);
+    }
+
+    #[test]
+    fn wiped_replica_rebuilds_from_raft_log() {
+        let cfg = ClusterConfig {
+            nodes: 3,
+            replication: 3,
+            partitions: 2,
+            raft: RaftConfig::default(),
+        };
+        let t = DistributedTable::new(schema(), cfg).unwrap();
+        for i in 0..24 {
+            t.insert(row![i as i64, i as i64]).unwrap();
+        }
+        assert!(t.wait_converged(Duration::from_secs(10)));
+        let before = t.collect_all().unwrap();
+
+        // Node 2 loses its data disk entirely, then comes back: local
+        // tables are empty until the Raft log is re-applied.
+        t.crash_node(2);
+        for g in t.groups() {
+            for (i, &m) in g.members.iter().enumerate() {
+                if m == 2 {
+                    g.replicas[i].store.wipe();
+                    assert_eq!(g.replicas[i].table().row_count_estimate(), 0);
+                }
+            }
+        }
+        t.restart_node_rebuilt(2);
+        assert!(
+            t.wait_converged(Duration::from_secs(15)),
+            "wiped node failed to rebuild from the log"
+        );
+        assert_eq!(t.collect_all().unwrap(), before);
+    }
+
+    #[test]
+    fn scan_retries_through_injected_partition_failure() {
+        use oltap_common::fault::FaultPoint;
+        let faults = FaultInjector::new(0xD15C);
+        // The first two partition scans fail; retries succeed.
+        faults.arm(points::SCAN_PARTITION_FAIL, FaultPoint::times(2));
+        let cfg = ClusterConfig {
+            nodes: 3,
+            replication: 3,
+            partitions: 2,
+            raft: RaftConfig::default(),
+        };
+        let t = DistributedTable::new_with_faults(schema(), cfg, Arc::clone(&faults)).unwrap();
+        for i in 0..10 {
+            t.insert(row![i as i64, 1i64]).unwrap();
+        }
+        let (count, sum) = t.scan_aggregate(&ScanPredicate::all(), 1).unwrap();
+        assert_eq!(count, 10);
+        assert_eq!(sum, 10);
+        assert_eq!(faults.fired_count(), 2, "both armed failures consumed");
     }
 
     #[test]

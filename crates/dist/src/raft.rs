@@ -22,7 +22,8 @@
 //! compaction/snapshots, no pre-vote. These are orthogonal to what the
 //! experiments exercise.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use oltap_common::fault::{points, FaultInjector};
 use oltap_common::hash::FxHashMap;
 use oltap_common::ids::NodeId;
 use oltap_common::{DbError, Result};
@@ -86,13 +87,21 @@ enum Rpc {
     },
 }
 
-/// Control-plane messages to a node's event loop.
-enum Control {
+/// Everything a node's event loop can receive, in one channel: peer RPCs
+/// and local control messages. Merging them lets the loop block on exactly
+/// one receiver with `recv_timeout` — the election/heartbeat timer is the
+/// timeout — instead of a multi-channel select.
+enum Event {
+    /// An RPC from a peer, tagged with the sender.
+    Rpc(NodeId, Rpc),
+    /// Client proposal (answered once committed, or failed on deposal).
     Propose {
         command: Command,
         reply: Sender<Result<u64>>,
     },
+    /// State snapshot request.
     Inspect(Sender<NodeReport>),
+    /// Shut the loop down.
     Stop,
 }
 
@@ -120,14 +129,15 @@ struct PersistentState {
     log: Vec<LogEntry>,
 }
 
-/// The in-process "wire" between nodes, with link failure injection.
+/// The in-process "wire" between nodes. The network owns the *topology*
+/// faults — partitions cut links deterministically — while probabilistic
+/// message-level faults (drop/delay/duplicate) live in the
+/// [`LossyTransport`] wrapped around it.
 pub struct Network {
-    senders: RwLock<FxHashMap<NodeId, Sender<(NodeId, RpcEnvelope)>>>,
+    senders: RwLock<FxHashMap<NodeId, Sender<Event>>>,
     /// Links currently down, as (from, to) pairs (directional).
     down: RwLock<oltap_common::hash::FxHashSet<(NodeId, NodeId)>>,
 }
-
-type RpcEnvelope = Rpc;
 
 impl Default for Network {
     fn default() -> Self {
@@ -144,7 +154,7 @@ impl Network {
         }
     }
 
-    fn register(&self, id: NodeId, tx: Sender<(NodeId, RpcEnvelope)>) {
+    fn register(&self, id: NodeId, tx: Sender<Event>) {
         self.senders.write().insert(id, tx);
     }
 
@@ -153,7 +163,7 @@ impl Network {
             return; // dropped on the floor, like a real partition
         }
         if let Some(tx) = self.senders.read().get(&to) {
-            let _ = tx.send((from, msg));
+            let _ = tx.send(Event::Rpc(from, msg));
         }
     }
 
@@ -190,6 +200,138 @@ impl Network {
     }
 }
 
+/// A message queued for delayed delivery by the [`LossyTransport`] pump.
+struct DelayedMsg {
+    due: Instant,
+    from: NodeId,
+    to: NodeId,
+    msg: Rpc,
+}
+
+/// Commands to the delay-pump thread.
+enum PumpMsg {
+    Deliver(DelayedMsg),
+    Stop,
+}
+
+/// A fault-injecting wrapper around the [`Network`]: consults a
+/// [`FaultInjector`] on every outgoing message and may **drop**
+/// (`raft.drop_msg`), **duplicate** (`raft.dup_msg`), or **delay**
+/// (`raft.delay_msg`) it. Delayed messages are re-delivered by a single
+/// lazily-spawned pump thread, which also yields *reordering*: a delayed
+/// message overtakes nothing, but everything sent after it overtakes *it*.
+///
+/// Each node owns its transport (wrapping the shared network), so
+/// per-node injectors can express asymmetric faults ("node 2's messages
+/// are lossy, the rest are fine") and keep decision streams deterministic
+/// per sender.
+pub struct LossyTransport {
+    network: Arc<Network>,
+    faults: Arc<FaultInjector>,
+    /// Upper bound on one injected delay.
+    max_delay: Duration,
+    pump: Mutex<Option<(Sender<PumpMsg>, JoinHandle<()>)>>,
+}
+
+impl LossyTransport {
+    /// A transport with no faults armed — the production default; probes
+    /// cost one atomic load.
+    pub fn passthrough(network: Arc<Network>) -> Arc<LossyTransport> {
+        Self::new(network, FaultInjector::disabled())
+    }
+
+    /// A transport consulting `faults` on every send.
+    pub fn new(network: Arc<Network>, faults: Arc<FaultInjector>) -> Arc<LossyTransport> {
+        Arc::new(LossyTransport {
+            network,
+            faults,
+            max_delay: Duration::from_millis(40),
+            pump: Mutex::new(None),
+        })
+    }
+
+    /// The injector this transport consults.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    fn send(&self, from: NodeId, to: NodeId, msg: Rpc) {
+        if self.faults.should_fire(points::RAFT_DROP_MSG) {
+            return; // lost on the wire
+        }
+        let dup = self.faults.should_fire(points::RAFT_DUP_MSG);
+        if let Some(v) = self.faults.fire_value(points::RAFT_DELAY_MSG) {
+            let delay = Duration::from_millis(v % self.max_delay.as_millis() as u64 + 1);
+            self.enqueue_delayed(DelayedMsg {
+                due: Instant::now() + delay,
+                from,
+                to,
+                msg: msg.clone(),
+            });
+            if dup {
+                self.network.send(from, to, msg);
+            }
+            return;
+        }
+        self.network.send(from, to, msg.clone());
+        if dup {
+            self.network.send(from, to, msg);
+        }
+    }
+
+    fn enqueue_delayed(&self, dm: DelayedMsg) {
+        let mut pump = self.pump.lock();
+        if pump.is_none() {
+            let (tx, rx) = unbounded::<PumpMsg>();
+            let network = Arc::clone(&self.network);
+            let handle = std::thread::Builder::new()
+                .name("raft-delay-pump".into())
+                .spawn(move || Self::run_pump(network, rx))
+                .expect("spawn delay pump");
+            *pump = Some((tx, handle));
+        }
+        let _ = pump.as_ref().expect("pump just installed").0.send(PumpMsg::Deliver(dm));
+    }
+
+    fn run_pump(network: Arc<Network>, rx: Receiver<PumpMsg>) {
+        // A Vec with linear min-scan: injected delays are rare and short,
+        // so the queue stays tiny.
+        let mut queue: Vec<DelayedMsg> = Vec::new();
+        loop {
+            let now = Instant::now();
+            // Deliver everything due.
+            let mut i = 0;
+            while i < queue.len() {
+                if queue[i].due <= now {
+                    let dm = queue.swap_remove(i);
+                    network.send(dm.from, dm.to, dm.msg);
+                } else {
+                    i += 1;
+                }
+            }
+            let wait = queue
+                .iter()
+                .map(|d| d.due.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_secs(3600));
+            match rx.recv_timeout(wait) {
+                Ok(PumpMsg::Deliver(dm)) => queue.push(dm),
+                Ok(PumpMsg::Stop) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {} // loop delivers due msgs
+            }
+        }
+    }
+}
+
+impl Drop for LossyTransport {
+    fn drop(&mut self) {
+        if let Some((tx, handle)) = self.pump.lock().take() {
+            let _ = tx.send(PumpMsg::Stop);
+            let _ = handle.join();
+        }
+    }
+}
+
 /// Timing configuration (scaled down for fast in-process tests).
 #[derive(Debug, Clone, Copy)]
 pub struct RaftConfig {
@@ -217,21 +359,22 @@ pub type ApplyFn = Arc<dyn Fn(u64, &Command) + Send + Sync>;
 /// A handle to a running Raft node.
 pub struct RaftNode {
     id: NodeId,
-    control: Mutex<Sender<Control>>,
+    control: Mutex<Sender<Event>>,
     running: Arc<AtomicBool>,
     thread: Mutex<Option<JoinHandle<()>>>,
     // Retained for crash/restart.
     persistent: Arc<Mutex<PersistentState>>,
     network: Arc<Network>,
+    transport: Arc<LossyTransport>,
+    faults: Arc<FaultInjector>,
     peers: Vec<NodeId>,
     config: RaftConfig,
     apply: ApplyFn,
-    rpc_rx_holder: Mutex<Option<Receiver<(NodeId, Rpc)>>>,
-    control_rx_holder: Mutex<Option<Receiver<Control>>>,
+    event_rx_holder: Mutex<Option<Receiver<Event>>>,
 }
 
 impl RaftNode {
-    /// Spawns a node with fresh persistent state.
+    /// Spawns a node with fresh persistent state and no faults armed.
     pub fn spawn(
         id: NodeId,
         peers: Vec<NodeId>,
@@ -239,45 +382,49 @@ impl RaftNode {
         config: RaftConfig,
         apply: ApplyFn,
     ) -> Arc<RaftNode> {
-        let persistent = Arc::new(Mutex::new(PersistentState::default()));
-        Self::spawn_with_state(id, peers, network, config, apply, persistent)
+        Self::spawn_with_faults(id, peers, network, config, apply, FaultInjector::disabled())
     }
 
-    fn spawn_with_state(
+    /// Spawns a node whose outgoing transport and event loop consult
+    /// `faults` (`raft.drop_msg`, `raft.delay_msg`, `raft.dup_msg`,
+    /// `raft.crash_node`).
+    pub fn spawn_with_faults(
         id: NodeId,
         peers: Vec<NodeId>,
         network: Arc<Network>,
         config: RaftConfig,
         apply: ApplyFn,
-        persistent: Arc<Mutex<PersistentState>>,
+        faults: Arc<FaultInjector>,
     ) -> Arc<RaftNode> {
-        let (rpc_tx, rpc_rx) = unbounded();
-        let (control_tx, control_rx) = unbounded();
-        network.register(id, rpc_tx);
+        let persistent = Arc::new(Mutex::new(PersistentState::default()));
+        let (event_tx, event_rx) = unbounded();
+        network.register(id, event_tx.clone());
+        let transport = LossyTransport::new(Arc::clone(&network), Arc::clone(&faults));
         let node = Arc::new(RaftNode {
             id,
-            control: Mutex::new(control_tx),
+            control: Mutex::new(event_tx),
             running: Arc::new(AtomicBool::new(true)),
             thread: Mutex::new(None),
             persistent,
             network,
+            transport,
+            faults,
             peers,
             config,
             apply,
-            rpc_rx_holder: Mutex::new(Some(rpc_rx)),
-            control_rx_holder: Mutex::new(Some(control_rx)),
+            event_rx_holder: Mutex::new(Some(event_rx)),
         });
         node.start_thread();
         node
     }
 
     fn start_thread(self: &Arc<Self>) {
-        let rpc_rx = self.rpc_rx_holder.lock().take().expect("rpc rx");
-        let control_rx = self.control_rx_holder.lock().take().expect("ctl rx");
+        let event_rx = self.event_rx_holder.lock().take().expect("event rx");
         let worker = Worker {
             id: self.id,
             peers: self.peers.clone(),
-            network: Arc::clone(&self.network),
+            transport: Arc::clone(&self.transport),
+            faults: Arc::clone(&self.faults),
             config: self.config,
             persistent: Arc::clone(&self.persistent),
             apply: Arc::clone(&self.apply),
@@ -285,7 +432,7 @@ impl RaftNode {
         };
         let handle = std::thread::Builder::new()
             .name(format!("raft-{}", self.id))
-            .spawn(move || worker.run(rpc_rx, control_rx))
+            .spawn(move || worker.run(event_rx))
             .expect("spawn raft node");
         *self.thread.lock() = Some(handle);
     }
@@ -301,7 +448,7 @@ impl RaftNode {
         let (tx, rx) = unbounded();
         self.control
             .lock()
-            .send(Control::Propose { command, reply: tx })
+            .send(Event::Propose { command, reply: tx })
             .map_err(|_| DbError::Cluster("node stopped".into()))?;
         rx.recv_timeout(Duration::from_secs(5))
             .map_err(|_| DbError::Cluster("propose timed out".into()))?
@@ -310,14 +457,19 @@ impl RaftNode {
     /// Snapshot of the node's state.
     pub fn report(&self) -> Option<NodeReport> {
         let (tx, rx) = unbounded();
-        self.control.lock().send(Control::Inspect(tx)).ok()?;
+        self.control.lock().send(Event::Inspect(tx)).ok()?;
         rx.recv_timeout(Duration::from_secs(2)).ok()
+    }
+
+    /// The fault injector wired into this node's transport and loop.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
     }
 
     /// Simulated crash: the event loop stops; persistent state is kept.
     pub fn crash(&self) {
         self.running.store(false, Ordering::SeqCst);
-        let _ = self.control.lock().send(Control::Stop);
+        let _ = self.control.lock().send(Event::Stop);
         if let Some(h) = self.thread.lock().take() {
             let _ = h.join();
         }
@@ -328,15 +480,13 @@ impl RaftNode {
         if self.running.swap(true, Ordering::SeqCst) {
             return; // already running
         }
-        let (rpc_tx, rpc_rx) = unbounded();
-        let (control_tx, control_rx) = unbounded();
-        self.network.register(self.id, rpc_tx);
+        let (event_tx, event_rx) = unbounded();
+        self.network.register(self.id, event_tx.clone());
         // Safety of replacing control: old sender becomes stale; propose()
         // uses the new one.
         // (Interior mutability via unsafe is avoided by storing in Mutexes.)
-        *self.rpc_rx_holder.lock() = Some(rpc_rx);
-        *self.control_rx_holder.lock() = Some(control_rx);
-        *self.control.lock() = control_tx;
+        *self.event_rx_holder.lock() = Some(event_rx);
+        *self.control.lock() = event_tx;
         self.start_thread();
     }
 
@@ -349,7 +499,7 @@ impl RaftNode {
 impl Drop for RaftNode {
     fn drop(&mut self) {
         self.running.store(false, Ordering::SeqCst);
-        let _ = self.control.lock().send(Control::Stop);
+        let _ = self.control.lock().send(Event::Stop);
         if let Some(h) = self.thread.lock().take() {
             let _ = h.join();
         }
@@ -359,7 +509,8 @@ impl Drop for RaftNode {
 struct Worker {
     id: NodeId,
     peers: Vec<NodeId>,
-    network: Arc<Network>,
+    transport: Arc<LossyTransport>,
+    faults: Arc<FaultInjector>,
     config: RaftConfig,
     persistent: Arc<Mutex<PersistentState>>,
     apply: ApplyFn,
@@ -372,7 +523,7 @@ struct VolatileLeader {
 }
 
 impl Worker {
-    fn run(self, rpc_rx: Receiver<(NodeId, Rpc)>, control_rx: Receiver<Control>) {
+    fn run(self, event_rx: Receiver<Event>) {
         let mut rng = StdRng::seed_from_u64(self.id.raw().wrapping_mul(0x9E3779B97F4A7C15) | 1);
         let mut role = Role::Follower;
         let mut commit_index: u64 = 0;
@@ -386,53 +537,50 @@ impl Worker {
             if !self.running.load(Ordering::SeqCst) {
                 return;
             }
-            // Wait for whichever comes first: an RPC, a control message,
-            // or the timer.
+            // Injected crash: the node dies between events, exactly like a
+            // kill -9 — nothing is flushed, persistent state is whatever
+            // was already "on disk".
+            if self.faults.should_fire(points::RAFT_CRASH_NODE) {
+                self.running.store(false, Ordering::SeqCst);
+                return;
+            }
+            // Block on the single event channel; the election/heartbeat
+            // timer doubles as the receive timeout.
             let now = Instant::now();
             let timeout = deadline.saturating_duration_since(now);
-            crossbeam::channel::select! {
-                recv(rpc_rx) -> msg => {
-                    if let Ok((from, rpc)) = msg {
-                        self.handle_rpc(
-                            from, rpc, &mut role, &mut votes, &mut commit_index,
-                            &mut leader_state, &mut deadline, &mut rng,
-                        );
+            match event_rx.recv_timeout(timeout) {
+                Ok(Event::Rpc(from, rpc)) => {
+                    self.handle_rpc(
+                        from, rpc, &mut role, &mut votes, &mut commit_index,
+                        &mut leader_state, &mut deadline, &mut rng,
+                    );
+                }
+                Ok(Event::Propose { command, reply }) => {
+                    if role == Role::Leader {
+                        let index = {
+                            let mut p = self.persistent.lock();
+                            let term = p.current_term;
+                            p.log.push(LogEntry { term, command });
+                            p.log.len() as u64
+                        };
+                        pending_replies.push((index, reply));
+                        self.broadcast_append(&mut leader_state, commit_index);
                     } else {
-                        return;
+                        let _ = reply.send(Err(DbError::Cluster("not the leader".into())));
                     }
                 }
-                recv(control_rx) -> msg => {
-                    match msg {
-                        Ok(Control::Propose { command, reply }) => {
-                            if role == Role::Leader {
-                                let index = {
-                                    let mut p = self.persistent.lock();
-                                    let term = p.current_term;
-                                    p.log.push(LogEntry { term, command });
-                                    p.log.len() as u64
-                                };
-                                pending_replies.push((index, reply));
-                                self.broadcast_append(&mut leader_state, commit_index);
-                            } else {
-                                let _ = reply.send(Err(DbError::Cluster(
-                                    "not the leader".into(),
-                                )));
-                            }
-                        }
-                        Ok(Control::Inspect(tx)) => {
-                            let p = self.persistent.lock();
-                            let _ = tx.send(NodeReport {
-                                id: self.id,
-                                term: p.current_term,
-                                role,
-                                commit_index,
-                                log: p.log.clone(),
-                            });
-                        }
-                        Ok(Control::Stop) | Err(_) => return,
-                    }
+                Ok(Event::Inspect(tx)) => {
+                    let p = self.persistent.lock();
+                    let _ = tx.send(NodeReport {
+                        id: self.id,
+                        term: p.current_term,
+                        role,
+                        commit_index,
+                        log: p.log.clone(),
+                    });
                 }
-                default(timeout) => {
+                Ok(Event::Stop) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {
                     // Timer fired.
                     match role {
                         Role::Leader => {
@@ -453,7 +601,7 @@ impl Worker {
                             votes = 1;
                             for &peer in &self.peers {
                                 if peer != self.id {
-                                    self.network.send(self.id, peer, Rpc::RequestVote {
+                                    self.transport.send(self.id, peer, Rpc::RequestVote {
                                         term,
                                         candidate: self.id,
                                         last_log_index: lli,
@@ -593,7 +741,7 @@ impl Worker {
                 }
                 let reply_term = p.current_term;
                 drop(p);
-                self.network.send(
+                self.transport.send(
                     self.id,
                     candidate,
                     Rpc::VoteResponse {
@@ -670,7 +818,7 @@ impl Worker {
                 }
                 let reply_term = p.current_term;
                 drop(p);
-                self.network.send(
+                self.transport.send(
                     self.id,
                     leader,
                     Rpc::AppendResponse {
@@ -744,7 +892,7 @@ impl Worker {
             .to_vec();
         let term = p.current_term;
         drop(p);
-        self.network.send(
+        self.transport.send(
             self.id,
             peer,
             Rpc::AppendEntries {
@@ -773,16 +921,32 @@ pub struct RaftGroup {
     pub network: Arc<Network>,
     /// Per-node applied command logs.
     pub applied: Vec<AppliedLog>,
+    /// Per-node fault injectors (disabled unless spawned via
+    /// [`RaftGroup::spawn_with_faults`]).
+    pub faults: Vec<Arc<FaultInjector>>,
 }
 
 impl RaftGroup {
-    /// Spawns an `n`-node group with default timing.
+    /// Spawns an `n`-node group with default timing and no faults armed.
     pub fn spawn(n: usize, config: RaftConfig) -> RaftGroup {
+        Self::spawn_with_faults(n, config, |_| FaultInjector::disabled())
+    }
+
+    /// Spawns an `n`-node group where node `i` uses the injector returned
+    /// by `make_faults(i)`. Per-node injectors keep each node's fault
+    /// decision stream deterministic regardless of cross-node thread
+    /// interleaving.
+    pub fn spawn_with_faults(
+        n: usize,
+        config: RaftConfig,
+        make_faults: impl Fn(usize) -> Arc<FaultInjector>,
+    ) -> RaftGroup {
         let network = Arc::new(Network::new());
         let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
         let mut nodes = Vec::new();
         let mut applied = Vec::new();
-        for &id in &ids {
+        let mut faults = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
             let sink: AppliedLog = Arc::new(Mutex::new(Vec::new()));
             let sink2 = Arc::clone(&sink);
             let apply: ApplyFn = Arc::new(move |idx, cmd| {
@@ -791,20 +955,24 @@ impl RaftGroup {
                     sink2.lock().push((idx, cmd.clone()));
                 }
             });
-            nodes.push(RaftNode::spawn(
+            let injector = make_faults(i);
+            nodes.push(RaftNode::spawn_with_faults(
                 id,
                 ids.clone(),
                 Arc::clone(&network),
                 config,
                 apply,
+                Arc::clone(&injector),
             ));
             applied.push(sink);
+            faults.push(injector);
         }
         RaftGroup {
             nodes,
             ids,
             network,
             applied,
+            faults,
         }
     }
 

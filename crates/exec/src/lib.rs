@@ -28,6 +28,6 @@ pub use aggregate::{AggExpr, AggFunc, HashAggregateOp};
 pub use compiled::{compile, CompiledExpr, Program};
 pub use expr::{BinOp, Expr, UnOp};
 pub use join::{HashJoinOp, JoinType};
-pub use operator::{collect, count_rows, BoxedOperator, FilterOp, LimitOp, MemorySource, Operator, ProjectOp};
+pub use operator::{collect, count_rows, BoxedOperator, CancelOp, FilterOp, LimitOp, MemorySource, Operator, ProjectOp};
 pub use shared_scan::{ClockScan, ScanQuery, ScanQueryResult};
 pub use sort::{SortKey, SortOp, TopKOp};

@@ -10,7 +10,7 @@
 use crate::compiled::CompiledExpr;
 use crate::expr::Expr;
 use oltap_common::schema::SchemaRef;
-use oltap_common::{Batch, DbError, Field, Result, Schema};
+use oltap_common::{Batch, CancellationToken, DbError, Field, Result, Schema};
 use std::sync::Arc;
 
 /// A vectorized operator.
@@ -42,6 +42,33 @@ pub fn count_rows(mut op: BoxedOperator) -> Result<usize> {
         n += b.len();
     }
     Ok(n)
+}
+
+/// Cancellation guard: checks a [`CancellationToken`] before pulling each
+/// batch from its child, so an expired deadline or an explicit cancel
+/// terminates the pipeline within one batch boundary. Physical planning
+/// inserts one of these at every plan edge; the check is a single atomic
+/// load (plus an `Instant::now()` when a deadline is set).
+pub struct CancelOp {
+    input: BoxedOperator,
+    token: CancellationToken,
+}
+
+impl CancelOp {
+    /// Wraps `input` with a cancellation check.
+    pub fn new(input: BoxedOperator, token: CancellationToken) -> Self {
+        CancelOp { input, token }
+    }
+}
+
+impl Operator for CancelOp {
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+    fn next(&mut self) -> Result<Option<Batch>> {
+        self.token.check()?;
+        self.input.next()
+    }
 }
 
 /// A source over pre-materialized batches (table scans produce these; also

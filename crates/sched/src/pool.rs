@@ -14,6 +14,7 @@
 //! * Counters for queue waits and completions, which the mixed-workload
 //!   experiment (E7) reports.
 
+use oltap_common::CancellationToken;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,6 +37,10 @@ struct QueuedJob {
     job: Job,
     class: WorkloadClass,
     enqueued: Instant,
+    /// Admission token: if tripped before dispatch, the job is shed.
+    cancel: Option<CancellationToken>,
+    /// Notified instead of `job` when the task is shed.
+    on_shed: Option<Job>,
 }
 
 #[derive(Default)]
@@ -56,6 +61,9 @@ pub struct PoolStats {
     pub oltp_wait_ns: u64,
     /// Total OLAP queue-wait nanoseconds.
     pub olap_wait_ns: u64,
+    /// Tasks shed at dispatch because their cancellation token had
+    /// tripped while they queued (admission control under overload).
+    pub shed: u64,
 }
 
 struct PoolInner {
@@ -67,6 +75,7 @@ struct PoolInner {
     olap_done: AtomicU64,
     oltp_wait_ns: AtomicU64,
     olap_wait_ns: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// A fixed-size worker pool with class-aware dispatch.
@@ -88,6 +97,7 @@ impl WorkerPool {
             olap_done: AtomicU64::new(0),
             oltp_wait_ns: AtomicU64::new(0),
             olap_wait_ns: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -127,20 +137,55 @@ impl WorkerPool {
             job();
             let _ = tx.send(());
         });
+        self.enqueue(QueuedJob {
+            job: wrapped,
+            class,
+            enqueued: Instant::now(),
+            cancel: None,
+            on_shed: None,
+        });
+        rx
+    }
+
+    /// Submits a task guarded by `token`. If the token trips (explicit
+    /// cancel or expired deadline) while the task is still queued, the
+    /// task is *shed*: it never runs, the receiver yields `false`, and
+    /// [`PoolStats::shed`] is incremented. A task that dispatches before
+    /// the token trips runs normally and the receiver yields `true`.
+    pub fn submit_cancellable<F: FnOnce() + Send + 'static>(
+        &self,
+        class: WorkloadClass,
+        token: CancellationToken,
+        job: F,
+    ) -> mpsc::Receiver<bool> {
+        let (tx, rx) = mpsc::channel();
+        let tx_shed = tx.clone();
+        let wrapped: Job = Box::new(move || {
+            job();
+            let _ = tx.send(true);
+        });
+        let on_shed: Job = Box::new(move || {
+            let _ = tx_shed.send(false);
+        });
+        self.enqueue(QueuedJob {
+            job: wrapped,
+            class,
+            enqueued: Instant::now(),
+            cancel: Some(token),
+            on_shed: Some(on_shed),
+        });
+        rx
+    }
+
+    fn enqueue(&self, item: QueuedJob) {
         {
             let mut q = self.inner.queues.lock();
-            let item = QueuedJob {
-                job: wrapped,
-                class,
-                enqueued: Instant::now(),
-            };
-            match class {
+            match item.class {
                 WorkloadClass::Oltp => q.oltp.push_back(item),
                 WorkloadClass::Olap => q.olap.push_back(item),
             }
         }
         self.inner.cv.notify_one();
-        rx
     }
 
     /// Submits and waits.
@@ -161,6 +206,7 @@ impl WorkerPool {
             olap_done: self.inner.olap_done.load(Ordering::Relaxed),
             oltp_wait_ns: self.inner.oltp_wait_ns.load(Ordering::Relaxed),
             olap_wait_ns: self.inner.olap_wait_ns.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
         }
     }
 
@@ -202,6 +248,21 @@ fn worker_loop(inner: Arc<PoolInner>) {
                 inner.cv.wait(&mut q);
             }
         };
+        // Admission check at dispatch: a task whose token tripped while it
+        // queued is shed instead of run — expired deadlines never consume
+        // a worker.
+        if item.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            inner.shed.fetch_add(1, Ordering::Relaxed);
+            if let Some(shed) = item.on_shed {
+                shed();
+            }
+            if was_olap {
+                let mut q = inner.queues.lock();
+                q.running_olap -= 1;
+                inner.cv.notify_one();
+            }
+            continue;
+        }
         let wait_ns = item.enqueued.elapsed().as_nanos() as u64;
         match item.class {
             WorkloadClass::Oltp => {
@@ -396,6 +457,57 @@ mod tests {
         // Queue drained: limit recovers.
         mgr.tick();
         assert!(pool.olap_limit() > after);
+    }
+
+    #[test]
+    fn expired_tasks_are_shed_not_run() {
+        use std::time::Duration;
+        let pool = WorkerPool::new(1, 1);
+        // Block the single worker so queued tasks age past their deadline.
+        let blocker = pool.submit(WorkloadClass::Oltp, || {
+            std::thread::sleep(Duration::from_millis(60));
+        });
+        std::thread::sleep(Duration::from_millis(5)); // let it start
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        let doomed = pool.submit_cancellable(
+            WorkloadClass::Olap,
+            CancellationToken::with_timeout(Duration::from_millis(10)),
+            move || {
+                r2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        let r3 = Arc::clone(&ran);
+        let healthy = pool.submit_cancellable(
+            WorkloadClass::Olap,
+            CancellationToken::new(),
+            move || {
+                r3.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        blocker.recv().unwrap();
+        assert!(!doomed.recv().unwrap(), "expired task must be shed");
+        assert!(healthy.recv().unwrap(), "live task must run");
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.stats().shed, 1);
+    }
+
+    #[test]
+    fn explicit_cancel_sheds_queued_task() {
+        use std::time::Duration;
+        let pool = WorkerPool::new(1, 1);
+        let blocker = pool.submit(WorkloadClass::Oltp, || {
+            std::thread::sleep(Duration::from_millis(40));
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let token = CancellationToken::new();
+        let rx = pool.submit_cancellable(WorkloadClass::Oltp, token.clone(), || {
+            panic!("shed task must never run");
+        });
+        token.cancel();
+        blocker.recv().unwrap();
+        assert!(!rx.recv().unwrap());
+        assert_eq!(pool.stats().shed, 1);
     }
 
     #[test]

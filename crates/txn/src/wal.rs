@@ -14,13 +14,14 @@
 
 use crate::clock::Ts;
 use bytes::{Buf, BufMut};
+use oltap_common::fault::{points, FaultInjector};
 use oltap_common::ids::TxnId;
 use oltap_common::{DbError, Result, Row, Value};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One logical DML operation in the log.
 #[derive(Debug, Clone, PartialEq)]
@@ -307,9 +308,17 @@ impl CommitRecord {
 }
 
 /// The write-ahead log. In-memory buffer with optional file backing.
+///
+/// Chaos testing: a [`FaultInjector`] wired in via [`Wal::with_faults`] /
+/// [`Wal::open_with_faults`] can tear an append at an arbitrary byte
+/// offset (`wal.torn_write` — the crash-mid-write artifact) or silently
+/// flip a payload byte after its CRC was computed (`wal.crc_corrupt` —
+/// media corruption). Probes happen under the append lock, so with the
+/// same seed a commit sequence produces byte-identical log images.
 #[derive(Debug)]
 pub struct Wal {
     buf: Mutex<WalInner>,
+    faults: Arc<FaultInjector>,
 }
 
 #[derive(Debug)]
@@ -329,6 +338,11 @@ impl Default for Wal {
 impl Wal {
     /// An in-memory log (tests, benchmarks, ephemeral databases).
     pub fn new_in_memory() -> Self {
+        Self::with_faults(FaultInjector::disabled())
+    }
+
+    /// An in-memory log with a fault injector attached.
+    pub fn with_faults(faults: Arc<FaultInjector>) -> Self {
         Wal {
             buf: Mutex::new(WalInner {
                 bytes: Vec::new(),
@@ -336,19 +350,36 @@ impl Wal {
                 path: None,
                 records: 0,
             }),
+            faults,
         }
     }
 
     /// A file-backed log; appends are written through. Pre-existing file
-    /// contents are loaded so replay sees the full history.
+    /// contents are loaded so replay sees the full history. A damaged tail
+    /// (torn frame, CRC mismatch — the crash artifacts) is **truncated**,
+    /// on disk and in memory: without this, records appended after the
+    /// damage would sit behind an unreadable frame and silently vanish on
+    /// the next replay.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_faults(path, FaultInjector::disabled())
+    }
+
+    /// A file-backed log with a fault injector attached. See [`Wal::open`]
+    /// for the tail-truncation semantics.
+    pub fn open_with_faults(path: impl AsRef<Path>, faults: Arc<FaultInjector>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut bytes = Vec::new();
         if path.exists() {
             File::open(&path)?.read_to_end(&mut bytes)?;
         }
+        let (records, valid_len) = Self::scan_intact_prefix(&bytes);
+        if valid_len < bytes.len() {
+            bytes.truncate(valid_len);
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_all()?;
+        }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let records = Self::count_records(&bytes);
         Ok(Wal {
             buf: Mutex::new(WalInner {
                 bytes,
@@ -356,25 +387,49 @@ impl Wal {
                 path: Some(path),
                 records,
             }),
+            faults,
         })
     }
 
-    fn count_records(bytes: &[u8]) -> u64 {
+    /// The attached fault injector (disabled unless wired via `with_faults`).
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// Walks the frames of a raw log image, validating each (length, CRC,
+    /// decodability — the same checks [`replay`] applies). Returns the
+    /// number of intact records and the byte length of the intact prefix.
+    fn scan_intact_prefix(bytes: &[u8]) -> (u64, usize) {
         let mut n = 0;
-        let mut cur = bytes;
-        while cur.len() >= 8 {
-            let len = u32::from_le_bytes(cur[0..4].try_into().unwrap()) as usize;
-            if cur.len() < 8 + len {
+        let mut off = 0;
+        while bytes.len() - off >= 8 {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            if bytes.len() - off < 8 + len {
                 break;
             }
-            cur = &cur[8 + len..];
+            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            let payload = &bytes[off + 8..off + 8 + len];
+            if crc32(payload) != crc || CommitRecord::decode(payload).is_err() {
+                break;
+            }
+            off += 8 + len;
             n += 1;
         }
-        n
+        (n, off)
     }
 
     /// Appends a commit record (framed + checksummed) and flushes it to the
     /// backing file if any. This is the durability point of a transaction.
+    ///
+    /// Fault points (probed under the append lock, so the schedule is a
+    /// deterministic function of the commit sequence):
+    ///
+    /// * `wal.crc_corrupt` — flips one payload byte *after* the checksum was
+    ///   computed, simulating silent media corruption. The append still
+    ///   reports success; replay stops at the mismatching record.
+    /// * `wal.torn_write` — persists only a prefix of the framed record (the
+    ///   fire value picks the tear offset) and returns
+    ///   [`DbError::FaultInjected`], simulating a crash mid-write.
     pub fn append(&self, record: &CommitRecord) -> Result<()> {
         let payload = record.encode();
         let mut framed = Vec::with_capacity(payload.len() + 8);
@@ -383,6 +438,27 @@ impl Wal {
         framed.extend_from_slice(&payload);
 
         let mut inner = self.buf.lock();
+        if let Some(v) = self.faults.fire_value(points::WAL_CRC_CORRUPT) {
+            // Corrupt one payload byte; the header (and its CRC) stand.
+            let idx = 8 + (v as usize) % payload.len().max(1);
+            if idx < framed.len() {
+                framed[idx] ^= 0x40;
+            }
+        }
+        if let Some(v) = self.faults.fire_value(points::WAL_TORN_WRITE) {
+            // Crash mid-write: only a strict prefix reaches the log.
+            let cut = (v as usize) % framed.len();
+            let prefix = &framed[..cut];
+            inner.bytes.extend_from_slice(prefix);
+            if let Some(f) = inner.file.as_mut() {
+                f.write_all(prefix)?;
+                f.flush()?;
+            }
+            return Err(DbError::FaultInjected(format!(
+                "wal.torn_write: {cut}/{} bytes persisted",
+                framed.len()
+            )));
+        }
         inner.bytes.extend_from_slice(&framed);
         inner.records += 1;
         if let Some(f) = inner.file.as_mut() {
@@ -449,6 +525,7 @@ pub fn replay(mut bytes: &[u8]) -> (Vec<CommitRecord>, Option<DbError>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oltap_common::fault::FaultPoint;
     use oltap_common::row;
 
     fn sample_record(txn: u64, ts: Ts) -> CommitRecord {
@@ -579,5 +656,127 @@ mod tests {
             ops: vec![],
         };
         assert_eq!(CommitRecord::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn torn_write_fault_leaves_exact_prefix() {
+        let faults = FaultInjector::new(0xC4A5);
+        faults.arm(points::WAL_TORN_WRITE, FaultPoint::times(1).after(2));
+        let wal = Wal::with_faults(Arc::clone(&faults));
+        wal.append(&sample_record(1, 1)).unwrap();
+        wal.append(&sample_record(2, 2)).unwrap();
+        let intact = wal.size_bytes();
+        // Third append is torn mid-write.
+        let err = wal.append(&sample_record(3, 3)).unwrap_err();
+        assert!(matches!(err, DbError::FaultInjected(_)), "{err}");
+        assert_eq!(wal.record_count(), 2, "torn record must not be counted");
+        assert!(wal.size_bytes() >= intact, "prefix shrank");
+
+        // Recovery: the two committed records survive; the torn tail is
+        // reported but never resurrected as a record.
+        let (records, tail) = wal.replay_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].commit_ts, 2);
+        if wal.size_bytes() > intact {
+            assert!(matches!(tail, Some(DbError::Corruption(_))));
+        }
+    }
+
+    #[test]
+    fn torn_write_schedule_is_seed_reproducible() {
+        let run = |seed: u64| {
+            let faults = FaultInjector::new(seed);
+            faults.arm(
+                points::WAL_TORN_WRITE,
+                FaultPoint::with_probability(0.4),
+            );
+            let wal = Wal::with_faults(faults);
+            let mut outcomes = Vec::new();
+            for i in 0..32u64 {
+                outcomes.push(wal.append(&sample_record(i, i)).is_ok());
+            }
+            (outcomes, wal.to_bytes())
+        };
+        let (o1, b1) = run(77);
+        let (o2, b2) = run(77);
+        assert_eq!(o1, o2, "same seed must tear the same appends");
+        assert_eq!(b1, b2, "same seed must produce byte-identical logs");
+        let (o3, _) = run(78);
+        assert_ne!(o1, o3, "different seed should differ (probabilistic)");
+    }
+
+    #[test]
+    fn crc_corrupt_fault_detected_on_replay() {
+        let faults = FaultInjector::new(1);
+        faults.arm(points::WAL_CRC_CORRUPT, FaultPoint::times(1).after(1));
+        let wal = Wal::with_faults(faults);
+        wal.append(&sample_record(1, 1)).unwrap();
+        wal.append(&sample_record(2, 2)).unwrap(); // silently corrupted
+        wal.append(&sample_record(3, 3)).unwrap();
+        // Replay stops at the corrupt record: later records are unreachable
+        // (by design — a CRC mismatch means the log tail is untrustworthy).
+        let (records, tail) = wal.replay_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].commit_ts, 1);
+        assert!(matches!(tail, Some(DbError::Corruption(_))), "{tail:?}");
+    }
+
+    #[test]
+    fn torn_write_on_file_backed_wal_recovers_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("oltap_walf_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_fault.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let faults = FaultInjector::new(9);
+            faults.arm(points::WAL_TORN_WRITE, FaultPoint::times(1).after(3));
+            let wal = Wal::open_with_faults(&path, faults).unwrap();
+            for i in 0..3 {
+                wal.append(&sample_record(i, i + 10)).unwrap();
+            }
+            wal.append(&sample_record(3, 13)).unwrap_err(); // torn on disk
+        }
+        // "Restart": reopen without faults; intact prefix is fully readable.
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.record_count(), 3);
+        let (records, _tail) = wal.replay_records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].commit_ts, 12);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_so_later_appends_survive() {
+        let dir = std::env::temp_dir().join(format!("oltap_walt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncate_tail.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let faults = FaultInjector::new(9);
+            faults.arm(points::WAL_TORN_WRITE, FaultPoint::times(1).after(1));
+            let wal = Wal::open_with_faults(&path, faults).unwrap();
+            wal.append(&sample_record(0, 10)).unwrap();
+            wal.append(&sample_record(1, 11)).unwrap_err(); // torn on disk
+        }
+        // Recovery must cut the torn tail; otherwise the records appended
+        // below would sit behind an unreadable frame and be lost on the
+        // next replay.
+        {
+            let wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.record_count(), 1);
+            let (_, tail_err) = wal.replay_records();
+            assert!(tail_err.is_none(), "tail damage must be gone after open");
+            wal.append(&sample_record(2, 12)).unwrap();
+            wal.append(&sample_record(3, 13)).unwrap();
+        }
+        let wal = Wal::open(&path).unwrap();
+        let (records, tail_err) = wal.replay_records();
+        assert!(tail_err.is_none());
+        assert_eq!(
+            records.iter().map(|r| r.commit_ts).collect::<Vec<_>>(),
+            vec![10, 12, 13],
+            "post-recovery commits lost behind the torn tail"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 }

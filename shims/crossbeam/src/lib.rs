@@ -1,0 +1,326 @@
+//! A minimal, dependency-free stand-in for `crossbeam::channel`: cloneable
+//! multi-producer multi-consumer channels with blocking, timed, and
+//! non-blocking receives. Built on a `Mutex<VecDeque>` + two `Condvar`s —
+//! not as fast as crossbeam's lock-free implementation, but semantically
+//! equivalent for the message rates the engine's control planes see.
+
+/// MPMC channels (the `crossbeam::channel` subset oltapdb uses).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Waiting receivers.
+        recv_cv: Condvar,
+        /// Waiting senders (bounded channels only).
+        send_cv: Condvar,
+        cap: Option<usize>,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait timed out with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC: one message goes to one
+    /// receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded channel; `send` blocks while `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking if the channel is bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if state.items.len() >= cap.max(1) => {
+                        state = self
+                            .shared
+                            .send_cv
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.recv_cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake receivers so they observe the disconnect.
+                self.shared.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .recv_cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (s, _) = self
+                    .shared
+                    .recv_cv
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = s;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.lock();
+            if let Some(v) = state.items.pop_front() {
+                drop(state);
+                self.shared.send_cv.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.lock().items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake senders blocked on a full bounded channel.
+                self.shared.send_cv.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let t = std::thread::spawn(move || tx.send(7).unwrap());
+            assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(7));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until rx drains one
+                tx
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            let _ = t.join().unwrap();
+        }
+
+        #[test]
+        fn mpmc_every_message_consumed_once() {
+            let (tx, rx) = unbounded();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<i32> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Chaos suite: seeded fault-injection scenarios asserting the system's
+//! safety invariants under crashes, message loss, partitions, and torn
+//! writes.
+//!
+//! Every scenario derives all randomness from an explicit seed, so a
+//! failure reproduces by re-running with the same seed (see
+//! `DESIGN.md` § "Fault model & chaos testing" and the README how-to).
+//! The invariants checked here are the ones that must hold on *every*
+//! schedule, not just the replayed one:
+//!
+//! 1. Committed (quorum-acked / WAL-flushed) writes survive.
+//! 2. Recovery never resurrects unacknowledged data.
+//! 3. Replicas converge to identical state once faults stop.
+//! 4. Queries past their deadline terminate promptly with a clean error.
+
+use oltapdb::common::fault::{points, FaultInjector, FaultPoint};
+use oltapdb::common::{row, DataType, DbError, Field, Schema, Value};
+use oltapdb::core::{Database, DbConfig};
+use oltapdb::dist::{ClusterConfig, DistributedTable, RaftConfig, RaftGroup};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Master seed for the suite; per-scenario seeds derive from it so the
+/// scenarios stay independent.
+const SUITE_SEED: u64 = 0xC4A0_5EED;
+
+fn seed_for(scenario: u64) -> u64 {
+    SUITE_SEED ^ scenario.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::with_primary_key(
+            vec![
+                Field::not_null("id", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+}
+
+/// Collapses a node's applied log into index → command, panicking if the
+/// node ever applied two *different* commands at one index (a state-machine
+/// safety violation; benign re-application after restart applies the same
+/// command again and is allowed).
+fn applied_map(g: &RaftGroup, node: usize) -> std::collections::BTreeMap<u64, Vec<u8>> {
+    let mut m = std::collections::BTreeMap::new();
+    for (idx, cmd) in g.applied[node].lock().iter() {
+        match m.get(idx) {
+            Some(prev) => assert_eq!(
+                prev, cmd,
+                "node {node} applied two different commands at index {idx}"
+            ),
+            None => {
+                m.insert(*idx, cmd.clone());
+            }
+        }
+    }
+    m
+}
+
+/// Waits until every node has applied at least `n_cmds` commands and all
+/// nodes' applied maps are identical (Raft's state-machine safety property
+/// — the invariant that must hold on every schedule). While waiting,
+/// asserts that nodes never disagree on an index both have applied.
+/// Indexes need not start at 1: leaders may hold no-op entries that are
+/// skipped by the apply callback.
+fn wait_applied_consistent(g: &RaftGroup, n_cmds: usize, timeout: Duration) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let maps: Vec<_> = (0..g.nodes.len()).map(|i| applied_map(g, i)).collect();
+        for w in maps.windows(2) {
+            for (idx, cmd) in &w[0] {
+                if let Some(other) = w[1].get(idx) {
+                    assert_eq!(cmd, other, "nodes disagree at index {idx}");
+                }
+            }
+        }
+        if maps[0].len() >= n_cmds && maps.iter().all(|m| *m == maps[0]) {
+            return true;
+        }
+        if std::time::Instant::now() > deadline {
+            for (i, m) in maps.iter().enumerate() {
+                eprintln!(
+                    "node {i}: {} applied, index range {:?}..{:?}",
+                    m.len(),
+                    m.keys().next(),
+                    m.keys().next_back()
+                );
+            }
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Scenario 1 — message loss: every node's transport drops ~20% of Raft
+/// messages and duplicates a few more. Retransmission (AppendEntries
+/// retries driven by heartbeats) must still commit every proposal, and
+/// all replicas must apply the same command sequence.
+#[test]
+fn chaos_message_loss_still_commits() {
+    let seed = seed_for(1);
+    let g = RaftGroup::spawn_with_faults(3, RaftConfig::default(), |i| {
+        let f = FaultInjector::new(seed ^ i as u64);
+        f.arm(points::RAFT_DROP_MSG, FaultPoint::with_probability(0.2));
+        f.arm(points::RAFT_DUP_MSG, FaultPoint::with_probability(0.05));
+        f
+    });
+    for i in 0..30u64 {
+        g.propose(format!("cmd-{i}").into_bytes(), Duration::from_secs(20))
+            .expect("proposal must commit despite message loss");
+    }
+    assert!(
+        wait_applied_consistent(&g, 30, Duration::from_secs(20)),
+        "replicas diverged under message loss (seed={seed:#x})"
+    );
+    // The lossy transport really was lossy.
+    assert!(
+        g.faults.iter().map(|f| f.fired_count()).sum::<u64>() > 0,
+        "no faults fired — scenario vacuous"
+    );
+}
+
+/// Scenario 2 — network partition: the leader is isolated; the majority
+/// side elects a new leader and keeps committing. After healing, the old
+/// leader rejoins and converges. Nothing committed by the majority is
+/// ever lost.
+#[test]
+fn chaos_partition_majority_keeps_committing() {
+    let seed = seed_for(2);
+    let g = RaftGroup::spawn_with_faults(5, RaftConfig::default(), |i| {
+        let f = FaultInjector::new(seed ^ i as u64);
+        // Mild background delay keeps the schedule interesting without
+        // making elections impossible.
+        f.arm(points::RAFT_DELAY_MSG, FaultPoint::with_probability(0.1));
+        f
+    });
+    for i in 0..5u64 {
+        g.propose(format!("pre-{i}").into_bytes(), Duration::from_secs(10))
+            .unwrap();
+    }
+    let old_leader = g.wait_for_leader(Duration::from_secs(5));
+    g.network.isolate(g.ids[old_leader], &g.ids);
+
+    // The majority side must recover and accept new writes.
+    for i in 0..10u64 {
+        g.propose(format!("during-{i}").into_bytes(), Duration::from_secs(20))
+            .expect("majority must keep committing during the partition");
+    }
+
+    g.network.reconnect(g.ids[old_leader], &g.ids);
+    assert!(
+        wait_applied_consistent(&g, 15, Duration::from_secs(20)),
+        "replicas diverged after partition heal (seed={seed:#x})"
+    );
+    // The pre-partition and during-partition commands all survived, in
+    // order, on every node.
+    let applied = g.applied[0].lock().clone();
+    let cmds: Vec<String> = applied
+        .iter()
+        .map(|(_, c)| String::from_utf8(c.clone()).unwrap())
+        .collect();
+    for i in 0..5 {
+        assert!(cmds.contains(&format!("pre-{i}")), "lost pre-{i}");
+    }
+    for i in 0..10 {
+        assert!(cmds.contains(&format!("during-{i}")), "lost during-{i}");
+    }
+}
+
+/// Scenario 3 — leader crash via the `raft.crash_node` point: the leader's
+/// own event loop kills itself mid-run (a kill -9 between events). The
+/// survivors re-elect and keep committing; the crashed node catches up
+/// after restart.
+#[test]
+fn chaos_leader_crash_and_catchup() {
+    let seed = seed_for(3);
+    let g = RaftGroup::spawn_with_faults(3, RaftConfig::default(), |i| {
+        FaultInjector::new(seed ^ i as u64)
+    });
+    for i in 0..8u64 {
+        g.propose(format!("a-{i}").into_bytes(), Duration::from_secs(10))
+            .unwrap();
+    }
+    let leader = g.wait_for_leader(Duration::from_secs(5));
+    // Arm the crash point on the leader only: it dies on its next loop
+    // iteration, exactly like a kill -9.
+    g.faults[leader].arm(points::RAFT_CRASH_NODE, FaultPoint::times(1));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while g.nodes[leader].is_running() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "armed crash point never fired"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Survivors elect a new leader and commit more entries.
+    for i in 0..8u64 {
+        g.propose(format!("b-{i}").into_bytes(), Duration::from_secs(20))
+            .expect("survivors must commit after leader crash");
+    }
+
+    g.nodes[leader].restart();
+    assert!(
+        wait_applied_consistent(&g, 16, Duration::from_secs(20)),
+        "crashed leader failed to catch up (seed={seed:#x})"
+    );
+}
+
+/// Scenario 4 — torn WAL tail: a seeded torn write cuts a commit record
+/// at an arbitrary byte offset; the process "crashes" (drop) and the
+/// database reopens from the same file. Every acknowledged commit is
+/// recovered; the torn transaction is not resurrected.
+#[test]
+fn chaos_torn_wal_tail_recovery() {
+    let seed = seed_for(4);
+    let dir = std::env::temp_dir().join(format!("oltap_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chaos_torn.wal");
+    let _ = std::fs::remove_file(&path);
+
+    let mut acked: Vec<i64> = Vec::new();
+    {
+        let faults = FaultInjector::new(seed);
+        // Tear one commit after the schema DDL and a few acked rows. A
+        // torn tail IS the crash: the writer stops at the failed commit
+        // (real processes don't keep appending past a failed flush).
+        faults.arm(points::WAL_TORN_WRITE, FaultPoint::times(1).after(4));
+        let db = Database::with_config(DbConfig {
+            wal_path: Some(path.clone()),
+            faults: Some(faults),
+        })
+        .unwrap();
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+            .unwrap();
+        let mut torn = false;
+        for i in 0..10i64 {
+            match db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)) {
+                Ok(_) => acked.push(i),
+                Err(e) => {
+                    // The torn write: this commit was never acknowledged.
+                    assert!(
+                        matches!(e, DbError::FaultInjected(_)),
+                        "unexpected error: {e}"
+                    );
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        assert!(torn, "torn-write fault never fired (seed={seed:#x})");
+        assert_eq!(acked, vec![0, 1, 2], "DDL + 3 commits precede the tear");
+        // Process "crashes" here: db dropped without clean shutdown.
+    }
+
+    let db = Database::open(&path).unwrap();
+    let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
+    let got: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(got, acked, "recovery must equal the acked set, exactly");
+    for r in &rows {
+        assert_eq!(
+            r[1],
+            Value::Int(r[0].as_int().unwrap() * 2),
+            "row payload corrupted by recovery"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Scenario 5 — node crash + restart with a wiped data disk, under a
+/// lossy network: the restarted replicas rebuild purely from their Raft
+/// logs and the whole cluster converges to the pre-crash state.
+#[test]
+fn chaos_crash_restart_rebuilds_from_log() {
+    let seed = seed_for(5);
+    let faults = FaultInjector::new(seed);
+    faults.arm(points::RAFT_DROP_MSG, FaultPoint::with_probability(0.05));
+    let cfg = ClusterConfig {
+        nodes: 3,
+        replication: 3,
+        partitions: 2,
+        raft: RaftConfig::default(),
+    };
+    let t = DistributedTable::new_with_faults(schema(), cfg, faults).unwrap();
+    for i in 0..30i64 {
+        t.insert(row![i, i * 3]).unwrap();
+    }
+    assert!(t.wait_converged(Duration::from_secs(20)));
+    let before = t.collect_all().unwrap();
+    assert_eq!(before.len(), 30);
+
+    // Node 1 dies and loses its data disk; writes continue on the
+    // surviving majority while it is down.
+    t.crash_node(1);
+    for i in 30..40i64 {
+        t.insert(row![i, i * 3]).unwrap();
+    }
+    t.restart_node_rebuilt(1);
+    assert!(
+        t.wait_converged(Duration::from_secs(30)),
+        "wiped node failed to rebuild (seed={seed:#x})"
+    );
+    let after = t.collect_all().unwrap();
+    assert_eq!(after.len(), 40, "committed writes lost across crash");
+    assert_eq!(&after[..30], &before[..], "pre-crash rows changed");
+}
+
+/// Scenario 6 — reproducibility: the same seed produces the identical
+/// fault schedule, decision log, and byte-identical WAL image; a
+/// different seed diverges. This is what makes every other scenario
+/// replayable.
+#[test]
+fn chaos_same_seed_reproduces_schedule() {
+    let run = |seed: u64| {
+        let faults = FaultInjector::new(seed);
+        faults.arm(points::WAL_TORN_WRITE, FaultPoint::with_probability(0.3));
+        faults.arm(points::WAL_CRC_CORRUPT, FaultPoint::with_probability(0.1));
+        let wal = oltapdb::txn::wal::Wal::with_faults(Arc::clone(&faults));
+        let mut outcomes = Vec::new();
+        for i in 0..64u64 {
+            let rec = oltapdb::txn::wal::CommitRecord {
+                txn: oltapdb::common::ids::TxnId(i + 1),
+                commit_ts: i + 1,
+                ops: vec![oltapdb::txn::wal::WalOp::Insert {
+                    table: "t".into(),
+                    row: row![i as i64, 0i64],
+                }],
+            };
+            outcomes.push(wal.append(&rec).is_ok());
+        }
+        (outcomes, wal.to_bytes(), faults.decisions())
+    };
+    let (o1, b1, d1) = run(0xABCD);
+    let (o2, b2, d2) = run(0xABCD);
+    assert_eq!(o1, o2, "same seed, different append outcomes");
+    assert_eq!(b1, b2, "same seed, different WAL bytes");
+    assert_eq!(d1, d2, "same seed, different decision log");
+    let (o3, _, _) = run(0xABCE);
+    assert_ne!(o1, o3, "different seed should produce a different schedule");
+}
+
+/// Scenario 7 — query deadlines under load: a SELECT whose deadline has
+/// expired terminates within one batch boundary with a cancellation
+/// error, while the same session keeps working afterwards. (The unit
+/// variant lives in oltap-core; this exercises it through SQL on a
+/// larger table.)
+#[test]
+fn chaos_expired_deadline_terminates_promptly() {
+    let db = Database::new();
+    db.execute("CREATE TABLE m (id BIGINT PRIMARY KEY, v BIGINT)")
+        .unwrap();
+    for chunk in 0..8 {
+        let vals: Vec<String> = (0..500)
+            .map(|i| {
+                let id = chunk * 500 + i;
+                format!("({id}, {})", id % 97)
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO m VALUES {}", vals.join(", ")))
+            .unwrap();
+    }
+    let mut s = db.session();
+    s.set_query_timeout(Some(Duration::ZERO));
+    let started = std::time::Instant::now();
+    let err = s
+        .execute("SELECT v, COUNT(*) FROM m GROUP BY v ORDER BY v")
+        .unwrap_err();
+    assert!(matches!(err, DbError::Cancelled(_)), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "cancellation took too long: {:?}",
+        started.elapsed()
+    );
+    s.set_query_timeout(Some(Duration::from_secs(30)));
+    let rows = s.execute("SELECT COUNT(*) FROM m").unwrap();
+    assert_eq!(rows.rows()[0][0], Value::Int(4000));
+}

@@ -116,11 +116,11 @@ fn all_replicas_identical_after_convergence() {
             .iter()
             .map(|r| {
                 let mut rows: Vec<_> = r
-                    .table
+                    .table()
                     .scan(
                         &[0, 1, 2],
                         &ScanPredicate::all(),
-                        r.mgr.now(),
+                        r.mgr().now(),
                         oltapdb::common::ids::TxnId(u64::MAX - 31),
                         4096,
                     )

@@ -1,44 +1,85 @@
 //! Property-based integration tests: the engine against simple oracles.
+//!
+//! These use a seeded mini-harness (deterministic [`StdRng`] loops) rather
+//! than a shrinking property-testing framework: every case derives from a
+//! fixed seed, so a failure message's `seed=` value reproduces it exactly.
 
 use oltapdb::common::{row, DataType, Field, Schema, Value};
 use oltapdb::core::{Database, TableFormat, TableHandle};
 use oltapdb::storage::encoding::{BitPacked, Dictionary, ForPacked, IntEncoding, Rle, StrEncoding};
 use oltapdb::storage::{ScanPredicate, SkipList};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const BASE_SEED: u64 = 0x01_7A_BD_08;
 
-    /// Every integer encoding round-trips arbitrary data.
-    #[test]
-    fn int_encodings_roundtrip(values in prop::collection::vec(any::<i64>(), 0..300)) {
-        prop_assert_eq!(IntEncoding::choose(&values).decode(), values.clone());
-        prop_assert_eq!(ForPacked::encode(&values).decode(), values.clone());
-        prop_assert_eq!(Rle::encode(&values).decode(), values.clone());
-        prop_assert_eq!(Dictionary::encode(&values).decode(), values);
+fn rng_for(case: u64) -> StdRng {
+    StdRng::seed_from_u64(BASE_SEED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn random_i64s(rng: &mut StdRng, max_len: usize) -> Vec<i64> {
+    let n = rng.gen_range(0..max_len);
+    (0..n).map(|_| rng.gen::<i64>()).collect()
+}
+
+fn random_strings(rng: &mut StdRng, max_len: usize) -> Vec<String> {
+    let n = rng.gen_range(0..max_len);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(0..=12usize);
+            (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect()
+        })
+        .collect()
+}
+
+/// Every integer encoding round-trips arbitrary data.
+#[test]
+fn int_encodings_roundtrip() {
+    for case in 0..64 {
+        let mut rng = rng_for(case);
+        let values = random_i64s(&mut rng, 300);
+        assert_eq!(IntEncoding::choose(&values).decode(), values, "seed={case}");
+        assert_eq!(ForPacked::encode(&values).decode(), values, "seed={case}");
+        assert_eq!(Rle::encode(&values).decode(), values, "seed={case}");
+        assert_eq!(Dictionary::encode(&values).decode(), values, "seed={case}");
     }
+}
 
-    /// Bit-packing round-trips any width that fits.
-    #[test]
-    fn bitpack_roundtrip(values in prop::collection::vec(any::<u64>(), 0..200), extra in 0u8..8) {
+/// Bit-packing round-trips any width that fits.
+#[test]
+fn bitpack_roundtrip() {
+    for case in 0..64 {
+        let mut rng = rng_for(case ^ 0xB17);
+        let n = rng.gen_range(0..200usize);
+        let values: Vec<u64> = (0..n).map(|_| rng.gen::<u64>()).collect();
+        let extra = rng.gen_range(0..8u8);
         let width = (BitPacked::width_for(&values) + extra).min(64);
         let packed = BitPacked::pack(&values, width).unwrap();
-        prop_assert_eq!(packed.unpack(), values);
+        assert_eq!(packed.unpack(), values, "seed={case}");
     }
+}
 
-    /// String encodings round-trip.
-    #[test]
-    fn str_encodings_roundtrip(values in prop::collection::vec("[a-z]{0,12}", 0..200)) {
-        prop_assert_eq!(StrEncoding::choose(&values).decode(), values.clone());
-        let d = Dictionary::encode(&values);
-        prop_assert_eq!(d.decode(), values);
+/// String encodings round-trip.
+#[test]
+fn str_encodings_roundtrip() {
+    for case in 0..64 {
+        let mut rng = rng_for(case ^ 0x57F);
+        let values = random_strings(&mut rng, 200);
+        assert_eq!(StrEncoding::choose(&values).decode(), values, "seed={case}");
+        assert_eq!(Dictionary::encode(&values).decode(), values, "seed={case}");
     }
+}
 
-    /// The concurrent skip list agrees with BTreeMap under random inserts.
-    #[test]
-    fn skiplist_models_btreemap(keys in prop::collection::vec(any::<i64>(), 0..400)) {
+/// The concurrent skip list agrees with BTreeMap under random inserts.
+#[test]
+fn skiplist_models_btreemap() {
+    for case in 0..64 {
+        let mut rng = rng_for(case ^ 0x5CA1);
+        let keys = random_i64s(&mut rng, 400);
         let sl: SkipList<i64, i64> = SkipList::new();
         let mut model = BTreeMap::new();
         for (i, k) in keys.iter().enumerate() {
@@ -47,10 +88,10 @@ proptest! {
                 model.insert(*k, v);
             }
         }
-        prop_assert_eq!(sl.len(), model.len());
+        assert_eq!(sl.len(), model.len(), "seed={case}");
         let got: Vec<(i64, i64)> = sl.iter().map(|(k, v)| (*k, *v)).collect();
         let want: Vec<(i64, i64)> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "seed={case}");
     }
 }
 
@@ -63,30 +104,36 @@ enum Op {
     Maintain,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0i64..40, any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (0i64..40, any::<i64>()).prop_map(|(k, v)| Op::Update(k, v)),
-        (0i64..40).prop_map(Op::Delete),
-        Just(Op::Maintain),
-    ]
+fn random_ops(rng: &mut StdRng) -> Vec<Op> {
+    let n = rng.gen_range(1..120usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..7u8) {
+            0 | 1 => Op::Insert(rng.gen_range(0..40i64), rng.gen::<i64>()),
+            2 | 3 => Op::Update(rng.gen_range(0..40i64), rng.gen::<i64>()),
+            4 | 5 => Op::Delete(rng.gen_range(0..40i64)),
+            _ => Op::Maintain,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every table format, fed a random DML sequence (with interleaved
-    /// merges/populations), matches a BTreeMap model exactly.
-    #[test]
-    fn formats_match_model_under_random_dml(ops in prop::collection::vec(op_strategy(), 1..120)) {
+/// Every table format, fed a random DML sequence (with interleaved
+/// merges/populations), matches a BTreeMap model exactly.
+#[test]
+fn formats_match_model_under_random_dml() {
+    for case in 0..24 {
+        let mut rng = rng_for(case ^ 0xD317);
+        let ops = random_ops(&mut rng);
         for format in [TableFormat::Row, TableFormat::Column, TableFormat::Dual] {
-            let schema = Arc::new(Schema::with_primary_key(
-                vec![
-                    Field::not_null("k", DataType::Int64),
-                    Field::new("v", DataType::Int64),
-                ],
-                &["k"],
-            ).unwrap());
+            let schema = Arc::new(
+                Schema::with_primary_key(
+                    vec![
+                        Field::not_null("k", DataType::Int64),
+                        Field::new("v", DataType::Int64),
+                    ],
+                    &["k"],
+                )
+                .unwrap(),
+            );
             let mgr = Arc::new(oltapdb::txn::TransactionManager::new());
             let table = TableHandle::create(Arc::clone(&schema), format).unwrap();
             let mut model: BTreeMap<i64, i64> = BTreeMap::new();
@@ -95,46 +142,53 @@ proptest! {
                 match op {
                     Op::Insert(k, v) => {
                         let tx = mgr.begin();
-                        let r = table.insert(&tx, row![*k, *v]);
-                        match r {
+                        match table.insert(&tx, row![*k, *v]) {
                             Ok(()) => {
                                 tx.commit().unwrap();
                                 let prev = model.insert(*k, *v);
-                                prop_assert!(prev.is_none(), "{format:?}: engine accepted dup {k}");
+                                assert!(prev.is_none(), "{format:?}: engine accepted dup {k}");
                             }
                             Err(_) => {
-                                prop_assert!(model.contains_key(k),
-                                    "{format:?}: engine rejected fresh key {k}");
+                                assert!(
+                                    model.contains_key(k),
+                                    "{format:?}: engine rejected fresh key {k}"
+                                );
                             }
                         }
                     }
                     Op::Update(k, v) => {
                         let tx = mgr.begin();
-                        let r = table.update(&tx, &row![*k], row![*k, *v]);
-                        match r {
+                        match table.update(&tx, &row![*k], row![*k, *v]) {
                             Ok(()) => {
                                 tx.commit().unwrap();
-                                prop_assert!(model.insert(*k, *v).is_some(),
-                                    "{format:?}: engine updated missing key {k}");
+                                assert!(
+                                    model.insert(*k, *v).is_some(),
+                                    "{format:?}: engine updated missing key {k}"
+                                );
                             }
                             Err(_) => {
-                                prop_assert!(!model.contains_key(k),
-                                    "{format:?}: engine failed update of live key {k}");
+                                assert!(
+                                    !model.contains_key(k),
+                                    "{format:?}: engine failed update of live key {k}"
+                                );
                             }
                         }
                     }
                     Op::Delete(k) => {
                         let tx = mgr.begin();
-                        let r = table.delete(&tx, &row![*k]);
-                        match r {
+                        match table.delete(&tx, &row![*k]) {
                             Ok(()) => {
                                 tx.commit().unwrap();
-                                prop_assert!(model.remove(k).is_some(),
-                                    "{format:?}: engine deleted missing key {k}");
+                                assert!(
+                                    model.remove(k).is_some(),
+                                    "{format:?}: engine deleted missing key {k}"
+                                );
                             }
                             Err(_) => {
-                                prop_assert!(!model.contains_key(k),
-                                    "{format:?}: engine failed delete of live key {k}");
+                                assert!(
+                                    !model.contains_key(k),
+                                    "{format:?}: engine failed delete of live key {k}"
+                                );
                             }
                         }
                     }
@@ -155,24 +209,28 @@ proptest! {
                 .collect();
             got.sort_unstable();
             let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
-            prop_assert_eq!(got, want, "{:?}: scan state diverged from model", format);
+            assert_eq!(got, want, "{format:?}: scan state diverged (seed={case})");
 
             // Point reads agree too.
             for k in 0..40i64 {
                 let got = table.get(&row![k], mgr.now(), me).map(|r| r[1].clone());
                 let want = model.get(&k).map(|v| Value::Int(*v));
-                prop_assert_eq!(got, want, "{:?}: get({}) diverged", format, k);
+                assert_eq!(got, want, "{format:?}: get({k}) diverged (seed={case})");
             }
         }
     }
+}
 
-    /// Zone-map pruning is sound: a pushed-down range predicate returns the
-    /// same rows as a full scan filtered in memory.
-    #[test]
-    fn pushdown_equals_postfilter(
-        values in prop::collection::vec(-1000i64..1000, 1..300),
-        lo in -1000i64..1000,
-    ) {
+/// Zone-map pruning is sound: a pushed-down range predicate returns the
+/// same rows as a full scan filtered in memory.
+#[test]
+fn pushdown_equals_postfilter() {
+    for case in 0..16 {
+        let mut rng = rng_for(case ^ 0xF117);
+        let n = rng.gen_range(1..300usize);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000i64)).collect();
+        let lo = rng.gen_range(-1000..1000i64);
+
         let db = Database::new();
         db.execute("CREATE TABLE p (id BIGINT PRIMARY KEY, v BIGINT) USING FORMAT COLUMN")
             .unwrap();
@@ -190,6 +248,62 @@ proptest! {
             .as_int()
             .unwrap();
         let expected = values.iter().filter(|&&v| v >= lo).count() as i64;
-        prop_assert_eq!(pushed, expected);
+        assert_eq!(pushed, expected, "seed={case}");
+    }
+}
+
+/// WAL replay is prefix-closed: truncating the log at *every* byte offset
+/// yields an exact prefix of the committed records — never an error, never
+/// a resurrected or reordered record. This is the crash-safety contract
+/// torn-write recovery relies on.
+#[test]
+fn wal_replay_is_prefix_closed() {
+    use oltapdb::txn::wal::{replay, CommitRecord, Wal, WalOp};
+
+    for case in 0..8u64 {
+        let mut rng = rng_for(case ^ 0x3A1);
+        let n_records = rng.gen_range(1..12usize);
+        let wal = Wal::new_in_memory();
+        let mut records: Vec<CommitRecord> = Vec::new();
+        for i in 0..n_records {
+            let n_ops = rng.gen_range(0..4usize);
+            let rec = CommitRecord {
+                txn: oltapdb::common::ids::TxnId(i as u64 + 1),
+                commit_ts: i as u64 + 100,
+                ops: (0..n_ops)
+                    .map(|j| WalOp::Insert {
+                        table: "t".into(),
+                        row: row![j as i64, rng.gen::<i64>()],
+                    })
+                    .collect(),
+            };
+            wal.append(&rec).unwrap();
+            records.push(rec);
+        }
+        let full = wal.to_bytes();
+
+        // Every truncation point, including 0 and full length.
+        let mut max_seen = 0usize;
+        for cut in 0..=full.len() {
+            let (replayed, _torn) = replay(&full[..cut]);
+            assert!(
+                replayed.len() <= records.len(),
+                "seed={case} cut={cut}: more records than written"
+            );
+            // Exact prefix: record i matches written record i.
+            for (i, got) in replayed.iter().enumerate() {
+                assert_eq!(
+                    got, &records[i],
+                    "seed={case} cut={cut}: record {i} diverged"
+                );
+            }
+            // Monotone: more bytes never yield fewer records.
+            assert!(
+                replayed.len() >= max_seen,
+                "seed={case} cut={cut}: replay went backwards"
+            );
+            max_seen = replayed.len();
+        }
+        assert_eq!(max_seen, records.len(), "seed={case}: full log incomplete");
     }
 }
