@@ -1,0 +1,94 @@
+//! E13 — Morsel-driven parallel execution speedup.
+//!
+//! Claim (HyPer \[28\] morsel parallelism; tutorial §4): decomposing a
+//! query into pipelines over fixed-size morsels and fanning them out on a
+//! worker pool scales analytic throughput near-linearly until the scan
+//! becomes memory-bandwidth bound. Expected shape: ≥2x at 4 workers on
+//! both a filter-heavy scan and a group-by aggregation, flattening as the
+//! worker count approaches the machine's effective bandwidth limit.
+//!
+//! Emits a machine-readable summary to `results/BENCH_parallel.json`
+//! (override with `BENCH_PARALLEL_OUT`).
+
+use oltap_bench::harness::{rate, scaled, time, TextTable};
+use oltap_common::row;
+use oltap_core::Database;
+
+fn main() {
+    let n = scaled(1_000_000);
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE fact (id BIGINT PRIMARY KEY, g BIGINT, v BIGINT) USING FORMAT COLUMN",
+    )
+    .unwrap();
+    let fact = db.table("fact").unwrap();
+    let (_, load_secs) = time(|| {
+        let tx = db.txn_manager().begin();
+        for i in 0..n {
+            fact.insert(&tx, row![i as i64, (i % 64) as i64, (i % 1000) as i64])
+                .unwrap();
+        }
+        tx.commit().unwrap();
+        db.maintenance(); // merge the delta into zone-mapped segments
+    });
+    println!(
+        "E13: {n} rows loaded + merged in {load_secs:.2}s ({})",
+        rate(n, load_secs)
+    );
+
+    let queries = [
+        ("filter-scan", "SELECT COUNT(*) FROM fact WHERE v > 500"),
+        (
+            "group-by-agg",
+            "SELECT g, COUNT(*), SUM(v) FROM fact GROUP BY g",
+        ),
+    ];
+    let reps = 3;
+    let threads = [1usize, 2, 4, 8];
+
+    let mut t = TextTable::new(&["query", "threads", "best secs", "throughput", "speedup"]);
+    let mut json_series = Vec::new();
+    for (qname, sql) in &queries {
+        let mut serial_secs = f64::NAN;
+        for &workers in &threads {
+            db.set_parallelism(workers);
+            let mut best = f64::INFINITY;
+            let mut rows_out = 0usize;
+            for _ in 0..reps {
+                let (r, secs) = time(|| db.query(sql).unwrap());
+                rows_out = r.len();
+                best = best.min(secs);
+            }
+            if workers == 1 {
+                serial_secs = best;
+            }
+            let speedup = serial_secs / best;
+            t.row(&[
+                qname.to_string(),
+                workers.to_string(),
+                format!("{best:.4}"),
+                rate(n, best),
+                format!("{speedup:.2}x"),
+            ]);
+            json_series.push(format!(
+                "{{\"query\":\"{qname}\",\"threads\":{workers},\"secs\":{best:.6},\
+                 \"rows_scanned\":{n},\"rows_out\":{rows_out},\"speedup\":{speedup:.3}}}"
+            ));
+        }
+    }
+    t.print("E13: morsel-driven parallel execution (threads vs throughput)");
+    println!("expected shape: near-linear to 4 workers, bandwidth-bound beyond");
+
+    let out = std::env::var("BENCH_PARALLEL_OUT")
+        .unwrap_or_else(|_| "results/BENCH_parallel.json".to_string());
+    let json = format!(
+        "{{\"experiment\":\"e13_parallel_scan\",\"rows\":{n},\"reps\":{reps},\
+         \"series\":[\n  {}\n]}}\n",
+        json_series.join(",\n  ")
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, &json).expect("write BENCH_parallel.json");
+    println!("wrote {out}");
+}

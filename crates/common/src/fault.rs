@@ -45,6 +45,9 @@ pub mod points {
     pub const MERGE_ABORT: &str = "merge.abort";
     /// Fail a scatter-gather partition read.
     pub const SCAN_PARTITION_FAIL: &str = "scan.partition_fail";
+    /// Fail a morsel dispatch in the parallel executor; the worker retries
+    /// the boundary a bounded number of times before surfacing an error.
+    pub const EXEC_MORSEL_FAIL: &str = "exec.morsel_fail";
 }
 
 /// Configuration of one named fault point.

@@ -1,6 +1,7 @@
 //! The `Database` facade: catalog + transactions + WAL + maintenance.
 
 use crate::catalog::{Catalog, TableFormat, TableHandle};
+use crate::parallel::ParallelExec;
 use crate::session::{QueryResult, Session};
 use oltap_common::fault::{points, FaultInjector};
 use oltap_common::schema::SchemaRef;
@@ -30,6 +31,7 @@ pub struct Database {
     txn_mgr: Arc<TransactionManager>,
     wal: Wal,
     faults: Arc<FaultInjector>,
+    parallel: RwLock<Option<Arc<ParallelExec>>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -49,6 +51,7 @@ impl Database {
             txn_mgr: Arc::new(TransactionManager::new()),
             wal: Wal::new_in_memory(),
             faults: FaultInjector::disabled(),
+            parallel: RwLock::new(None),
         })
     }
 
@@ -64,6 +67,7 @@ impl Database {
             txn_mgr: Arc::new(TransactionManager::new()),
             wal,
             faults,
+            parallel: RwLock::new(None),
         });
         db.recover()?;
         Ok(db)
@@ -72,6 +76,29 @@ impl Database {
     /// The fault injector (disabled unless configured via [`DbConfig`]).
     pub fn faults(&self) -> &Arc<FaultInjector> {
         &self.faults
+    }
+
+    /// Sets the degree of intra-query parallelism for SELECTs. `workers
+    /// <= 1` restores the serial Volcano executor (the default); larger
+    /// values spin up a dedicated worker pool and route queries through
+    /// the morsel-driven [`ParallelExec`]. Both paths produce identical
+    /// results.
+    pub fn set_parallelism(&self, workers: usize) {
+        let mut slot = self.parallel.write();
+        *slot = if workers <= 1 {
+            None
+        } else {
+            Some(Arc::new(ParallelExec::with_faults(
+                workers,
+                Arc::clone(&self.faults),
+            )))
+        };
+    }
+
+    /// The active parallel executor, if [`Database::set_parallelism`]
+    /// enabled one.
+    pub fn parallel_exec(&self) -> Option<Arc<ParallelExec>> {
+        self.parallel.read().clone()
     }
 
     /// Opens a file-backed database at `path` (recovering prior state).

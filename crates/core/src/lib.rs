@@ -17,9 +17,11 @@
 
 pub mod catalog;
 pub mod database;
+pub mod parallel;
 pub mod physical;
 pub mod session;
 
 pub use catalog::{Catalog, TableFormat, TableHandle};
 pub use database::{Database, DbConfig, MaintenanceDaemon, MaintenanceStats};
+pub use parallel::ParallelExec;
 pub use session::{QueryResult, Session};

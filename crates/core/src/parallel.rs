@@ -1,0 +1,429 @@
+//! Morsel-driven parallel plan execution.
+//!
+//! This is the planner half of the parallel executor: a [`LogicalPlan`] is
+//! decomposed at **pipeline breakers** (hash-join build, aggregate, sort /
+//! top-K) into a sequence of pipelines, innermost first. Each pipeline is
+//! a source batch set (segment-granular column-scan morsels), a chain of
+//! streaming [`StageSpec`]s (filter / project / join probe), and a sink
+//! chosen by the breaker above it; `oltap-exec::pipeline` runs it on the
+//! worker pool with NUMA-affine morsel dispatch.
+//!
+//! The serial Volcano path remains the `parallelism = 1` baseline (and
+//! the default — see [`crate::Database::set_parallelism`]); both paths
+//! produce byte-identical results, which `tests/property_based.rs`
+//! asserts over randomized queries and chaos schedules.
+
+use crate::catalog::Catalog;
+use crate::physical::ExecContext;
+use oltap_common::fault::FaultInjector;
+use oltap_common::hash::FxHashMap;
+use oltap_common::schema::SchemaRef;
+use oltap_common::{Batch, DbError, Field, Result, Row, Schema};
+use oltap_exec::operator::{collect_with, LimitOp, MemorySource};
+use oltap_exec::pipeline::{ParallelContext, ProbeStage, StageSpec};
+use oltap_exec::{join_output_schema, AggregatorCore};
+use oltap_sched::{NumaTopology, WorkerPool};
+use oltap_sql::LogicalPlan;
+use std::sync::Arc;
+
+/// Sort/top-K output batch granularity, matching the serial operators'
+/// materialization size so both paths chunk identically.
+const SINK_BATCH_SIZE: usize = 4096;
+
+/// A decomposed pipeline: source morsels, the streaming stage chain to run
+/// over each, and the schema of the chain's output.
+struct Pipeline {
+    batches: Vec<Batch>,
+    stages: Vec<StageSpec>,
+    schema: SchemaRef,
+}
+
+/// The parallel execution engine a [`crate::Database`] owns once
+/// [`crate::Database::set_parallelism`] enables it: a dedicated worker
+/// pool plus the simulated NUMA topology that drives morsel affinity.
+pub struct ParallelExec {
+    pool: Arc<WorkerPool>,
+    parallelism: usize,
+    topology: NumaTopology,
+    faults: Arc<FaultInjector>,
+}
+
+impl std::fmt::Debug for ParallelExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelExec")
+            .field("parallelism", &self.parallelism)
+            .field("sockets", &self.topology.sockets)
+            .finish()
+    }
+}
+
+impl ParallelExec {
+    /// An executor with `parallelism` dedicated workers and no fault
+    /// injection.
+    pub fn new(parallelism: usize) -> ParallelExec {
+        ParallelExec::with_faults(parallelism, FaultInjector::disabled())
+    }
+
+    /// An executor whose morsel boundaries probe `faults` (the database
+    /// passes its own injector so chaos configs reach the parallel path).
+    pub fn with_faults(parallelism: usize, faults: Arc<FaultInjector>) -> ParallelExec {
+        let parallelism = parallelism.max(1);
+        ParallelExec {
+            pool: Arc::new(WorkerPool::new(parallelism, parallelism)),
+            parallelism,
+            topology: NumaTopology::two_socket(),
+            faults,
+        }
+    }
+
+    /// Degree of parallelism (worker count of the dedicated pool).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Executes `plan` with morsel-driven parallelism, producing the same
+    /// batches the serial [`crate::physical::execute_plan`] would.
+    pub fn execute(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        ctx: &ExecContext,
+    ) -> Result<Vec<Batch>> {
+        let pctx = ParallelContext {
+            pool: Arc::clone(&self.pool),
+            parallelism: self.parallelism,
+            sockets: self.topology.sockets,
+            cancel: ctx.cancel.clone(),
+            faults: Arc::clone(&self.faults),
+        };
+        let p = self.decompose(plan, catalog, ctx, &pctx)?;
+        let batches = if p.stages.is_empty() {
+            p.batches
+        } else {
+            pctx.run_collect(p.batches, p.stages)?
+        };
+        Ok(batches.into_iter().filter(|b| !b.is_empty()).collect())
+    }
+
+    /// Recursively decomposes a plan. Streaming operators extend the
+    /// current pipeline's stage chain; pipeline breakers run the chain
+    /// built so far through their parallel sink and start a fresh pipeline
+    /// over the materialized result.
+    fn decompose(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        ctx: &ExecContext,
+        pctx: &ParallelContext,
+    ) -> Result<Pipeline> {
+        Ok(match plan {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                pushdown,
+                ..
+            } => {
+                let handle = catalog.get(table)?;
+                let batches =
+                    handle.scan(projection, pushdown, ctx.read_ts, ctx.me, ctx.batch_size)?;
+                Pipeline {
+                    batches,
+                    stages: Vec::new(),
+                    schema: plan.output_schema()?,
+                }
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let mut p = self.decompose(input, catalog, ctx, pctx)?;
+                // Same validation the serial FilterOp performs.
+                if predicate.data_type(&p.schema)? != oltap_common::DataType::Bool {
+                    return Err(DbError::Plan("filter predicate must be boolean".into()));
+                }
+                p.stages.push(StageSpec::Filter {
+                    predicate: predicate.clone(),
+                    input_schema: Arc::clone(&p.schema),
+                });
+                p
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let mut p = self.decompose(input, catalog, ctx, pctx)?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (e, n) in exprs {
+                    fields.push(Field::new(n.clone(), e.data_type(&p.schema)?));
+                }
+                let out_schema = Arc::new(Schema::new(fields));
+                p.stages.push(StageSpec::Project {
+                    exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
+                    input_schema: Arc::clone(&p.schema),
+                });
+                p.schema = out_schema;
+                p
+            }
+            LogicalPlan::Aggregate { input, group, aggs } => {
+                let p = self.decompose(input, catalog, ctx, pctx)?;
+                let core = Arc::new(AggregatorCore::new(
+                    &p.schema,
+                    group.clone(),
+                    aggs.clone(),
+                )?);
+                let schema = core.schema();
+                let batches = pctx.run_aggregate(p.batches, p.stages, core)?;
+                Pipeline {
+                    batches,
+                    stages: Vec::new(),
+                    schema,
+                }
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                join_type,
+            } => {
+                if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+                    return Err(DbError::Plan(
+                        "join requires one or more positionally paired keys".into(),
+                    ));
+                }
+                // Build pipeline first (the serial operator's blocking
+                // build), then extend the probe-side pipeline in place.
+                let build = self.decompose(right, catalog, ctx, pctx)?;
+                let right_schema = Arc::clone(&build.schema);
+                let table: FxHashMap<Row, Vec<Row>> =
+                    pctx.run_join_build(build.batches, build.stages, right_keys.clone())?;
+                let mut p = self.decompose(left, catalog, ctx, pctx)?;
+                let schema = join_output_schema(&p.schema, &right_schema, *join_type);
+                p.stages.push(StageSpec::Probe(Arc::new(ProbeStage {
+                    table,
+                    keys: left_keys.clone(),
+                    join_type: *join_type,
+                    right_width: right_schema.len(),
+                    schema: Arc::clone(&schema),
+                })));
+                p.schema = schema;
+                p
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let p = self.decompose(input, catalog, ctx, pctx)?;
+                let schema = Arc::clone(&p.schema);
+                let batches = pctx.run_sort(
+                    p.batches,
+                    p.stages,
+                    keys.clone(),
+                    Arc::clone(&schema),
+                    SINK_BATCH_SIZE,
+                )?;
+                Pipeline {
+                    batches,
+                    stages: Vec::new(),
+                    schema,
+                }
+            }
+            LogicalPlan::Limit {
+                input,
+                offset,
+                limit,
+            } => {
+                // Same physical rewrite as the serial planner:
+                // Limit(Sort(x)) with offset 0 → top-K sink.
+                if let LogicalPlan::Sort {
+                    input: sort_in,
+                    keys,
+                } = input.as_ref()
+                {
+                    if *offset == 0 && *limit != usize::MAX {
+                        let p = self.decompose(sort_in, catalog, ctx, pctx)?;
+                        let schema = Arc::clone(&p.schema);
+                        let batches = pctx.run_topk(
+                            p.batches,
+                            p.stages,
+                            keys.clone(),
+                            *limit,
+                            Arc::clone(&schema),
+                        )?;
+                        return Ok(Pipeline {
+                            batches,
+                            stages: Vec::new(),
+                            schema,
+                        });
+                    }
+                }
+                // General limit/offset is inherently serial and cheap:
+                // run it over the morsel-ordered stream.
+                let p = self.decompose(input, catalog, ctx, pctx)?;
+                let schema = Arc::clone(&p.schema);
+                let ordered = if p.stages.is_empty() {
+                    p.batches
+                } else {
+                    pctx.run_collect(p.batches, p.stages)?
+                };
+                let src = Box::new(MemorySource::new(Arc::clone(&schema), ordered));
+                let batches = collect_with(
+                    Box::new(LimitOp::new(src, *offset, *limit)),
+                    &ctx.cancel,
+                )?;
+                Pipeline {
+                    batches,
+                    stages: Vec::new(),
+                    schema,
+                }
+            }
+        })
+    }
+}
+
+/// Morsel-affinity diagnostics (used by the parallel-scan bench).
+impl ParallelExec {
+    /// The simulated topology driving morsel placement.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{TableFormat, TableHandle};
+    use crate::physical::{execute_plan, snapshot_ctx};
+    use oltap_common::row;
+    use oltap_common::{DataType, Value};
+    use oltap_sql::{bind_select, optimize, parse, Statement};
+    use oltap_txn::TransactionManager;
+
+    fn setup() -> (Arc<TransactionManager>, Catalog) {
+        let mgr = Arc::new(TransactionManager::new());
+        let mut cat = Catalog::new();
+        let schema = Arc::new(
+            Schema::with_primary_key(
+                vec![
+                    Field::not_null("id", DataType::Int64),
+                    Field::new("grp", DataType::Utf8),
+                    Field::new("v", DataType::Int64),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        );
+        let h = TableHandle::create(schema, TableFormat::Column).unwrap();
+        let tx = mgr.begin();
+        for i in 0..500 {
+            h.insert(&tx, row![i as i64, ["a", "b", "c"][i % 3], (i % 10) as i64])
+                .unwrap();
+        }
+        tx.commit().unwrap();
+        cat.create("t", h).unwrap();
+
+        let dim_schema = Arc::new(
+            Schema::with_primary_key(
+                vec![
+                    Field::not_null("g", DataType::Utf8),
+                    Field::new("label", DataType::Utf8),
+                ],
+                &["g"],
+            )
+            .unwrap(),
+        );
+        let d = TableHandle::create(dim_schema, TableFormat::Row).unwrap();
+        let tx = mgr.begin();
+        for (g, l) in [("a", "alpha"), ("b", "beta")] {
+            d.insert(&tx, row![g, l]).unwrap();
+        }
+        tx.commit().unwrap();
+        cat.create("dim", d).unwrap();
+        (mgr, cat)
+    }
+
+    fn plan_for(sql: &str, cat: &Catalog) -> LogicalPlan {
+        let stmt = parse(sql).unwrap();
+        let sel = match stmt {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        optimize(bind_select(&sel, cat).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_all_shapes() {
+        let (mgr, cat) = setup();
+        let queries = [
+            "SELECT * FROM t",
+            "SELECT id, v * 2 FROM t WHERE v > 4",
+            "SELECT grp, COUNT(*), SUM(v), MIN(id), MAX(v) FROM t GROUP BY grp ORDER BY grp",
+            "SELECT COUNT(*) FROM t WHERE v = 3",
+            "SELECT id, v FROM t ORDER BY v DESC, id",
+            "SELECT id FROM t ORDER BY v LIMIT 7",
+            "SELECT id FROM t ORDER BY id LIMIT 5 OFFSET 13",
+            "SELECT t.id, dim.label FROM t JOIN dim ON t.grp = dim.g WHERE t.v < 3 \
+             ORDER BY t.id LIMIT 20",
+            "SELECT t.id, dim.label FROM t LEFT JOIN dim ON t.grp = dim.g ORDER BY t.id",
+            "SELECT grp, AVG(v) FROM t WHERE id < 300 GROUP BY grp ORDER BY grp",
+        ];
+        for parallelism in [2, 8] {
+            let pexec = ParallelExec::new(parallelism);
+            for sql in &queries {
+                let plan = plan_for(sql, &cat);
+                let ctx = snapshot_ctx(mgr.now());
+                let serial = execute_plan(&plan, &cat, &ctx).unwrap();
+                let parallel = pexec.execute(&plan, &cat, &ctx).unwrap();
+                let s_rows: Vec<Row> = serial.iter().flat_map(|b| b.to_rows()).collect();
+                let p_rows: Vec<Row> = parallel.iter().flat_map(|b| b.to_rows()).collect();
+                assert_eq!(s_rows, p_rows, "{sql} at parallelism={parallelism}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_cancellation() {
+        let (mgr, cat) = setup();
+        let pexec = ParallelExec::new(4);
+        let plan = plan_for("SELECT SUM(v) FROM t", &cat);
+        let mut ctx = snapshot_ctx(mgr.now());
+        let token = oltap_common::CancellationToken::new();
+        token.cancel();
+        ctx.cancel = token;
+        let err = pexec.execute(&plan, &cat, &ctx).unwrap_err();
+        assert!(matches!(err, DbError::Cancelled(_)), "{err:?}");
+    }
+
+    #[test]
+    fn empty_table_all_shapes() {
+        let mgr = Arc::new(TransactionManager::new());
+        let mut cat = Catalog::new();
+        let schema = Arc::new(
+            Schema::with_primary_key(
+                vec![
+                    Field::not_null("id", DataType::Int64),
+                    Field::new("v", DataType::Int64),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        );
+        cat.create("e", TableHandle::create(schema, TableFormat::Column).unwrap())
+            .unwrap();
+        let pexec = ParallelExec::new(4);
+        for sql in [
+            "SELECT * FROM e",
+            "SELECT COUNT(*) FROM e",
+            "SELECT id FROM e ORDER BY v LIMIT 3",
+        ] {
+            let plan = plan_for(sql, &cat);
+            let ctx = snapshot_ctx(mgr.now());
+            let serial = execute_plan(&plan, &cat, &ctx).unwrap();
+            let parallel = pexec.execute(&plan, &cat, &ctx).unwrap();
+            let s_rows: Vec<Row> = serial.iter().flat_map(|b| b.to_rows()).collect();
+            let p_rows: Vec<Row> = parallel.iter().flat_map(|b| b.to_rows()).collect();
+            assert_eq!(s_rows, p_rows, "{sql}");
+        }
+        // Global COUNT over empty input still yields its zero row.
+        let plan = plan_for("SELECT COUNT(*) FROM e", &cat);
+        let ctx = snapshot_ctx(mgr.now());
+        let rows: Vec<Row> = pexec
+            .execute(&plan, &cat, &ctx)
+            .unwrap()
+            .iter()
+            .flat_map(|b| b.to_rows())
+            .collect();
+        assert_eq!(rows[0][0], Value::Int(0));
+    }
+}

@@ -107,7 +107,7 @@ pub fn execute_plan(
     ctx: &ExecContext,
 ) -> Result<Vec<oltap_common::Batch>> {
     let op = lower(plan, catalog, ctx)?;
-    oltap_exec::operator::collect(op)
+    oltap_exec::operator::collect_with(op, &ctx.cancel)
 }
 
 /// The schema a plan's results will carry.

@@ -157,16 +157,16 @@ impl Session {
         let catalog = self.db.catalog_read();
         let plan = optimize(bind_select(sel, &*catalog)?)?;
         let schema = plan.output_schema()?;
-        let result = execute_plan(
-            &plan,
-            &catalog,
-            &ExecContext {
-                read_ts,
-                me,
-                batch_size: oltap_common::vector::BATCH_SIZE,
-                cancel,
-            },
-        );
+        let ctx = ExecContext {
+            read_ts,
+            me,
+            batch_size: oltap_common::vector::BATCH_SIZE,
+            cancel,
+        };
+        let result = match self.db.parallel_exec() {
+            Some(pexec) => pexec.execute(&plan, &catalog, &ctx),
+            None => execute_plan(&plan, &catalog, &ctx),
+        };
         *self.active_cancel.lock() = None;
         let rows: Vec<Row> = result?.iter().flat_map(|b| b.to_rows()).collect();
         Ok(QueryResult::Rows { schema, rows })

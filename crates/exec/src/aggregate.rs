@@ -171,6 +171,44 @@ impl AggState {
         }
     }
 
+    /// Folds another partial state (same function, different input slice)
+    /// into this one. Every aggregate here is decomposable, which is what
+    /// lets the parallel executor aggregate per worker and merge.
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumI { sum, seen }, AggState::SumI { sum: s2, seen: n2 }) => {
+                *sum = sum.wrapping_add(s2);
+                *seen |= n2;
+            }
+            (AggState::SumF { sum, seen }, AggState::SumF { sum: s2, seen: n2 }) => {
+                *sum += s2;
+                *seen |= n2;
+            }
+            (AggState::Min(m), AggState::Min(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().is_none_or(|cur| v < *cur) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(m), AggState::Max(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().is_none_or(|cur| v > *cur) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            (AggState::Avg { sum, count }, AggState::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            // States come from the same AggregatorCore, so variants always
+            // line up; a mismatch is a logic bug, not recoverable.
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
     fn finish(&self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(*c),
@@ -200,111 +238,140 @@ impl AggState {
     }
 }
 
-/// Blocking hash-aggregation operator.
-pub struct HashAggregateOp {
-    input: Option<BoxedOperator>,
+/// A thread-local partial aggregation: group key → one running state per
+/// aggregate. Opaque; produced by [`AggregatorCore::new_map`], filled by
+/// [`AggregatorCore::consume`], combined by [`AggregatorCore::merge`].
+pub struct GroupMap(FxHashMap<Row, Vec<AggState>>);
+
+impl GroupMap {
+    /// Number of distinct groups accumulated so far.
+    pub fn group_count(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// The reusable aggregation engine: schema derivation, per-batch
+/// consumption into a [`GroupMap`], partial-map merging, and the
+/// deterministic finish (sort by group key, chunk into batches). The
+/// serial [`HashAggregateOp`] and the parallel aggregate sink both drive
+/// this core, so the two paths cannot drift.
+pub struct AggregatorCore {
     group_by: Vec<Expr>,
     aggs: Vec<AggExpr>,
     input_types: Vec<DataType>,
     schema: SchemaRef,
-    output: Option<std::vec::IntoIter<Batch>>,
     batch_size: usize,
 }
 
-impl HashAggregateOp {
-    /// Builds the operator. Output schema = group-by columns (labeled
-    /// `names`) followed by one column per aggregate.
+impl AggregatorCore {
+    /// Builds the core. Output schema = group-by columns (labeled by the
+    /// paired names) followed by one column per aggregate.
     pub fn new(
-        input: BoxedOperator,
+        input_schema: &Schema,
         group_by: Vec<(Expr, String)>,
         aggs: Vec<AggExpr>,
     ) -> Result<Self> {
-        let in_schema = input.schema();
         let mut fields = Vec::new();
         let mut group_exprs = Vec::new();
         for (e, name) in group_by {
-            fields.push(Field::new(name, e.data_type(&in_schema)?));
+            fields.push(Field::new(name, e.data_type(input_schema)?));
             group_exprs.push(e);
         }
         let mut input_types = Vec::new();
         for a in &aggs {
-            fields.push(Field::new(a.label.clone(), a.output_type(&in_schema)?));
+            fields.push(Field::new(a.label.clone(), a.output_type(input_schema)?));
             input_types.push(match &a.input {
-                Some(e) => e.data_type(&in_schema)?,
+                Some(e) => e.data_type(input_schema)?,
                 None => DataType::Int64,
             });
         }
-        Ok(HashAggregateOp {
-            input: Some(input),
+        Ok(AggregatorCore {
             group_by: group_exprs,
             aggs,
             input_types,
             schema: Arc::new(Schema::new(fields)),
-            output: None,
             batch_size: 4096,
         })
     }
 
-    fn execute(&mut self) -> Result<Vec<Batch>> {
-        let mut input = self.input.take().expect("executed twice");
-        let mut groups: FxHashMap<Row, Vec<AggState>> = FxHashMap::default();
-        let make_states = |aggs: &[AggExpr], types: &[DataType]| -> Vec<AggState> {
-            aggs.iter()
-                .zip(types)
-                .map(|(a, t)| AggState::new(a.func, *t))
-                .collect()
-        };
+    /// The output schema.
+    pub fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
 
-        while let Some(batch) = input.next()? {
-            if batch.is_empty() {
-                continue;
-            }
-            // Evaluate group keys and aggregate inputs vectorized.
-            let key_cols = self
-                .group_by
-                .iter()
-                .map(|e| e.eval_batch(&batch))
-                .collect::<Result<Vec<_>>>()?;
-            let agg_cols = self
-                .aggs
-                .iter()
-                .map(|a| {
-                    a.input
-                        .as_ref()
-                        .map(|e| e.eval_batch(&batch))
-                        .transpose()
-                })
-                .collect::<Result<Vec<_>>>()?;
+    /// An empty partial map.
+    pub fn new_map(&self) -> GroupMap {
+        GroupMap(FxHashMap::default())
+    }
 
-            for i in 0..batch.len() {
-                let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
-                let states = groups
-                    .entry(key)
-                    .or_insert_with(|| make_states(&self.aggs, &self.input_types));
-                for (s, (a, col)) in states.iter_mut().zip(self.aggs.iter().zip(&agg_cols)) {
-                    match (a.func, col) {
-                        (AggFunc::CountStar, _) => s.count_row(),
-                        (_, Some(c)) => s.update(&c.value_at(i))?,
-                        (_, None) => {
-                            return Err(DbError::Plan(
-                                "non-COUNT(*) aggregate without input".into(),
-                            ))
-                        }
+    fn make_states(&self) -> Vec<AggState> {
+        self.aggs
+            .iter()
+            .zip(&self.input_types)
+            .map(|(a, t)| AggState::new(a.func, *t))
+            .collect()
+    }
+
+    /// Folds one batch into `map`, evaluating group keys and aggregate
+    /// inputs vectorized.
+    pub fn consume(&self, map: &mut GroupMap, batch: &Batch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let key_cols = self
+            .group_by
+            .iter()
+            .map(|e| e.eval_batch(batch))
+            .collect::<Result<Vec<_>>>()?;
+        let agg_cols = self
+            .aggs
+            .iter()
+            .map(|a| a.input.as_ref().map(|e| e.eval_batch(batch)).transpose())
+            .collect::<Result<Vec<_>>>()?;
+
+        for i in 0..batch.len() {
+            let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+            let states = map.0.entry(key).or_insert_with(|| self.make_states());
+            for (s, (a, col)) in states.iter_mut().zip(self.aggs.iter().zip(&agg_cols)) {
+                match (a.func, col) {
+                    (AggFunc::CountStar, _) => s.count_row(),
+                    (_, Some(c)) => s.update(&c.value_at(i))?,
+                    (_, None) => {
+                        return Err(DbError::Plan(
+                            "non-COUNT(*) aggregate without input".into(),
+                        ))
                     }
                 }
             }
         }
+        Ok(())
+    }
 
-        // Global aggregation over empty input still yields one row.
-        if groups.is_empty() && self.group_by.is_empty() {
-            groups.insert(
-                Row::new(Vec::new()),
-                make_states(&self.aggs, &self.input_types),
-            );
+    /// Merges a partial map into `into`. Every supported aggregate is
+    /// decomposable, so merge order cannot change integer results (float
+    /// sums are merged in caller-fixed worker order for determinism).
+    pub fn merge(&self, into: &mut GroupMap, from: GroupMap) {
+        for (key, states) in from.0 {
+            match into.0.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().iter_mut().zip(states) {
+                        dst.merge(src);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(states);
+                }
+            }
         }
+    }
 
-        // Deterministic output order: sort by group key.
-        let mut entries: Vec<(Row, Vec<AggState>)> = groups.into_iter().collect();
+    /// Finishes: deterministic output order (sorted by group key), chunked
+    /// into batches. A global aggregate over empty input yields one row.
+    pub fn finish(&self, mut map: GroupMap) -> Result<Vec<Batch>> {
+        if map.0.is_empty() && self.group_by.is_empty() {
+            map.0.insert(Row::new(Vec::new()), self.make_states());
+        }
+        let mut entries: Vec<(Row, Vec<AggState>)> = map.0.into_iter().collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
 
         let rows: Vec<Row> = entries
@@ -321,9 +388,43 @@ impl HashAggregateOp {
     }
 }
 
+/// Blocking hash-aggregation operator (the serial driver of
+/// [`AggregatorCore`]).
+pub struct HashAggregateOp {
+    input: Option<BoxedOperator>,
+    core: AggregatorCore,
+    output: Option<std::vec::IntoIter<Batch>>,
+}
+
+impl HashAggregateOp {
+    /// Builds the operator. Output schema = group-by columns (labeled
+    /// `names`) followed by one column per aggregate.
+    pub fn new(
+        input: BoxedOperator,
+        group_by: Vec<(Expr, String)>,
+        aggs: Vec<AggExpr>,
+    ) -> Result<Self> {
+        let core = AggregatorCore::new(&input.schema(), group_by, aggs)?;
+        Ok(HashAggregateOp {
+            input: Some(input),
+            core,
+            output: None,
+        })
+    }
+
+    fn execute(&mut self) -> Result<Vec<Batch>> {
+        let mut input = self.input.take().expect("executed twice");
+        let mut map = self.core.new_map();
+        while let Some(batch) = input.next()? {
+            self.core.consume(&mut map, &batch)?;
+        }
+        self.core.finish(map)
+    }
+}
+
 impl Operator for HashAggregateOp {
     fn schema(&self) -> SchemaRef {
-        Arc::clone(&self.schema)
+        self.core.schema()
     }
     fn next(&mut self) -> Result<Option<Batch>> {
         if self.output.is_none() {
@@ -510,6 +611,51 @@ mod tests {
         let rows = run(op);
         assert_eq!(rows[0][0], Value::Str("a".into()));
         assert_eq!(rows[0][1], Value::Str("b".into()));
+    }
+
+    #[test]
+    fn partial_maps_merge_to_serial_result() {
+        // Consuming batches into three partial maps and merging must be
+        // indistinguishable from one map — the parallel-sink contract.
+        let mut src = source();
+        let schema = src.schema();
+        let core = AggregatorCore::new(
+            &schema,
+            vec![(Expr::col(0), "g".into())],
+            vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Sum, Expr::col(1), "s"),
+                AggExpr::new(AggFunc::Min, Expr::col(1), "mn"),
+                AggExpr::new(AggFunc::Max, Expr::col(1), "mx"),
+                AggExpr::new(AggFunc::Avg, Expr::col(2), "av"),
+            ],
+        )
+        .unwrap();
+        let mut whole = core.new_map();
+        let mut parts = vec![core.new_map(), core.new_map(), core.new_map()];
+        let mut i = 0;
+        while let Some(b) = src.next().unwrap() {
+            core.consume(&mut whole, &b).unwrap();
+            core.consume(&mut parts[i % 3], &b).unwrap();
+            i += 1;
+        }
+        let mut merged = core.new_map();
+        for p in parts {
+            core.merge(&mut merged, p);
+        }
+        let serial: Vec<Row> = core
+            .finish(whole)
+            .unwrap()
+            .iter()
+            .flat_map(|b| b.to_rows())
+            .collect();
+        let parallel: Vec<Row> = core
+            .finish(merged)
+            .unwrap()
+            .iter()
+            .flat_map(|b| b.to_rows())
+            .collect();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

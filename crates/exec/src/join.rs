@@ -16,6 +16,68 @@ pub enum JoinType {
     Left,
 }
 
+/// Output schema of a hash join: left fields followed by right fields
+/// (nullable under LEFT since unmatched rows pad with NULLs), with
+/// repeated names disambiguated mechanically. Shared by the serial
+/// operator and the parallel probe stage so the two paths agree.
+pub fn join_output_schema(left: &Schema, right: &Schema, join_type: JoinType) -> SchemaRef {
+    let mut fields = left.fields().to_vec();
+    fields.extend(right.fields().iter().cloned().map(|mut f| {
+        if join_type == JoinType::Left {
+            f.nullable = true;
+        }
+        f
+    }));
+    for i in 0..fields.len() {
+        if fields[..i].iter().any(|f| f.name == fields[i].name) {
+            fields[i].name = format!("{}#{}", fields[i].name, i);
+        }
+    }
+    Arc::new(Schema::new(fields))
+}
+
+/// Probes the build `table` with one batch of left rows, producing the
+/// joined batch (`None` when nothing in the batch matched under an inner
+/// join). This is the per-batch body of the streaming probe, shared by
+/// [`HashJoinOp`] and the parallel pipeline's probe stage.
+pub fn probe_batch(
+    table: &FxHashMap<Row, Vec<Row>>,
+    keys: &[Expr],
+    join_type: JoinType,
+    right_width: usize,
+    schema: &SchemaRef,
+    batch: &Batch,
+) -> Result<Option<Batch>> {
+    let key_cols = keys
+        .iter()
+        .map(|e| e.eval_batch(batch))
+        .collect::<Result<Vec<_>>>()?;
+    let mut out_rows: Vec<Row> = Vec::with_capacity(batch.len());
+    for i in 0..batch.len() {
+        let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+        let has_null = key.values().iter().any(|v| v.is_null());
+        let matches = if has_null { None } else { table.get(&key) };
+        match matches {
+            Some(rows) => {
+                let l = batch.row(i);
+                for r in rows {
+                    out_rows.push(l.concat(r));
+                }
+            }
+            None => {
+                if join_type == JoinType::Left {
+                    let pad = Row::new(vec![Value::Null; right_width]);
+                    out_rows.push(batch.row(i).concat(&pad));
+                }
+            }
+        }
+    }
+    if out_rows.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(Batch::from_rows(schema, &out_rows)?))
+}
+
 /// Hash join: blocking build on the right input, streaming probe from the
 /// left. Output schema = left columns followed by right columns.
 pub struct HashJoinOp {
@@ -28,7 +90,6 @@ pub struct HashJoinOp {
     right_width: usize,
     /// Build side: key → right rows with that key.
     table: Option<FxHashMap<Row, Vec<Row>>>,
-    batch_size: usize,
 }
 
 impl HashJoinOp {
@@ -48,21 +109,8 @@ impl HashJoinOp {
         }
         let ls = left.schema();
         let rs = right.schema();
-        let mut fields = ls.fields().to_vec();
-        fields.extend(rs.fields().iter().cloned().map(|mut f| {
-            if join_type == JoinType::Left {
-                f.nullable = true;
-            }
-            f
-        }));
-        // Joined schemas may repeat names; disambiguate mechanically.
-        for i in 0..fields.len() {
-            if fields[..i].iter().any(|f| f.name == fields[i].name) {
-                fields[i].name = format!("{}#{}", fields[i].name, i);
-            }
-        }
         Ok(HashJoinOp {
-            schema: Arc::new(Schema::new(fields)),
+            schema: join_output_schema(&ls, &rs, join_type),
             right_width: rs.len(),
             left,
             right: Some(right),
@@ -70,7 +118,6 @@ impl HashJoinOp {
             right_keys,
             join_type,
             table: None,
-            batch_size: 4096,
         })
     }
 
@@ -115,34 +162,15 @@ impl Operator for HashJoinOp {
             if batch.is_empty() {
                 continue;
             }
-            let key_cols = self
-                .left_keys
-                .iter()
-                .map(|e| e.eval_batch(&batch))
-                .collect::<Result<Vec<_>>>()?;
-            let mut out_rows: Vec<Row> = Vec::with_capacity(self.batch_size.min(batch.len()));
-            for i in 0..batch.len() {
-                let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
-                let has_null = key.values().iter().any(|v| v.is_null());
-                let matches = if has_null { None } else { table.get(&key) };
-                match matches {
-                    Some(rows) => {
-                        let l = batch.row(i);
-                        for r in rows {
-                            out_rows.push(l.concat(r));
-                        }
-                    }
-                    None => {
-                        if self.join_type == JoinType::Left {
-                            let pad =
-                                Row::new(vec![Value::Null; self.right_width]);
-                            out_rows.push(batch.row(i).concat(&pad));
-                        }
-                    }
-                }
-            }
-            if !out_rows.is_empty() {
-                return Ok(Some(Batch::from_rows(&self.schema, &out_rows)?));
+            if let Some(out) = probe_batch(
+                table,
+                &self.left_keys,
+                self.join_type,
+                self.right_width,
+                &self.schema,
+                &batch,
+            )? {
+                return Ok(Some(out));
             }
             // All left rows unmatched under inner join: pull next batch.
         }

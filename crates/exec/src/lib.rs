@@ -14,6 +14,9 @@
 //!   sort, top-K.
 //! * [`shared_scan`] — circular/clock shared scans (QPipe \[12\] /
 //!   Crescando \[39\] analog).
+//! * [`pipeline`] — morsel-driven parallel pipelines over the worker pool
+//!   (HyPer \[28\] morsel parallelism analog): NUMA-affine morsel
+//!   dispatch, thread-local stage chains, thread-partitioned sinks.
 
 pub mod aggregate;
 pub mod compiled;
@@ -21,13 +24,22 @@ pub mod expr;
 pub mod join;
 pub mod kernels;
 pub mod operator;
+pub mod pipeline;
 pub mod shared_scan;
 pub mod sort;
 
-pub use aggregate::{AggExpr, AggFunc, HashAggregateOp};
+pub use aggregate::{AggExpr, AggFunc, AggregatorCore, GroupMap, HashAggregateOp};
 pub use compiled::{compile, CompiledExpr, Program};
 pub use expr::{BinOp, Expr, UnOp};
-pub use join::{HashJoinOp, JoinType};
-pub use operator::{collect, count_rows, BoxedOperator, CancelOp, FilterOp, LimitOp, MemorySource, Operator, ProjectOp};
+pub use join::{join_output_schema, probe_batch, HashJoinOp, JoinType};
+pub use operator::{
+    collect, collect_with, count_rows, count_rows_with, BoxedOperator, CancelOp, FilterOp,
+    LimitOp, MemorySource, Operator, ProjectOp,
+};
+pub use pipeline::{
+    Morsel, MorselDispenser, ParallelContext, ProbeStage, StageSpec, MORSEL_FAULT_RETRIES,
+};
 pub use shared_scan::{ClockScan, ScanQuery, ScanQueryResult};
-pub use sort::{SortKey, SortOp, TopKOp};
+pub use sort::{
+    compare_keys, merge_sorted_runs, sort_entries, SortEntry, SortKey, SortOp, TopKAcc, TopKOp,
+};

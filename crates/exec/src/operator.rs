@@ -25,23 +25,43 @@ pub trait Operator: Send {
 pub type BoxedOperator = Box<dyn Operator>;
 
 /// Drains an operator into a single vector of batches.
-pub fn collect(mut op: BoxedOperator) -> Result<Vec<Batch>> {
+pub fn collect(op: BoxedOperator) -> Result<Vec<Batch>> {
+    collect_with(op, &CancellationToken::none())
+}
+
+/// Drains an operator into batches, checking `token` before each pull so a
+/// cancelled query stops even when the plan root is drained outside a
+/// [`CancelOp`] wrapper (the drain itself is a batch boundary too).
+pub fn collect_with(mut op: BoxedOperator, token: &CancellationToken) -> Result<Vec<Batch>> {
     let mut out = Vec::new();
-    while let Some(b) = op.next()? {
-        if !b.is_empty() {
-            out.push(b);
+    loop {
+        token.check()?;
+        match op.next()? {
+            Some(b) => {
+                if !b.is_empty() {
+                    out.push(b);
+                }
+            }
+            None => return Ok(out),
         }
     }
-    Ok(out)
 }
 
 /// Drains an operator counting rows (no materialization beyond batches).
-pub fn count_rows(mut op: BoxedOperator) -> Result<usize> {
+pub fn count_rows(op: BoxedOperator) -> Result<usize> {
+    count_rows_with(op, &CancellationToken::none())
+}
+
+/// Counting drain with a cancellation check before each pull.
+pub fn count_rows_with(mut op: BoxedOperator, token: &CancellationToken) -> Result<usize> {
     let mut n = 0;
-    while let Some(b) = op.next()? {
-        n += b.len();
+    loop {
+        token.check()?;
+        match op.next()? {
+            Some(b) => n += b.len(),
+            None => return Ok(n),
+        }
     }
-    Ok(n)
 }
 
 /// Cancellation guard: checks a [`CancellationToken`] before pulling each
@@ -327,6 +347,22 @@ mod tests {
         assert_eq!(count_rows(Box::new(LimitOp::new(src, 5, 100))).unwrap(), 5);
         let (_, src) = test_source(10);
         assert_eq!(count_rows(Box::new(LimitOp::new(src, 50, 10))).unwrap(), 0);
+    }
+
+    #[test]
+    fn drains_observe_cancellation() {
+        let token = CancellationToken::new();
+        token.cancel();
+        let (_, src) = test_source(100);
+        assert!(matches!(
+            collect_with(src, &token),
+            Err(DbError::Cancelled(_))
+        ));
+        let (_, src) = test_source(100);
+        assert!(matches!(
+            count_rows_with(src, &token),
+            Err(DbError::Cancelled(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,699 @@
+//! Morsel-driven parallel pipelines over the worker pool.
+//!
+//! The HyPer lineage (Funke, Kemper, Neumann) gets its OLAP throughput
+//! from **morsel-driven parallelism**: a plan is cut at pipeline breakers
+//! (hash-join build, aggregate, sort) into pipelines; each pipeline's
+//! source hands out *morsels* — segment-granular batches — from a shared
+//! atomic dispenser, and worker threads run the pipeline's operator chain
+//! thread-locally before merging into thread-partitioned sinks. This
+//! module provides the executor half of that design; plan decomposition
+//! lives in `oltap-core`.
+//!
+//! Determinism contract: the parallel path must produce **byte-identical**
+//! results to the serial Volcano path. Three mechanisms deliver that:
+//!
+//! 1. Morsel indices equal the serial batch arrival order, and stage
+//!    chains are 1:1 per batch, so ordering sinks by morsel index
+//!    reconstructs the serial batch stream exactly.
+//! 2. Row-level sinks (sort runs, top-K candidates, join build rows) tag
+//!    every row with a sequence number `(morsel_index << 32) | row_in_batch`
+//!    that is order-isomorphic to the serial arrival counter; merges break
+//!    key ties by that sequence, matching the serial stable sort and the
+//!    serial build-table scan order.
+//! 3. Aggregate group maps merge with order-independent per-group state
+//!    ([`AggregatorCore::merge`]) and emit in sorted group-key order, the
+//!    same order the serial operator emits.
+//!
+//! Cancellation and fault injection keep their serial granularity: the
+//! token is checked and the [`points::EXEC_MORSEL_FAIL`] fault point is
+//! probed at every morsel boundary (a morsel *is* a batch boundary), with
+//! a bounded retry so probabilistic chaos runs still complete.
+
+use crate::aggregate::{AggregatorCore, GroupMap};
+use crate::compiled::CompiledExpr;
+use crate::expr::Expr;
+use crate::join::{probe_batch, JoinType};
+use crate::sort::{merge_sorted_runs, sort_entries, SortEntry, SortKey, TopKAcc};
+use oltap_common::fault::{points, FaultInjector};
+use oltap_common::hash::FxHashMap;
+use oltap_common::schema::SchemaRef;
+use oltap_common::{Batch, CancellationToken, DbError, Result, Row};
+use oltap_sched::{WorkerPool, WorkloadClass};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// How many times a worker re-probes [`points::EXEC_MORSEL_FAIL`] before
+/// giving up on a morsel and surfacing [`DbError::FaultInjected`]. With a
+/// fire probability `p < 1` the chance of exhausting the budget is
+/// `p^(RETRIES+1)` — negligible for chaos-test probabilities.
+pub const MORSEL_FAULT_RETRIES: u32 = 16;
+
+/// One unit of parallel work: a batch plus its dispatch metadata.
+#[derive(Debug)]
+pub struct Morsel {
+    /// Position in the serial batch order (drives result determinism).
+    pub index: usize,
+    /// Simulated NUMA socket this morsel's data lives on.
+    pub socket: usize,
+    /// The rows.
+    pub batch: Batch,
+}
+
+/// Shared atomic morsel dispenser with NUMA-affine queues.
+///
+/// Morsels are assigned round-robin to per-socket queues (mirroring
+/// [`oltap_sched::DataPlacement::round_robin`] segment placement); a
+/// worker first drains its own socket's queue via an atomic cursor and
+/// only then steals from remote sockets, so placement locality is
+/// preserved until load imbalance makes stealing worthwhile.
+pub struct MorselDispenser {
+    /// Each morsel is handed out exactly once; `take()` under the slot
+    /// lock makes dispatch race-free even when cursors wrap sockets.
+    slots: Vec<Mutex<Option<Batch>>>,
+    /// Per-socket morsel indices.
+    queues: Vec<Vec<usize>>,
+    /// Per-socket dispatch cursors.
+    cursors: Vec<AtomicUsize>,
+    sockets: usize,
+    local: AtomicUsize,
+    remote: AtomicUsize,
+}
+
+impl MorselDispenser {
+    /// Distributes `batches` round-robin over `sockets` queues, keeping
+    /// the original index as the morsel's identity.
+    pub fn new(batches: Vec<Batch>, sockets: usize) -> Self {
+        let sockets = sockets.max(1);
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); sockets];
+        let slots: Vec<Mutex<Option<Batch>>> = batches
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                queues[i % sockets].push(i);
+                Mutex::new(Some(b))
+            })
+            .collect();
+        let cursors = (0..sockets).map(|_| AtomicUsize::new(0)).collect();
+        MorselDispenser {
+            slots,
+            queues,
+            cursors,
+            sockets,
+            local: AtomicUsize::new(0),
+            remote: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total number of morsels (dispatched or not).
+    pub fn morsel_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Hands out the next morsel for a worker pinned to `socket`,
+    /// preferring the local queue and stealing from remote sockets only
+    /// when it is empty. `None` once every morsel has been dispatched.
+    pub fn next_for(&self, socket: usize) -> Option<Morsel> {
+        let home = socket % self.sockets;
+        for off in 0..self.sockets {
+            let s = (home + off) % self.sockets;
+            loop {
+                let pos = self.cursors[s].fetch_add(1, Ordering::Relaxed);
+                let Some(&idx) = self.queues[s].get(pos) else {
+                    break;
+                };
+                if let Some(batch) = self.slots[idx].lock().take() {
+                    let counter = if off == 0 { &self.local } else { &self.remote };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    return Some(Morsel {
+                        index: idx,
+                        socket: s,
+                        batch,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// `(local, remote)` dispatch counts, for placement diagnostics.
+    pub fn placement_stats(&self) -> (usize, usize) {
+        (
+            self.local.load(Ordering::Relaxed),
+            self.remote.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The streaming (non-breaking) operators a pipeline runs per morsel.
+/// Specs are plain data so each worker can compile its own thread-local
+/// [`CompiledExpr`] programs.
+#[derive(Clone)]
+pub enum StageSpec {
+    /// Keep rows where the boolean predicate holds.
+    Filter {
+        /// Boolean predicate (validated at decomposition time).
+        predicate: Expr,
+        /// Schema the predicate compiles against.
+        input_schema: SchemaRef,
+    },
+    /// Compute one output column per expression.
+    Project {
+        /// Output column expressions.
+        exprs: Vec<Expr>,
+        /// Schema the expressions compile against.
+        input_schema: SchemaRef,
+    },
+    /// Probe a pre-built (shared, read-only) hash-join table.
+    Probe(Arc<ProbeStage>),
+}
+
+/// The shared read-only state of a hash-join probe stage. The build table
+/// is produced by [`ParallelContext::run_join_build`] (itself a parallel
+/// pipeline) and then probed concurrently without locks.
+pub struct ProbeStage {
+    /// Build side: key → build rows in serial scan order.
+    pub table: FxHashMap<Row, Vec<Row>>,
+    /// Probe-side key expressions.
+    pub keys: Vec<Expr>,
+    /// Inner or left outer.
+    pub join_type: JoinType,
+    /// Column count of the build side (NULL padding width for LEFT).
+    pub right_width: usize,
+    /// Joined output schema.
+    pub schema: SchemaRef,
+}
+
+/// A worker's thread-local compilation of a [`StageSpec`] chain.
+enum CompiledStage {
+    Filter(CompiledExpr),
+    Project(Vec<CompiledExpr>),
+    Probe(Arc<ProbeStage>),
+}
+
+impl CompiledStage {
+    fn compile(spec: &StageSpec) -> CompiledStage {
+        match spec {
+            StageSpec::Filter {
+                predicate,
+                input_schema,
+            } => CompiledStage::Filter(CompiledExpr::new(predicate.clone(), input_schema)),
+            StageSpec::Project {
+                exprs,
+                input_schema,
+            } => CompiledStage::Project(
+                exprs
+                    .iter()
+                    .map(|e| CompiledExpr::new(e.clone(), input_schema))
+                    .collect(),
+            ),
+            StageSpec::Probe(p) => CompiledStage::Probe(Arc::clone(p)),
+        }
+    }
+
+    /// Applies this stage to one non-empty batch; `None` means the morsel
+    /// was fully consumed (filtered out / no join matches).
+    fn apply(&self, batch: Batch) -> Result<Option<Batch>> {
+        match self {
+            CompiledStage::Filter(pred) => {
+                let mask = pred.eval(&batch)?;
+                let bits = mask.as_bools()?;
+                let mut sel = Vec::new();
+                match mask.validity() {
+                    None => sel.extend(bits.iter_ones().map(|i| i as u32)),
+                    Some(v) => {
+                        for i in bits.iter_ones() {
+                            if v.get(i) {
+                                sel.push(i as u32);
+                            }
+                        }
+                    }
+                }
+                if sel.len() == batch.len() {
+                    return Ok(Some(batch));
+                }
+                if sel.is_empty() {
+                    return Ok(None);
+                }
+                Ok(Some(batch.take(&sel)))
+            }
+            CompiledStage::Project(exprs) => {
+                let cols = exprs
+                    .iter()
+                    .map(|e| e.eval(&batch))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(Batch::new(cols)?))
+            }
+            CompiledStage::Probe(p) => {
+                probe_batch(&p.table, &p.keys, p.join_type, p.right_width, &p.schema, &batch)
+            }
+        }
+    }
+}
+
+/// Everything a pipeline run needs beyond its own morsels and stages: the
+/// pool to dispatch on, the degree of parallelism, the simulated socket
+/// count for morsel affinity, and the query's cancellation/fault plumbing.
+pub struct ParallelContext {
+    /// Worker pool the pipeline tasks are submitted to (as OLAP class).
+    pub pool: Arc<WorkerPool>,
+    /// Number of concurrent pipeline tasks.
+    pub parallelism: usize,
+    /// Simulated NUMA socket count (drives morsel affinity).
+    pub sockets: usize,
+    /// Per-query cancellation token, checked at every morsel boundary.
+    pub cancel: CancellationToken,
+    /// Fault injector probed at every morsel boundary.
+    pub faults: Arc<FaultInjector>,
+}
+
+impl ParallelContext {
+    /// Runs one pipeline: `parallelism` tasks pull morsels from a shared
+    /// dispenser, run the compiled stage chain thread-locally, and fold
+    /// surviving batches into a per-worker sink state `S`. Returns every
+    /// worker's finished sink in worker-id order (the deterministic merge
+    /// order); the first error in worker order wins.
+    fn fan_out<S, R, M, C, F>(
+        &self,
+        batches: Vec<Batch>,
+        stages: Vec<StageSpec>,
+        make: M,
+        consume: C,
+        finish: F,
+    ) -> Result<Vec<R>>
+    where
+        S: 'static,
+        R: Send + 'static,
+        M: Fn() -> S + Send + Sync + 'static,
+        C: Fn(&mut S, usize, Batch) -> Result<()> + Send + Sync + 'static,
+        F: Fn(S) -> R + Send + Sync + 'static,
+    {
+        let n = self.parallelism.max(1);
+        let dispenser = Arc::new(MorselDispenser::new(batches, self.sockets));
+        let stages = Arc::new(stages);
+        let make = Arc::new(make);
+        let consume = Arc::new(consume);
+        let finish = Arc::new(finish);
+        let abort = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<(usize, Result<R>)>();
+        for wid in 0..n {
+            let dispenser = Arc::clone(&dispenser);
+            let stages = Arc::clone(&stages);
+            let make = Arc::clone(&make);
+            let consume = Arc::clone(&consume);
+            let finish = Arc::clone(&finish);
+            let cancel = self.cancel.clone();
+            let faults = Arc::clone(&self.faults);
+            let abort = Arc::clone(&abort);
+            let tx = tx.clone();
+            let socket = wid % self.sockets.max(1);
+            self.pool.submit(WorkloadClass::Olap, move || {
+                let r = worker_drive(
+                    socket, &dispenser, &stages, &cancel, &faults, &abort, &*make, &*consume,
+                    &*finish,
+                );
+                if r.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                let _ = tx.send((wid, r));
+            });
+        }
+        drop(tx);
+        let mut results: Vec<(usize, Result<R>)> = rx.iter().collect();
+        results.sort_by_key(|(wid, _)| *wid);
+        let mut out = Vec::with_capacity(n);
+        for (_, r) in results {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// Pipeline sink preserving the serial batch stream: batches are
+    /// collected per worker tagged with their morsel index and merged by
+    /// index, which *is* the serial arrival order.
+    pub fn run_collect(&self, batches: Vec<Batch>, stages: Vec<StageSpec>) -> Result<Vec<Batch>> {
+        let runs = self.fan_out(
+            batches,
+            stages,
+            Vec::new,
+            |state: &mut Vec<(usize, Batch)>, idx, batch| {
+                state.push((idx, batch));
+                Ok(())
+            },
+            |state| state,
+        )?;
+        let mut all: Vec<(usize, Batch)> = runs.into_iter().flatten().collect();
+        all.sort_by_key(|(i, _)| *i);
+        Ok(all.into_iter().map(|(_, b)| b).collect())
+    }
+
+    /// Aggregation sink: per-worker [`GroupMap`]s merged in worker order
+    /// (group state merge is order-independent), finished by the shared
+    /// core which emits groups in sorted key order — the serial order.
+    pub fn run_aggregate(
+        &self,
+        batches: Vec<Batch>,
+        stages: Vec<StageSpec>,
+        core: Arc<AggregatorCore>,
+    ) -> Result<Vec<Batch>> {
+        let c_make = Arc::clone(&core);
+        let c_consume = Arc::clone(&core);
+        let maps = self.fan_out(
+            batches,
+            stages,
+            move || c_make.new_map(),
+            move |map: &mut GroupMap, _idx, batch| c_consume.consume(map, &batch),
+            |map| map,
+        )?;
+        let mut merged = core.new_map();
+        for m in maps {
+            core.merge(&mut merged, m);
+        }
+        core.finish(merged)
+    }
+
+    /// Join-build sink: per-worker partial tables keyed like the serial
+    /// build, with rows tagged by sequence so the merged table lists each
+    /// key's rows in serial scan order (duplicate keys fan out in the same
+    /// order as the serial probe).
+    pub fn run_join_build(
+        &self,
+        batches: Vec<Batch>,
+        stages: Vec<StageSpec>,
+        keys: Vec<Expr>,
+    ) -> Result<FxHashMap<Row, Vec<Row>>> {
+        type SeqTable = FxHashMap<Row, Vec<(u64, Row)>>;
+        let keys = Arc::new(keys);
+        let parts: Vec<SeqTable> = self.fan_out(
+            batches,
+            stages,
+            SeqTable::default,
+            move |table: &mut SeqTable, idx, batch| {
+                let key_cols = keys
+                    .iter()
+                    .map(|e| e.eval_batch(&batch))
+                    .collect::<Result<Vec<_>>>()?;
+                for i in 0..batch.len() {
+                    let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+                    // SQL equality: NULL keys never join.
+                    if key.values().iter().any(|v| v.is_null()) {
+                        continue;
+                    }
+                    let seq = ((idx as u64) << 32) | i as u64;
+                    table.entry(key).or_default().push((seq, batch.row(i)));
+                }
+                Ok(())
+            },
+            |t| t,
+        )?;
+        let mut merged: SeqTable = SeqTable::default();
+        for part in parts {
+            for (k, mut v) in part {
+                merged.entry(k).or_default().append(&mut v);
+            }
+        }
+        let mut out: FxHashMap<Row, Vec<Row>> = FxHashMap::default();
+        for (k, mut v) in merged {
+            v.sort_by_key(|(s, _)| *s);
+            out.insert(k, v.into_iter().map(|(_, r)| r).collect());
+        }
+        Ok(out)
+    }
+
+    /// Sort sink: per-worker sorted runs, k-way merged with sequence-number
+    /// tie-breaking — exactly the order of the serial stable sort.
+    pub fn run_sort(
+        &self,
+        batches: Vec<Batch>,
+        stages: Vec<StageSpec>,
+        keys: Vec<SortKey>,
+        schema: SchemaRef,
+        batch_size: usize,
+    ) -> Result<Vec<Batch>> {
+        let keys = Arc::new(keys);
+        let k_consume = Arc::clone(&keys);
+        let k_finish = Arc::clone(&keys);
+        let runs = self.fan_out(
+            batches,
+            stages,
+            Vec::new,
+            move |run: &mut Vec<SortEntry>, idx, batch| {
+                let key_cols = k_consume
+                    .iter()
+                    .map(|k| k.expr.eval_batch(&batch))
+                    .collect::<Result<Vec<_>>>()?;
+                for i in 0..batch.len() {
+                    let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+                    run.push((key, ((idx as u64) << 32) | i as u64, batch.row(i)));
+                }
+                Ok(())
+            },
+            move |mut run| {
+                sort_entries(&mut run, &k_finish);
+                run
+            },
+        )?;
+        merge_sorted_runs(runs, &keys, &schema, batch_size)
+    }
+
+    /// Top-K sink: per-worker bounded heaps; the union of candidates is
+    /// sorted (sequence tie-break) and truncated — identical to the serial
+    /// [`crate::sort::TopKOp`] output.
+    pub fn run_topk(
+        &self,
+        batches: Vec<Batch>,
+        stages: Vec<StageSpec>,
+        keys: Vec<SortKey>,
+        k: usize,
+        schema: SchemaRef,
+    ) -> Result<Vec<Batch>> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let keys = Arc::new(keys);
+        let k_make = Arc::clone(&keys);
+        let k_consume = Arc::clone(&keys);
+        let sets = self.fan_out(
+            batches,
+            stages,
+            move || TopKAcc::new(&k_make, k),
+            move |acc: &mut TopKAcc, idx, batch| {
+                let key_cols = k_consume
+                    .iter()
+                    .map(|sk| sk.expr.eval_batch(&batch))
+                    .collect::<Result<Vec<_>>>()?;
+                for i in 0..batch.len() {
+                    let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+                    acc.push(key, ((idx as u64) << 32) | i as u64, batch.row(i));
+                }
+                Ok(())
+            },
+            TopKAcc::into_entries,
+        )?;
+        let mut all: Vec<SortEntry> = sets.into_iter().flatten().collect();
+        sort_entries(&mut all, &keys);
+        all.truncate(k);
+        let rows: Vec<Row> = all.into_iter().map(|(_, _, r)| r).collect();
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(vec![Batch::from_rows(&schema, &rows)?])
+    }
+}
+
+/// One worker's pipeline loop: pull morsels (NUMA-affine), probe the fault
+/// point with bounded retry, run the compiled stage chain, fold surviving
+/// output into the local sink state.
+#[allow(clippy::too_many_arguments)]
+fn worker_drive<S, R>(
+    socket: usize,
+    dispenser: &MorselDispenser,
+    stages: &[StageSpec],
+    cancel: &CancellationToken,
+    faults: &FaultInjector,
+    abort: &AtomicBool,
+    make: &dyn Fn() -> S,
+    consume: &dyn Fn(&mut S, usize, Batch) -> Result<()>,
+    finish: &dyn Fn(S) -> R,
+) -> Result<R> {
+    let compiled: Vec<CompiledStage> = stages.iter().map(CompiledStage::compile).collect();
+    let mut state = make();
+    while !abort.load(Ordering::Relaxed) {
+        cancel.check()?;
+        let Some(morsel) = dispenser.next_for(socket) else {
+            break;
+        };
+        let mut attempts = 0u32;
+        while faults.should_fire(points::EXEC_MORSEL_FAIL) {
+            attempts += 1;
+            if attempts > MORSEL_FAULT_RETRIES {
+                return Err(DbError::FaultInjected(format!(
+                    "morsel {} exhausted {MORSEL_FAULT_RETRIES} retries at {}",
+                    morsel.index,
+                    points::EXEC_MORSEL_FAIL
+                )));
+            }
+        }
+        if morsel.batch.is_empty() {
+            continue;
+        }
+        let mut cur = Some(morsel.batch);
+        for stage in &compiled {
+            let Some(b) = cur else { break };
+            cur = stage.apply(b)?;
+        }
+        if let Some(out) = cur {
+            if !out.is_empty() {
+                consume(&mut state, morsel.index, out)?;
+            }
+        }
+    }
+    Ok(finish(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::operator::{collect, FilterOp, MemorySource};
+    use oltap_common::fault::FaultPoint;
+    use oltap_common::row;
+    use oltap_common::{DataType, Field, Schema};
+    use std::collections::HashSet;
+
+    fn batches(n: usize) -> (SchemaRef, Vec<Batch>) {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]));
+        let rows: Vec<Row> = (0..n).map(|i| row![i as i64, (i % 10) as i64]).collect();
+        let out = rows
+            .chunks(100)
+            .map(|c| Batch::from_rows(&schema, c).unwrap())
+            .collect();
+        (schema, out)
+    }
+
+    fn ctx(parallelism: usize) -> ParallelContext {
+        ParallelContext {
+            pool: Arc::new(WorkerPool::new(parallelism, parallelism)),
+            parallelism,
+            sockets: 2,
+            cancel: CancellationToken::none(),
+            faults: FaultInjector::disabled(),
+        }
+    }
+
+    #[test]
+    fn dispenser_hands_out_each_morsel_once() {
+        let (_, bs) = batches(1000);
+        let count = bs.len();
+        let d = MorselDispenser::new(bs, 2);
+        let mut seen = HashSet::new();
+        // Two "workers" on different sockets interleaving.
+        loop {
+            let a = d.next_for(0);
+            let b = d.next_for(1);
+            if a.is_none() && b.is_none() {
+                break;
+            }
+            for m in [a, b].into_iter().flatten() {
+                assert!(seen.insert(m.index), "morsel {} dispatched twice", m.index);
+            }
+        }
+        assert_eq!(seen.len(), count);
+        let (local, remote) = d.placement_stats();
+        assert_eq!(local + remote, count);
+        // Balanced pull from both sockets: everything is a local hit.
+        assert_eq!(remote, 0);
+    }
+
+    #[test]
+    fn dispenser_steals_across_sockets() {
+        let (_, bs) = batches(400);
+        let count = bs.len();
+        let d = MorselDispenser::new(bs, 2);
+        // A single worker on socket 0 must still drain socket 1's queue.
+        let mut n = 0;
+        while d.next_for(0).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, count);
+        let (local, remote) = d.placement_stats();
+        assert_eq!(local, count.div_ceil(2));
+        assert_eq!(remote, count / 2);
+    }
+
+    #[test]
+    fn parallel_filter_matches_serial_order() {
+        let (schema, bs) = batches(5000);
+        let pred = Expr::binary(BinOp::Lt, Expr::col(1), Expr::lit(4i64));
+        let serial = {
+            let src = Box::new(MemorySource::new(Arc::clone(&schema), bs.clone()));
+            collect(Box::new(FilterOp::new(src, pred.clone()).unwrap())).unwrap()
+        };
+        for parallelism in [1, 2, 8] {
+            let got = ctx(parallelism)
+                .run_collect(
+                    bs.clone(),
+                    vec![StageSpec::Filter {
+                        predicate: pred.clone(),
+                        input_schema: Arc::clone(&schema),
+                    }],
+                )
+                .unwrap();
+            let serial_rows: Vec<Row> = serial.iter().flat_map(|b| b.to_rows()).collect();
+            let got_rows: Vec<Row> = got.iter().flat_map(|b| b.to_rows()).collect();
+            assert_eq!(serial_rows, got_rows, "parallelism={parallelism}");
+        }
+    }
+
+    #[test]
+    fn morsel_faults_retry_then_succeed() {
+        let (schema, bs) = batches(2000);
+        let faults = FaultInjector::new(7);
+        faults.arm(points::EXEC_MORSEL_FAIL, FaultPoint::with_probability(0.3));
+        let c = ParallelContext {
+            faults: Arc::clone(&faults),
+            ..ctx(4)
+        };
+        let got = c
+            .run_collect(
+                bs.clone(),
+                vec![StageSpec::Filter {
+                    predicate: Expr::binary(BinOp::Eq, Expr::col(1), Expr::lit(3i64)),
+                    input_schema: Arc::clone(&schema),
+                }],
+            )
+            .unwrap();
+        let total: usize = got.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 200);
+        assert!(faults.fired_count() > 0, "chaos run should have fired");
+    }
+
+    #[test]
+    fn persistent_morsel_fault_surfaces_error() {
+        let (_, bs) = batches(500);
+        let faults = FaultInjector::new(7);
+        faults.arm(points::EXEC_MORSEL_FAIL, FaultPoint::always());
+        let c = ParallelContext {
+            faults,
+            ..ctx(2)
+        };
+        let err = c.run_collect(bs, Vec::new()).unwrap_err();
+        assert!(matches!(err, DbError::FaultInjected(_)), "{err:?}");
+    }
+
+    #[test]
+    fn cancelled_context_stops_pipeline() {
+        let (_, bs) = batches(500);
+        let token = CancellationToken::new();
+        token.cancel();
+        let c = ParallelContext {
+            cancel: token,
+            ..ctx(4)
+        };
+        let err = c.run_collect(bs, Vec::new()).unwrap_err();
+        assert!(matches!(err, DbError::Cancelled(_)), "{err:?}");
+    }
+}

@@ -28,7 +28,8 @@ impl SortKey {
     }
 }
 
-fn compare_keys(a: &Row, b: &Row, keys: &[SortKey]) -> Ordering {
+/// Compares two key rows under the given sort directions.
+pub fn compare_keys(a: &Row, b: &Row, keys: &[SortKey]) -> Ordering {
     for (i, k) in keys.iter().enumerate() {
         let ord = a[i].cmp(&b[i]);
         let ord = if k.desc { ord.reverse() } else { ord };
@@ -37,6 +38,57 @@ fn compare_keys(a: &Row, b: &Row, keys: &[SortKey]) -> Ordering {
         }
     }
     Ordering::Equal
+}
+
+/// One row staged for sorting: `(key values, arrival sequence, full row)`.
+/// The sequence number breaks key ties by arrival order, which makes
+/// per-worker sort runs merge to exactly the order a serial stable sort
+/// would produce.
+pub type SortEntry = (Row, u64, Row);
+
+/// Sorts entries by the sort keys, breaking ties by arrival sequence.
+pub fn sort_entries(entries: &mut [SortEntry], keys: &[SortKey]) {
+    entries.sort_by(|a, b| compare_keys(&a.0, &b.0, keys).then(a.1.cmp(&b.1)));
+}
+
+/// K-way merges sorted runs (each ordered by `sort_entries`) into output
+/// batches. A linear min-pick over run heads is plenty for worker-count
+/// many runs.
+pub fn merge_sorted_runs(
+    runs: Vec<Vec<SortEntry>>,
+    keys: &[SortKey],
+    schema: &SchemaRef,
+    batch_size: usize,
+) -> Result<Vec<Batch>> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut heads = vec![0usize; runs.len()];
+    let mut rows: Vec<Row> = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            let Some(cand) = run.get(heads[r]) else {
+                continue;
+            };
+            best = match best {
+                None => Some(r),
+                Some(b) => {
+                    let cur = &runs[b][heads[b]];
+                    let ord = compare_keys(&cand.0, &cur.0, keys).then(cand.1.cmp(&cur.1));
+                    if ord == Ordering::Less {
+                        Some(r)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let b = best.expect("total count covers non-empty heads");
+        rows.push(runs[b][heads[b]].2.clone());
+        heads[b] += 1;
+    }
+    rows.chunks(batch_size)
+        .map(|c| Batch::from_rows(schema, c))
+        .collect()
 }
 
 /// Full blocking sort.
@@ -97,9 +149,12 @@ impl Operator for SortOp {
     }
 }
 
-/// Heap entry for top-K (max-heap of the worst retained row).
+/// Heap entry for top-K (max-heap of the worst retained row). Key ties
+/// order by arrival sequence so later-arriving duplicates rank worse and
+/// the retained set matches a stable sort's prefix.
 struct HeapRow {
     key: Row,
+    seq: u64,
     row: Row,
     desc_mask: Vec<bool>,
 }
@@ -124,7 +179,58 @@ impl Ord for HeapRow {
                 return ord;
             }
         }
-        Ordering::Equal
+        self.seq.cmp(&other.seq)
+    }
+}
+
+/// Bounded top-K accumulator: keeps the best `k` rows seen so far. The
+/// streaming [`TopKOp`] feeds one of these; the parallel executor keeps one
+/// per worker and merges candidate sets with [`sort_entries`].
+pub struct TopKAcc {
+    heap: BinaryHeap<HeapRow>,
+    k: usize,
+    desc_mask: Vec<bool>,
+}
+
+impl TopKAcc {
+    /// An accumulator retaining the `k` best rows under `keys`.
+    pub fn new(keys: &[SortKey], k: usize) -> Self {
+        TopKAcc {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+            desc_mask: keys.iter().map(|k| k.desc).collect(),
+        }
+    }
+
+    /// Offers one row; it is retained only while among the `k` best.
+    pub fn push(&mut self, key: Row, seq: u64, row: Row) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = HeapRow {
+            key,
+            seq,
+            row,
+            desc_mask: self.desc_mask.clone(),
+        };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry.cmp(worst) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Drains the retained candidates (unordered; sort with
+    /// [`sort_entries`]).
+    pub fn into_entries(self) -> Vec<SortEntry> {
+        self.heap
+            .into_vec()
+            .into_iter()
+            .map(|h| (h.key, h.seq, h.row))
+            .collect()
     }
 }
 
@@ -155,11 +261,11 @@ impl TopKOp {
 
     fn execute(&mut self) -> Result<Vec<Batch>> {
         let mut input = self.input.take().expect("executed twice");
-        let desc_mask: Vec<bool> = self.keys.iter().map(|k| k.desc).collect();
-        let mut heap: BinaryHeap<HeapRow> = BinaryHeap::with_capacity(self.k + 1);
+        let mut acc = TopKAcc::new(&self.keys, self.k);
         if self.k == 0 {
             return Ok(Vec::new());
         }
+        let mut seq = 0u64;
         while let Some(batch) = input.next()? {
             let key_cols = self
                 .keys
@@ -168,24 +274,13 @@ impl TopKOp {
                 .collect::<Result<Vec<_>>>()?;
             for i in 0..batch.len() {
                 let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
-                let entry = HeapRow {
-                    key,
-                    row: batch.row(i),
-                    desc_mask: desc_mask.clone(),
-                };
-                if heap.len() < self.k {
-                    heap.push(entry);
-                } else if let Some(worst) = heap.peek() {
-                    if entry.cmp(worst) == Ordering::Less {
-                        heap.pop();
-                        heap.push(entry);
-                    }
-                }
+                acc.push(key, seq, batch.row(i));
+                seq += 1;
             }
         }
-        let mut retained: Vec<HeapRow> = heap.into_vec();
-        retained.sort();
-        let rows: Vec<Row> = retained.into_iter().map(|h| h.row).collect();
+        let mut retained = acc.into_entries();
+        sort_entries(&mut retained, &self.keys);
+        let rows: Vec<Row> = retained.into_iter().map(|(_, _, r)| r).collect();
         if rows.is_empty() {
             return Ok(Vec::new());
         }
@@ -312,6 +407,58 @@ mod tests {
         assert!(collect(Box::new(op)).unwrap().is_empty());
         let op = TopKOp::new(source(&[]), vec![SortKey::asc(Expr::col(0))], 5);
         assert!(collect(Box::new(op)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merged_runs_match_serial_sort() {
+        // Deal rows round-robin into 3 runs (tagging arrival order), sort
+        // each run, and merge: the result must equal the serial stable sort.
+        let vals: Vec<i64> = (0..97).map(|i| (i * 31) % 13).collect();
+        let keys = vec![SortKey::asc(Expr::col(0))];
+        let (schema, serial) = {
+            let op = SortOp::new(source(&vals), vec![SortKey::asc(Expr::col(0))]);
+            (op.schema(), collect(Box::new(op)).unwrap())
+        };
+        let mut runs: Vec<Vec<SortEntry>> = vec![Vec::new(); 3];
+        let mut src = source(&vals);
+        let mut seq = 0u64;
+        while let Some(batch) = src.next().unwrap() {
+            for i in 0..batch.len() {
+                let row = batch.row(i);
+                let key = Row::new(vec![row[0].clone()]);
+                runs[(seq % 3) as usize].push((key, seq, row));
+                seq += 1;
+            }
+        }
+        for run in &mut runs {
+            sort_entries(run, &keys);
+        }
+        let merged = merge_sorted_runs(runs, &keys, &schema, 4096).unwrap();
+        let serial_rows: Vec<Row> = serial.iter().flat_map(|b| b.to_rows()).collect();
+        let merged_rows: Vec<Row> = merged.iter().flat_map(|b| b.to_rows()).collect();
+        assert_eq!(serial_rows, merged_rows);
+    }
+
+    #[test]
+    fn topk_ties_keep_arrival_order() {
+        // All-equal keys: top-3 must be the first three rows by arrival.
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("id", DataType::Int64),
+        ]));
+        let rows: Vec<Row> = (0..10i64).map(|i| row![7i64, i]).collect();
+        let src = Box::new(MemorySource::new(
+            Arc::clone(&schema),
+            vec![Batch::from_rows(&schema, &rows).unwrap()],
+        ));
+        let op = TopKOp::new(src, vec![SortKey::asc(Expr::col(0))], 3);
+        let got: Vec<Row> = collect(Box::new(op))
+            .unwrap()
+            .iter()
+            .flat_map(|b| b.to_rows())
+            .collect();
+        let ids: Vec<i64> = got.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
     }
 
     #[test]

@@ -326,7 +326,62 @@ impl WorkloadManager {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
-    use std::time::Duration;
+    use std::time::Instant;
+
+    /// A two-phase handshake for deterministic scheduling tests: the task
+    /// calls [`Gate::enter`] (signalling it has been dispatched, then
+    /// blocking), and the test calls [`Gate::wait_entered`] /
+    /// [`Gate::release`] to observe and control it. No sleeps, no races.
+    struct Gate {
+        started_tx: mpsc::Sender<()>,
+        started_rx: mpsc::Receiver<()>,
+        release_tx: mpsc::Sender<()>,
+        release_rx: Mutex<Option<mpsc::Receiver<()>>>,
+    }
+
+    /// The task-side half: signals start, then blocks until released.
+    struct GateEntry {
+        started: mpsc::Sender<()>,
+        release: mpsc::Receiver<()>,
+    }
+
+    impl GateEntry {
+        fn enter(&self) {
+            let _ = self.started.send(());
+            let _ = self.release.recv();
+        }
+    }
+
+    impl Gate {
+        fn new() -> Gate {
+            let (started_tx, started_rx) = mpsc::channel();
+            let (release_tx, release_rx) = mpsc::channel();
+            Gate {
+                started_tx,
+                started_rx,
+                release_tx,
+                release_rx: Mutex::new(Some(release_rx)),
+            }
+        }
+
+        /// The handle to move into the pooled task (single use).
+        fn entry(&self) -> GateEntry {
+            GateEntry {
+                started: self.started_tx.clone(),
+                release: self.release_rx.lock().take().expect("entry taken twice"),
+            }
+        }
+
+        /// Blocks until the task has been dispatched and is inside
+        /// [`GateEntry::enter`].
+        fn wait_entered(&self) {
+            self.started_rx.recv().expect("task never started");
+        }
+
+        fn release(&self) {
+            let _ = self.release_tx.send(());
+        }
+    }
 
     #[test]
     fn runs_submitted_tasks() {
@@ -361,18 +416,29 @@ mod tests {
         let pool = WorkerPool::new(4, 1);
         let concurrent = Arc::new(AtomicUsize::new(0));
         let peak = Arc::new(AtomicUsize::new(0));
-        let rxs: Vec<_> = (0..8)
-            .map(|_| {
+        // Each task blocks on its gate after bumping the concurrency
+        // counter; the test releases them one at a time, so every task is
+        // held at its peak-concurrency moment before the next can start.
+        let gates: Vec<_> = (0..8).map(|_| Gate::new()).collect();
+        let rxs: Vec<_> = gates
+            .iter()
+            .map(|g| {
                 let c = Arc::clone(&concurrent);
                 let p = Arc::clone(&peak);
+                let entry = g.entry();
                 pool.submit(WorkloadClass::Olap, move || {
                     let now = c.fetch_add(1, Ordering::SeqCst) + 1;
                     p.fetch_max(now, Ordering::SeqCst);
-                    std::thread::sleep(Duration::from_millis(10));
+                    entry.enter();
                     c.fetch_sub(1, Ordering::SeqCst);
                 })
             })
             .collect();
+        // OLAP dispatch is FIFO under limit 1: release in submit order.
+        for g in &gates {
+            g.wait_entered();
+            g.release();
+        }
         for rx in rxs {
             rx.recv().unwrap();
         }
@@ -386,10 +452,10 @@ mod tests {
         // the queued OLAP tasks.
         let pool = WorkerPool::new(1, 1);
         let order = Arc::new(Mutex::new(Vec::new()));
-        let blocker = pool.submit(WorkloadClass::Olap, || {
-            std::thread::sleep(Duration::from_millis(50));
-        });
-        std::thread::sleep(Duration::from_millis(5)); // let it start
+        let gate = Gate::new();
+        let entry = gate.entry();
+        let blocker = pool.submit(WorkloadClass::Olap, move || entry.enter());
+        gate.wait_entered(); // the worker is now occupied
         let mut rxs = Vec::new();
         for i in 0..3 {
             let o = Arc::clone(&order);
@@ -403,6 +469,7 @@ mod tests {
                 o.lock().push(format!("oltp{i}"));
             }));
         }
+        gate.release();
         blocker.recv().unwrap();
         for rx in rxs {
             rx.recv().unwrap();
@@ -427,8 +494,11 @@ mod tests {
         let rx = pool.submit(WorkloadClass::Olap, move || {
             d.fetch_add(1, Ordering::SeqCst);
         });
-        std::thread::sleep(Duration::from_millis(20));
+        // With the limit at 0 no worker may pop the OLAP queue, so the
+        // task is provably still queued and unrun — no waiting needed.
+        assert_eq!(pool.queue_lengths(), (0, 1));
         assert_eq!(done.load(Ordering::SeqCst), 0);
+        assert!(rx.try_recv().is_err());
         pool.set_olap_limit(1);
         rx.recv().unwrap();
         assert_eq!(done.load(Ordering::SeqCst), 1);
@@ -438,41 +508,53 @@ mod tests {
     fn workload_manager_throttles_under_pressure() {
         let pool = Arc::new(WorkerPool::new(2, 4));
         let mgr = WorkloadManager::new(Arc::clone(&pool), 1, 4, 2);
-        // Fake OLTP pressure: flood the OLTP queue with slow tasks.
-        let rxs: Vec<_> = (0..20)
-            .map(|_| {
-                pool.submit(WorkloadClass::Oltp, || {
-                    std::thread::sleep(Duration::from_millis(5));
-                })
+        // Pin both workers on gated tasks, then flood the OLTP queue: the
+        // queued backlog is exact (nothing can drain it) when tick() runs.
+        let gates: Vec<_> = (0..2).map(|_| Gate::new()).collect();
+        let blockers: Vec<_> = gates
+            .iter()
+            .map(|g| {
+                let entry = g.entry();
+                pool.submit(WorkloadClass::Oltp, move || entry.enter())
             })
             .collect();
-        std::thread::sleep(Duration::from_millis(10));
+        for g in &gates {
+            g.wait_entered();
+        }
+        let rxs: Vec<_> = (0..5)
+            .map(|_| pool.submit(WorkloadClass::Oltp, || {}))
+            .collect();
+        assert_eq!(pool.queue_lengths().0, 5);
         let before = pool.olap_limit();
         mgr.tick();
         let after = pool.olap_limit();
         assert!(after < before, "limit should drop: {before} -> {after}");
-        for rx in rxs {
+        for g in &gates {
+            g.release();
+        }
+        for rx in blockers.into_iter().chain(rxs) {
             rx.recv().unwrap();
         }
-        // Queue drained: limit recovers.
+        // Every receiver fired, so the OLTP queue is drained: recovery.
+        assert_eq!(pool.queue_lengths().0, 0);
         mgr.tick();
         assert!(pool.olap_limit() > after);
     }
 
     #[test]
     fn expired_tasks_are_shed_not_run() {
-        use std::time::Duration;
         let pool = WorkerPool::new(1, 1);
-        // Block the single worker so queued tasks age past their deadline.
-        let blocker = pool.submit(WorkloadClass::Oltp, || {
-            std::thread::sleep(Duration::from_millis(60));
-        });
-        std::thread::sleep(Duration::from_millis(5)); // let it start
+        // Pin the single worker so the doomed task is still queued when
+        // its (already-elapsed) deadline is checked at dispatch.
+        let gate = Gate::new();
+        let entry = gate.entry();
+        let blocker = pool.submit(WorkloadClass::Oltp, move || entry.enter());
+        gate.wait_entered();
         let ran = Arc::new(AtomicUsize::new(0));
         let r2 = Arc::clone(&ran);
         let doomed = pool.submit_cancellable(
             WorkloadClass::Olap,
-            CancellationToken::with_timeout(Duration::from_millis(10)),
+            CancellationToken::with_deadline(Instant::now()),
             move || {
                 r2.fetch_add(1, Ordering::SeqCst);
             },
@@ -485,6 +567,7 @@ mod tests {
                 r3.fetch_add(1, Ordering::SeqCst);
             },
         );
+        gate.release();
         blocker.recv().unwrap();
         assert!(!doomed.recv().unwrap(), "expired task must be shed");
         assert!(healthy.recv().unwrap(), "live task must run");
@@ -494,17 +577,17 @@ mod tests {
 
     #[test]
     fn explicit_cancel_sheds_queued_task() {
-        use std::time::Duration;
         let pool = WorkerPool::new(1, 1);
-        let blocker = pool.submit(WorkloadClass::Oltp, || {
-            std::thread::sleep(Duration::from_millis(40));
-        });
-        std::thread::sleep(Duration::from_millis(5));
+        let gate = Gate::new();
+        let entry = gate.entry();
+        let blocker = pool.submit(WorkloadClass::Oltp, move || entry.enter());
+        gate.wait_entered();
         let token = CancellationToken::new();
         let rx = pool.submit_cancellable(WorkloadClass::Oltp, token.clone(), || {
             panic!("shed task must never run");
         });
-        token.cancel();
+        token.cancel(); // trips while provably still queued
+        gate.release();
         blocker.recv().unwrap();
         assert!(!rx.recv().unwrap());
         assert_eq!(pool.stats().shed, 1);
