@@ -48,6 +48,9 @@ pub mod points {
     /// Fail a morsel dispatch in the parallel executor; the worker retries
     /// the boundary a bounded number of times before surfacing an error.
     pub const EXEC_MORSEL_FAIL: &str = "exec.morsel_fail";
+    /// Fail a morsel of the partitioned hash-join build; the worker
+    /// retries the boundary like [`EXEC_MORSEL_FAIL`].
+    pub const EXEC_JOIN_BUILD_FAIL: &str = "exec.join_build_fail";
 }
 
 /// Configuration of one named fault point.

@@ -98,6 +98,67 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Initial accumulator for multi-column join-key hashing. Build and probe
+/// sides (and the scan-side join filter) must all fold per-column hashes
+/// from this seed with [`join_hash_combine`] so their combined hashes
+/// agree.
+pub const JOIN_KEY_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Folds one column's value hash into a multi-column join-key hash.
+#[inline]
+pub fn join_hash_combine(acc: u64, h: u64) -> u64 {
+    (acc.rotate_left(5) ^ h).wrapping_mul(SEED)
+}
+
+/// Hash of one `Int`/`Timestamp` join-key value (the two share a hash
+/// class because they compare equal under [`crate::types::Value`]'s `Ord`).
+#[inline]
+pub fn join_hash_int(v: i64) -> u64 {
+    hash_u64(join_hash_combine(2, v as u64))
+}
+
+/// Hash of one `Float` join-key value. Integral floats in `i64` range
+/// compare equal to the corresponding `Int`, so they hash into the integer
+/// class; everything else hashes its bit pattern.
+#[inline]
+pub fn join_hash_float(v: f64) -> u64 {
+    if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 {
+        join_hash_int(v as i64)
+    } else {
+        hash_u64(join_hash_combine(3, v.to_bits()))
+    }
+}
+
+/// Hash of one `Bool` join-key value.
+#[inline]
+pub fn join_hash_bool(v: bool) -> u64 {
+    hash_u64(join_hash_combine(1, v as u64))
+}
+
+/// Hash of one `Str` join-key value.
+#[inline]
+pub fn join_hash_str(v: &str) -> u64 {
+    hash_u64(join_hash_combine(4, hash_bytes(v.as_bytes())))
+}
+
+/// Hashes one join-key [`crate::types::Value`], consistent with `Value`
+/// equality: values that compare equal across types (`Int(5)`,
+/// `Timestamp(5)`, `Float(5.0)`) hash equal. The vectorized kernels hash
+/// typed columns directly through the per-class helpers above; this is
+/// the scalar entry point (row stores, scan-side join filters). NULL is
+/// hashed to a fixed class — callers must exclude NULL keys themselves
+/// (SQL equality never joins them).
+pub fn join_hash_value(v: &crate::types::Value) -> u64 {
+    use crate::types::Value;
+    match v {
+        Value::Null => hash_u64(join_hash_combine(0, 0)),
+        Value::Bool(b) => join_hash_bool(*b),
+        Value::Int(x) | Value::Timestamp(x) => join_hash_int(*x),
+        Value::Float(f) => join_hash_float(*f),
+        Value::Str(s) => join_hash_str(s),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +186,29 @@ mod tests {
         }
         assert_eq!(m.len(), 1000);
         assert_eq!(m["key513"], 513);
+    }
+
+    #[test]
+    fn join_hash_agrees_with_value_equality() {
+        use crate::types::Value;
+        // Cross-type equal values must share a hash class.
+        assert_eq!(
+            join_hash_value(&Value::Int(5)),
+            join_hash_value(&Value::Timestamp(5))
+        );
+        assert_eq!(
+            join_hash_value(&Value::Int(5)),
+            join_hash_value(&Value::Float(5.0))
+        );
+        assert_ne!(
+            join_hash_value(&Value::Float(5.5)),
+            join_hash_value(&Value::Int(5))
+        );
+        // Vectorized per-class kernels must match the scalar entry point.
+        assert_eq!(join_hash_int(7), join_hash_value(&Value::Int(7)));
+        assert_eq!(join_hash_float(2.5), join_hash_value(&Value::Float(2.5)));
+        assert_eq!(join_hash_bool(true), join_hash_value(&Value::Bool(true)));
+        assert_eq!(join_hash_str("x"), join_hash_value(&Value::Str("x".into())));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`vector::ColumnVector`] / [`vector::Batch`] — typed columnar batches
 //!   (the unit of the vectorized executor).
 //! * [`bitset::BitSet`] — packed validity/selection/delete bitmaps.
+//! * [`bloom::BlockedBloom`] — a blocked Bloom filter for join
+//!   sideways-information-passing into scans.
 //! * [`hash`] — a fast, non-cryptographic hasher (Fx-style) plus `HashMap`
 //!   aliases used on hot paths throughout the engine.
 //! * [`ids`] — newtype identifiers (tables, columns, segments, transactions,
@@ -28,6 +30,7 @@
 //!   for distributed retry loops.
 
 pub mod bitset;
+pub mod bloom;
 pub mod cancel;
 pub mod error;
 pub mod fault;
@@ -40,6 +43,7 @@ pub mod types;
 pub mod vector;
 
 pub use bitset::BitSet;
+pub use bloom::BlockedBloom;
 pub use cancel::CancellationToken;
 pub use error::{DbError, Result};
 pub use fault::{FaultInjector, FaultPoint};

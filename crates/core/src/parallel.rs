@@ -18,12 +18,13 @@ use crate::physical::ExecContext;
 use oltap_common::fault::FaultInjector;
 use oltap_common::hash::FxHashMap;
 use oltap_common::schema::SchemaRef;
-use oltap_common::{Batch, DbError, Field, Result, Row, Schema};
+use oltap_common::{Batch, DbError, Field, Result, Schema};
 use oltap_exec::operator::{collect_with, LimitOp, MemorySource};
 use oltap_exec::pipeline::{ParallelContext, ProbeStage, StageSpec};
 use oltap_exec::{join_output_schema, AggregatorCore};
 use oltap_sched::{NumaTopology, WorkerPool};
 use oltap_sql::LogicalPlan;
+use oltap_storage::JoinFilter;
 use std::sync::Arc;
 
 /// Sort/top-K output batch granularity, matching the serial operators'
@@ -96,7 +97,8 @@ impl ParallelExec {
             cancel: ctx.cancel.clone(),
             faults: Arc::clone(&self.faults),
         };
-        let p = self.decompose(plan, catalog, ctx, &pctx)?;
+        let mut sips = FxHashMap::default();
+        let p = self.decompose(plan, catalog, ctx, &pctx, &mut sips)?;
         let batches = if p.stages.is_empty() {
             p.batches
         } else {
@@ -115,15 +117,28 @@ impl ParallelExec {
         catalog: &Catalog,
         ctx: &ExecContext,
         pctx: &ParallelContext,
+        sips: &mut FxHashMap<u32, JoinFilter>,
     ) -> Result<Pipeline> {
         Ok(match plan {
             LogicalPlan::Scan {
                 table,
                 projection,
                 pushdown,
+                sip,
                 ..
             } => {
                 let handle = catalog.get(table)?;
+                // Attach the sideways join filter registered by the join
+                // breaker this scan feeds (builds run before probe-side
+                // decomposition, so the filter is ready here).
+                let sip_pushdown = sip.as_ref().and_then(|s| {
+                    sips.get(&s.join_id).map(|template| {
+                        let mut jf = template.clone();
+                        jf.columns = s.key_columns.clone();
+                        pushdown.clone().with_join(jf)
+                    })
+                });
+                let pushdown = sip_pushdown.as_ref().unwrap_or(pushdown);
                 let batches =
                     handle.scan(projection, pushdown, ctx.read_ts, ctx.me, ctx.batch_size)?;
                 Pipeline {
@@ -133,7 +148,7 @@ impl ParallelExec {
                 }
             }
             LogicalPlan::Filter { input, predicate } => {
-                let mut p = self.decompose(input, catalog, ctx, pctx)?;
+                let mut p = self.decompose(input, catalog, ctx, pctx, sips)?;
                 // Same validation the serial FilterOp performs.
                 if predicate.data_type(&p.schema)? != oltap_common::DataType::Bool {
                     return Err(DbError::Plan("filter predicate must be boolean".into()));
@@ -145,7 +160,7 @@ impl ParallelExec {
                 p
             }
             LogicalPlan::Project { input, exprs } => {
-                let mut p = self.decompose(input, catalog, ctx, pctx)?;
+                let mut p = self.decompose(input, catalog, ctx, pctx, sips)?;
                 let mut fields = Vec::with_capacity(exprs.len());
                 for (e, n) in exprs {
                     fields.push(Field::new(n.clone(), e.data_type(&p.schema)?));
@@ -159,7 +174,7 @@ impl ParallelExec {
                 p
             }
             LogicalPlan::Aggregate { input, group, aggs } => {
-                let p = self.decompose(input, catalog, ctx, pctx)?;
+                let p = self.decompose(input, catalog, ctx, pctx, sips)?;
                 let core = Arc::new(AggregatorCore::new(
                     &p.schema,
                     group.clone(),
@@ -179,6 +194,7 @@ impl ParallelExec {
                 left_keys,
                 right_keys,
                 join_type,
+                sip,
             } => {
                 if left_keys.len() != right_keys.len() || left_keys.is_empty() {
                     return Err(DbError::Plan(
@@ -187,24 +203,34 @@ impl ParallelExec {
                 }
                 // Build pipeline first (the serial operator's blocking
                 // build), then extend the probe-side pipeline in place.
-                let build = self.decompose(right, catalog, ctx, pctx)?;
+                // The partitioned build runs on the worker pool and merges
+                // per-worker sinks into one deterministic JoinTable.
+                let build = self.decompose(right, catalog, ctx, pctx, sips)?;
                 let right_schema = Arc::clone(&build.schema);
-                let table: FxHashMap<Row, Vec<Row>> =
-                    pctx.run_join_build(build.batches, build.stages, right_keys.clone())?;
-                let mut p = self.decompose(left, catalog, ctx, pctx)?;
+                let table = Arc::new(pctx.run_join_build(
+                    build.batches,
+                    build.stages,
+                    right_keys.clone(),
+                    right_schema.len(),
+                )?);
+                if let Some(id) = sip {
+                    // Publish the Bloom filter for the probe-side scan
+                    // before the probe pipeline is decomposed.
+                    sips.insert(*id, table.filter(Vec::new()));
+                }
+                let mut p = self.decompose(left, catalog, ctx, pctx, sips)?;
                 let schema = join_output_schema(&p.schema, &right_schema, *join_type);
                 p.stages.push(StageSpec::Probe(Arc::new(ProbeStage {
                     table,
                     keys: left_keys.clone(),
                     join_type: *join_type,
-                    right_width: right_schema.len(),
                     schema: Arc::clone(&schema),
                 })));
                 p.schema = schema;
                 p
             }
             LogicalPlan::Sort { input, keys } => {
-                let p = self.decompose(input, catalog, ctx, pctx)?;
+                let p = self.decompose(input, catalog, ctx, pctx, sips)?;
                 let schema = Arc::clone(&p.schema);
                 let batches = pctx.run_sort(
                     p.batches,
@@ -232,7 +258,7 @@ impl ParallelExec {
                 } = input.as_ref()
                 {
                     if *offset == 0 && *limit != usize::MAX {
-                        let p = self.decompose(sort_in, catalog, ctx, pctx)?;
+                        let p = self.decompose(sort_in, catalog, ctx, pctx, sips)?;
                         let schema = Arc::clone(&p.schema);
                         let batches = pctx.run_topk(
                             p.batches,
@@ -250,7 +276,7 @@ impl ParallelExec {
                 }
                 // General limit/offset is inherently serial and cheap:
                 // run it over the morsel-ordered stream.
-                let p = self.decompose(input, catalog, ctx, pctx)?;
+                let p = self.decompose(input, catalog, ctx, pctx, sips)?;
                 let schema = Arc::clone(&p.schema);
                 let ordered = if p.stages.is_empty() {
                     p.batches
@@ -286,7 +312,7 @@ mod tests {
     use crate::catalog::{TableFormat, TableHandle};
     use crate::physical::{execute_plan, snapshot_ctx};
     use oltap_common::row;
-    use oltap_common::{DataType, Value};
+    use oltap_common::{DataType, Row, Value};
     use oltap_sql::{bind_select, optimize, parse, Statement};
     use oltap_txn::TransactionManager;
 

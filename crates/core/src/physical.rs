@@ -1,17 +1,26 @@
 //! Physical planning: lowers an optimized [`LogicalPlan`] onto the
 //! vectorized operators of `oltap-exec`.
 //!
-//! The only physical decision beyond 1:1 lowering is `Sort + Limit →
-//! TopK`, the bounded-heap optimization for dashboard-style
-//! `ORDER BY ... LIMIT k` queries.
+//! Physical decisions beyond 1:1 lowering:
+//!
+//! * `Sort + Limit → TopK`, the bounded-heap optimization for
+//!   dashboard-style `ORDER BY ... LIMIT k` queries.
+//! * Sideways information passing for joins the optimizer marked: the
+//!   build side is drained *during lowering*, its [`JoinTable`] yields a
+//!   Bloom-filter [`JoinFilter`], and the probe-side scan is lowered with
+//!   that filter attached to its pushdown — storage skips or thins
+//!   segments before batches ever reach the probe.
 
 use crate::catalog::Catalog;
+use oltap_common::hash::FxHashMap;
 use oltap_common::ids::TxnId;
 use oltap_common::{CancellationToken, Result};
 use oltap_exec::operator::{BoxedOperator, CancelOp, FilterOp, LimitOp, MemorySource, ProjectOp};
-use oltap_exec::{HashAggregateOp, HashJoinOp, SortOp, TopKOp};
+use oltap_exec::{HashAggregateOp, HashJoinOp, JoinTable, JoinTableBuilder, SortOp, TopKOp};
 use oltap_sql::LogicalPlan;
+use oltap_storage::JoinFilter;
 use oltap_txn::Ts;
+use std::sync::Arc;
 
 /// Execution-time context: the snapshot the query reads at, plus the
 /// cancellation token the operator tree is guarded by.
@@ -33,30 +42,76 @@ pub struct ExecContext {
 /// observed within one batch boundary no matter which operator is
 /// currently pulling.
 pub fn lower(plan: &LogicalPlan, catalog: &Catalog, ctx: &ExecContext) -> Result<BoxedOperator> {
+    let mut sips = FxHashMap::default();
+    lower_inner(plan, catalog, ctx, &mut sips)
+}
+
+/// Drains a lowered build side through a [`JoinTableBuilder`]. The arrival
+/// counter doubles as the morsel index, so the resulting table is
+/// byte-identical to the one the parallel build produces for the same
+/// batches (see `exec::join`'s determinism argument).
+pub fn build_join_table(
+    mut right: BoxedOperator,
+    right_keys: &[oltap_exec::Expr],
+) -> Result<JoinTable> {
+    let build_width = right.schema().len();
+    let mut builder = JoinTableBuilder::new(right_keys.len(), build_width);
+    let mut arrival = 0usize;
+    while let Some(batch) = right.next()? {
+        if batch.is_empty() {
+            continue;
+        }
+        let key_cols = right_keys
+            .iter()
+            .map(|e| e.eval_batch(&batch))
+            .collect::<Result<Vec<_>>>()?;
+        builder.push_batch(&key_cols, &batch, arrival)?;
+        arrival += 1;
+    }
+    Ok(builder.finish())
+}
+
+fn lower_inner(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &ExecContext,
+    sips: &mut FxHashMap<u32, JoinFilter>,
+) -> Result<BoxedOperator> {
     let op: BoxedOperator = match plan {
         LogicalPlan::Scan {
             table,
             projection,
             pushdown,
+            sip,
             ..
         } => {
             let handle = catalog.get(table)?;
+            // Attach the join filter the marked join registered for this
+            // scan (if the join was lowered through the SIP path).
+            let sip_pushdown = sip.as_ref().and_then(|s| {
+                sips.get(&s.join_id).map(|template| {
+                    let mut jf = template.clone();
+                    jf.columns = s.key_columns.clone();
+                    pushdown.clone().with_join(jf)
+                })
+            });
+            let pushdown = sip_pushdown.as_ref().unwrap_or(pushdown);
             let batches =
                 handle.scan(projection, pushdown, ctx.read_ts, ctx.me, ctx.batch_size)?;
             let schema = plan.output_schema()?;
             Box::new(MemorySource::new(schema, batches))
         }
         LogicalPlan::Filter { input, predicate } => {
-            let child = lower(input, catalog, ctx)?;
+            let child = lower_inner(input, catalog, ctx, sips)?;
             Box::new(FilterOp::new(child, predicate.clone())?)
         }
         LogicalPlan::Project { input, exprs } => {
-            let child = lower(input, catalog, ctx)?;
+            let child = lower_inner(input, catalog, ctx, sips)?;
             let (es, names): (Vec<_>, Vec<_>) = exprs.iter().cloned().unzip();
             Box::new(ProjectOp::new(child, es, names)?)
         }
         LogicalPlan::Aggregate { input, group, aggs } => {
-            let child = lower(input, catalog, ctx)?;
+            let child = lower_inner(input, catalog, ctx, sips)?;
             Box::new(HashAggregateOp::new(child, group.clone(), aggs.clone())?)
         }
         LogicalPlan::Join {
@@ -65,19 +120,38 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog, ctx: &ExecContext) -> Result
             left_keys,
             right_keys,
             join_type,
+            sip,
         } => {
-            let l = lower(left, catalog, ctx)?;
-            let r = lower(right, catalog, ctx)?;
-            Box::new(HashJoinOp::new(
-                l,
-                r,
-                left_keys.clone(),
-                right_keys.clone(),
-                *join_type,
-            )?)
+            if let Some(id) = sip {
+                // SIP path: build the hash table eagerly, register its
+                // Bloom filter for the probe-side scan, then lower the
+                // probe with the filter in place.
+                let r = lower_inner(right, catalog, ctx, sips)?;
+                let right_schema = right.output_schema()?;
+                let table = Arc::new(build_join_table(r, right_keys)?);
+                sips.insert(*id, table.filter(Vec::new()));
+                let l = lower_inner(left, catalog, ctx, sips)?;
+                Box::new(HashJoinOp::from_built(
+                    l,
+                    table,
+                    left_keys.clone(),
+                    *join_type,
+                    &right_schema,
+                )?)
+            } else {
+                let l = lower_inner(left, catalog, ctx, sips)?;
+                let r = lower_inner(right, catalog, ctx, sips)?;
+                Box::new(HashJoinOp::new(
+                    l,
+                    r,
+                    left_keys.clone(),
+                    right_keys.clone(),
+                    *join_type,
+                )?)
+            }
         }
         LogicalPlan::Sort { input, keys } => {
-            let child = lower(input, catalog, ctx)?;
+            let child = lower_inner(input, catalog, ctx, sips)?;
             Box::new(SortOp::new(child, keys.clone()))
         }
         LogicalPlan::Limit {
@@ -88,12 +162,12 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog, ctx: &ExecContext) -> Result
             // Physical rewrite: Limit(Sort(x)) with offset 0 → TopK.
             if let LogicalPlan::Sort { input: sort_in, keys } = input.as_ref() {
                 if *offset == 0 && *limit != usize::MAX {
-                    let child = lower(sort_in, catalog, ctx)?;
+                    let child = lower_inner(sort_in, catalog, ctx, sips)?;
                     let topk = Box::new(TopKOp::new(child, keys.clone(), *limit));
                     return Ok(Box::new(CancelOp::new(topk, ctx.cancel.clone())));
                 }
             }
-            let child = lower(input, catalog, ctx)?;
+            let child = lower_inner(input, catalog, ctx, sips)?;
             Box::new(LimitOp::new(child, *offset, *limit))
         }
     };
@@ -219,5 +293,32 @@ mod tests {
         );
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][0], Value::Int(8));
+    }
+
+    #[test]
+    fn sip_join_matches_plain_filter() {
+        let (mgr, cat) = setup();
+        // The build side is restricted to v = 3 (10 of 100 ids), so the
+        // sideways filter prunes most probe rows at the scan — but the
+        // result must match the equivalent single-table query exactly.
+        let joined = run(
+            "SELECT a.id FROM t a JOIN t b ON a.id = b.id WHERE b.v = 3 ORDER BY a.id",
+            &mgr,
+            &cat,
+        );
+        let direct = run("SELECT id FROM t WHERE v = 3 ORDER BY id", &mgr, &cat);
+        assert_eq!(joined, direct);
+        assert_eq!(joined.len(), 10);
+    }
+
+    #[test]
+    fn sip_empty_build_side_yields_no_rows() {
+        let (mgr, cat) = setup();
+        let rows = run(
+            "SELECT a.id FROM t a JOIN t b ON a.id = b.id WHERE b.v = 12345",
+            &mgr,
+            &cat,
+        );
+        assert!(rows.is_empty());
     }
 }

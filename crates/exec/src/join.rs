@@ -1,10 +1,37 @@
-//! Hash joins (inner and left outer) on equality keys.
+//! Radix-partitioned hash joins (inner and left outer) on equality keys.
+//!
+//! The build side is hashed into `2^PARTITION_BITS` partitions by the top
+//! bits of the combined key hash; each partition is a flat open-addressing
+//! table over key hashes plus packed payload values — no per-key `Row`
+//! boxing, no pointer chasing through a `HashMap<Row, Vec<Row>>`. Probe
+//! batches hash their key columns in place (one vectorized kernel per
+//! column type) and walk duplicate chains by index.
+//!
+//! Determinism: build entries are tagged with a sequence number
+//! `(morsel_index << 32) | row` and each partition is sorted by it before
+//! the slot table is built, so serial and parallel builds (any worker
+//! interleaving) produce byte-identical tables, and duplicate-key fan-out
+//! order matches the serial arrival order. [`JoinTableBuilder::merge`] is
+//! therefore order-insensitive, like the aggregate/sort sink merges.
+//!
+//! Sideways information passing: a finished [`JoinTable`] exports a
+//! [`JoinFilter`] (blocked Bloom filter + per-key min/max + build count)
+//! that the planner attaches to the probe-side scan predicate, so storage
+//! skips segments (zone-map envelope test) and rows (Bloom membership)
+//! that provably have no join partner. The filter has no false negatives;
+//! false positives are re-checked exactly here at probe time.
 
 use crate::expr::Expr;
 use crate::operator::{BoxedOperator, Operator};
-use oltap_common::hash::FxHashMap;
+use oltap_common::bloom::BlockedBloom;
+use oltap_common::hash::{
+    join_hash_bool, join_hash_combine, join_hash_float, join_hash_int, join_hash_str,
+    JOIN_KEY_SEED,
+};
 use oltap_common::schema::SchemaRef;
-use oltap_common::{Batch, Result, Row, Schema, Value};
+use oltap_common::vector::ColumnVector;
+use oltap_common::{Batch, Result, Schema, Value};
+use oltap_storage::predicate::JoinFilter;
 use std::sync::Arc;
 
 /// Join type.
@@ -36,46 +63,462 @@ pub fn join_output_schema(left: &Schema, right: &Schema, join_type: JoinType) ->
     Arc::new(Schema::new(fields))
 }
 
+/// log2 of the radix partition count. 16 partitions keeps each
+/// partition's slot table small enough to stay cache-resident for
+/// dimension-sized build sides while still spreading skewed key spaces.
+pub const PARTITION_BITS: u32 = 4;
+const PARTITIONS: usize = 1 << PARTITION_BITS;
+/// Sentinel entry index ("no entry" in slots / "end of chain" in next).
+const NONE: u32 = u32::MAX;
+
+/// Radix partition of a combined key hash (top bits, leaving the low bits
+/// for the slot index and the middle bits for the Bloom filter).
+#[inline]
+fn partition_of(hash: u64) -> usize {
+    (hash >> (64 - PARTITION_BITS)) as usize
+}
+
+/// Hashes the evaluated key columns of a batch into one combined hash per
+/// row, recording rows with any NULL key (SQL equality never joins them).
+/// Vectorized per column type; produces exactly the hashes
+/// `join_hash_value` would for the equivalent scalar values, so the
+/// scan-side [`JoinFilter`] agrees with build and probe.
+fn hash_keys(key_cols: &[ColumnVector], len: usize, hashes: &mut Vec<u64>, null_key: &mut Vec<bool>) {
+    hashes.clear();
+    hashes.resize(len, JOIN_KEY_SEED);
+    null_key.clear();
+    null_key.resize(len, false);
+    for col in key_cols {
+        match col {
+            ColumnVector::Int64 { values, validity } => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    if validity.as_ref().is_some_and(|v| !v.get(i)) {
+                        null_key[i] = true;
+                    } else {
+                        *h = join_hash_combine(*h, join_hash_int(values[i]));
+                    }
+                }
+            }
+            ColumnVector::Float64 { values, validity } => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    if validity.as_ref().is_some_and(|v| !v.get(i)) {
+                        null_key[i] = true;
+                    } else {
+                        *h = join_hash_combine(*h, join_hash_float(values[i]));
+                    }
+                }
+            }
+            ColumnVector::Utf8 { values, validity } => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    if validity.as_ref().is_some_and(|v| !v.get(i)) {
+                        null_key[i] = true;
+                    } else {
+                        *h = join_hash_combine(*h, join_hash_str(&values[i]));
+                    }
+                }
+            }
+            ColumnVector::Bool { values, validity } => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    if validity.as_ref().is_some_and(|v| !v.get(i)) {
+                        null_key[i] = true;
+                    } else {
+                        *h = join_hash_combine(*h, join_hash_bool(values.get(i)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compares a probe column's row `i` against a stored build key without
+/// materializing a `Value` for strings (the hot case for dictionary-like
+/// dimension keys). Falls back to `Value` equality, which already handles
+/// the cross-type numeric classes.
+#[inline]
+fn col_value_eq(col: &ColumnVector, i: usize, stored: &Value) -> bool {
+    match (col, stored) {
+        (ColumnVector::Utf8 { values, .. }, Value::Str(s)) => values[i] == *s,
+        (ColumnVector::Utf8 { .. }, _) => false,
+        _ => col.value_at(i) == *stored,
+    }
+}
+
+/// One radix partition of a finished [`JoinTable`]: an open-addressing
+/// slot table over entry hashes with duplicate chains, plus the packed
+/// key and payload values in arrival order.
+#[derive(Debug)]
+struct JoinPartition {
+    /// Open-addressing table of chain-head entry indices (`NONE` = empty).
+    /// Power-of-two capacity ≥ 2 × entries; linear probing.
+    slots: Vec<u32>,
+    /// Combined key hash per entry.
+    hashes: Vec<u64>,
+    /// Next entry with the same key (`NONE` = end of chain), preserving
+    /// build arrival order so duplicate fan-out matches the serial plan.
+    next: Vec<u32>,
+    /// Packed key values, `key_width` per entry.
+    keys: Vec<Value>,
+    /// Packed payload (full build row) values, `build_width` per entry.
+    rows: Vec<Value>,
+}
+
+impl JoinPartition {
+    fn entries(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+/// The finished, immutable build side of a radix-partitioned hash join.
+#[derive(Debug)]
+pub struct JoinTable {
+    partitions: Vec<JoinPartition>,
+    key_width: usize,
+    build_width: usize,
+    build_rows: usize,
+    /// Bloom filter over every entry's combined key hash.
+    bloom: Arc<BlockedBloom>,
+    /// Min/max per key column (None when the build side is empty).
+    key_ranges: Vec<Option<(Value, Value)>>,
+}
+
+impl JoinTable {
+    /// Number of build rows in the table (NULL-keyed rows excluded).
+    pub fn build_rows(&self) -> usize {
+        self.build_rows
+    }
+
+    /// Width of one packed payload row.
+    pub fn build_width(&self) -> usize {
+        self.build_width
+    }
+
+    /// Number of join key columns.
+    pub fn key_width(&self) -> usize {
+        self.key_width
+    }
+
+    /// Derives the sideways scan filter. `columns` are the probe-side
+    /// table ordinals of the key columns, positionally matching the build
+    /// keys; the planner fills them per scan (a template with empty
+    /// columns is valid and is completed at the scan site).
+    pub fn filter(&self, columns: Vec<usize>) -> JoinFilter {
+        JoinFilter {
+            columns,
+            ranges: self.key_ranges.clone(),
+            bloom: Arc::clone(&self.bloom),
+            build_rows: self.build_rows,
+        }
+    }
+
+    /// Finds the chain head matching row `i` of the probe key columns,
+    /// returning `(partition, entry)`.
+    fn find(&self, hash: u64, key_cols: &[ColumnVector], i: usize) -> Option<(u32, u32)> {
+        let p = partition_of(hash);
+        let part = &self.partitions[p];
+        if part.entries() == 0 {
+            return None;
+        }
+        let mask = part.slots.len() - 1;
+        let mut s = (hash as usize) & mask;
+        loop {
+            let head = part.slots[s];
+            if head == NONE {
+                return None;
+            }
+            let e = head as usize;
+            if part.hashes[e] == hash && self.keys_equal(part, e, key_cols, i) {
+                return Some((p as u32, head));
+            }
+            // Linear probing; capacity ≥ 2 × entries guarantees an empty
+            // slot terminates the walk.
+            s = (s + 1) & mask;
+        }
+    }
+
+    fn keys_equal(&self, part: &JoinPartition, e: usize, key_cols: &[ColumnVector], i: usize) -> bool {
+        let base = e * self.key_width;
+        key_cols
+            .iter()
+            .enumerate()
+            .all(|(k, col)| col_value_eq(col, i, &part.keys[base + k]))
+    }
+}
+
+/// One partition's accumulating build data: entries in push order, each
+/// tagged with its global sequence number for the deterministic sort in
+/// [`JoinTableBuilder::finish`].
+#[derive(Debug, Default)]
+struct PartitionSink {
+    seqs: Vec<u64>,
+    hashes: Vec<u64>,
+    keys: Vec<Value>,
+    rows: Vec<Value>,
+}
+
+/// Accumulates build-side batches into radix partitions. Each parallel
+/// worker owns one builder; [`merge`](Self::merge) concatenates them in
+/// any order and [`finish`](Self::finish) restores the serial order.
+#[derive(Debug)]
+pub struct JoinTableBuilder {
+    key_width: usize,
+    build_width: usize,
+    parts: Vec<PartitionSink>,
+    scratch_hashes: Vec<u64>,
+    scratch_null: Vec<bool>,
+}
+
+impl JoinTableBuilder {
+    /// A builder for `key_width` join keys over `build_width`-column rows.
+    pub fn new(key_width: usize, build_width: usize) -> Self {
+        JoinTableBuilder {
+            key_width,
+            build_width,
+            parts: (0..PARTITIONS).map(|_| PartitionSink::default()).collect(),
+            scratch_hashes: Vec::new(),
+            scratch_null: Vec::new(),
+        }
+    }
+
+    /// Appends one build batch. `key_cols` are the evaluated key
+    /// expressions over `batch`; `morsel_index` is the batch's serial
+    /// position (morsel index in the parallel build, arrival count in the
+    /// serial build) and orders entries deterministically.
+    pub fn push_batch(
+        &mut self,
+        key_cols: &[ColumnVector],
+        batch: &Batch,
+        morsel_index: usize,
+    ) -> Result<()> {
+        debug_assert_eq!(key_cols.len(), self.key_width);
+        hash_keys(
+            key_cols,
+            batch.len(),
+            &mut self.scratch_hashes,
+            &mut self.scratch_null,
+        );
+        for i in 0..batch.len() {
+            // SQL equality: NULL keys never join.
+            if self.scratch_null[i] {
+                continue;
+            }
+            let h = self.scratch_hashes[i];
+            let part = &mut self.parts[partition_of(h)];
+            part.seqs.push(((morsel_index as u64) << 32) | i as u64);
+            part.hashes.push(h);
+            for c in key_cols {
+                part.keys.push(c.value_at(i));
+            }
+            for c in batch.columns() {
+                part.rows.push(c.value_at(i));
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another worker's partitions into this one. Order-insensitive:
+    /// `finish` sorts each partition by sequence number.
+    pub fn merge(&mut self, other: JoinTableBuilder) {
+        debug_assert_eq!(self.key_width, other.key_width);
+        debug_assert_eq!(self.build_width, other.build_width);
+        for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
+            mine.seqs.extend(theirs.seqs);
+            mine.hashes.extend(theirs.hashes);
+            mine.keys.extend(theirs.keys);
+            mine.rows.extend(theirs.rows);
+        }
+    }
+
+    /// Freezes the builder into an immutable [`JoinTable`]: sorts each
+    /// partition into serial arrival order, builds the open-addressing
+    /// slot tables with duplicate chains, and derives the Bloom filter
+    /// and key envelopes for sideways information passing.
+    pub fn finish(self) -> JoinTable {
+        let kw = self.key_width;
+        let bw = self.build_width;
+        let total: usize = self.parts.iter().map(|p| p.seqs.len()).sum();
+        let mut bloom = BlockedBloom::with_capacity(total.max(1));
+        let mut key_ranges: Vec<Option<(Value, Value)>> = vec![None; kw];
+        let partitions = self
+            .parts
+            .into_iter()
+            .map(|sink| {
+                let PartitionSink {
+                    seqs,
+                    hashes: src_hashes,
+                    keys: mut src_keys,
+                    rows: mut src_rows,
+                } = sink;
+                let n = seqs.len();
+                // Serial arrival order, regardless of merge order.
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_unstable_by_key(|&i| seqs[i as usize]);
+                let mut hashes = Vec::with_capacity(n);
+                let mut keys = Vec::with_capacity(n * kw);
+                let mut rows = Vec::with_capacity(n * bw);
+                for &i in &order {
+                    let i = i as usize;
+                    hashes.push(src_hashes[i]);
+                    for k in 0..kw {
+                        keys.push(std::mem::replace(&mut src_keys[i * kw + k], Value::Null));
+                    }
+                    for c in 0..bw {
+                        rows.push(std::mem::replace(&mut src_rows[i * bw + c], Value::Null));
+                    }
+                }
+                for (e, &h) in hashes.iter().enumerate() {
+                    bloom.insert(h);
+                    for (k, range) in key_ranges.iter_mut().enumerate() {
+                        let v = &keys[e * kw + k];
+                        *range = Some(match range.take() {
+                            None => (v.clone(), v.clone()),
+                            Some((lo, hi)) => (
+                                if *v < lo { v.clone() } else { lo },
+                                if *v > hi { v.clone() } else { hi },
+                            ),
+                        });
+                    }
+                }
+                // Slot table: distinct keys claim a head slot, duplicates
+                // chain behind the head in entry (= arrival) order.
+                let cap = (n.max(1) * 2).next_power_of_two();
+                let mask = cap - 1;
+                let mut slots = vec![NONE; cap];
+                let mut next = vec![NONE; n];
+                let mut tails = vec![NONE; cap];
+                for e in 0..n as u32 {
+                    let h = hashes[e as usize];
+                    let mut s = (h as usize) & mask;
+                    loop {
+                        let head = slots[s];
+                        if head == NONE {
+                            slots[s] = e;
+                            tails[s] = e;
+                            break;
+                        }
+                        let he = head as usize;
+                        let eu = e as usize;
+                        if hashes[he] == h && keys[he * kw..he * kw + kw] == keys[eu * kw..eu * kw + kw]
+                        {
+                            next[tails[s] as usize] = e;
+                            tails[s] = e;
+                            break;
+                        }
+                        s = (s + 1) & mask;
+                    }
+                }
+                JoinPartition {
+                    slots,
+                    hashes,
+                    next,
+                    keys,
+                    rows,
+                }
+            })
+            .collect();
+        JoinTable {
+            partitions,
+            key_width: kw,
+            build_width: bw,
+            build_rows: total,
+            bloom: Arc::new(bloom),
+            key_ranges,
+        }
+    }
+}
+
+/// Reusable probe-side buffers, kept across batches so the per-batch probe
+/// allocates nothing in steady state (no per-probe-key `Row`s).
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    hashes: Vec<u64>,
+    null_key: Vec<bool>,
+    /// Left-batch row index per output row.
+    sel: Vec<u32>,
+    /// Matched `(partition, entry)` per output row; `(NONE, NONE)` means a
+    /// LEFT-join NULL pad.
+    matches: Vec<(u32, u32)>,
+}
+
+impl ProbeScratch {
+    /// Fresh scratch buffers.
+    pub fn new() -> Self {
+        ProbeScratch::default()
+    }
+}
+
 /// Probes the build `table` with one batch of left rows, producing the
 /// joined batch (`None` when nothing in the batch matched under an inner
 /// join). This is the per-batch body of the streaming probe, shared by
-/// [`HashJoinOp`] and the parallel pipeline's probe stage.
+/// [`HashJoinOp`] and the parallel pipeline's probe stage. Key columns
+/// are hashed in place; the output is assembled column-wise (left columns
+/// gathered by selection vector, right columns copied from the packed
+/// build payload).
 pub fn probe_batch(
-    table: &FxHashMap<Row, Vec<Row>>,
+    table: &JoinTable,
     keys: &[Expr],
     join_type: JoinType,
-    right_width: usize,
     schema: &SchemaRef,
     batch: &Batch,
+    scratch: &mut ProbeScratch,
 ) -> Result<Option<Batch>> {
     let key_cols = keys
         .iter()
         .map(|e| e.eval_batch(batch))
         .collect::<Result<Vec<_>>>()?;
-    let mut out_rows: Vec<Row> = Vec::with_capacity(batch.len());
+    hash_keys(
+        &key_cols,
+        batch.len(),
+        &mut scratch.hashes,
+        &mut scratch.null_key,
+    );
+    scratch.sel.clear();
+    scratch.matches.clear();
     for i in 0..batch.len() {
-        let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
-        let has_null = key.values().iter().any(|v| v.is_null());
-        let matches = if has_null { None } else { table.get(&key) };
-        match matches {
-            Some(rows) => {
-                let l = batch.row(i);
-                for r in rows {
-                    out_rows.push(l.concat(r));
+        if scratch.null_key[i] {
+            if join_type == JoinType::Left {
+                scratch.sel.push(i as u32);
+                scratch.matches.push((NONE, NONE));
+            }
+            continue;
+        }
+        match table.find(scratch.hashes[i], &key_cols, i) {
+            Some((p, head)) => {
+                let part = &table.partitions[p as usize];
+                let mut e = head;
+                loop {
+                    scratch.sel.push(i as u32);
+                    scratch.matches.push((p, e));
+                    e = part.next[e as usize];
+                    if e == NONE {
+                        break;
+                    }
                 }
             }
-            None => {
-                if join_type == JoinType::Left {
-                    let pad = Row::new(vec![Value::Null; right_width]);
-                    out_rows.push(batch.row(i).concat(&pad));
-                }
+            None if join_type == JoinType::Left => {
+                scratch.sel.push(i as u32);
+                scratch.matches.push((NONE, NONE));
             }
+            None => {}
         }
     }
-    if out_rows.is_empty() {
+    if scratch.sel.is_empty() {
         return Ok(None);
     }
-    Ok(Some(Batch::from_rows(schema, &out_rows)?))
+    let mut columns = batch.take(&scratch.sel).into_columns();
+    let left_width = columns.len();
+    let bw = table.build_width;
+    for j in 0..bw {
+        let mut col = ColumnVector::new(schema.field(left_width + j).data_type);
+        for &(p, e) in &scratch.matches {
+            if e == NONE {
+                col.push(&Value::Null)?;
+            } else {
+                col.push(&table.partitions[p as usize].rows[e as usize * bw + j])?;
+            }
+        }
+        columns.push(col);
+    }
+    Ok(Some(Batch::new(columns)?))
 }
 
 /// Hash join: blocking build on the right input, streaming probe from the
@@ -87,9 +530,8 @@ pub struct HashJoinOp {
     right_keys: Vec<Expr>,
     join_type: JoinType,
     schema: SchemaRef,
-    right_width: usize,
-    /// Build side: key → right rows with that key.
-    table: Option<FxHashMap<Row, Vec<Row>>>,
+    table: Option<Arc<JoinTable>>,
+    scratch: ProbeScratch,
 }
 
 impl HashJoinOp {
@@ -111,35 +553,62 @@ impl HashJoinOp {
         let rs = right.schema();
         Ok(HashJoinOp {
             schema: join_output_schema(&ls, &rs, join_type),
-            right_width: rs.len(),
             left,
             right: Some(right),
             left_keys,
             right_keys,
             join_type,
             table: None,
+            scratch: ProbeScratch::new(),
+        })
+    }
+
+    /// A probe-only join over a table built elsewhere. The sideways-
+    /// information-passing planner path builds the table *before* lowering
+    /// the probe side (to derive the scan filter), then hands it here.
+    pub fn from_built(
+        left: BoxedOperator,
+        table: Arc<JoinTable>,
+        left_keys: Vec<Expr>,
+        join_type: JoinType,
+        right_schema: &Schema,
+    ) -> Result<Self> {
+        if left_keys.len() != table.key_width() || left_keys.is_empty() {
+            return Err(oltap_common::DbError::Plan(
+                "join requires one or more positionally paired keys".into(),
+            ));
+        }
+        let ls = left.schema();
+        Ok(HashJoinOp {
+            schema: join_output_schema(&ls, right_schema, join_type),
+            left,
+            right: None,
+            left_keys,
+            right_keys: Vec::new(),
+            join_type,
+            table: Some(table),
+            scratch: ProbeScratch::new(),
         })
     }
 
     fn build(&mut self) -> Result<()> {
         let mut right = self.right.take().expect("built twice");
-        let mut table: FxHashMap<Row, Vec<Row>> = FxHashMap::default();
+        let build_width = right.schema().len();
+        let mut builder = JoinTableBuilder::new(self.right_keys.len(), build_width);
+        let mut arrival = 0usize;
         while let Some(batch) = right.next()? {
+            if batch.is_empty() {
+                continue;
+            }
             let key_cols = self
                 .right_keys
                 .iter()
                 .map(|e| e.eval_batch(&batch))
                 .collect::<Result<Vec<_>>>()?;
-            for i in 0..batch.len() {
-                let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
-                // SQL equality: NULL keys never join.
-                if key.values().iter().any(|v| v.is_null()) {
-                    continue;
-                }
-                table.entry(key).or_default().push(batch.row(i));
-            }
+            builder.push_batch(&key_cols, &batch, arrival)?;
+            arrival += 1;
         }
-        self.table = Some(table);
+        self.table = Some(Arc::new(builder.finish()));
         Ok(())
     }
 }
@@ -153,7 +622,7 @@ impl Operator for HashJoinOp {
         if self.table.is_none() {
             self.build()?;
         }
-        let table = self.table.as_ref().unwrap();
+        let table = Arc::clone(self.table.as_ref().unwrap());
         loop {
             let batch = match self.left.next()? {
                 Some(b) => b,
@@ -163,12 +632,12 @@ impl Operator for HashJoinOp {
                 continue;
             }
             if let Some(out) = probe_batch(
-                table,
+                &table,
                 &self.left_keys,
                 self.join_type,
-                self.right_width,
                 &self.schema,
                 &batch,
+                &mut self.scratch,
             )? {
                 return Ok(Some(out));
             }
@@ -182,7 +651,7 @@ mod tests {
     use super::*;
     use crate::operator::{collect, MemorySource};
     use oltap_common::row;
-    use oltap_common::{DataType, Field};
+    use oltap_common::{DataType, Field, Row};
 
     fn orders() -> BoxedOperator {
         let schema = Arc::new(Schema::new(vec![
@@ -261,6 +730,25 @@ mod tests {
             assert_eq!(r[3], Value::Null);
             assert_eq!(r[4], Value::Null);
         }
+    }
+
+    #[test]
+    fn left_join_fully_unmatched_probe() {
+        // No probe key appears on the build side: every row NULL-pads.
+        let schema = Arc::new(Schema::new(vec![Field::new("cid", DataType::Int64)]));
+        let b = Batch::from_rows(&schema, &[row![1000i64], row![2000i64]]).unwrap();
+        let right = Box::new(MemorySource::new(schema, vec![b]));
+        let op = HashJoinOp::new(
+            orders(),
+            right,
+            vec![Expr::col(1)],
+            vec![Expr::col(0)],
+            JoinType::Left,
+        )
+        .unwrap();
+        let rows = rows_of(op);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r[3] == Value::Null));
     }
 
     #[test]
@@ -365,5 +853,144 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "names not unique: {names:?}");
+    }
+
+    /// Builds a [`JoinTable`] over single-column integer keys.
+    fn int_table(keys: &[i64]) -> JoinTable {
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let rows: Vec<Row> = keys.iter().map(|&k| row![k]).collect();
+        let batch = Batch::from_rows(&schema, &rows).unwrap();
+        let mut builder = JoinTableBuilder::new(1, 1);
+        let key_cols = vec![batch.column(0).clone()];
+        builder.push_batch(&key_cols, &batch, 0).unwrap();
+        builder.finish()
+    }
+
+    #[test]
+    fn merge_order_does_not_change_table() {
+        // Two workers contribute interleaved morsels; both merge orders
+        // must yield identical probe results with serial fan-out order.
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let batch_for = |keys: &[i64]| {
+            Batch::from_rows(&schema, &keys.iter().map(|&k| row![k]).collect::<Vec<_>>()).unwrap()
+        };
+        let build = |first_has_even: bool| {
+            let mut a = JoinTableBuilder::new(1, 1);
+            let mut b = JoinTableBuilder::new(1, 1);
+            for (idx, keys) in [[7i64, 8], [7, 9], [8, 7]].iter().enumerate() {
+                let batch = batch_for(keys);
+                let cols = vec![batch.column(0).clone()];
+                let target = if (idx % 2 == 0) == first_has_even { &mut a } else { &mut b };
+                target.push_batch(&cols, &batch, idx).unwrap();
+            }
+            a.merge(b);
+            a.finish()
+        };
+        let t1 = build(true);
+        let t2 = build(false);
+        let probe = Batch::from_rows(&schema, &[row![7i64], row![8i64], row![9i64]]).unwrap();
+        let out_schema = join_output_schema(&schema, &schema, JoinType::Inner);
+        let mut s1 = ProbeScratch::new();
+        let mut s2 = ProbeScratch::new();
+        let o1 = probe_batch(&t1, &[Expr::col(0)], JoinType::Inner, &out_schema, &probe, &mut s1)
+            .unwrap()
+            .unwrap();
+        let o2 = probe_batch(&t2, &[Expr::col(0)], JoinType::Inner, &out_schema, &probe, &mut s2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(o1.to_rows(), o2.to_rows());
+        // Key 7 appears three times on the build side → fan-out of 3.
+        assert_eq!(o1.to_rows().iter().filter(|r| r[0] == Value::Int(7)).count(), 3);
+    }
+
+    #[test]
+    fn join_filter_is_exact_semi_join_superset() {
+        // The derived filter must pass every joining key (no false
+        // negatives), and probe results over filter-surviving rows must
+        // equal results over all rows (false positives rejected at probe).
+        let build_keys: Vec<i64> = (0..50).filter(|k| k % 2 == 0).collect();
+        let table = int_table(&build_keys);
+        let filter = table.filter(vec![0]);
+        for &k in &build_keys {
+            assert!(filter.matches_row(&row![k]), "false negative for {k}");
+        }
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let all: Vec<Row> = (0..60i64).map(|k| row![k]).collect();
+        let surviving: Vec<Row> = all.iter().filter(|r| filter.matches_row(r)).cloned().collect();
+        let out_schema = join_output_schema(&schema, &schema, JoinType::Inner);
+        let probe = |rows: &[Row]| -> Vec<Row> {
+            if rows.is_empty() {
+                return Vec::new();
+            }
+            let batch = Batch::from_rows(&schema, rows).unwrap();
+            let mut scratch = ProbeScratch::new();
+            probe_batch(&table, &[Expr::col(0)], JoinType::Inner, &out_schema, &batch, &mut scratch)
+                .unwrap()
+                .map(|b| b.to_rows())
+                .unwrap_or_default()
+        };
+        assert_eq!(probe(&all), probe(&surviving));
+        assert_eq!(probe(&all).len(), build_keys.len());
+    }
+
+    #[test]
+    fn tiny_bloom_false_positives_rejected_at_probe() {
+        use oltap_storage::predicate::JoinFilter as SipFilter;
+
+        // Force a saturated one-word Bloom filter: most non-build keys
+        // pass the filter (false positives) but the probe still rejects
+        // them exactly.
+        let build_keys: Vec<i64> = (0..64).map(|k| k * 3).collect();
+        let table = int_table(&build_keys);
+        let exact = table.filter(vec![0]);
+        let mut tiny = BlockedBloom::with_words(1);
+        for &k in &build_keys {
+            tiny.insert(join_hash_combine(JOIN_KEY_SEED, join_hash_int(k)));
+        }
+        let filter = SipFilter {
+            columns: vec![0],
+            ranges: exact.ranges.clone(),
+            bloom: Arc::new(tiny),
+            build_rows: exact.build_rows,
+        };
+        let non_build: Vec<i64> = (0..190).filter(|k| k % 3 != 0).collect();
+        let fp = non_build.iter().filter(|&&k| filter.matches_row(&row![k])).count();
+        assert!(fp > 0, "expected the tiny filter to admit false positives");
+        // Probing the false positives yields nothing: the join re-checks keys.
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let rows: Vec<Row> = non_build
+            .iter()
+            .filter(|&&k| filter.matches_row(&row![k]))
+            .map(|&k| row![k])
+            .collect();
+        let batch = Batch::from_rows(&schema, &rows).unwrap();
+        let out_schema = join_output_schema(&schema, &schema, JoinType::Inner);
+        let mut scratch = ProbeScratch::new();
+        let out = probe_batch(&table, &[Expr::col(0)], JoinType::Inner, &out_schema, &batch, &mut scratch)
+            .unwrap();
+        assert!(out.is_none(), "false positives must not produce join rows");
+    }
+
+    #[test]
+    fn cross_type_keys_join() {
+        // Float(10.0) on the probe side joins Int(10) on the build side:
+        // Value equality is cross-type, and the hash classes agree.
+        let left_schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Float64)]));
+        let left_rows = vec![row![10.0f64], row![10.5f64]];
+        let left = Box::new(MemorySource::new(
+            Arc::clone(&left_schema),
+            vec![Batch::from_rows(&left_schema, &left_rows).unwrap()],
+        ));
+        let op = HashJoinOp::new(
+            left,
+            customers(),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            JoinType::Inner,
+        )
+        .unwrap();
+        let rows = rows_of(op);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][2], Value::Str("ada".into()));
     }
 }

@@ -31,7 +31,10 @@ pub mod sort;
 pub use aggregate::{AggExpr, AggFunc, AggregatorCore, GroupMap, HashAggregateOp};
 pub use compiled::{compile, CompiledExpr, Program};
 pub use expr::{BinOp, Expr, UnOp};
-pub use join::{join_output_schema, probe_batch, HashJoinOp, JoinType};
+pub use join::{
+    join_output_schema, probe_batch, HashJoinOp, JoinTable, JoinTableBuilder, JoinType,
+    ProbeScratch, PARTITION_BITS,
+};
 pub use operator::{
     collect, collect_with, count_rows, count_rows_with, BoxedOperator, CancelOp, FilterOp,
     LimitOp, MemorySource, Operator, ProjectOp,

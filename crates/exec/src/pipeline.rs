@@ -27,15 +27,16 @@
 //! Cancellation and fault injection keep their serial granularity: the
 //! token is checked and the [`points::EXEC_MORSEL_FAIL`] fault point is
 //! probed at every morsel boundary (a morsel *is* a batch boundary), with
-//! a bounded retry so probabilistic chaos runs still complete.
+//! a bounded retry so probabilistic chaos runs still complete. The join
+//! build pipeline probes its own [`points::EXEC_JOIN_BUILD_FAIL`] point
+//! per build morsel with the same retry budget.
 
 use crate::aggregate::{AggregatorCore, GroupMap};
 use crate::compiled::CompiledExpr;
 use crate::expr::Expr;
-use crate::join::{probe_batch, JoinType};
+use crate::join::{probe_batch, JoinTable, JoinTableBuilder, JoinType, ProbeScratch};
 use crate::sort::{merge_sorted_runs, sort_entries, SortEntry, SortKey, TopKAcc};
 use oltap_common::fault::{points, FaultInjector};
-use oltap_common::hash::FxHashMap;
 use oltap_common::schema::SchemaRef;
 use oltap_common::{Batch, CancellationToken, DbError, Result, Row};
 use oltap_sched::{WorkerPool, WorkloadClass};
@@ -170,16 +171,15 @@ pub enum StageSpec {
 
 /// The shared read-only state of a hash-join probe stage. The build table
 /// is produced by [`ParallelContext::run_join_build`] (itself a parallel
-/// pipeline) and then probed concurrently without locks.
+/// pipeline) and then probed concurrently without locks; each worker keeps
+/// its own [`ProbeScratch`] so probing allocates nothing per batch.
 pub struct ProbeStage {
-    /// Build side: key → build rows in serial scan order.
-    pub table: FxHashMap<Row, Vec<Row>>,
+    /// Radix-partitioned build side in serial scan order.
+    pub table: Arc<JoinTable>,
     /// Probe-side key expressions.
     pub keys: Vec<Expr>,
     /// Inner or left outer.
     pub join_type: JoinType,
-    /// Column count of the build side (NULL padding width for LEFT).
-    pub right_width: usize,
     /// Joined output schema.
     pub schema: SchemaRef,
 }
@@ -188,7 +188,7 @@ pub struct ProbeStage {
 enum CompiledStage {
     Filter(CompiledExpr),
     Project(Vec<CompiledExpr>),
-    Probe(Arc<ProbeStage>),
+    Probe(Arc<ProbeStage>, ProbeScratch),
 }
 
 impl CompiledStage {
@@ -207,13 +207,14 @@ impl CompiledStage {
                     .map(|e| CompiledExpr::new(e.clone(), input_schema))
                     .collect(),
             ),
-            StageSpec::Probe(p) => CompiledStage::Probe(Arc::clone(p)),
+            StageSpec::Probe(p) => CompiledStage::Probe(Arc::clone(p), ProbeScratch::new()),
         }
     }
 
     /// Applies this stage to one non-empty batch; `None` means the morsel
-    /// was fully consumed (filtered out / no join matches).
-    fn apply(&self, batch: Batch) -> Result<Option<Batch>> {
+    /// was fully consumed (filtered out / no join matches). `&mut self`
+    /// because the probe stage reuses its scratch buffers across batches.
+    fn apply(&mut self, batch: Batch) -> Result<Option<Batch>> {
         match self {
             CompiledStage::Filter(pred) => {
                 let mask = pred.eval(&batch)?;
@@ -244,8 +245,8 @@ impl CompiledStage {
                     .collect::<Result<Vec<_>>>()?;
                 Ok(Some(Batch::new(cols)?))
             }
-            CompiledStage::Probe(p) => {
-                probe_batch(&p.table, &p.keys, p.join_type, p.right_width, &p.schema, &batch)
+            CompiledStage::Probe(p, scratch) => {
+                probe_batch(&p.table, &p.keys, p.join_type, &p.schema, &batch, scratch)
             }
         }
     }
@@ -372,52 +373,50 @@ impl ParallelContext {
         core.finish(merged)
     }
 
-    /// Join-build sink: per-worker partial tables keyed like the serial
-    /// build, with rows tagged by sequence so the merged table lists each
-    /// key's rows in serial scan order (duplicate keys fan out in the same
-    /// order as the serial probe).
+    /// Join-build sink: per-worker [`JoinTableBuilder`]s accumulate radix
+    /// partitions with rows tagged by morsel sequence; the merged builder
+    /// restores serial scan order in [`JoinTableBuilder::finish`], so
+    /// duplicate keys fan out in the same order as the serial probe. Each
+    /// build morsel probes [`points::EXEC_JOIN_BUILD_FAIL`] with the same
+    /// bounded retry as the morsel fault point.
     pub fn run_join_build(
         &self,
         batches: Vec<Batch>,
         stages: Vec<StageSpec>,
         keys: Vec<Expr>,
-    ) -> Result<FxHashMap<Row, Vec<Row>>> {
-        type SeqTable = FxHashMap<Row, Vec<(u64, Row)>>;
+        build_width: usize,
+    ) -> Result<JoinTable> {
+        let key_width = keys.len();
         let keys = Arc::new(keys);
-        let parts: Vec<SeqTable> = self.fan_out(
+        let faults = Arc::clone(&self.faults);
+        let parts: Vec<JoinTableBuilder> = self.fan_out(
             batches,
             stages,
-            SeqTable::default,
-            move |table: &mut SeqTable, idx, batch| {
+            move || JoinTableBuilder::new(key_width, build_width),
+            move |builder: &mut JoinTableBuilder, idx, batch| {
+                let mut attempts = 0u32;
+                while faults.should_fire(points::EXEC_JOIN_BUILD_FAIL) {
+                    attempts += 1;
+                    if attempts > MORSEL_FAULT_RETRIES {
+                        return Err(DbError::FaultInjected(format!(
+                            "join build morsel {idx} exhausted {MORSEL_FAULT_RETRIES} retries at {}",
+                            points::EXEC_JOIN_BUILD_FAIL
+                        )));
+                    }
+                }
                 let key_cols = keys
                     .iter()
                     .map(|e| e.eval_batch(&batch))
                     .collect::<Result<Vec<_>>>()?;
-                for i in 0..batch.len() {
-                    let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
-                    // SQL equality: NULL keys never join.
-                    if key.values().iter().any(|v| v.is_null()) {
-                        continue;
-                    }
-                    let seq = ((idx as u64) << 32) | i as u64;
-                    table.entry(key).or_default().push((seq, batch.row(i)));
-                }
-                Ok(())
+                builder.push_batch(&key_cols, &batch, idx)
             },
-            |t| t,
+            |b| b,
         )?;
-        let mut merged: SeqTable = SeqTable::default();
+        let mut merged = JoinTableBuilder::new(key_width, build_width);
         for part in parts {
-            for (k, mut v) in part {
-                merged.entry(k).or_default().append(&mut v);
-            }
+            merged.merge(part);
         }
-        let mut out: FxHashMap<Row, Vec<Row>> = FxHashMap::default();
-        for (k, mut v) in merged {
-            v.sort_by_key(|(s, _)| *s);
-            out.insert(k, v.into_iter().map(|(_, r)| r).collect());
-        }
-        Ok(out)
+        Ok(merged.finish())
     }
 
     /// Sort sink: per-worker sorted runs, k-way merged with sequence-number
@@ -516,7 +515,7 @@ fn worker_drive<S, R>(
     consume: &dyn Fn(&mut S, usize, Batch) -> Result<()>,
     finish: &dyn Fn(S) -> R,
 ) -> Result<R> {
-    let compiled: Vec<CompiledStage> = stages.iter().map(CompiledStage::compile).collect();
+    let mut compiled: Vec<CompiledStage> = stages.iter().map(CompiledStage::compile).collect();
     let mut state = make();
     while !abort.load(Ordering::Relaxed) {
         cancel.check()?;
@@ -538,7 +537,7 @@ fn worker_drive<S, R>(
             continue;
         }
         let mut cur = Some(morsel.batch);
-        for stage in &compiled {
+        for stage in &mut compiled {
             let Some(b) = cur else { break };
             cur = stage.apply(b)?;
         }

@@ -6,21 +6,29 @@
 //! storage layer use zone maps and compressed-domain evaluation; pruning
 //! means a scan decodes only the referenced columns — the defining
 //! advantage of columnar layouts.
+//!
+//! A fourth, join-specific pass runs last: [`optimize`] marks INNER
+//! equi-joins whose probe side reaches a bare scan so the physical planner
+//! can push a Bloom-filter join filter (sideways information passing) into
+//! that scan once the build side is materialized.
 
-use crate::plan::LogicalPlan;
+use crate::plan::{LogicalPlan, SipScan};
 use oltap_common::{Result, Value};
 use oltap_exec::expr::{BinOp, Expr, UnOp};
+use oltap_exec::join::JoinType;
 use oltap_storage::{CmpOp, ColumnPredicate};
 use std::collections::BTreeSet;
 
 /// Runs every rule to fixpoint-ish (each rule once, in dependency order —
 /// folding first so pushdown sees literals, pruning last so it sees the
-/// final column references).
+/// final column references, sideways-join marking last of all so the scan
+/// ordinals it records are the pruned ones the executor will see).
 pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
     let plan = fold_plan(plan)?;
     let plan = push_down_predicates(plan)?;
     let plan = prune_scan_projections(plan)?;
-    Ok(plan)
+    let mut next_id = 0u32;
+    Ok(mark_sideways_joins(plan, &mut next_id))
 }
 
 // ---------------------------------------------------------------------------
@@ -51,12 +59,14 @@ fn fold_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
             left_keys,
             right_keys,
             join_type,
+            sip,
         } => LogicalPlan::Join {
             left: Box::new(fold_plan(*left)?),
             right: Box::new(fold_plan(*right)?),
             left_keys,
             right_keys,
             join_type,
+            sip,
         },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(fold_plan(*input)?),
@@ -204,6 +214,7 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
                     table_schema,
                     projection,
                     mut pushdown,
+                    sip,
                 } => {
                     let mut residual = Vec::new();
                     for conj in split_conjuncts(predicate) {
@@ -217,6 +228,7 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
                         table_schema,
                         projection,
                         pushdown,
+                        sip,
                     };
                     match rebuild_conjunction(residual) {
                         Some(pred) => LogicalPlan::Filter {
@@ -232,6 +244,7 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
                     left_keys,
                     right_keys,
                     join_type,
+                    sip,
                 } => {
                     // Route single-side conjuncts below the join. For LEFT
                     // joins only left-side conjuncts may move (right-side
@@ -246,7 +259,7 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
                         if refs.iter().all(|&i| i < left_width) {
                             left_preds.push(conj);
                         } else if refs.iter().all(|&i| i >= left_width)
-                            && join_type == oltap_exec::join::JoinType::Inner
+                            && join_type == JoinType::Inner
                         {
                             right_preds.push(shift_expr(conj, left_width));
                         } else {
@@ -273,6 +286,7 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
                         left_keys,
                         right_keys,
                         join_type,
+                        sip,
                     };
                     match rebuild_conjunction(keep) {
                         Some(p) => LogicalPlan::Filter {
@@ -303,12 +317,14 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
             left_keys,
             right_keys,
             join_type,
+            sip,
         } => LogicalPlan::Join {
             left: Box::new(push_down_predicates(*left)?),
             right: Box::new(push_down_predicates(*right)?),
             left_keys,
             right_keys,
             join_type,
+            sip,
         },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(push_down_predicates(*input)?),
@@ -419,6 +435,7 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
             table_schema,
             projection,
             pushdown,
+            sip,
         } => {
             // Keep only required ordinals (in original order). A scan must
             // keep at least one column, otherwise batches lose their row
@@ -440,6 +457,7 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
                     table_schema,
                     projection: new_projection,
                     pushdown, // table-ordinal based: unaffected
+                    sip,      // table-ordinal based too (marked after pruning)
                 },
                 mapping,
             ))
@@ -551,6 +569,7 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
             left_keys,
             right_keys,
             join_type,
+            sip,
         } => {
             // The join output is the concatenation of both inputs; keep
             // everything required above plus the key columns on each side.
@@ -602,10 +621,143 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
                     left_keys,
                     right_keys,
                     join_type,
+                    sip,
                 },
                 mapping,
             ))
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sideways information passing (join-filter marking)
+// ---------------------------------------------------------------------------
+
+/// Marks INNER equi-joins whose probe (left) side reaches a bare scan
+/// through Filter nodes only. The physical planner uses the mark to build
+/// the join's hash table first, derive a Bloom filter + key min/max from
+/// it, and attach that as a scan-side pre-filter — rows that cannot join
+/// are dropped segment-by-segment before they ever reach the probe.
+///
+/// Only INNER joins qualify (a LEFT join must emit unmatched probe rows,
+/// so dropping them at the scan would change results) and every left key
+/// must be a bare column reference the scan's projection can map back to
+/// a table ordinal. Join and scan are linked by a plan-unique `join_id`.
+fn mark_sideways_joins(plan: LogicalPlan, next_id: &mut u32) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            sip,
+        } => {
+            let mut left = mark_sideways_joins(*left, next_id);
+            let right = mark_sideways_joins(*right, next_id);
+            let mut sip = sip;
+            if join_type == JoinType::Inner && sip.is_none() {
+                let cols: Option<Vec<usize>> = left_keys
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Column(c) => Some(*c),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(cols) = cols {
+                    let id = *next_id;
+                    let (marked, attached) = attach_sip(left, &cols, id);
+                    left = marked;
+                    if attached {
+                        *next_id += 1;
+                        sip = Some(id);
+                    }
+                }
+            }
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                join_type,
+                sip,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(mark_sideways_joins(*input, next_id)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(mark_sideways_joins(*input, next_id)),
+            exprs,
+        },
+        LogicalPlan::Aggregate { input, group, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(mark_sideways_joins(*input, next_id)),
+            group,
+            aggs,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(mark_sideways_joins(*input, next_id)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            offset,
+            limit,
+        } => LogicalPlan::Limit {
+            input: Box::new(mark_sideways_joins(*input, next_id)),
+            offset,
+            limit,
+        },
+        scan @ LogicalPlan::Scan { .. } => scan,
+    }
+}
+
+/// Walks the probe side through Filter-only chains to an unmarked scan and
+/// records the join's key columns there (as table ordinals). Filters do
+/// not reshape their input, so the join's plan ordinals are the scan's
+/// output ordinals; `projection` maps those back to table ordinals. Any
+/// unmappable key (or a scan already feeding another join's filter) means
+/// no mark.
+fn attach_sip(plan: LogicalPlan, plan_cols: &[usize], id: u32) -> (LogicalPlan, bool) {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let (input, attached) = attach_sip(*input, plan_cols, id);
+            (
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                },
+                attached,
+            )
+        }
+        LogicalPlan::Scan {
+            table,
+            table_schema,
+            projection,
+            pushdown,
+            sip: None,
+        } => {
+            let mapped: Option<Vec<usize>> = plan_cols
+                .iter()
+                .map(|&c| projection.get(c).copied())
+                .collect();
+            let attached = mapped.is_some();
+            (
+                LogicalPlan::Scan {
+                    table,
+                    table_schema,
+                    projection,
+                    pushdown,
+                    sip: mapped.map(|key_columns| SipScan {
+                        join_id: id,
+                        key_columns,
+                    }),
+                },
+                attached,
+            )
+        }
+        other => (other, false),
     }
 }
 
@@ -829,6 +981,44 @@ mod tests {
         let p = optimized("SELECT t.a FROM t JOIN u ON t.b = u.x WHERE t.a > 1");
         let total: usize = p.output_schema().unwrap().len();
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn sip_marks_inner_equi_join_probe_scan() {
+        let p = optimized("SELECT t.a, u.y FROM t JOIN u ON t.b = u.x");
+        let e = p.explain();
+        // Both the join and its probe scan carry the same filter id.
+        assert!(e.contains("sip=#0"), "{e}");
+        fn find_sip(p: &LogicalPlan) -> Option<&crate::plan::SipScan> {
+            match p {
+                LogicalPlan::Scan { sip, .. } => sip.as_ref(),
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Limit { input, .. } => find_sip(input),
+                LogicalPlan::Join { left, .. } => find_sip(left),
+            }
+        }
+        let sip = find_sip(&p).expect("probe scan should be marked");
+        assert_eq!(sip.join_id, 0);
+        // The key is t.b → table ordinal 1, even though the pruned scan
+        // projects [a, b] and the join key is plan ordinal 1 of the scan.
+        assert_eq!(sip.key_columns, vec![1]);
+    }
+
+    #[test]
+    fn sip_not_marked_for_left_join() {
+        let p = optimized("SELECT t.a, u.y FROM t LEFT JOIN u ON t.b = u.x");
+        assert!(!p.explain().contains("sip="), "{}", p.explain());
+    }
+
+    #[test]
+    fn sip_survives_residual_probe_filter() {
+        // A residual (non-pushable) filter between join and scan must not
+        // block the mark: Filters do not reshape ordinals.
+        let p = optimized("SELECT t.a FROM t JOIN u ON t.b = u.x WHERE t.a + t.b = 3");
+        assert!(p.explain().contains("sip=#0"), "{}", p.explain());
     }
 
     #[test]

@@ -18,6 +18,19 @@ pub trait CatalogView {
     fn table_schema(&self, name: &str) -> Result<SchemaRef>;
 }
 
+/// Marks a scan as the probe side of a sideways-information-passing
+/// equi-join: the physical planner builds the join's hash table first,
+/// derives a `JoinFilter` from it, and attaches it to this scan's
+/// pushdown before lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SipScan {
+    /// Identifier linking this scan to its `Join { sip: Some(id), .. }`.
+    pub join_id: u32,
+    /// Table ordinals of the probe key columns, positionally matching the
+    /// join's build keys.
+    pub key_columns: Vec<usize>,
+}
+
 /// A bound logical plan node.
 #[derive(Debug, Clone)]
 pub enum LogicalPlan {
@@ -32,6 +45,8 @@ pub enum LogicalPlan {
         /// Conjuncts pushed into the storage layer (ordinals refer to
         /// `table_schema`, not `projection`).
         pushdown: ScanPredicate,
+        /// Sideways join-filter mark set by the optimizer.
+        sip: Option<SipScan>,
     },
     /// Row filter (ordinals refer to the input's output).
     Filter {
@@ -68,6 +83,9 @@ pub enum LogicalPlan {
         right_keys: Vec<Expr>,
         /// Inner or left outer.
         join_type: JoinType,
+        /// When set, a probe-side scan carries the matching [`SipScan`]
+        /// mark and receives this join's build-side filter.
+        sip: Option<u32>,
     },
     /// Sort.
     Sort {
@@ -157,10 +175,11 @@ impl LogicalPlan {
                 table,
                 projection,
                 pushdown,
+                sip,
                 ..
             } => {
                 out.push_str(&format!("{pad}Scan {table} cols={projection:?}"));
-                if !pushdown.is_trivial() {
+                if !pushdown.conjuncts.is_empty() {
                     out.push_str(" pushdown=[");
                     for (i, c) in pushdown.conjuncts.iter().enumerate() {
                         if i > 0 {
@@ -169,6 +188,12 @@ impl LogicalPlan {
                         out.push_str(&format!("#{} {} {}", c.column, c.op.symbol(), c.value));
                     }
                     out.push(']');
+                }
+                if let Some(s) = sip {
+                    out.push_str(&format!(
+                        " sip=#{} keys={:?}",
+                        s.join_id, s.key_columns
+                    ));
                 }
                 out.push('\n');
             }
@@ -201,13 +226,21 @@ impl LogicalPlan {
                 left_keys,
                 right_keys,
                 join_type,
+                sip,
             } => {
                 let keys: Vec<String> = left_keys
                     .iter()
                     .zip(right_keys)
                     .map(|(l, r)| format!("{l}={r}"))
                     .collect();
-                out.push_str(&format!("{pad}{join_type:?}Join on {}\n", keys.join(", ")));
+                let sip_note = match sip {
+                    Some(id) => format!(" sip=#{id}"),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{pad}{join_type:?}Join on {}{sip_note}\n",
+                    keys.join(", ")
+                ));
                 left.explain_into(out, indent + 1);
                 right.explain_into(out, indent + 1);
             }
@@ -358,6 +391,7 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &dyn CatalogView) -> Result<Logic
         projection: (0..base_schema.len()).collect(),
         table_schema: base_schema,
         pushdown: ScanPredicate::all(),
+        sip: None,
     };
     for j in &stmt.joins {
         let right_schema = catalog.table_schema(&j.table.name)?;
@@ -367,6 +401,7 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &dyn CatalogView) -> Result<Logic
             projection: (0..right_schema.len()).collect(),
             table_schema: right_schema,
             pushdown: ScanPredicate::all(),
+            sip: None,
         };
         let mut left_keys = Vec::new();
         let mut right_keys = Vec::new();
@@ -398,6 +433,7 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &dyn CatalogView) -> Result<Logic
             left_keys,
             right_keys,
             join_type,
+            sip: None,
         };
     }
 

@@ -26,7 +26,7 @@ pub mod zonemap;
 
 pub use delta::{DeltaMainTable, MergeStats, TableSizes};
 pub use dual::DualFormatTable;
-pub use predicate::{CmpOp, ColumnPredicate, ScanPredicate};
+pub use predicate::{CmpOp, ColumnPredicate, JoinFilter, ScanPredicate};
 pub use rowstore::RowStore;
 pub use segment::Segment;
 pub use skiplist::SkipList;

@@ -6,7 +6,18 @@
 //! "in-memory storage indexes") and against compressed codes inside a
 //! segment (the SIMD-scan idea).
 
+//!
+//! On top of the literal conjuncts, a scan can carry a [`JoinFilter`]: a
+//! Bloom filter + key min/max derived from a hash-join build side and
+//! pushed *sideways* into the probe-side scan (semi-join reduction). The
+//! filter has no false negatives, so applying it before the join is
+//! semantics-preserving for inner joins; false positives are re-checked
+//! exactly by the join probe.
+
+use oltap_common::bloom::BlockedBloom;
+use oltap_common::hash::{join_hash_combine, join_hash_value, JOIN_KEY_SEED};
 use oltap_common::{Result, Row, Value};
+use std::sync::Arc;
 
 /// Comparison operator of a simple predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,11 +92,64 @@ impl ColumnPredicate {
     }
 }
 
-/// A conjunction of simple predicates (empty = always true).
+/// A semi-join reduction filter derived from a hash-join build side.
+///
+/// `columns[k]` is the table ordinal of the probe-side key column that is
+/// positionally equi-joined with build key column `k`. A row can only
+/// find a join partner when every key is non-NULL, every key falls inside
+/// the build side's `[min, max]` envelope, and the combined key hash hits
+/// the Bloom filter. All three checks are conservative (no false
+/// negatives), so rows they reject are provably partnerless.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinFilter {
+    /// Probe-side table ordinals of the join key columns.
+    pub columns: Vec<usize>,
+    /// Min/max of each build-side key column (None when no build row has
+    /// a non-NULL key in that column).
+    pub ranges: Vec<Option<(Value, Value)>>,
+    /// Blocked Bloom filter over the combined key hash of each build row.
+    pub bloom: Arc<BlockedBloom>,
+    /// Build-side row count; 0 means nothing can ever match.
+    pub build_rows: usize,
+}
+
+impl JoinFilter {
+    /// Evaluates the filter against one row, fetching key values through
+    /// `value_at(table_ordinal)`.
+    pub fn matches_at(&self, mut value_at: impl FnMut(usize) -> Value) -> bool {
+        if self.build_rows == 0 {
+            return false;
+        }
+        let mut h = JOIN_KEY_SEED;
+        for (k, &c) in self.columns.iter().enumerate() {
+            let v = value_at(c);
+            if v.is_null() {
+                return false; // NULL keys never join.
+            }
+            if let Some(Some((lo, hi))) = self.ranges.get(k) {
+                if v < *lo || v > *hi {
+                    return false;
+                }
+            }
+            h = join_hash_combine(h, join_hash_value(&v));
+        }
+        self.bloom.contains(h)
+    }
+
+    /// Evaluates the filter against a materialized row.
+    pub fn matches_row(&self, row: &Row) -> bool {
+        self.matches_at(|c| row[c].clone())
+    }
+}
+
+/// A conjunction of simple predicates (empty = always true), optionally
+/// carrying a sideways [`JoinFilter`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScanPredicate {
     /// The conjuncts.
     pub conjuncts: Vec<ColumnPredicate>,
+    /// Optional join pre-filter pushed in from a hash-join build side.
+    pub join: Option<JoinFilter>,
 }
 
 impl ScanPredicate {
@@ -98,6 +162,7 @@ impl ScanPredicate {
     pub fn single(column: usize, op: CmpOp, value: Value) -> Self {
         ScanPredicate {
             conjuncts: vec![ColumnPredicate::new(column, op, value)],
+            join: None,
         }
     }
 
@@ -107,14 +172,21 @@ impl ScanPredicate {
         self
     }
 
-    /// True when there are no conjuncts.
+    /// Attaches a sideways join filter (builder style).
+    pub fn with_join(mut self, filter: JoinFilter) -> Self {
+        self.join = Some(filter);
+        self
+    }
+
+    /// True when there are no conjuncts and no join filter.
     pub fn is_trivial(&self) -> bool {
-        self.conjuncts.is_empty()
+        self.conjuncts.is_empty() && self.join.is_none()
     }
 
     /// Evaluates against a materialized row.
     pub fn matches_row(&self, row: &Row) -> bool {
         self.conjuncts.iter().all(|c| c.matches_row(row))
+            && self.join.as_ref().is_none_or(|j| j.matches_row(row))
     }
 
     /// Checks that referenced columns exist and literals are comparable
@@ -146,6 +218,15 @@ impl ScanPredicate {
                         expected: field.data_type.name().into(),
                         actual: c.value.type_name().into(),
                     });
+                }
+            }
+        }
+        if let Some(j) = &self.join {
+            for &c in &j.columns {
+                if c >= schema.len() {
+                    return Err(oltap_common::DbError::ColumnNotFound(format!(
+                        "join filter ordinal {c}"
+                    )));
                 }
             }
         }
@@ -198,6 +279,51 @@ mod tests {
         assert!(!p.matches_row(&row![25i64]));
         assert!(!p.matches_row(&row![5i64]));
         assert!(ScanPredicate::all().matches_row(&row![1i64]));
+    }
+
+    fn filter_over(keys: &[Value], columns: Vec<usize>) -> JoinFilter {
+        let mut bloom = BlockedBloom::with_capacity(keys.len());
+        let mut lo: Option<Value> = None;
+        let mut hi: Option<Value> = None;
+        for k in keys {
+            bloom.insert(join_hash_combine(JOIN_KEY_SEED, join_hash_value(k)));
+            lo = Some(lo.map_or(k.clone(), |m| if *k < m { k.clone() } else { m }));
+            hi = Some(hi.map_or(k.clone(), |m| if *k > m { k.clone() } else { m }));
+        }
+        JoinFilter {
+            columns,
+            ranges: vec![lo.zip(hi)],
+            bloom: Arc::new(bloom),
+            build_rows: keys.len(),
+        }
+    }
+
+    #[test]
+    fn join_filter_keeps_build_keys_and_rejects_out_of_range() {
+        let f = filter_over(&[Value::Int(10), Value::Int(20), Value::Int(30)], vec![0]);
+        assert!(f.matches_row(&row![10i64, "x"]));
+        assert!(f.matches_row(&row![30i64, "y"]));
+        // Outside [10, 30]: range check rejects without consulting the bloom.
+        assert!(!f.matches_row(&row![9i64, "z"]));
+        assert!(!f.matches_row(&row![31i64, "z"]));
+        // NULL keys never join.
+        assert!(!f.matches_row(&Row::new(vec![Value::Null, Value::Str("n".into())])));
+    }
+
+    #[test]
+    fn empty_build_side_rejects_everything() {
+        let f = filter_over(&[], vec![0]);
+        assert!(!f.matches_row(&row![10i64]));
+    }
+
+    #[test]
+    fn join_filter_in_scan_predicate() {
+        let p = ScanPredicate::single(0, CmpOp::Ge, Value::Int(0))
+            .with_join(filter_over(&[Value::Int(5)], vec![0]));
+        assert!(!p.is_trivial());
+        assert!(p.matches_row(&row![5i64]));
+        assert!(!p.matches_row(&row![6i64]));
+        assert!(!p.matches_row(&row![-5i64]));
     }
 
     #[test]

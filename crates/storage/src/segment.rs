@@ -565,6 +565,21 @@ impl Segment {
                 return Ok(Some(sel));
             }
         }
+        // Sideways join filter: drop rows that provably have no join
+        // partner (NULL key, outside the build key envelope, or missing
+        // from the build-side Bloom filter).
+        if let Some(jf) = &pred.join {
+            for &c in &jf.columns {
+                if c >= self.columns.len() {
+                    return Err(DbError::ColumnNotFound(format!("join filter ordinal {c}")));
+                }
+            }
+            for i in sel.to_selection() {
+                if !jf.matches_at(|c| self.columns[c].value_at(i as usize)) {
+                    sel.clear(i as usize);
+                }
+            }
+        }
         // Apply delete stamps.
         let deletes = self.deletes.read();
         for (&offset, stamp) in deletes.iter() {

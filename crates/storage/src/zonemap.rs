@@ -7,7 +7,7 @@
 //! into partial scans for range-correlated data (time series especially,
 //! which is exactly the machine-telemetry workload of the paper's §1).
 
-use crate::predicate::{CmpOp, ColumnPredicate, ScanPredicate};
+use crate::predicate::{CmpOp, ColumnPredicate, JoinFilter, ScanPredicate};
 use oltap_common::Value;
 use std::cmp::Ordering;
 
@@ -94,6 +94,7 @@ impl ZoneMap {
     /// Can any row of the segment satisfy the whole conjunction?
     pub fn may_match(&self, pred: &ScanPredicate) -> bool {
         pred.conjuncts.iter().all(|c| self.may_match_one(c))
+            && pred.join.as_ref().is_none_or(|j| self.may_match_join(j))
     }
 
     fn may_match_one(&self, c: &ColumnPredicate) -> bool {
@@ -101,6 +102,30 @@ impl ZoneMap {
             Some(zone) => zone.may_match(c.op, &c.value),
             None => true, // unknown column: stay conservative
         }
+    }
+
+    /// Can any row of the segment find a join partner? The segment's key
+    /// envelope must overlap the build side's key envelope in every key
+    /// column. Equal values compare equal under `Value`'s total order, so
+    /// disjoint envelopes prove the segment joins nothing.
+    fn may_match_join(&self, j: &JoinFilter) -> bool {
+        if j.build_rows == 0 {
+            return false;
+        }
+        for (k, &c) in j.columns.iter().enumerate() {
+            let Some(zone) = self.columns.get(c) else {
+                continue; // unknown column: stay conservative
+            };
+            let (Some(zmin), Some(zmax)) = (&zone.min, &zone.max) else {
+                return false; // all keys NULL: nothing joins
+            };
+            if let Some(Some((lo, hi))) = j.ranges.get(k) {
+                if zmax < lo || zmin > hi {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -200,6 +225,38 @@ mod tests {
         // Out-of-range column ordinal: conservative true.
         let p3 = ScanPredicate::single(9, CmpOp::Eq, Value::Int(1));
         assert!(zm.may_match(&p3));
+    }
+
+    #[test]
+    fn join_filter_envelope_pruning() {
+        use crate::predicate::JoinFilter;
+        use oltap_common::bloom::BlockedBloom;
+        use std::sync::Arc;
+
+        let zm = ZoneMap {
+            columns: vec![zone(0, 100)],
+        };
+        let filter = |range: Option<(i64, i64)>, build_rows: usize| JoinFilter {
+            columns: vec![0],
+            ranges: vec![range.map(|(a, b)| (Value::Int(a), Value::Int(b)))],
+            bloom: Arc::new(BlockedBloom::with_capacity(8)),
+            build_rows,
+        };
+        // Overlapping envelope: must scan.
+        let p = ScanPredicate::all().with_join(filter(Some((50, 200)), 10));
+        assert!(zm.may_match(&p));
+        // Disjoint envelope: provably no join partner.
+        let p = ScanPredicate::all().with_join(filter(Some((500, 900)), 10));
+        assert!(!zm.may_match(&p));
+        // Empty build side: skip regardless of ranges.
+        let p = ScanPredicate::all().with_join(filter(None, 0));
+        assert!(!zm.may_match(&p));
+        // All-NULL key zone: NULL keys never join.
+        let all_null = ZoneMap {
+            columns: vec![ColumnZone::build(&[Value::Null, Value::Null])],
+        };
+        let p = ScanPredicate::all().with_join(filter(Some((0, 100)), 10));
+        assert!(!all_null.may_match(&p));
     }
 
     #[test]

@@ -379,3 +379,69 @@ fn chaos_expired_deadline_terminates_promptly() {
     let rows = s.execute("SELECT COUNT(*) FROM m").unwrap();
     assert_eq!(rows.rows()[0][0], Value::Int(4000));
 }
+
+/// Scenario 8 — join-build faults: `exec.join_build_fail` kills
+/// partitioned-build morsels probabilistically; the pipeline driver
+/// retries each boundary transparently and the parallel join still
+/// matches the serial baseline. An `always()`-armed variant must exhaust
+/// the bounded retries and surface a clean `FaultInjected` error rather
+/// than hanging or corrupting the table.
+#[test]
+fn chaos_join_build_faults_retry_then_give_up() {
+    let seed = seed_for(8);
+
+    let setup = |faults: Arc<FaultInjector>| {
+        let db = Database::with_config(DbConfig {
+            wal_path: None,
+            faults: Some(faults),
+        })
+        .unwrap();
+        db.execute(
+            "CREATE TABLE fact (id BIGINT PRIMARY KEY, g BIGINT, v BIGINT) USING FORMAT COLUMN",
+        )
+        .unwrap();
+        db.execute("CREATE TABLE dim (g BIGINT PRIMARY KEY, w BIGINT) USING FORMAT ROW")
+            .unwrap();
+        let fact = db.table("fact").unwrap();
+        let tx = db.txn_manager().begin();
+        for i in 0..400i64 {
+            fact.insert(&tx, row![i, i % 12, i % 7]).unwrap();
+        }
+        tx.commit().unwrap();
+        let dim = db.table("dim").unwrap();
+        let tx = db.txn_manager().begin();
+        for g in 0..100i64 {
+            dim.insert(&tx, row![g, g * 10]).unwrap();
+        }
+        tx.commit().unwrap();
+        db.maintenance();
+        db
+    };
+    let sql = "SELECT fact.id, dim.w FROM fact JOIN dim ON fact.g = dim.g";
+
+    // Transient fault: the first build morsel fails three times; each is
+    // retried transparently (the bound is 16) and results are unchanged.
+    let faults = FaultInjector::new(seed);
+    faults.arm(points::EXEC_JOIN_BUILD_FAIL, FaultPoint::times(3));
+    let db = setup(Arc::clone(&faults));
+    db.set_parallelism(1);
+    let serial = db.query(sql).unwrap();
+    db.set_parallelism(4);
+    let parallel = db.query(sql).unwrap();
+    assert_eq!(serial, parallel, "join diverged under build faults");
+    assert!(
+        faults.fired_count() > 0,
+        "join-build fault never fired (seed={seed:#x})"
+    );
+
+    // Permanent fault: the bounded retry must give up with a clean error.
+    let faults = FaultInjector::new(seed ^ 1);
+    faults.arm(points::EXEC_JOIN_BUILD_FAIL, FaultPoint::always());
+    let db = setup(faults);
+    db.set_parallelism(4);
+    let err = db.query(sql).unwrap_err();
+    assert!(matches!(err, DbError::FaultInjected(_)), "{err}");
+    // The engine survives: disarmed queries on the same database work.
+    db.set_parallelism(1);
+    assert!(!db.query(sql).unwrap().is_empty());
+}

@@ -385,6 +385,161 @@ fn parallel_matches_serial_under_morsel_faults() {
     }
 }
 
+/// Join edge cases — NULL keys on both sides, duplicate build keys, an
+/// empty build side, and a fully-unmatched LEFT probe — produce identical
+/// results on the serial path and at every parallelism level. The INNER
+/// queries also exercise the sideways Bloom filter (the optimizer marks
+/// them), so this doubles as a semantics check for scan-side join
+/// filtering.
+#[test]
+fn join_edge_cases_match_serial() {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE probe (pid BIGINT PRIMARY KEY, k BIGINT, v BIGINT) USING FORMAT COLUMN",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE build (bid BIGINT PRIMARY KEY, k BIGINT, w BIGINT) USING FORMAT ROW")
+        .unwrap();
+    db.execute(
+        "CREATE TABLE empty_build (bid BIGINT PRIMARY KEY, k BIGINT, w BIGINT) USING FORMAT ROW",
+    )
+    .unwrap();
+
+    let probe = db.table("probe").unwrap();
+    let tx = db.txn_manager().begin();
+    for i in 0..200i64 {
+        // Every third probe key is NULL; the rest span 0..20, so keys
+        // 10..20 never match the build side.
+        let k = if i % 3 == 0 { Value::Null } else { Value::Int(i % 20) };
+        probe.insert(&tx, row![i, k, i * 7]).unwrap();
+    }
+    tx.commit().unwrap();
+
+    let build = db.table("build").unwrap();
+    let tx = db.txn_manager().begin();
+    let mut bid = 0i64;
+    for k in 0..10i64 {
+        // Even keys are duplicated ×3 (probe fan-out); key 5 is NULL on
+        // the build side (must never join).
+        let copies = if k % 2 == 0 { 3 } else { 1 };
+        for c in 0..copies {
+            let key = if k == 5 { Value::Null } else { Value::Int(k) };
+            build.insert(&tx, row![bid, key, k * 100 + c]).unwrap();
+            bid += 1;
+        }
+    }
+    tx.commit().unwrap();
+    db.maintenance();
+
+    let queries = [
+        "SELECT p.pid, b.bid, b.w FROM probe p JOIN build b ON p.k = b.k",
+        "SELECT p.pid, b.w FROM probe p LEFT JOIN build b ON p.k = b.k",
+        "SELECT p.pid, b.w FROM probe p JOIN empty_build b ON p.k = b.k",
+        "SELECT p.pid, b.w FROM probe p LEFT JOIN empty_build b ON p.k = b.k",
+    ];
+    for (qi, sql) in queries.iter().enumerate() {
+        db.set_parallelism(1);
+        let serial = db.query(sql).unwrap();
+        for workers in [2, 8] {
+            db.set_parallelism(workers);
+            let parallel = db.query(sql).unwrap();
+            assert_eq!(serial, parallel, "workers={workers} query=`{sql}`");
+        }
+        match qi {
+            // INNER over empty build: no rows, regardless of probe size.
+            2 => assert!(serial.is_empty(), "empty build must join to nothing"),
+            // LEFT over empty build: every probe row survives, padded.
+            3 => {
+                assert_eq!(serial.len(), 200);
+                assert!(serial.iter().all(|r| r[1] == Value::Null));
+            }
+            _ => assert!(!serial.is_empty(), "query=`{sql}` should match rows"),
+        }
+    }
+
+    // Oracle for the INNER fan-out: each non-NULL probe key k < 10 (and
+    // k != 5) matches `copies(k)` build rows; NULL keys match nothing.
+    db.set_parallelism(1);
+    let inner = db.query(queries[0]).unwrap();
+    let expected: usize = (0..200i64)
+        .filter(|i| i % 3 != 0)
+        .map(|i| i % 20)
+        .filter(|&k| k < 10 && k != 5)
+        .map(|k| if k % 2 == 0 { 3usize } else { 1 })
+        .sum();
+    assert_eq!(inner.len(), expected, "inner-join fan-out diverged");
+}
+
+/// Determinism survives chaos at the join-build boundary: with
+/// `exec.join_build_fail` armed, partitioned-build morsels fail and are
+/// retried transparently, and parallel join results still match the
+/// serial baseline exactly.
+#[test]
+fn parallel_matches_serial_under_join_build_faults() {
+    use oltapdb::common::fault::{points, FaultInjector, FaultPoint};
+    use oltapdb::core::DbConfig;
+
+    for case in 0..4u64 {
+        let mut rng = rng_for(case ^ 0x10B_F417);
+        let faults = FaultInjector::new(BASE_SEED ^ case);
+        faults.arm(
+            points::EXEC_JOIN_BUILD_FAIL,
+            FaultPoint::with_probability(0.3),
+        );
+        let db = Database::with_config(DbConfig {
+            wal_path: None,
+            faults: Some(Arc::clone(&faults)),
+        })
+        .unwrap();
+        db.execute(
+            "CREATE TABLE fact (id BIGINT PRIMARY KEY, g BIGINT, v BIGINT) USING FORMAT COLUMN",
+        )
+        .unwrap();
+        db.execute("CREATE TABLE dim (g BIGINT PRIMARY KEY, w BIGINT) USING FORMAT ROW")
+            .unwrap();
+        let fact = db.table("fact").unwrap();
+        let tx = db.txn_manager().begin();
+        let n = rng.gen_range(100..600usize);
+        for i in 0..n {
+            fact.insert(
+                &tx,
+                row![i as i64, rng.gen_range(0..16i64), rng.gen_range(-100..100i64)],
+            )
+            .unwrap();
+        }
+        tx.commit().unwrap();
+        let dim = db.table("dim").unwrap();
+        let tx = db.txn_manager().begin();
+        for g in 0..8i64 {
+            dim.insert(&tx, row![g, rng.gen_range(0..1000i64)]).unwrap();
+        }
+        tx.commit().unwrap();
+        db.maintenance();
+
+        let x = rng.gen_range(-50..50i64);
+        for sql in [
+            "SELECT fact.id, dim.w FROM fact JOIN dim ON fact.g = dim.g".to_string(),
+            format!("SELECT fact.id, dim.w FROM fact JOIN dim ON fact.g = dim.g WHERE fact.v > {x}"),
+            "SELECT fact.id, dim.w FROM fact LEFT JOIN dim ON fact.g = dim.g".to_string(),
+        ] {
+            db.set_parallelism(1);
+            let serial = db.query(&sql).unwrap();
+            for workers in [2, 8] {
+                db.set_parallelism(workers);
+                let parallel = db.query(&sql).unwrap();
+                assert_eq!(
+                    serial, parallel,
+                    "seed={case} workers={workers} query=`{sql}`"
+                );
+            }
+        }
+        assert!(
+            faults.fired_count() > 0,
+            "seed={case}: join-build fault never fired"
+        );
+    }
+}
+
 /// WAL replay is prefix-closed: truncating the log at *every* byte offset
 /// yields an exact prefix of the committed records — never an error, never
 /// a resurrected or reordered record. This is the crash-safety contract
