@@ -98,7 +98,7 @@ fn main() {
             let key_cols = vec![Expr::col(0).eval_batch(b).unwrap()];
             builder.push_batch(&key_cols, b, i).unwrap();
         }
-        builder.finish()
+        builder.finish().unwrap()
     };
     let partitioned = |batches: &[Batch]| -> usize {
         let table = build_table();

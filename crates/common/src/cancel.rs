@@ -82,15 +82,18 @@ impl CancellationToken {
         self.inner.deadline
     }
 
-    /// `Err(DbError::Cancelled)` if the token has tripped; the check
-    /// every operator performs at each batch boundary.
+    /// `Err` if the token has tripped; the check every operator performs
+    /// at each batch boundary. Explicit cancellation surfaces as
+    /// [`DbError::Cancelled`], deadline expiry as
+    /// [`DbError::DeadlineExceeded`] — the two are accounted differently
+    /// by the admission layer.
     pub fn check(&self) -> Result<()> {
         if self.inner.cancelled.load(Ordering::Acquire) {
             return Err(DbError::Cancelled("query cancelled".into()));
         }
         if let Some(d) = self.inner.deadline {
             if Instant::now() >= d {
-                return Err(DbError::Cancelled("query deadline exceeded".into()));
+                return Err(DbError::DeadlineExceeded("query deadline exceeded".into()));
             }
         }
         Ok(())
@@ -123,6 +126,14 @@ mod tests {
         assert!(t.check().is_ok() || t.is_cancelled()); // may race on slow CI
         std::thread::sleep(Duration::from_millis(10));
         assert!(t.is_cancelled());
+        // Deadline expiry is distinguishable from explicit cancellation.
+        assert!(matches!(t.check(), Err(DbError::DeadlineExceeded(_))));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline_classification() {
+        let t = CancellationToken::with_timeout(Duration::from_secs(3600));
+        t.cancel();
         assert!(matches!(t.check(), Err(DbError::Cancelled(_))));
     }
 
@@ -130,5 +141,6 @@ mod tests {
     fn already_expired_deadline_trips_immediately() {
         let t = CancellationToken::with_deadline(Instant::now() - Duration::from_secs(1));
         assert!(t.is_cancelled());
+        assert!(matches!(t.check(), Err(DbError::DeadlineExceeded(_))));
     }
 }

@@ -49,9 +49,27 @@ pub enum DbError {
     InvalidArgument(String),
     /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
     Io(String),
-    /// The operation was cancelled (query deadline expired, session closed,
-    /// or the admission controller shed the request).
+    /// The operation was cancelled explicitly (session closed, `cancel()`
+    /// called, or the admission controller shed an already-cancelled
+    /// request). Deadline expiry is [`DbError::DeadlineExceeded`].
     Cancelled(String),
+    /// A query or queued request ran past its deadline. Split from
+    /// [`DbError::Cancelled`] so callers can distinguish "the user gave
+    /// up" from "the system timed the work out" — retry policies and
+    /// admission accounting treat the two differently.
+    DeadlineExceeded(String),
+    /// A memory reservation (or other resource claim) could not be
+    /// satisfied and the operator had no way to degrade (e.g. no spill
+    /// directory configured). Carries the workload class and the sizes so
+    /// the admission layer can log and account the rejection.
+    ResourceExhausted {
+        /// Workload class whose pool was exhausted ("oltp" / "olap").
+        class: String,
+        /// Bytes the reservation asked for.
+        requested: u64,
+        /// Bytes that were still available in the pool at the time.
+        available: u64,
+    },
     /// An injected fault fired (chaos testing only; never in production
     /// paths unless a [`crate::fault::FaultInjector`] is installed).
     FaultInjected(String),
@@ -79,6 +97,15 @@ impl fmt::Display for DbError {
             DbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            DbError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            DbError::ResourceExhausted {
+                class,
+                requested,
+                available,
+            } => write!(
+                f,
+                "resource exhausted: class {class} requested {requested} B, {available} B available"
+            ),
             DbError::FaultInjected(m) => write!(f, "fault injected: {m}"),
         }
     }
@@ -113,6 +140,27 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
         let e: DbError = io.into();
         assert!(matches!(e, DbError::Io(_)));
+    }
+
+    #[test]
+    fn resource_exhausted_reports_sizes() {
+        let e = DbError::ResourceExhausted {
+            class: "olap".into(),
+            requested: 4096,
+            available: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("olap"));
+        assert!(s.contains("4096"));
+        assert!(s.contains("128"));
+    }
+
+    #[test]
+    fn cancelled_and_deadline_are_distinct() {
+        assert_ne!(
+            DbError::Cancelled("x".into()),
+            DbError::DeadlineExceeded("x".into())
+        );
     }
 
     #[test]

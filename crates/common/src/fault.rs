@@ -51,6 +51,10 @@ pub mod points {
     /// Fail a morsel of the partitioned hash-join build; the worker
     /// retries the boundary like [`EXEC_MORSEL_FAIL`].
     pub const EXEC_JOIN_BUILD_FAIL: &str = "exec.join_build_fail";
+    /// Fail a [`crate::mem::MemoryBudget`] reservation as if the pool
+    /// were exhausted; operators must degrade (spill) or surface a typed
+    /// `ResourceExhausted`, never panic.
+    pub const MEM_RESERVE_FAIL: &str = "mem.reserve_fail";
 }
 
 /// Configuration of one named fault point.

@@ -26,6 +26,9 @@
 //!   chaos testing (named points, per-point RNG streams, decision log).
 //! * [`cancel::CancellationToken`] — cooperative cancellation + deadlines,
 //!   checked at batch boundaries by the executor.
+//! * [`mem::MemoryGovernor`] / [`mem::MemoryBudget`] — hierarchical memory
+//!   accounting (process pool → workload class → per-query budget); failed
+//!   reservations drive the executor's spill-to-disk paths.
 //! * [`retry::Backoff`] — exponential backoff with deterministic jitter
 //!   for distributed retry loops.
 
@@ -35,6 +38,7 @@ pub mod cancel;
 pub mod error;
 pub mod fault;
 pub mod hash;
+pub mod mem;
 pub mod retry;
 pub mod ids;
 pub mod row;
@@ -47,6 +51,7 @@ pub use bloom::BlockedBloom;
 pub use cancel::CancellationToken;
 pub use error::{DbError, Result};
 pub use fault::{FaultInjector, FaultPoint};
+pub use mem::{MemoryBudget, MemoryGovernor, WorkloadClass};
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use types::{DataType, Value};

@@ -90,6 +90,16 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Approximate in-memory footprint in bytes (enum slot + string heap),
+    /// the unit the executor's memory accounting works in.
+    pub fn approx_size(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            }
+    }
+
     /// Extracts an `i64`, accepting both `Int` and `Timestamp`.
     pub fn as_int(&self) -> Result<i64> {
         match self {

@@ -4,10 +4,14 @@ use crate::catalog::{Catalog, TableFormat, TableHandle};
 use crate::parallel::ParallelExec;
 use crate::session::{QueryResult, Session};
 use oltap_common::fault::{points, FaultInjector};
+use oltap_common::mem::{MemoryGovernor, WorkloadClass};
 use oltap_common::schema::SchemaRef;
 use oltap_common::{DataType, DbError, Field, Result, Schema};
+use oltap_exec::ExecResources;
+use oltap_sched::{AdmissionConfig, AdmissionController, AdmissionTicket};
 use oltap_sql::ast::Statement;
 use oltap_sql::parse;
+use oltap_storage::spill::{purge_spill_root, SpillDir};
 use oltap_txn::wal::{CommitRecord, Wal, WalOp};
 use oltap_txn::{Transaction, TransactionManager, Ts};
 use parking_lot::{RwLock, RwLockReadGuard};
@@ -16,6 +20,35 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Memory-governance configuration: the process pool, its per-class
+/// carve-outs, and the per-query cap handed to each statement's
+/// [`oltap_common::mem::MemoryBudget`].
+#[derive(Debug, Clone)]
+pub struct MemoryConfig {
+    /// Process-wide pool for query working memory.
+    pub total_bytes: u64,
+    /// OLTP class carve-out.
+    pub oltp_bytes: u64,
+    /// OLAP class carve-out.
+    pub olap_bytes: u64,
+    /// Per-query cap; a pipeline breaker that crosses it spills.
+    pub query_bytes: u64,
+}
+
+impl MemoryConfig {
+    /// A pool of `total_bytes` split 25/75 between OLTP and OLAP, with
+    /// each query capped at half the OLAP carve-out.
+    pub fn with_total(total_bytes: u64) -> MemoryConfig {
+        let olap = total_bytes - total_bytes / 4;
+        MemoryConfig {
+            total_bytes,
+            oltp_bytes: total_bytes / 4,
+            olap_bytes: olap,
+            query_bytes: (olap / 2).max(1),
+        }
+    }
+}
+
 /// Database configuration.
 #[derive(Debug, Clone, Default)]
 pub struct DbConfig {
@@ -23,6 +56,13 @@ pub struct DbConfig {
     pub wal_path: Option<PathBuf>,
     /// Fault injector for chaos testing; `None` means no faults.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Memory governance; `None` leaves query memory unmetered.
+    pub memory: Option<MemoryConfig>,
+    /// Query admission control; `None` admits everything immediately.
+    pub admission: Option<AdmissionConfig>,
+    /// Spill root override. Defaults to `<wal>.spill/` next to the WAL
+    /// for durable databases, or a per-database temp dir otherwise.
+    pub spill_root: Option<PathBuf>,
 }
 
 /// The engine.
@@ -32,6 +72,31 @@ pub struct Database {
     wal: Wal,
     faults: Arc<FaultInjector>,
     parallel: RwLock<Option<Arc<ParallelExec>>>,
+    memory: RwLock<Option<(Arc<MemoryGovernor>, u64)>>,
+    admission: RwLock<Option<Arc<AdmissionController>>>,
+    spill_root: PathBuf,
+}
+
+/// Sequence for per-database temp spill roots (ephemeral databases).
+static SPILL_ROOT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn default_spill_root(wal_path: Option<&PathBuf>) -> PathBuf {
+    match wal_path {
+        // Durable database: a sibling dir of the WAL, stable across
+        // restarts so recovery can purge crash leftovers.
+        Some(p) => {
+            let mut os = p.clone().into_os_string();
+            os.push(".spill");
+            PathBuf::from(os)
+        }
+        // Ephemeral database: a unique temp dir (nothing survives the
+        // process, so there is nothing to purge on open).
+        None => std::env::temp_dir().join(format!(
+            "oltap-spill-{}-{}",
+            std::process::id(),
+            SPILL_ROOT_SEQ.fetch_add(1, Ordering::Relaxed)
+        )),
+    }
 }
 
 impl std::fmt::Debug for Database {
@@ -52,6 +117,9 @@ impl Database {
             wal: Wal::new_in_memory(),
             faults: FaultInjector::disabled(),
             parallel: RwLock::new(None),
+            memory: RwLock::new(None),
+            admission: RwLock::new(None),
+            spill_root: default_spill_root(None),
         })
     }
 
@@ -62,15 +130,90 @@ impl Database {
             Some(p) => Wal::open_with_faults(p, Arc::clone(&faults))?,
             None => Wal::with_faults(Arc::clone(&faults)),
         };
+        let spill_root = config
+            .spill_root
+            .unwrap_or_else(|| default_spill_root(config.wal_path.as_ref()));
         let db = Arc::new(Database {
             catalog: RwLock::new(Catalog::new()),
             txn_mgr: Arc::new(TransactionManager::new()),
             wal,
             faults,
             parallel: RwLock::new(None),
+            memory: RwLock::new(None),
+            admission: RwLock::new(None),
+            spill_root,
         });
+        db.set_memory_config(config.memory);
+        db.set_admission_config(config.admission);
+        // Spill files never outlive a process on purpose; anything under
+        // the root at open time is leakage from a crash.
+        purge_spill_root(&db.spill_root)?;
         db.recover()?;
         Ok(db)
+    }
+
+    /// Enables (or, with `None`, disables) memory governance: every
+    /// subsequent statement runs under a per-query
+    /// [`oltap_common::mem::MemoryBudget`] drawn from a shared
+    /// [`MemoryGovernor`], spilling to disk instead of exceeding it.
+    pub fn set_memory_config(&self, cfg: Option<MemoryConfig>) {
+        *self.memory.write() = cfg.map(|c| {
+            (
+                // The governor probes `mem.reserve_fail` on the database's
+                // injector, so chaos configs reach reservations too.
+                MemoryGovernor::with_faults(
+                    c.total_bytes,
+                    c.oltp_bytes,
+                    c.olap_bytes,
+                    Arc::clone(&self.faults),
+                ),
+                c.query_bytes,
+            )
+        });
+    }
+
+    /// Enables (or disables) query-granularity admission control.
+    pub fn set_admission_config(&self, cfg: Option<AdmissionConfig>) {
+        *self.admission.write() = cfg.map(AdmissionController::new);
+    }
+
+    /// The memory governor, if governance is enabled.
+    pub fn memory_governor(&self) -> Option<Arc<MemoryGovernor>> {
+        self.memory.read().as_ref().map(|(g, _)| Arc::clone(g))
+    }
+
+    /// The admission controller, if one is configured.
+    pub fn admission(&self) -> Option<Arc<AdmissionController>> {
+        self.admission.read().clone()
+    }
+
+    /// The directory per-query spill scratch dirs are created under.
+    pub fn spill_root(&self) -> &std::path::Path {
+        &self.spill_root
+    }
+
+    /// Admits one query of `class`; `None` when no admission control is
+    /// configured. Blocks (queue-with-timeout) when OLAP is saturated.
+    pub(crate) fn admit(&self, class: WorkloadClass) -> Result<Option<AdmissionTicket>> {
+        match self.admission() {
+            Some(ctrl) => Ok(Some(ctrl.admit(class)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Execution resources for one query of `class`: a budget from the
+    /// governor plus a fresh per-query spill dir, or
+    /// [`ExecResources::unlimited`] when governance is off.
+    pub(crate) fn exec_resources(&self, class: WorkloadClass) -> Result<ExecResources> {
+        let guard = self.memory.read();
+        match guard.as_ref() {
+            Some((gov, query_bytes)) => {
+                let budget = gov.budget(class, *query_bytes);
+                let dir = SpillDir::create_under(&self.spill_root)?;
+                Ok(ExecResources::new(budget, Some(Arc::new(dir))))
+            }
+            None => Ok(ExecResources::unlimited()),
+        }
     }
 
     /// The fault injector (disabled unless configured via [`DbConfig`]).
@@ -468,11 +611,11 @@ mod tests {
         }
         let mut s = db.session();
         // An already-expired deadline: the query must terminate at the
-        // first batch boundary with a cancellation error — no hang, no
-        // panic, no partial result.
+        // first batch boundary with the *deadline* error (distinct from
+        // an explicit cancel) — no hang, no panic, no partial result.
         s.set_query_timeout(Some(Duration::ZERO));
         let err = s.execute("SELECT SUM(v) FROM big").unwrap_err();
-        assert!(matches!(err, DbError::Cancelled(_)), "{err}");
+        assert!(matches!(err, DbError::DeadlineExceeded(_)), "{err}");
         // Clearing the timeout restores normal execution on the same
         // session.
         s.set_query_timeout(None);
@@ -490,6 +633,7 @@ mod tests {
         let db = Database::with_config(DbConfig {
             wal_path: None,
             faults: Some(faults),
+            ..DbConfig::default()
         })
         .unwrap();
         db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")

@@ -96,6 +96,7 @@ impl ParallelExec {
             sockets: self.topology.sockets,
             cancel: ctx.cancel.clone(),
             faults: Arc::clone(&self.faults),
+            mem: ctx.mem.clone(),
         };
         let mut sips = FxHashMap::default();
         let p = self.decompose(plan, catalog, ctx, &pctx, &mut sips)?;

@@ -16,7 +16,9 @@ use oltap_common::hash::FxHashMap;
 use oltap_common::ids::TxnId;
 use oltap_common::{CancellationToken, Result};
 use oltap_exec::operator::{BoxedOperator, CancelOp, FilterOp, LimitOp, MemorySource, ProjectOp};
-use oltap_exec::{HashAggregateOp, HashJoinOp, JoinTable, JoinTableBuilder, SortOp, TopKOp};
+use oltap_exec::{
+    ExecResources, HashAggregateOp, HashJoinOp, JoinTable, JoinTableBuilder, SortOp, TopKOp,
+};
 use oltap_sql::LogicalPlan;
 use oltap_storage::JoinFilter;
 use oltap_txn::Ts;
@@ -35,6 +37,9 @@ pub struct ExecContext {
     /// Cancellation/deadline token; [`CancellationToken::none`] for
     /// unguarded execution.
     pub cancel: CancellationToken,
+    /// Memory budget + spill directory for the pipeline breakers;
+    /// [`ExecResources::unlimited`] for unmetered execution.
+    pub mem: ExecResources,
 }
 
 /// Lowers a logical plan to a pulling operator tree. Every plan edge gets
@@ -53,9 +58,10 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog, ctx: &ExecContext) -> Result
 pub fn build_join_table(
     mut right: BoxedOperator,
     right_keys: &[oltap_exec::Expr],
+    res: ExecResources,
 ) -> Result<JoinTable> {
     let build_width = right.schema().len();
-    let mut builder = JoinTableBuilder::new(right_keys.len(), build_width);
+    let mut builder = JoinTableBuilder::with_resources(right_keys.len(), build_width, res);
     let mut arrival = 0usize;
     while let Some(batch) = right.next()? {
         if batch.is_empty() {
@@ -68,7 +74,7 @@ pub fn build_join_table(
         builder.push_batch(&key_cols, &batch, arrival)?;
         arrival += 1;
     }
-    Ok(builder.finish())
+    builder.finish()
 }
 
 fn lower_inner(
@@ -112,7 +118,10 @@ fn lower_inner(
         }
         LogicalPlan::Aggregate { input, group, aggs } => {
             let child = lower_inner(input, catalog, ctx, sips)?;
-            Box::new(HashAggregateOp::new(child, group.clone(), aggs.clone())?)
+            Box::new(
+                HashAggregateOp::new(child, group.clone(), aggs.clone())?
+                    .with_resources(ctx.mem.clone()),
+            )
         }
         LogicalPlan::Join {
             left,
@@ -128,31 +137,25 @@ fn lower_inner(
                 // probe with the filter in place.
                 let r = lower_inner(right, catalog, ctx, sips)?;
                 let right_schema = right.output_schema()?;
-                let table = Arc::new(build_join_table(r, right_keys)?);
+                let table = Arc::new(build_join_table(r, right_keys, ctx.mem.clone())?);
                 sips.insert(*id, table.filter(Vec::new()));
                 let l = lower_inner(left, catalog, ctx, sips)?;
-                Box::new(HashJoinOp::from_built(
-                    l,
-                    table,
-                    left_keys.clone(),
-                    *join_type,
-                    &right_schema,
-                )?)
+                Box::new(
+                    HashJoinOp::from_built(l, table, left_keys.clone(), *join_type, &right_schema)?
+                        .with_resources(ctx.mem.clone()),
+                )
             } else {
                 let l = lower_inner(left, catalog, ctx, sips)?;
                 let r = lower_inner(right, catalog, ctx, sips)?;
-                Box::new(HashJoinOp::new(
-                    l,
-                    r,
-                    left_keys.clone(),
-                    right_keys.clone(),
-                    *join_type,
-                )?)
+                Box::new(
+                    HashJoinOp::new(l, r, left_keys.clone(), right_keys.clone(), *join_type)?
+                        .with_resources(ctx.mem.clone()),
+                )
             }
         }
         LogicalPlan::Sort { input, keys } => {
             let child = lower_inner(input, catalog, ctx, sips)?;
-            Box::new(SortOp::new(child, keys.clone()))
+            Box::new(SortOp::new(child, keys.clone()).with_resources(ctx.mem.clone()))
         }
         LogicalPlan::Limit {
             input,
@@ -196,6 +199,7 @@ pub fn snapshot_ctx(read_ts: Ts) -> ExecContext {
         me: TxnId(u64::MAX - 8),
         batch_size: oltap_common::vector::BATCH_SIZE,
         cancel: CancellationToken::none(),
+        mem: ExecResources::unlimited(),
     }
 }
 

@@ -3,6 +3,8 @@
 use crate::database::Database;
 use crate::physical::{execute_plan, ExecContext};
 use oltap_common::ids::TxnId;
+use oltap_common::mem::WorkloadClass;
+use oltap_sql::LogicalPlan;
 use oltap_common::schema::SchemaRef;
 use oltap_common::{CancellationToken, DbError, Result, Row, Value};
 use oltap_sql::ast::{AstExpr, SelectStmt, Statement};
@@ -157,11 +159,16 @@ impl Session {
         let catalog = self.db.catalog_read();
         let plan = optimize(bind_select(sel, &*catalog)?)?;
         let schema = plan.output_schema()?;
+        let class = classify_plan(&plan);
+        // Admission gate first (may queue the query), then the per-query
+        // budget; the ticket is RAII and outlives execution.
+        let _ticket = self.db.admit(class)?;
         let ctx = ExecContext {
             read_ts,
             me,
             batch_size: oltap_common::vector::BATCH_SIZE,
             cancel,
+            mem: self.db.exec_resources(class)?,
         };
         let result = match self.db.parallel_exec() {
             Some(pexec) => pexec.execute(&plan, &catalog, &ctx),
@@ -360,6 +367,22 @@ impl Drop for Session {
         // An un-finalized transaction aborts implicitly (Transaction::drop).
         self.txn = None;
         self.pending_ops.clear();
+    }
+}
+
+/// Classifies a bound plan for admission and memory accounting: plans
+/// containing a pipeline breaker (aggregate, join, sort) are analytic;
+/// streaming scan/filter/project/limit shapes — the OLTP read pattern —
+/// are transactional.
+pub(crate) fn classify_plan(plan: &LogicalPlan) -> WorkloadClass {
+    match plan {
+        LogicalPlan::Aggregate { .. } | LogicalPlan::Join { .. } | LogicalPlan::Sort { .. } => {
+            WorkloadClass::Olap
+        }
+        LogicalPlan::Scan { .. } => WorkloadClass::Oltp,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Limit { input, .. } => classify_plan(input),
     }
 }
 

@@ -2,9 +2,12 @@
 
 use crate::expr::Expr;
 use crate::operator::{BoxedOperator, Operator};
+use crate::resources::ExecResources;
 use oltap_common::hash::FxHashMap;
 use oltap_common::schema::SchemaRef;
 use oltap_common::{Batch, DataType, DbError, Field, Result, Row, Schema, Value};
+use oltap_storage::spill::SpillWriter;
+use oltap_txn::wal::{decode_row, encode_row};
 use std::sync::Arc;
 
 /// Aggregate functions.
@@ -174,7 +177,7 @@ impl AggState {
     /// Folds another partial state (same function, different input slice)
     /// into this one. Every aggregate here is decomposable, which is what
     /// lets the parallel executor aggregate per worker and merge.
-    fn merge(&mut self, other: AggState) {
+    fn merge(&mut self, other: AggState) -> Result<()> {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (AggState::SumI { sum, seen }, AggState::SumI { sum: s2, seen: n2 }) => {
@@ -204,9 +207,15 @@ impl AggState {
                 *count += c2;
             }
             // States come from the same AggregatorCore, so variants always
-            // line up; a mismatch is a logic bug, not recoverable.
-            _ => unreachable!("merging mismatched aggregate states"),
+            // line up; a mismatch is a logic bug surfaced as a typed error
+            // rather than a panic on the worker thread.
+            _ => {
+                return Err(DbError::Execution(
+                    "merging mismatched aggregate states".into(),
+                ))
+            }
         }
+        Ok(())
     }
 
     fn finish(&self) -> Value {
@@ -332,17 +341,7 @@ impl AggregatorCore {
         for i in 0..batch.len() {
             let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
             let states = map.0.entry(key).or_insert_with(|| self.make_states());
-            for (s, (a, col)) in states.iter_mut().zip(self.aggs.iter().zip(&agg_cols)) {
-                match (a.func, col) {
-                    (AggFunc::CountStar, _) => s.count_row(),
-                    (_, Some(c)) => s.update(&c.value_at(i))?,
-                    (_, None) => {
-                        return Err(DbError::Plan(
-                            "non-COUNT(*) aggregate without input".into(),
-                        ))
-                    }
-                }
-            }
+            update_states(states, self, &agg_cols, i)?;
         }
         Ok(())
     }
@@ -350,12 +349,12 @@ impl AggregatorCore {
     /// Merges a partial map into `into`. Every supported aggregate is
     /// decomposable, so merge order cannot change integer results (float
     /// sums are merged in caller-fixed worker order for determinism).
-    pub fn merge(&self, into: &mut GroupMap, from: GroupMap) {
+    pub fn merge(&self, into: &mut GroupMap, from: GroupMap) -> Result<()> {
         for (key, states) in from.0 {
             match into.0.entry(key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     for (dst, src) in e.get_mut().iter_mut().zip(states) {
-                        dst.merge(src);
+                        dst.merge(src)?;
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -363,6 +362,7 @@ impl AggregatorCore {
                 }
             }
         }
+        Ok(())
     }
 
     /// Finishes: deterministic output order (sorted by group key), chunked
@@ -388,12 +388,222 @@ impl AggregatorCore {
     }
 }
 
+/// Number of group-hash spill partitions. Matches the join's radix fan-out
+/// so a spilled aggregation reconsumes ~1/16 of its groups at a time.
+const AGG_PARTITIONS: usize = 16;
+
+/// Deterministic spill partition of a group key (stable across workers,
+/// so one group always lands in one partition file).
+fn agg_partition_of(key: &Row) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % AGG_PARTITIONS as u64) as usize
+}
+
+/// A memory-bounded aggregation sink: hybrid hashing over an
+/// [`AggregatorCore`].
+///
+/// While the budget admits reservations, this is exactly a [`GroupMap`].
+/// The first rejected reservation **freezes** the map: rows of groups
+/// already resident keep updating their states in place (no growth), and
+/// rows of unseen groups are written raw — group key plus evaluated
+/// aggregate inputs — to one of [`AGG_PARTITIONS`] spill files chosen by
+/// group-key hash. The invariant that makes this deterministic: a group
+/// is either *entirely* resident or *entirely* spilled (per sink), so
+/// [`into_map`](Self::into_map) can replay each spilled partition in
+/// write order (= arrival order) into fresh states and merge them into
+/// the resident map touching only vacant entries. Serial and parallel
+/// runs, spilling or not, produce bit-identical group states.
+pub struct SpillingAggregator {
+    map: GroupMap,
+    res: ExecResources,
+    frozen: bool,
+    writers: Vec<Option<SpillWriter>>,
+    spilled_rows: u64,
+}
+
+impl SpillingAggregator {
+    /// An empty sink drawing from `res`.
+    pub fn new(res: ExecResources) -> Self {
+        SpillingAggregator {
+            map: GroupMap(FxHashMap::default()),
+            res,
+            frozen: false,
+            writers: (0..AGG_PARTITIONS).map(|_| None).collect(),
+            spilled_rows: 0,
+        }
+    }
+
+    /// Rows written to spill files so far (tests/stats).
+    pub fn spilled_rows(&self) -> u64 {
+        self.spilled_rows
+    }
+
+    /// Distinct groups resident in memory.
+    pub fn group_count(&self) -> usize {
+        self.map.0.len()
+    }
+
+    /// Folds one batch into the sink, spilling new groups once frozen.
+    pub fn consume(&mut self, core: &AggregatorCore, batch: &Batch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let key_cols = core
+            .group_by
+            .iter()
+            .map(|e| e.eval_batch(batch))
+            .collect::<Result<Vec<_>>>()?;
+        let agg_cols = core
+            .aggs
+            .iter()
+            .map(|a| a.input.as_ref().map(|e| e.eval_batch(batch)).transpose())
+            .collect::<Result<Vec<_>>>()?;
+        let metered = self.res.is_limited();
+        for i in 0..batch.len() {
+            let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
+            match self.map.0.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    update_states(e.get_mut(), core, &agg_cols, i)?;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let admit = if !metered {
+                        true
+                    } else if self.frozen {
+                        false
+                    } else {
+                        // Charge the new group's resident footprint: key +
+                        // one state per aggregate + map-entry overhead.
+                        let bytes = (e.key().approx_size()
+                            + core.aggs.len() * std::mem::size_of::<AggState>()
+                            + 48) as u64;
+                        match self.res.budget.try_reserve(bytes) {
+                            Ok(()) => true,
+                            Err(err) => {
+                                // No spill dir: the typed error is terminal.
+                                self.res.spill_dir(err)?;
+                                self.res.budget.note_spill();
+                                self.frozen = true;
+                                false
+                            }
+                        }
+                    };
+                    if admit {
+                        let states = e.insert(core.make_states());
+                        update_states(states, core, &agg_cols, i)?;
+                    } else {
+                        let key = e.into_key();
+                        self.spill_row(key, &agg_cols, i)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one raw row — group key plus evaluated aggregate inputs
+    /// (`NULL` placeholder for `COUNT(*)`) — to its partition file.
+    fn spill_row(
+        &mut self,
+        key: Row,
+        agg_cols: &[Option<oltap_common::vector::ColumnVector>],
+        i: usize,
+    ) -> Result<()> {
+        let p = agg_partition_of(&key);
+        if self.writers[p].is_none() {
+            let dir = self.res.spill.as_ref().ok_or_else(|| {
+                DbError::Execution("aggregate spill requested without a spill dir".into())
+            })?;
+            self.writers[p] = Some(dir.writer(&format!("agg-p{p}"))?);
+        }
+        let mut vals = key.into_values();
+        for col in agg_cols {
+            vals.push(match col {
+                Some(c) => c.value_at(i),
+                None => Value::Null,
+            });
+        }
+        let w = self.writers[p].as_mut().ok_or_else(|| {
+            DbError::Execution("aggregate spill writer vanished".into())
+        })?;
+        w.write_record(&encode_row(&Row::new(vals)))?;
+        self.spilled_rows += 1;
+        Ok(())
+    }
+
+    /// Seals the sink into one complete [`GroupMap`]: replays every
+    /// spilled partition (write order = arrival order, so per-group states
+    /// come out bit-identical to a never-frozen run) and merges the
+    /// replayed groups into the resident map. By the freeze invariant the
+    /// merge touches only vacant entries.
+    pub fn into_map(mut self, core: &AggregatorCore) -> Result<GroupMap> {
+        let kw = core.group_by.len();
+        let writers = std::mem::take(&mut self.writers);
+        for w in writers.into_iter().flatten() {
+            let handle = w.finish()?;
+            // The replayed groups become part of the final result; their
+            // footprint is force-accounted like every materialized output.
+            self.res.budget.reserve_forced(handle.bytes());
+            let mut part = GroupMap(FxHashMap::default());
+            let mut r = handle.reader()?;
+            while let Some(rec) = r.next_record()? {
+                let mut vals = decode_row(&rec)?.into_values();
+                if vals.len() != kw + core.aggs.len() {
+                    return Err(DbError::Corruption(format!(
+                        "aggregate spill row has {} values, expected {}",
+                        vals.len(),
+                        kw + core.aggs.len()
+                    )));
+                }
+                let inputs = vals.split_off(kw);
+                let key = Row::new(vals);
+                let states = part.0.entry(key).or_insert_with(|| core.make_states());
+                for (s, (a, v)) in states.iter_mut().zip(core.aggs.iter().zip(&inputs)) {
+                    match a.func {
+                        AggFunc::CountStar => s.count_row(),
+                        _ => s.update(v)?,
+                    }
+                }
+            }
+            debug_assert!(
+                part.0.keys().all(|k| !self.map.0.contains_key(k)),
+                "spilled group also resident — freeze invariant broken"
+            );
+            core.merge(&mut self.map, part)?;
+        }
+        Ok(self.map)
+    }
+}
+
+/// Applies row `i`'s aggregate inputs to a group's states.
+fn update_states(
+    states: &mut [AggState],
+    core: &AggregatorCore,
+    agg_cols: &[Option<oltap_common::vector::ColumnVector>],
+    i: usize,
+) -> Result<()> {
+    for (s, (a, col)) in states.iter_mut().zip(core.aggs.iter().zip(agg_cols)) {
+        match (a.func, col) {
+            (AggFunc::CountStar, _) => s.count_row(),
+            (_, Some(c)) => s.update(&c.value_at(i))?,
+            (_, None) => {
+                return Err(DbError::Plan(
+                    "non-COUNT(*) aggregate without input".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Blocking hash-aggregation operator (the serial driver of
 /// [`AggregatorCore`]).
 pub struct HashAggregateOp {
     input: Option<BoxedOperator>,
     core: AggregatorCore,
     output: Option<std::vec::IntoIter<Batch>>,
+    res: ExecResources,
 }
 
 impl HashAggregateOp {
@@ -409,15 +619,26 @@ impl HashAggregateOp {
             input: Some(input),
             core,
             output: None,
+            res: ExecResources::unlimited(),
         })
     }
 
+    /// Sets the memory/spill context the blocking aggregation runs under.
+    pub fn with_resources(mut self, res: ExecResources) -> Self {
+        self.res = res;
+        self
+    }
+
     fn execute(&mut self) -> Result<Vec<Batch>> {
-        let mut input = self.input.take().expect("executed twice");
-        let mut map = self.core.new_map();
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| DbError::Execution("aggregate input already consumed".into()))?;
+        let mut sink = SpillingAggregator::new(self.res.clone());
         while let Some(batch) = input.next()? {
-            self.core.consume(&mut map, &batch)?;
+            sink.consume(&self.core, &batch)?;
         }
+        let map = sink.into_map(&self.core)?;
         self.core.finish(map)
     }
 }
@@ -431,7 +652,11 @@ impl Operator for HashAggregateOp {
             let batches = self.execute()?;
             self.output = Some(batches.into_iter());
         }
-        Ok(self.output.as_mut().unwrap().next())
+        Ok(self
+            .output
+            .as_mut()
+            .map(|it| it.next())
+            .unwrap_or_default())
     }
 }
 
@@ -641,7 +866,7 @@ mod tests {
         }
         let mut merged = core.new_map();
         for p in parts {
-            core.merge(&mut merged, p);
+            core.merge(&mut merged, p).unwrap();
         }
         let serial: Vec<Row> = core
             .finish(whole)
@@ -656,6 +881,84 @@ mod tests {
             .flat_map(|b| b.to_rows())
             .collect();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn spilled_aggregation_matches_in_memory() {
+        use oltap_common::mem::{MemoryGovernor, WorkloadClass};
+        use oltap_storage::spill::SpillDir;
+
+        // Many distinct groups so a small budget freezes the map early.
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("v", DataType::Int64),
+            Field::new("f", DataType::Float64),
+        ]));
+        let rows: Vec<Row> = (0..4000)
+            .map(|i| row![(i % 500) as i64, i as i64, (i as f64) * 0.25])
+            .collect();
+        let batches: Vec<Batch> = rows
+            .chunks(256)
+            .map(|c| Batch::from_rows(&schema, c).unwrap())
+            .collect();
+        let core = AggregatorCore::new(
+            &schema,
+            vec![(Expr::col(0), "g".into())],
+            vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Sum, Expr::col(1), "s"),
+                AggExpr::new(AggFunc::Avg, Expr::col(2), "a"),
+                AggExpr::new(AggFunc::Min, Expr::col(1), "mn"),
+            ],
+        )
+        .unwrap();
+        let run = |res: ExecResources| -> (Vec<Row>, u64) {
+            let mut sink = SpillingAggregator::new(res);
+            for b in &batches {
+                sink.consume(&core, b).unwrap();
+            }
+            let spilled = sink.spilled_rows();
+            let out: Vec<Row> = core
+                .finish(sink.into_map(&core).unwrap())
+                .unwrap()
+                .iter()
+                .flat_map(|b| b.to_rows())
+                .collect();
+            (out, spilled)
+        };
+        let (plain, zero) = run(ExecResources::unlimited());
+        assert_eq!(zero, 0);
+        let gov = MemoryGovernor::new(u64::MAX, u64::MAX, u64::MAX);
+        let budget = gov.budget(WorkloadClass::Olap, 16 * 1024);
+        let dir = Arc::new(SpillDir::create_temp().unwrap());
+        let (spilled, n) = run(ExecResources::new(budget.clone(), Some(dir)));
+        assert!(n > 0, "tight budget must have spilled rows");
+        assert!(budget.spill_count() > 0);
+        assert_eq!(plain, spilled, "spilling must not change the result");
+        assert_eq!(plain.len(), 500);
+    }
+
+    #[test]
+    fn aggregate_budget_without_spill_dir_is_terminal() {
+        use oltap_common::mem::{MemoryGovernor, WorkloadClass};
+
+        let schema = Arc::new(Schema::new(vec![Field::new("g", DataType::Int64)]));
+        let rows: Vec<Row> = (0..2000).map(|i| row![i as i64]).collect();
+        let batch = Batch::from_rows(&schema, &rows).unwrap();
+        let core = AggregatorCore::new(
+            &schema,
+            vec![(Expr::col(0), "g".into())],
+            vec![AggExpr::count_star("n")],
+        )
+        .unwrap();
+        let gov = MemoryGovernor::new(u64::MAX, u64::MAX, u64::MAX);
+        let budget = gov.budget(WorkloadClass::Olap, 4096);
+        let mut sink = SpillingAggregator::new(ExecResources::new(budget, None));
+        let err = sink.consume(&core, &batch).unwrap_err();
+        assert!(
+            matches!(err, DbError::ResourceExhausted { .. }),
+            "wrong error: {err:?}"
+        );
     }
 
     #[test]

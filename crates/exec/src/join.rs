@@ -23,6 +23,7 @@
 
 use crate::expr::Expr;
 use crate::operator::{BoxedOperator, Operator};
+use crate::resources::ExecResources;
 use oltap_common::bloom::BlockedBloom;
 use oltap_common::hash::{
     join_hash_bool, join_hash_combine, join_hash_float, join_hash_int, join_hash_str,
@@ -30,8 +31,10 @@ use oltap_common::hash::{
 };
 use oltap_common::schema::SchemaRef;
 use oltap_common::vector::ColumnVector;
-use oltap_common::{Batch, Result, Schema, Value};
+use oltap_common::{Batch, DbError, Result, Row, Schema, Value};
 use oltap_storage::predicate::JoinFilter;
+use oltap_storage::spill::SpillHandle;
+use oltap_txn::wal::{decode_row, encode_row};
 use std::sync::Arc;
 
 /// Join type.
@@ -253,11 +256,61 @@ struct PartitionSink {
     hashes: Vec<u64>,
     keys: Vec<Value>,
     rows: Vec<Value>,
+    /// Budget-charged bytes of the in-memory entries above.
+    mem_bytes: u64,
+    /// Chunks of this partition previously spilled to disk; reloaded in
+    /// [`JoinTableBuilder::finish`]. Chunk order is irrelevant — every
+    /// entry carries its sequence number.
+    spilled: Vec<SpillHandle>,
+}
+
+/// Fixed per-entry accounting overhead: sequence number + hash.
+const ENTRY_OVERHEAD: u64 = 16;
+
+/// Approximate footprint of one column value at row `i`, without
+/// materializing it (strings stay borrowed).
+#[inline]
+fn col_value_size(col: &ColumnVector, i: usize) -> usize {
+    std::mem::size_of::<Value>()
+        + match col {
+            ColumnVector::Utf8 { values, .. } => values[i].len(),
+            _ => 0,
+        }
+}
+
+/// Spill record: `[seq u64][hash u64][row codec over keys ++ payload]`.
+fn encode_build_entry(seq: u64, hash: u64, vals: Vec<Value>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + vals.len() * 12);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&hash.to_le_bytes());
+    buf.extend_from_slice(&encode_row(&Row::new(vals)));
+    buf
+}
+
+fn decode_build_entry(bytes: &[u8]) -> Result<(u64, u64, Vec<Value>)> {
+    if bytes.len() < 16 {
+        return Err(DbError::Corruption("truncated join spill entry".into()));
+    }
+    let seq = u64::from_le_bytes(bytes[..8].try_into().map_err(corrupt_entry)?);
+    let hash = u64::from_le_bytes(bytes[8..16].try_into().map_err(corrupt_entry)?);
+    let row = decode_row(&bytes[16..])?;
+    Ok((seq, hash, row.into_values()))
+}
+
+fn corrupt_entry(_: std::array::TryFromSliceError) -> DbError {
+    DbError::Corruption("truncated join spill entry".into())
 }
 
 /// Accumulates build-side batches into radix partitions. Each parallel
 /// worker owns one builder; [`merge`](Self::merge) concatenates them in
 /// any order and [`finish`](Self::finish) restores the serial order.
+///
+/// Memory-bounded when built [`with_resources`](Self::with_resources):
+/// every appended batch is charged to the query's budget first, and a
+/// rejected reservation spills whole radix partitions (largest first) to
+/// the query's scratch dir until the charge fits. Spilled entries carry
+/// their sequence numbers, so [`finish`](Self::finish) reloads them and
+/// restores exactly the table an unbounded build produces.
 #[derive(Debug)]
 pub struct JoinTableBuilder {
     key_width: usize,
@@ -265,18 +318,98 @@ pub struct JoinTableBuilder {
     parts: Vec<PartitionSink>,
     scratch_hashes: Vec<u64>,
     scratch_null: Vec<bool>,
+    res: ExecResources,
+    /// Budget bytes currently held (== Σ partition `mem_bytes`).
+    reserved: u64,
 }
 
 impl JoinTableBuilder {
-    /// A builder for `key_width` join keys over `build_width`-column rows.
+    /// A builder for `key_width` join keys over `build_width`-column rows,
+    /// with an unlimited budget (no spilling).
     pub fn new(key_width: usize, build_width: usize) -> Self {
+        Self::with_resources(key_width, build_width, ExecResources::unlimited())
+    }
+
+    /// A memory-bounded builder: appends are charged to `res.budget` and
+    /// degrade into partition spills under pressure.
+    pub fn with_resources(key_width: usize, build_width: usize, res: ExecResources) -> Self {
         JoinTableBuilder {
             key_width,
             build_width,
             parts: (0..PARTITIONS).map(|_| PartitionSink::default()).collect(),
             scratch_hashes: Vec::new(),
             scratch_null: Vec::new(),
+            res,
+            reserved: 0,
         }
+    }
+
+    /// Number of partition spill chunks written so far (tests/stats).
+    pub fn spill_chunks(&self) -> usize {
+        self.parts.iter().map(|p| p.spilled.len()).sum()
+    }
+
+    /// Reserves `bytes` for entries about to be appended, spilling whole
+    /// partitions (largest resident first) until the reservation fits.
+    /// When everything resident is already on disk, the incoming batch
+    /// itself is the working-set floor and is force-accounted.
+    fn charge(&mut self, bytes: u64) -> Result<()> {
+        if !self.res.is_limited() || bytes == 0 {
+            return Ok(());
+        }
+        loop {
+            match self.res.budget.try_reserve(bytes) {
+                Ok(()) => {
+                    self.reserved += bytes;
+                    return Ok(());
+                }
+                Err(err) => {
+                    let victim = (0..PARTITIONS)
+                        .filter(|&p| self.parts[p].mem_bytes > 0)
+                        .max_by_key(|&p| self.parts[p].mem_bytes);
+                    let Some(p) = victim else {
+                        if self.res.spill.is_some() {
+                            self.res.budget.reserve_forced(bytes);
+                            self.reserved += bytes;
+                            return Ok(());
+                        }
+                        return Err(err);
+                    };
+                    // No spill directory: the typed error is terminal.
+                    self.res.spill_dir(err)?;
+                    self.spill_partition(p)?;
+                }
+            }
+        }
+    }
+
+    /// Writes partition `p`'s resident entries to one spill chunk and
+    /// releases their reservation.
+    fn spill_partition(&mut self, p: usize) -> Result<()> {
+        let dir = Arc::clone(self.res.spill.as_ref().ok_or_else(|| {
+            DbError::Execution("join spill requested without a spill dir".into())
+        })?);
+        self.res.budget.note_spill();
+        let kw = self.key_width;
+        let bw = self.build_width;
+        let part = &mut self.parts[p];
+        let mut w = dir.writer(&format!("join-p{p}"))?;
+        for e in 0..part.seqs.len() {
+            let mut vals = Vec::with_capacity(kw + bw);
+            vals.extend_from_slice(&part.keys[e * kw..(e + 1) * kw]);
+            vals.extend_from_slice(&part.rows[e * bw..(e + 1) * bw]);
+            w.write_record(&encode_build_entry(part.seqs[e], part.hashes[e], vals))?;
+        }
+        part.spilled.push(w.finish()?);
+        part.seqs = Vec::new();
+        part.hashes = Vec::new();
+        part.keys = Vec::new();
+        part.rows = Vec::new();
+        let freed = part.mem_bytes;
+        part.mem_bytes = 0;
+        self.res.budget.release(freed);
+        self.reserved -= freed;
+        Ok(())
     }
 
     /// Appends one build batch. `key_cols` are the evaluated key
@@ -296,6 +429,22 @@ impl JoinTableBuilder {
             &mut self.scratch_hashes,
             &mut self.scratch_null,
         );
+        let metered = self.res.is_limited();
+        if metered {
+            // Pre-pass: charge the whole batch before appending anything,
+            // so a failed reservation can spill without a half-added batch.
+            let mut bytes = 0u64;
+            for i in 0..batch.len() {
+                if self.scratch_null[i] {
+                    continue;
+                }
+                bytes += ENTRY_OVERHEAD;
+                for c in key_cols.iter().chain(batch.columns()) {
+                    bytes += col_value_size(c, i) as u64;
+                }
+            }
+            self.charge(bytes)?;
+        }
         for i in 0..batch.len() {
             // SQL equality: NULL keys never join.
             if self.scratch_null[i] {
@@ -305,6 +454,12 @@ impl JoinTableBuilder {
             let part = &mut self.parts[partition_of(h)];
             part.seqs.push(((morsel_index as u64) << 32) | i as u64);
             part.hashes.push(h);
+            if metered {
+                part.mem_bytes += ENTRY_OVERHEAD;
+                for c in key_cols.iter().chain(batch.columns()) {
+                    part.mem_bytes += col_value_size(c, i) as u64;
+                }
+            }
             for c in key_cols {
                 part.keys.push(c.value_at(i));
             }
@@ -316,37 +471,70 @@ impl JoinTableBuilder {
     }
 
     /// Merges another worker's partitions into this one. Order-insensitive:
-    /// `finish` sorts each partition by sequence number.
-    pub fn merge(&mut self, other: JoinTableBuilder) {
+    /// `finish` sorts each partition by sequence number. Spilled chunks
+    /// and budget reservations transfer wholesale (the workers share one
+    /// per-query budget, so no re-charging happens here).
+    pub fn merge(&mut self, mut other: JoinTableBuilder) {
         debug_assert_eq!(self.key_width, other.key_width);
         debug_assert_eq!(self.build_width, other.build_width);
-        for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
+        for (mine, theirs) in self.parts.iter_mut().zip(other.parts.drain(..)) {
             mine.seqs.extend(theirs.seqs);
             mine.hashes.extend(theirs.hashes);
             mine.keys.extend(theirs.keys);
             mine.rows.extend(theirs.rows);
+            mine.mem_bytes += theirs.mem_bytes;
+            mine.spilled.extend(theirs.spilled);
         }
+        self.reserved += std::mem::take(&mut other.reserved);
     }
 
-    /// Freezes the builder into an immutable [`JoinTable`]: sorts each
-    /// partition into serial arrival order, builds the open-addressing
-    /// slot tables with duplicate chains, and derives the Bloom filter
-    /// and key envelopes for sideways information passing.
-    pub fn finish(self) -> JoinTable {
+    /// Freezes the builder into an immutable [`JoinTable`]: reloads any
+    /// spilled partition chunks (the finished table is resident — its
+    /// footprint is force-accounted, which is admission control's concern,
+    /// not the build loop's), sorts each partition into serial arrival
+    /// order, builds the open-addressing slot tables with duplicate
+    /// chains, and derives the Bloom filter and key envelopes for
+    /// sideways information passing.
+    pub fn finish(mut self) -> Result<JoinTable> {
         let kw = self.key_width;
         let bw = self.build_width;
+        // Reload spilled entries. Chunk order within a partition does not
+        // matter: the sequence sort below restores serial arrival order.
+        for part in &mut self.parts {
+            for handle in std::mem::take(&mut part.spilled) {
+                self.res.budget.reserve_forced(handle.bytes());
+                self.reserved += handle.bytes();
+                let mut r = handle.reader()?;
+                while let Some(rec) = r.next_record()? {
+                    let (seq, hash, vals) = decode_build_entry(&rec)?;
+                    if vals.len() != kw + bw {
+                        return Err(DbError::Corruption(format!(
+                            "join spill entry has {} values, expected {}",
+                            vals.len(),
+                            kw + bw
+                        )));
+                    }
+                    part.seqs.push(seq);
+                    part.hashes.push(hash);
+                    let mut vals = vals.into_iter();
+                    part.keys.extend(vals.by_ref().take(kw));
+                    part.rows.extend(vals);
+                }
+            }
+        }
         let total: usize = self.parts.iter().map(|p| p.seqs.len()).sum();
         let mut bloom = BlockedBloom::with_capacity(total.max(1));
         let mut key_ranges: Vec<Option<(Value, Value)>> = vec![None; kw];
         let partitions = self
             .parts
-            .into_iter()
+            .drain(..)
             .map(|sink| {
                 let PartitionSink {
                     seqs,
                     hashes: src_hashes,
                     keys: mut src_keys,
                     rows: mut src_rows,
+                    ..
                 } = sink;
                 let n = seqs.len();
                 // Serial arrival order, regardless of merge order.
@@ -415,14 +603,14 @@ impl JoinTableBuilder {
                 }
             })
             .collect();
-        JoinTable {
+        Ok(JoinTable {
             partitions,
             key_width: kw,
             build_width: bw,
             build_rows: total,
             bloom: Arc::new(bloom),
             key_ranges,
-        }
+        })
     }
 }
 
@@ -532,6 +720,7 @@ pub struct HashJoinOp {
     schema: SchemaRef,
     table: Option<Arc<JoinTable>>,
     scratch: ProbeScratch,
+    res: ExecResources,
 }
 
 impl HashJoinOp {
@@ -560,7 +749,14 @@ impl HashJoinOp {
             join_type,
             table: None,
             scratch: ProbeScratch::new(),
+            res: ExecResources::unlimited(),
         })
+    }
+
+    /// Sets the memory/spill context the blocking build runs under.
+    pub fn with_resources(mut self, res: ExecResources) -> Self {
+        self.res = res;
+        self
     }
 
     /// A probe-only join over a table built elsewhere. The sideways-
@@ -588,13 +784,24 @@ impl HashJoinOp {
             join_type,
             table: Some(table),
             scratch: ProbeScratch::new(),
+            res: ExecResources::unlimited(),
         })
     }
 
-    fn build(&mut self) -> Result<()> {
-        let mut right = self.right.take().expect("built twice");
+    fn build(&mut self) -> Result<Arc<JoinTable>> {
+        if let Some(t) = &self.table {
+            return Ok(Arc::clone(t));
+        }
+        let mut right = self
+            .right
+            .take()
+            .ok_or_else(|| DbError::Execution("hash join build input already consumed".into()))?;
         let build_width = right.schema().len();
-        let mut builder = JoinTableBuilder::new(self.right_keys.len(), build_width);
+        let mut builder = JoinTableBuilder::with_resources(
+            self.right_keys.len(),
+            build_width,
+            self.res.clone(),
+        );
         let mut arrival = 0usize;
         while let Some(batch) = right.next()? {
             if batch.is_empty() {
@@ -608,8 +815,9 @@ impl HashJoinOp {
             builder.push_batch(&key_cols, &batch, arrival)?;
             arrival += 1;
         }
-        self.table = Some(Arc::new(builder.finish()));
-        Ok(())
+        let table = Arc::new(builder.finish()?);
+        self.table = Some(Arc::clone(&table));
+        Ok(table)
     }
 }
 
@@ -619,10 +827,7 @@ impl Operator for HashJoinOp {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
-        if self.table.is_none() {
-            self.build()?;
-        }
-        let table = Arc::clone(self.table.as_ref().unwrap());
+        let table = self.build()?;
         loop {
             let batch = match self.left.next()? {
                 Some(b) => b,
@@ -863,7 +1068,7 @@ mod tests {
         let mut builder = JoinTableBuilder::new(1, 1);
         let key_cols = vec![batch.column(0).clone()];
         builder.push_batch(&key_cols, &batch, 0).unwrap();
-        builder.finish()
+        builder.finish().unwrap()
     }
 
     #[test]
@@ -884,7 +1089,7 @@ mod tests {
                 target.push_batch(&cols, &batch, idx).unwrap();
             }
             a.merge(b);
-            a.finish()
+            a.finish().unwrap()
         };
         let t1 = build(true);
         let t2 = build(false);
@@ -969,6 +1174,71 @@ mod tests {
         let out = probe_batch(&table, &[Expr::col(0)], JoinType::Inner, &out_schema, &batch, &mut scratch)
             .unwrap();
         assert!(out.is_none(), "false positives must not produce join rows");
+    }
+
+    #[test]
+    fn spilled_build_matches_in_memory_build() {
+        use oltap_common::mem::{MemoryGovernor, WorkloadClass};
+        use oltap_storage::spill::SpillDir;
+
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("tag", DataType::Utf8),
+        ]));
+        let batch_for = |lo: i64| {
+            let rows: Vec<Row> = (lo..lo + 64).map(|k| row![k % 17, format!("t{k}")]).collect();
+            Batch::from_rows(&schema, &rows).unwrap()
+        };
+        let build = |res: ExecResources| {
+            let mut b = JoinTableBuilder::with_resources(1, 2, res);
+            for (idx, lo) in [0i64, 64, 128, 192].into_iter().enumerate() {
+                let batch = batch_for(lo);
+                let cols = vec![batch.column(0).clone()];
+                b.push_batch(&cols, &batch, idx).unwrap();
+            }
+            (b.spill_chunks(), b.finish().unwrap())
+        };
+        let (_, plain) = build(ExecResources::unlimited());
+        // A budget far below the build size forces partition spills.
+        let gov = MemoryGovernor::new(u64::MAX, u64::MAX, u64::MAX);
+        let budget = gov.budget(WorkloadClass::Olap, 2048);
+        let dir = Arc::new(SpillDir::create_temp().unwrap());
+        let (chunks, spilled) = build(ExecResources::new(budget.clone(), Some(Arc::clone(&dir))));
+        assert!(chunks > 0, "tight budget must have spilled partitions");
+        assert!(budget.spill_count() > 0);
+        // Probe both tables: identical output including fan-out order.
+        let probe = Batch::from_rows(
+            &schema,
+            &(0..17i64).map(|k| row![k, "p"]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let out_schema = join_output_schema(&schema, &schema, JoinType::Inner);
+        let run = |t: &JoinTable| {
+            let mut s = ProbeScratch::new();
+            probe_batch(t, &[Expr::col(0)], JoinType::Inner, &out_schema, &probe, &mut s)
+                .unwrap()
+                .unwrap()
+                .to_rows()
+        };
+        assert_eq!(run(&plain), run(&spilled));
+    }
+
+    #[test]
+    fn budget_without_spill_dir_is_terminal() {
+        use oltap_common::mem::{MemoryGovernor, WorkloadClass};
+
+        let gov = MemoryGovernor::new(u64::MAX, u64::MAX, u64::MAX);
+        let budget = gov.budget(WorkloadClass::Olap, 256);
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let rows: Vec<Row> = (0..512i64).map(|k| row![k]).collect();
+        let batch = Batch::from_rows(&schema, &rows).unwrap();
+        let mut b = JoinTableBuilder::with_resources(1, 1, ExecResources::new(budget, None));
+        let cols = vec![batch.column(0).clone()];
+        let err = b.push_batch(&cols, &batch, 0).unwrap_err();
+        assert!(
+            matches!(err, DbError::ResourceExhausted { .. }),
+            "wrong error: {err:?}"
+        );
     }
 
     #[test]

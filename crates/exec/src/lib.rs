@@ -17,6 +17,9 @@
 //! * [`pipeline`] — morsel-driven parallel pipelines over the worker pool
 //!   (HyPer \[28\] morsel parallelism analog): NUMA-affine morsel
 //!   dispatch, thread-local stage chains, thread-partitioned sinks.
+//! * [`resources`] — the per-query memory budget and spill directory the
+//!   pipeline breakers (join build, aggregation, sort) degrade into when
+//!   a reservation is rejected, preserving serial-identical output.
 
 pub mod aggregate;
 pub mod compiled;
@@ -25,10 +28,13 @@ pub mod join;
 pub mod kernels;
 pub mod operator;
 pub mod pipeline;
+pub mod resources;
 pub mod shared_scan;
 pub mod sort;
 
-pub use aggregate::{AggExpr, AggFunc, AggregatorCore, GroupMap, HashAggregateOp};
+pub use aggregate::{
+    AggExpr, AggFunc, AggregatorCore, GroupMap, HashAggregateOp, SpillingAggregator,
+};
 pub use compiled::{compile, CompiledExpr, Program};
 pub use expr::{BinOp, Expr, UnOp};
 pub use join::{
@@ -42,7 +48,9 @@ pub use operator::{
 pub use pipeline::{
     Morsel, MorselDispenser, ParallelContext, ProbeStage, StageSpec, MORSEL_FAULT_RETRIES,
 };
+pub use resources::ExecResources;
 pub use shared_scan::{ClockScan, ScanQuery, ScanQueryResult};
 pub use sort::{
-    compare_keys, merge_sorted_runs, sort_entries, SortEntry, SortKey, SortOp, TopKAcc, TopKOp,
+    compare_keys, merge_sorted_runs, merge_spilled_sort, sort_entries, SortBuffer, SortEntry,
+    SortKey, SortOp, TopKAcc, TopKOp,
 };

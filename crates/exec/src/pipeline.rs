@@ -31,11 +31,12 @@
 //! build pipeline probes its own [`points::EXEC_JOIN_BUILD_FAIL`] point
 //! per build morsel with the same retry budget.
 
-use crate::aggregate::{AggregatorCore, GroupMap};
+use crate::aggregate::{AggregatorCore, SpillingAggregator};
 use crate::compiled::CompiledExpr;
 use crate::expr::Expr;
 use crate::join::{probe_batch, JoinTable, JoinTableBuilder, JoinType, ProbeScratch};
-use crate::sort::{merge_sorted_runs, sort_entries, SortEntry, SortKey, TopKAcc};
+use crate::resources::ExecResources;
+use crate::sort::{merge_spilled_sort, sort_entries, SortBuffer, SortEntry, SortKey, TopKAcc};
 use oltap_common::fault::{points, FaultInjector};
 use oltap_common::schema::SchemaRef;
 use oltap_common::{Batch, CancellationToken, DbError, Result, Row};
@@ -266,6 +267,9 @@ pub struct ParallelContext {
     pub cancel: CancellationToken,
     /// Fault injector probed at every morsel boundary.
     pub faults: Arc<FaultInjector>,
+    /// Per-query memory budget and spill directory; every worker's sink
+    /// draws from this one shared account.
+    pub mem: ExecResources,
 }
 
 impl ParallelContext {
@@ -348,27 +352,31 @@ impl ParallelContext {
         Ok(all.into_iter().map(|(_, b)| b).collect())
     }
 
-    /// Aggregation sink: per-worker [`GroupMap`]s merged in worker order
-    /// (group state merge is order-independent), finished by the shared
-    /// core which emits groups in sorted key order — the serial order.
+    /// Aggregation sink: per-worker [`SpillingAggregator`]s (hybrid
+    /// hashing against the shared query budget) sealed into complete
+    /// [`GroupMap`](crate::aggregate::GroupMap)s and merged in worker
+    /// order (group state merge is order-independent), finished by the
+    /// shared core which emits groups in sorted key order — the serial
+    /// order, spilling or not.
     pub fn run_aggregate(
         &self,
         batches: Vec<Batch>,
         stages: Vec<StageSpec>,
         core: Arc<AggregatorCore>,
     ) -> Result<Vec<Batch>> {
-        let c_make = Arc::clone(&core);
+        let res = self.mem.clone();
         let c_consume = Arc::clone(&core);
+        let c_seal = Arc::clone(&core);
         let maps = self.fan_out(
             batches,
             stages,
-            move || c_make.new_map(),
-            move |map: &mut GroupMap, _idx, batch| c_consume.consume(map, &batch),
-            |map| map,
+            move || SpillingAggregator::new(res.clone()),
+            move |sink: &mut SpillingAggregator, _idx, batch| sink.consume(&c_consume, &batch),
+            move |sink| sink.into_map(&c_seal),
         )?;
         let mut merged = core.new_map();
         for m in maps {
-            core.merge(&mut merged, m);
+            core.merge(&mut merged, m?)?;
         }
         core.finish(merged)
     }
@@ -389,10 +397,11 @@ impl ParallelContext {
         let key_width = keys.len();
         let keys = Arc::new(keys);
         let faults = Arc::clone(&self.faults);
+        let res = self.mem.clone();
         let parts: Vec<JoinTableBuilder> = self.fan_out(
             batches,
             stages,
-            move || JoinTableBuilder::new(key_width, build_width),
+            move || JoinTableBuilder::with_resources(key_width, build_width, res.clone()),
             move |builder: &mut JoinTableBuilder, idx, batch| {
                 let mut attempts = 0u32;
                 while faults.should_fire(points::EXEC_JOIN_BUILD_FAIL) {
@@ -412,15 +421,17 @@ impl ParallelContext {
             },
             |b| b,
         )?;
-        let mut merged = JoinTableBuilder::new(key_width, build_width);
+        let mut merged = JoinTableBuilder::with_resources(key_width, build_width, self.mem.clone());
         for part in parts {
             merged.merge(part);
         }
-        Ok(merged.finish())
+        merged.finish()
     }
 
-    /// Sort sink: per-worker sorted runs, k-way merged with sequence-number
-    /// tie-breaking — exactly the order of the serial stable sort.
+    /// Sort sink: per-worker [`SortBuffer`]s (budget-bounded, spilling
+    /// sorted runs to disk under pressure), k-way merged with
+    /// sequence-number tie-breaking — exactly the order of the serial
+    /// stable sort, whether or not any buffer spilled.
     pub fn run_sort(
         &self,
         batches: Vec<Batch>,
@@ -431,28 +442,26 @@ impl ParallelContext {
     ) -> Result<Vec<Batch>> {
         let keys = Arc::new(keys);
         let k_consume = Arc::clone(&keys);
-        let k_finish = Arc::clone(&keys);
-        let runs = self.fan_out(
+        let k_make = Arc::clone(&keys);
+        let res = self.mem.clone();
+        let buffers = self.fan_out(
             batches,
             stages,
-            Vec::new,
-            move |run: &mut Vec<SortEntry>, idx, batch| {
+            move || SortBuffer::new(k_make.as_ref().clone(), res.clone()),
+            move |buf: &mut SortBuffer, idx, batch| {
                 let key_cols = k_consume
                     .iter()
                     .map(|k| k.expr.eval_batch(&batch))
                     .collect::<Result<Vec<_>>>()?;
                 for i in 0..batch.len() {
                     let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
-                    run.push((key, ((idx as u64) << 32) | i as u64, batch.row(i)));
+                    buf.push(key, ((idx as u64) << 32) | i as u64, batch.row(i))?;
                 }
                 Ok(())
             },
-            move |mut run| {
-                sort_entries(&mut run, &k_finish);
-                run
-            },
+            |buf| buf,
         )?;
-        merge_sorted_runs(runs, &keys, &schema, batch_size)
+        merge_spilled_sort(buffers, &keys, &schema, batch_size)
     }
 
     /// Top-K sink: per-worker bounded heaps; the union of candidates is
@@ -580,6 +589,7 @@ mod tests {
             sockets: 2,
             cancel: CancellationToken::none(),
             faults: FaultInjector::disabled(),
+            mem: ExecResources::unlimited(),
         }
     }
 

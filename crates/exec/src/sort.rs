@@ -1,9 +1,22 @@
-//! Blocking sort and top-K operators.
+//! Blocking sort and top-K operators, with external-merge spilling.
+//!
+//! The in-memory path stages `(key, seq, row)` entries and sorts once at
+//! the end. Under a [`MemoryBudget`](oltap_common::mem::MemoryBudget) a
+//! rejected reservation turns the staged entries into a sorted on-disk
+//! *run* ([`SortBuffer`]); the finish is then a streaming k-way merge over
+//! all runs plus the in-memory tail ([`merge_spilled_sort`]). Because
+//! every entry carries a globally unique arrival sequence and all merges
+//! order by `(key, seq)`, any partitioning of the input into sorted
+//! streams — per-worker runs, spilled runs, memory tails — merges to
+//! exactly the serial stable sort's output.
 
 use crate::expr::Expr;
 use crate::operator::{BoxedOperator, Operator};
+use crate::resources::ExecResources;
 use oltap_common::schema::SchemaRef;
-use oltap_common::{Batch, Result, Row};
+use oltap_common::{Batch, DbError, Result, Row};
+use oltap_storage::spill::{SpillHandle, SpillReader};
+use oltap_txn::wal::{decode_row, encode_row};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -82,7 +95,9 @@ pub fn merge_sorted_runs(
                 }
             };
         }
-        let b = best.expect("total count covers non-empty heads");
+        let b = best.ok_or_else(|| {
+            DbError::Execution("sort merge lost track of remaining rows".into())
+        })?;
         rows.push(runs[b][heads[b]].2.clone());
         heads[b] += 1;
     }
@@ -91,13 +106,216 @@ pub fn merge_sorted_runs(
         .collect()
 }
 
-/// Full blocking sort.
+/// Spill codec for one [`SortEntry`]:
+/// `[seq u64][key_len u32][row codec of key][row codec of row]`.
+fn encode_sort_entry(entry: &SortEntry) -> Vec<u8> {
+    let key = encode_row(&entry.0);
+    let row = encode_row(&entry.2);
+    let mut buf = Vec::with_capacity(12 + key.len() + row.len());
+    buf.extend_from_slice(&entry.1.to_le_bytes());
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&key);
+    buf.extend_from_slice(&row);
+    buf
+}
+
+fn decode_sort_entry(bytes: &[u8]) -> Result<SortEntry> {
+    let corrupt = || DbError::Corruption("truncated sort spill entry".into());
+    if bytes.len() < 12 {
+        return Err(corrupt());
+    }
+    let seq = u64::from_le_bytes(bytes[..8].try_into().map_err(|_| corrupt())?);
+    let key_len = u32::from_le_bytes(bytes[8..12].try_into().map_err(|_| corrupt())?) as usize;
+    let rest = &bytes[12..];
+    if rest.len() < key_len {
+        return Err(corrupt());
+    }
+    let key = decode_row(&rest[..key_len])?;
+    let row = decode_row(&rest[key_len..])?;
+    Ok((key, seq, row))
+}
+
+/// A budget-bounded staging area for sort entries.
+///
+/// Entries accumulate in memory while reservations succeed; a rejected
+/// reservation sorts the staged entries by `(key, seq)` and writes them
+/// out as one on-disk run, freeing their reservation. [`into_streams`]
+/// (via [`merge_spilled_sort`]) later merges every run with the sorted
+/// in-memory tail.
+pub struct SortBuffer {
+    keys: Vec<SortKey>,
+    entries: Vec<SortEntry>,
+    res: ExecResources,
+    /// Budget bytes held for `entries`.
+    held: u64,
+    runs: Vec<SpillHandle>,
+}
+
+impl SortBuffer {
+    /// An empty buffer sorting by `keys` under `res`.
+    pub fn new(keys: Vec<SortKey>, res: ExecResources) -> Self {
+        SortBuffer {
+            keys,
+            entries: Vec::new(),
+            res,
+            held: 0,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Number of on-disk runs written so far (tests/stats).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Stages one entry, spilling the staged set as a sorted run when the
+    /// budget rejects the reservation.
+    pub fn push(&mut self, key: Row, seq: u64, row: Row) -> Result<()> {
+        if self.res.is_limited() {
+            let bytes = (key.approx_size() + row.approx_size() + 24) as u64;
+            if let Err(err) = self.res.budget.try_reserve(bytes) {
+                // No spill directory: the typed error is terminal.
+                self.res.spill_dir(err)?;
+                // Only cut a run once the staged set is worth a file;
+                // when a sibling operator's resident result has already
+                // pinned the whole budget, every reservation fails and
+                // spilling per entry would write thousands of one-row
+                // runs.
+                if self.held >= self.min_run_bytes() {
+                    self.spill_run()?;
+                }
+                // Below the run floor this entry is part of the
+                // working-set minimum; account it unconditionally.
+                if self.res.budget.try_reserve(bytes).is_err() {
+                    self.res.budget.reserve_forced(bytes);
+                }
+            }
+            self.held += bytes;
+        }
+        self.entries.push((key, seq, row));
+        Ok(())
+    }
+
+    /// Smallest staged size worth writing as a run: half the query
+    /// budget, clamped to [4 KiB, 1 MiB].
+    fn min_run_bytes(&self) -> u64 {
+        (self.res.budget.limit() / 2).clamp(4096, 1 << 20)
+    }
+
+    /// Sorts the staged entries and writes them out as one run.
+    fn spill_run(&mut self) -> Result<()> {
+        let dir = self.res.spill.as_ref().ok_or_else(|| {
+            DbError::Execution("sort spill requested without a spill dir".into())
+        })?;
+        self.res.budget.note_spill();
+        sort_entries(&mut self.entries, &self.keys);
+        let mut w = dir.writer("sort-run")?;
+        for e in &self.entries {
+            w.write_record(&encode_sort_entry(e))?;
+        }
+        self.runs.push(w.finish()?);
+        self.entries.clear();
+        self.res.budget.release(self.held);
+        self.held = 0;
+        Ok(())
+    }
+
+    /// Seals the buffer: the on-disk runs plus the sorted in-memory tail,
+    /// each a `(key, seq)`-ordered stream for [`merge_spilled_sort`].
+    pub fn into_streams(mut self) -> (Vec<SpillHandle>, Vec<SortEntry>) {
+        sort_entries(&mut self.entries, &self.keys);
+        (self.runs, self.entries)
+    }
+}
+
+/// One sorted input to the final merge: an on-disk run or a memory tail.
+enum SortStream {
+    Disk(SpillReader),
+    Mem(std::vec::IntoIter<SortEntry>),
+}
+
+impl SortStream {
+    fn next(&mut self) -> Result<Option<SortEntry>> {
+        match self {
+            SortStream::Disk(r) => match r.next_record()? {
+                Some(rec) => Ok(Some(decode_sort_entry(&rec)?)),
+                None => Ok(None),
+            },
+            SortStream::Mem(it) => Ok(it.next()),
+        }
+    }
+}
+
+/// Streams every buffer's runs and memory tail through one k-way
+/// `(key, seq)` merge into output batches. Globally unique sequence
+/// numbers make the result identical to the serial stable sort no matter
+/// how entries were split across buffers and runs.
+pub fn merge_spilled_sort(
+    buffers: Vec<SortBuffer>,
+    keys: &[SortKey],
+    schema: &SchemaRef,
+    batch_size: usize,
+) -> Result<Vec<Batch>> {
+    let mut streams: Vec<SortStream> = Vec::new();
+    for buf in buffers {
+        let res = buf.res.clone();
+        let (runs, tail) = buf.into_streams();
+        for run in runs {
+            // Replayed rows become part of the materialized output.
+            res.budget.reserve_forced(run.bytes());
+            streams.push(SortStream::Disk(run.reader()?));
+        }
+        if !tail.is_empty() {
+            streams.push(SortStream::Mem(tail.into_iter()));
+        }
+    }
+    let mut heads: Vec<Option<SortEntry>> = Vec::with_capacity(streams.len());
+    for s in &mut streams {
+        heads.push(s.next()?);
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            let Some(cand) = head else { continue };
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let cur = heads[b].as_ref().ok_or_else(|| {
+                        DbError::Execution("sort merge lost a stream head".into())
+                    })?;
+                    let ord = compare_keys(&cand.0, &cur.0, keys).then(cand.1.cmp(&cur.1));
+                    if ord == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        let entry = heads[b].take().ok_or_else(|| {
+            DbError::Execution("sort merge lost a stream head".into())
+        })?;
+        rows.push(entry.2);
+        heads[b] = streams[b].next()?;
+    }
+    rows.chunks(batch_size)
+        .map(|c| Batch::from_rows(schema, c))
+        .collect()
+}
+
+/// Full blocking sort. Entries are staged in a [`SortBuffer`], so under a
+/// memory budget the sort degrades into an external merge of on-disk runs
+/// — with output identical to the in-memory stable sort (the `(key, seq)`
+/// order *is* the stable order, seq being the arrival counter).
 pub struct SortOp {
     input: Option<BoxedOperator>,
     keys: Vec<SortKey>,
     schema: SchemaRef,
     output: Option<std::vec::IntoIter<Batch>>,
     batch_size: usize,
+    res: ExecResources,
 }
 
 impl SortOp {
@@ -110,13 +328,23 @@ impl SortOp {
             schema,
             output: None,
             batch_size: 4096,
+            res: ExecResources::unlimited(),
         }
     }
 
+    /// Sets the memory/spill context the blocking sort runs under.
+    pub fn with_resources(mut self, res: ExecResources) -> Self {
+        self.res = res;
+        self
+    }
+
     fn execute(&mut self) -> Result<Vec<Batch>> {
-        let mut input = self.input.take().expect("executed twice");
-        // (key values, full row) pairs; evaluate keys vectorized per batch.
-        let mut pairs: Vec<(Row, Row)> = Vec::new();
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| DbError::Execution("sort input already consumed".into()))?;
+        let mut buf = SortBuffer::new(self.keys.clone(), self.res.clone());
+        let mut morsel = 0u64;
         while let Some(batch) = input.next()? {
             let key_cols = self
                 .keys
@@ -125,14 +353,11 @@ impl SortOp {
                 .collect::<Result<Vec<_>>>()?;
             for i in 0..batch.len() {
                 let key = Row::new(key_cols.iter().map(|c| c.value_at(i)).collect());
-                pairs.push((key, batch.row(i)));
+                buf.push(key, (morsel << 32) | i as u64, batch.row(i))?;
             }
+            morsel += 1;
         }
-        pairs.sort_by(|a, b| compare_keys(&a.0, &b.0, &self.keys));
-        let rows: Vec<Row> = pairs.into_iter().map(|(_, r)| r).collect();
-        rows.chunks(self.batch_size)
-            .map(|c| Batch::from_rows(&self.schema, c))
-            .collect()
+        merge_spilled_sort(vec![buf], &self.keys, &self.schema, self.batch_size)
     }
 }
 
@@ -145,7 +370,11 @@ impl Operator for SortOp {
             let batches = self.execute()?;
             self.output = Some(batches.into_iter());
         }
-        Ok(self.output.as_mut().unwrap().next())
+        Ok(self
+            .output
+            .as_mut()
+            .map(|it| it.next())
+            .unwrap_or_default())
     }
 }
 
@@ -260,7 +489,10 @@ impl TopKOp {
     }
 
     fn execute(&mut self) -> Result<Vec<Batch>> {
-        let mut input = self.input.take().expect("executed twice");
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| DbError::Execution("top-k input already consumed".into()))?;
         let mut acc = TopKAcc::new(&self.keys, self.k);
         if self.k == 0 {
             return Ok(Vec::new());
@@ -297,7 +529,11 @@ impl Operator for TopKOp {
             let batches = self.execute()?;
             self.output = Some(batches.into_iter());
         }
-        Ok(self.output.as_mut().unwrap().next())
+        Ok(self
+            .output
+            .as_mut()
+            .map(|it| it.next())
+            .unwrap_or_default())
     }
 }
 
@@ -459,6 +695,57 @@ mod tests {
             .collect();
         let ids: Vec<i64> = got.iter().map(|r| r[1].as_int().unwrap()).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn spilled_sort_matches_in_memory() {
+        use oltap_common::mem::{MemoryGovernor, WorkloadClass};
+        use oltap_storage::spill::SpillDir;
+
+        let vals: Vec<i64> = (0..3000).map(|i| (i * 131) % 257).collect();
+        let serial = {
+            let op = SortOp::new(source(&vals), vec![SortKey::asc(Expr::col(0))]);
+            collect(Box::new(op)).unwrap()
+        };
+        let gov = MemoryGovernor::new(u64::MAX, u64::MAX, u64::MAX);
+        let budget = gov.budget(WorkloadClass::Olap, 32 * 1024);
+        let dir = Arc::new(SpillDir::create_temp().unwrap());
+        let op = SortOp::new(source(&vals), vec![SortKey::asc(Expr::col(0))])
+            .with_resources(ExecResources::new(budget.clone(), Some(dir)));
+        let spilled = collect(Box::new(op)).unwrap();
+        assert!(budget.spill_count() > 0, "tight budget must have spilled runs");
+        let serial_rows: Vec<Row> = serial.iter().flat_map(|b| b.to_rows()).collect();
+        let spilled_rows: Vec<Row> = spilled.iter().flat_map(|b| b.to_rows()).collect();
+        assert_eq!(serial_rows, spilled_rows, "spilling must not change the order");
+    }
+
+    #[test]
+    fn sort_budget_without_spill_dir_is_terminal() {
+        use oltap_common::mem::{MemoryGovernor, WorkloadClass};
+
+        let vals: Vec<i64> = (0..2000).collect();
+        let gov = MemoryGovernor::new(u64::MAX, u64::MAX, u64::MAX);
+        let budget = gov.budget(WorkloadClass::Olap, 1024);
+        let op = SortOp::new(source(&vals), vec![SortKey::asc(Expr::col(0))])
+            .with_resources(ExecResources::new(budget, None));
+        let err = collect(Box::new(op)).unwrap_err();
+        assert!(
+            matches!(err, DbError::ResourceExhausted { .. }),
+            "wrong error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn sort_spill_entry_codec_roundtrip() {
+        let entry: SortEntry = (
+            row!["key", 42i64],
+            (7u64 << 32) | 3,
+            row![1i64, 2.5f64, "payload"],
+        );
+        let bytes = encode_sort_entry(&entry);
+        let back = decode_sort_entry(&bytes).unwrap();
+        assert_eq!(back, entry);
+        assert!(decode_sort_entry(&bytes[..5]).is_err());
     }
 
     #[test]

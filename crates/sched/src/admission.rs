@@ -1,0 +1,303 @@
+//! Query-level admission control for mixed OLTP + OLAP workloads.
+//!
+//! The worker pool ([`crate::pool`]) already prioritizes *tasks*: OLTP
+//! morsels dispatch before queued OLAP morsels. That is not enough under
+//! overload — once a large analytic query is running, its morsels are in
+//! flight and transactional latency collapses anyway. The systems the
+//! tutorial surveys therefore gate at *query* granularity (HANA workload
+//! classes, DB2 WLM, Psaroudakis et al.): an analytic query must be
+//! **admitted** before it may execute at all.
+//!
+//! The [`AdmissionController`] implements that gate:
+//!
+//! * **OLTP is always admitted immediately** — transactions never queue
+//!   behind analytics.
+//! * **OLAP concurrency is capped.** The cap has two levels: a generous
+//!   [`AdmissionConfig::max_olap`] when the system is quiet, and a
+//!   throttled [`AdmissionConfig::throttled_olap`] that engages while the
+//!   number of in-flight OLTP queries is at or above
+//!   [`AdmissionConfig::pressure_threshold`] — Psaroudakis-style OLAP
+//!   throttling under OLTP pressure.
+//! * **Queue-with-timeout, not hard rejection.** An OLAP query that finds
+//!   no free slot waits on a condition variable; it only fails — with a
+//!   typed [`DbError::ResourceExhausted`] — if no slot frees within
+//!   [`AdmissionConfig::queue_timeout`].
+//!
+//! Admission is RAII: [`AdmissionController::admit`] returns an
+//! [`AdmissionTicket`] whose `Drop` releases the slot and wakes waiters,
+//! so an early return (error, cancellation, panic unwind) can never leak
+//! a slot.
+
+use oltap_common::mem::WorkloadClass;
+use oltap_common::{DbError, Result};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Admission policy knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Concurrent OLAP queries admitted when OLTP pressure is low.
+    pub max_olap: usize,
+    /// Concurrent OLAP queries admitted while the throttle is engaged.
+    pub throttled_olap: usize,
+    /// In-flight OLTP query count at or above which the throttle engages.
+    pub pressure_threshold: usize,
+    /// How long an OLAP query may wait for a slot before admission fails.
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_olap: 4,
+            throttled_olap: 1,
+            pressure_threshold: 2,
+            queue_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Gate {
+    running_oltp: usize,
+    running_olap: usize,
+    waiting_olap: usize,
+}
+
+/// Counters the overload experiment (E15) reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// OLTP queries admitted (always immediate).
+    pub oltp_admitted: u64,
+    /// OLAP queries admitted, whether immediately or after queueing.
+    pub olap_admitted: u64,
+    /// OLAP admissions that had to queue before getting a slot.
+    pub olap_queued: u64,
+    /// OLAP admissions that timed out waiting for a slot.
+    pub olap_timeouts: u64,
+    /// Admission decisions taken while the OLTP-pressure throttle was
+    /// engaged.
+    pub throttled_decisions: u64,
+}
+
+/// The query-granularity admission gate (see module docs).
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    gate: Mutex<Gate>,
+    cv: Condvar,
+    oltp_admitted: AtomicU64,
+    olap_admitted: AtomicU64,
+    olap_queued: AtomicU64,
+    olap_timeouts: AtomicU64,
+    throttled_decisions: AtomicU64,
+}
+
+impl std::fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.gate.lock();
+        f.debug_struct("AdmissionController")
+            .field("running_oltp", &g.running_oltp)
+            .field("running_olap", &g.running_olap)
+            .field("waiting_olap", &g.waiting_olap)
+            .finish()
+    }
+}
+
+impl AdmissionController {
+    /// A controller enforcing `cfg`.
+    pub fn new(cfg: AdmissionConfig) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            cfg,
+            gate: Mutex::new(Gate::default()),
+            cv: Condvar::new(),
+            oltp_admitted: AtomicU64::new(0),
+            olap_admitted: AtomicU64::new(0),
+            olap_queued: AtomicU64::new(0),
+            olap_timeouts: AtomicU64::new(0),
+            throttled_decisions: AtomicU64::new(0),
+        })
+    }
+
+    /// The effective OLAP cap for the current OLTP pressure.
+    fn olap_cap(&self, gate: &Gate) -> usize {
+        if gate.running_oltp >= self.cfg.pressure_threshold {
+            self.throttled_decisions.fetch_add(1, Ordering::Relaxed);
+            self.cfg.throttled_olap
+        } else {
+            self.cfg.max_olap
+        }
+    }
+
+    /// Admits one query of `class`, blocking (up to the configured queue
+    /// timeout) when the OLAP cap is reached. OLTP never blocks.
+    pub fn admit(self: &Arc<Self>, class: WorkloadClass) -> Result<AdmissionTicket> {
+        match class {
+            WorkloadClass::Oltp => {
+                self.gate.lock().running_oltp += 1;
+                self.oltp_admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(AdmissionTicket {
+                    ctrl: Arc::clone(self),
+                    class,
+                })
+            }
+            WorkloadClass::Olap => {
+                let deadline = Instant::now() + self.cfg.queue_timeout;
+                let mut gate = self.gate.lock();
+                let mut queued = false;
+                while gate.running_olap >= self.olap_cap(&gate) {
+                    if !queued {
+                        queued = true;
+                        self.olap_queued.fetch_add(1, Ordering::Relaxed);
+                    }
+                    gate.waiting_olap += 1;
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    let timed_out = self.cv.wait_for(&mut gate, remaining).timed_out();
+                    gate.waiting_olap -= 1;
+                    if timed_out && gate.running_olap >= self.olap_cap(&gate) {
+                        self.olap_timeouts.fetch_add(1, Ordering::Relaxed);
+                        let cap = self.olap_cap(&gate);
+                        return Err(DbError::ResourceExhausted {
+                            class: "olap-admission".to_string(),
+                            requested: 1,
+                            available: cap.saturating_sub(gate.running_olap) as u64,
+                        });
+                    }
+                }
+                gate.running_olap += 1;
+                self.olap_admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(AdmissionTicket {
+                    ctrl: Arc::clone(self),
+                    class,
+                })
+            }
+        }
+    }
+
+    /// In-flight query counts (oltp, olap).
+    pub fn running(&self) -> (usize, usize) {
+        let g = self.gate.lock();
+        (g.running_oltp, g.running_olap)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            oltp_admitted: self.oltp_admitted.load(Ordering::Relaxed),
+            olap_admitted: self.olap_admitted.load(Ordering::Relaxed),
+            olap_queued: self.olap_queued.load(Ordering::Relaxed),
+            olap_timeouts: self.olap_timeouts.load(Ordering::Relaxed),
+            throttled_decisions: self.throttled_decisions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn release(&self, class: WorkloadClass) {
+        let mut gate = self.gate.lock();
+        match class {
+            WorkloadClass::Oltp => gate.running_oltp = gate.running_oltp.saturating_sub(1),
+            WorkloadClass::Olap => gate.running_olap = gate.running_olap.saturating_sub(1),
+        }
+        // An OLAP slot freed, or OLTP pressure dropped (which may raise
+        // the effective cap): wake every waiter and let them re-check.
+        drop(gate);
+        self.cv.notify_all();
+    }
+}
+
+/// RAII admission slot; dropping it releases the slot and wakes waiters.
+#[derive(Debug)]
+pub struct AdmissionTicket {
+    ctrl: Arc<AdmissionController>,
+    class: WorkloadClass,
+}
+
+impl AdmissionTicket {
+    /// The class this ticket was admitted under.
+    pub fn class(&self) -> WorkloadClass {
+        self.class
+    }
+}
+
+impl Drop for AdmissionTicket {
+    fn drop(&mut self) {
+        self.ctrl.release(self.class);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            max_olap: 2,
+            throttled_olap: 1,
+            pressure_threshold: 1,
+            queue_timeout: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn oltp_always_admitted() {
+        let ctrl = AdmissionController::new(quick_cfg());
+        let tickets: Vec<_> = (0..16)
+            .map(|_| ctrl.admit(WorkloadClass::Oltp).unwrap())
+            .collect();
+        assert_eq!(ctrl.running(), (16, 0));
+        drop(tickets);
+        assert_eq!(ctrl.running(), (0, 0));
+        assert_eq!(ctrl.stats().oltp_admitted, 16);
+    }
+
+    #[test]
+    fn olap_over_cap_times_out_with_typed_error() {
+        let ctrl = AdmissionController::new(quick_cfg());
+        let _a = ctrl.admit(WorkloadClass::Olap).unwrap();
+        let _b = ctrl.admit(WorkloadClass::Olap).unwrap();
+        let err = ctrl.admit(WorkloadClass::Olap).unwrap_err();
+        assert!(
+            matches!(err, DbError::ResourceExhausted { ref class, .. } if class == "olap-admission"),
+            "{err:?}"
+        );
+        assert_eq!(ctrl.stats().olap_timeouts, 1);
+    }
+
+    #[test]
+    fn releasing_a_slot_admits_a_queued_query() {
+        let ctrl = AdmissionController::new(AdmissionConfig {
+            queue_timeout: Duration::from_secs(5),
+            ..quick_cfg()
+        });
+        let a = ctrl.admit(WorkloadClass::Olap).unwrap();
+        let _b = ctrl.admit(WorkloadClass::Olap).unwrap();
+        let ctrl2 = Arc::clone(&ctrl);
+        let waiter = std::thread::spawn(move || ctrl2.admit(WorkloadClass::Olap).map(|_| ()));
+        // Let the waiter reach the queue, then free a slot.
+        while ctrl.gate.lock().waiting_olap == 0 {
+            std::thread::yield_now();
+        }
+        drop(a);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(ctrl.stats().olap_queued, 1);
+        assert_eq!(ctrl.stats().olap_timeouts, 0);
+    }
+
+    #[test]
+    fn oltp_pressure_throttles_olap_cap() {
+        let ctrl = AdmissionController::new(quick_cfg());
+        // Quiet system: two OLAP slots.
+        let a = ctrl.admit(WorkloadClass::Olap).unwrap();
+        drop(ctrl.admit(WorkloadClass::Olap).unwrap());
+        // Engage pressure (threshold = 1 in-flight OLTP query): the cap
+        // drops to 1, already filled by `a`.
+        let _t = ctrl.admit(WorkloadClass::Oltp).unwrap();
+        let err = ctrl.admit(WorkloadClass::Olap).unwrap_err();
+        assert!(matches!(err, DbError::ResourceExhausted { .. }), "{err:?}");
+        assert!(ctrl.stats().throttled_decisions > 0);
+        drop(a);
+        // Pressure gone after OLTP finishes + slot free: admitted again.
+        drop(_t);
+        ctrl.admit(WorkloadClass::Olap).unwrap();
+    }
+}

@@ -7,11 +7,16 @@
 //! * [`pool`] — a class-aware worker pool: OLTP tasks preempt queued OLAP
 //!   work, an admission limit bounds concurrent analytics, and an adaptive
 //!   [`pool::WorkloadManager`] throttles OLAP when transactions queue.
+//! * [`admission`] — query-granularity admission control: OLTP always
+//!   admitted, OLAP capped (throttled harder under OLTP pressure) with
+//!   queue-with-timeout semantics instead of hard rejection.
 //! * [`numa`] — a simulated multi-socket topology with data/task placement
 //!   policies and a cost model charging local vs. remote memory accesses.
 
+pub mod admission;
 pub mod numa;
 pub mod pool;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, AdmissionTicket};
 pub use numa::{DataPlacement, NumaStats, NumaTopology, ScanTask, TaskPlacementPolicy};
 pub use pool::{PoolStats, WorkerPool, WorkloadClass, WorkloadManager};

@@ -22,14 +22,10 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Workload class of a task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum WorkloadClass {
-    /// Short, latency-critical transactional work.
-    Oltp,
-    /// Long, throughput-oriented analytic work.
-    Olap,
-}
+// The workload-class enum is canonical in `oltap-common::mem` (the memory
+// governor partitions its pool by the same two classes); the scheduler
+// re-exports it so task dispatch and memory accounting share one vocabulary.
+pub use oltap_common::mem::WorkloadClass;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 

@@ -14,6 +14,8 @@
 //!   image simultaneously consistent via an invalidation journal
 //!   (Oracle Database In-Memory style, §3).
 //! * [`predicate`] — pushed-down scan predicates shared by all formats.
+//! * [`spill`] — length-framed spill files under per-query scratch dirs,
+//!   the disk half of the executor's memory-bounded operators.
 
 pub mod delta;
 pub mod dual;
@@ -22,6 +24,7 @@ pub mod predicate;
 pub mod rowstore;
 pub mod segment;
 pub mod skiplist;
+pub mod spill;
 pub mod zonemap;
 
 pub use delta::{DeltaMainTable, MergeStats, TableSizes};
@@ -30,4 +33,5 @@ pub use predicate::{CmpOp, ColumnPredicate, JoinFilter, ScanPredicate};
 pub use rowstore::RowStore;
 pub use segment::Segment;
 pub use skiplist::SkipList;
+pub use spill::{purge_spill_root, SpillDir, SpillHandle, SpillReader, SpillWriter};
 pub use zonemap::{ColumnZone, ZoneMap};

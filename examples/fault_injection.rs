@@ -24,6 +24,7 @@ fn main() -> oltapdb::common::Result<()> {
         let db = Database::with_config(DbConfig {
             wal_path: Some(wal.clone()),
             faults: Some(faults),
+            ..DbConfig::default()
         })?;
         db.execute("CREATE TABLE sensors (id BIGINT PRIMARY KEY, temp BIGINT)")?;
         for i in 0..6i64 {
@@ -54,6 +55,7 @@ fn main() -> oltapdb::common::Result<()> {
         let db = Database::with_config(DbConfig {
             wal_path: None,
             faults: Some(f),
+            ..DbConfig::default()
         })
         .expect("in-memory db");
         db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY)").unwrap();
@@ -80,8 +82,8 @@ fn main() -> oltapdb::common::Result<()> {
     let mut session = db.session();
     session.set_query_timeout(Some(Duration::ZERO));
     match session.execute("SELECT v, COUNT(*) FROM big GROUP BY v") {
-        Err(DbError::Cancelled(msg)) => println!("  expired deadline: {msg}"),
-        other => panic!("expected cancellation, got {other:?}"),
+        Err(DbError::DeadlineExceeded(msg)) => println!("  expired deadline: {msg}"),
+        other => panic!("expected a deadline error, got {other:?}"),
     }
     session.set_query_timeout(None);
     let rows = session.execute("SELECT COUNT(*) FROM big")?;

@@ -233,6 +233,7 @@ fn chaos_torn_wal_tail_recovery() {
         let db = Database::with_config(DbConfig {
             wal_path: Some(path.clone()),
             faults: Some(faults),
+            ..DbConfig::default()
         })
         .unwrap();
         db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
@@ -369,7 +370,9 @@ fn chaos_expired_deadline_terminates_promptly() {
     let err = s
         .execute("SELECT v, COUNT(*) FROM m GROUP BY v ORDER BY v")
         .unwrap_err();
-    assert!(matches!(err, DbError::Cancelled(_)), "{err}");
+    // Deadline expiry is its own typed error, distinct from an explicit
+    // cancel — callers can retry deadline losses but not user cancels.
+    assert!(matches!(err, DbError::DeadlineExceeded(_)), "{err}");
     assert!(
         started.elapsed() < Duration::from_secs(2),
         "cancellation took too long: {:?}",
@@ -394,6 +397,7 @@ fn chaos_join_build_faults_retry_then_give_up() {
         let db = Database::with_config(DbConfig {
             wal_path: None,
             faults: Some(faults),
+            ..DbConfig::default()
         })
         .unwrap();
         db.execute(
@@ -444,4 +448,194 @@ fn chaos_join_build_faults_retry_then_give_up() {
     // The engine survives: disarmed queries on the same database work.
     db.set_parallelism(1);
     assert!(!db.query(sql).unwrap().is_empty());
+}
+
+/// A tiny memory configuration: per-query budgets small enough that the
+/// scenarios' joins and aggregations must spill.
+fn tiny_memory() -> oltapdb::core::MemoryConfig {
+    oltapdb::core::MemoryConfig {
+        total_bytes: 1 << 20,
+        oltp_bytes: 256 << 10,
+        olap_bytes: 768 << 10,
+        query_bytes: 16 << 10,
+    }
+}
+
+/// A mixed fact/dim database under memory governance and the given
+/// injector, with enough rows that a 16 KiB query budget cannot hold a
+/// join build or aggregation state resident.
+fn governed_db(faults: Arc<FaultInjector>) -> Arc<Database> {
+    let db = Database::with_config(DbConfig {
+        wal_path: None,
+        faults: Some(faults),
+        memory: Some(tiny_memory()),
+        ..DbConfig::default()
+    })
+    .unwrap();
+    db.execute(
+        "CREATE TABLE fact (id BIGINT PRIMARY KEY, g BIGINT, v BIGINT) USING FORMAT COLUMN",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE dim (g BIGINT PRIMARY KEY, w BIGINT) USING FORMAT ROW")
+        .unwrap();
+    let fact = db.table("fact").unwrap();
+    let tx = db.txn_manager().begin();
+    for i in 0..3000i64 {
+        fact.insert(&tx, row![i, i % 500, i % 13]).unwrap();
+    }
+    tx.commit().unwrap();
+    let dim = db.table("dim").unwrap();
+    let tx = db.txn_manager().begin();
+    for g in 0..500i64 {
+        dim.insert(&tx, row![g, g * 10]).unwrap();
+    }
+    tx.commit().unwrap();
+    db.maintenance();
+    db
+}
+
+/// Scenario 9 — `mem.reserve_fail` mid join-build: seeded probabilistic
+/// reservation failures force the radix build to spill partitions at
+/// arbitrary points. The query must still complete, serial and parallel
+/// results must stay byte-identical, and nothing may panic.
+#[test]
+fn chaos_mem_reserve_fail_mid_join_build() {
+    let seed = seed_for(9);
+    let faults = FaultInjector::new(seed);
+    faults.arm(points::MEM_RESERVE_FAIL, FaultPoint::with_probability(0.25));
+    let db = governed_db(Arc::clone(&faults));
+    let sql = "SELECT fact.id, dim.w FROM fact JOIN dim ON fact.g = dim.g ORDER BY fact.id";
+    db.set_parallelism(1);
+    let serial = db.query(sql).unwrap();
+    db.set_parallelism(4);
+    let parallel = db.query(sql).unwrap();
+    assert_eq!(serial.len(), 3000);
+    assert_eq!(serial, parallel, "join diverged under reserve faults");
+    assert!(
+        faults.fired_count() > 0,
+        "mem.reserve_fail never fired (seed={seed:#x})"
+    );
+    let gov = db.memory_governor().unwrap();
+    assert!(gov.spill_events() > 0, "no spills — scenario vacuous");
+
+    // `always()`: every reservation is rejected. With a spill dir the
+    // engine degrades all the way to disk and still answers correctly.
+    let faults = FaultInjector::new(seed ^ 1);
+    faults.arm(points::MEM_RESERVE_FAIL, FaultPoint::always());
+    let db = governed_db(faults);
+    db.set_parallelism(4);
+    let rows = db.query(sql).unwrap();
+    assert_eq!(rows, serial, "always-failing reservations changed results");
+}
+
+/// Scenario 10 — `mem.reserve_fail` mid aggregate: the hash aggregator
+/// freezes its group map and spills raw rows when reservations fail; the
+/// replayed partitions must merge to exactly the unspilled answer, on
+/// both the serial and the parallel path.
+#[test]
+fn chaos_mem_reserve_fail_mid_aggregate_spill() {
+    let seed = seed_for(10);
+    let faults = FaultInjector::new(seed);
+    faults.arm(points::MEM_RESERVE_FAIL, FaultPoint::with_probability(0.25));
+    let db = governed_db(Arc::clone(&faults));
+    let sql = "SELECT g, COUNT(*), SUM(v), MIN(id), MAX(id) FROM fact GROUP BY g ORDER BY g";
+    db.set_parallelism(1);
+    let serial = db.query(sql).unwrap();
+    db.set_parallelism(4);
+    let parallel = db.query(sql).unwrap();
+    assert_eq!(serial.len(), 500);
+    assert_eq!(serial, parallel, "aggregate diverged under reserve faults");
+    assert!(
+        faults.fired_count() > 0,
+        "mem.reserve_fail never fired (seed={seed:#x})"
+    );
+
+    // Ungoverned baseline: spilling must be invisible in the results.
+    let clean = Database::new();
+    clean
+        .execute(
+            "CREATE TABLE fact (id BIGINT PRIMARY KEY, g BIGINT, v BIGINT) USING FORMAT COLUMN",
+        )
+        .unwrap();
+    let fact = clean.table("fact").unwrap();
+    let tx = clean.txn_manager().begin();
+    for i in 0..3000i64 {
+        fact.insert(&tx, row![i, i % 500, i % 13]).unwrap();
+    }
+    tx.commit().unwrap();
+    assert_eq!(
+        clean.query(sql).unwrap(),
+        serial,
+        "spilled aggregation differs from the in-memory answer"
+    );
+}
+
+/// Scenario 11 — spill hygiene: per-query scratch dirs vanish when the
+/// query finishes, and crash leftovers under a durable database's spill
+/// root are purged by recovery at next open.
+#[test]
+fn chaos_spill_files_cleaned_up_and_purged_after_crash() {
+    let seed = seed_for(11);
+    let dir = std::env::temp_dir().join(format!("oltap_chaos_spill_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spill_leak.wal");
+    let _ = std::fs::remove_file(&path);
+
+    let spill_entries = |root: &std::path::Path| -> usize {
+        match std::fs::read_dir(root) {
+            Ok(rd) => rd.count(),
+            Err(_) => 0,
+        }
+    };
+
+    let root = {
+        let faults = FaultInjector::new(seed);
+        faults.arm(points::MEM_RESERVE_FAIL, FaultPoint::with_probability(0.5));
+        let db = Database::with_config(DbConfig {
+            wal_path: Some(path.clone()),
+            faults: Some(faults),
+            memory: Some(tiny_memory()),
+            ..DbConfig::default()
+        })
+        .unwrap();
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, g BIGINT) USING FORMAT COLUMN")
+            .unwrap();
+        // SQL inserts so the rows are WAL-logged and survive the "crash".
+        for chunk in (0..3000i64).collect::<Vec<_>>().chunks(500) {
+            let values: Vec<String> = chunk.iter().map(|i| format!("({i}, {})", i % 400)).collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+                .unwrap();
+        }
+        let rows = db
+            .query("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        assert_eq!(rows.len(), 400);
+        let root = db.spill_root().to_path_buf();
+        // Completed queries leave nothing behind, even after spilling.
+        assert_eq!(
+            spill_entries(&root),
+            0,
+            "spill scratch leaked after query completion"
+        );
+        // Simulate a crash mid-query: a scratch dir exists at the moment
+        // the process dies and its Drop never runs.
+        std::fs::create_dir_all(root.join("q-crash-leftover")).unwrap();
+        std::fs::write(root.join("q-crash-leftover/agg-p0-0.spill"), b"junk").unwrap();
+        root
+        // db dropped here: the "crash".
+    };
+    assert!(spill_entries(&root) > 0, "crash artifact setup failed");
+
+    // Recovery startup purges everything under the spill root.
+    let db = Database::open(&path).unwrap();
+    assert_eq!(
+        spill_entries(&root),
+        0,
+        "recovery did not purge crash-orphaned spill files"
+    );
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(3000)
+    );
+    std::fs::remove_file(&path).unwrap();
 }

@@ -258,6 +258,14 @@ fn pushdown_equals_postfilter() {
 /// left), sort, top-K, and limit/offset.
 fn random_parallel_workload(rng: &mut StdRng) -> (Arc<Database>, Vec<String>) {
     let db = Database::new();
+    let queries = load_star_schema(&db, rng);
+    (db, queries)
+}
+
+/// Loads the random star schema of [`random_parallel_workload`] into an
+/// existing database, so the same seed reproduces identical data under
+/// different database configurations.
+fn load_star_schema(db: &Arc<Database>, rng: &mut StdRng) -> Vec<String> {
     db.execute("CREATE TABLE fact (id BIGINT PRIMARY KEY, g BIGINT, v BIGINT) USING FORMAT COLUMN")
         .unwrap();
     db.execute("CREATE TABLE dim (g BIGINT PRIMARY KEY, w BIGINT) USING FORMAT ROW")
@@ -302,7 +310,7 @@ fn random_parallel_workload(rng: &mut StdRng) -> (Arc<Database>, Vec<String>) {
         "SELECT fact.id, dim.w FROM fact LEFT JOIN dim ON fact.g = dim.g".to_string(),
         "SELECT g, AVG(v), MIN(v), MAX(v) FROM fact GROUP BY g ORDER BY g".to_string(),
     ];
-    (db, queries)
+    queries
 }
 
 /// The morsel-driven parallel executor is a drop-in replacement for the
@@ -344,6 +352,7 @@ fn parallel_matches_serial_under_morsel_faults() {
         let db = Database::with_config(DbConfig {
             wal_path: None,
             faults: Some(Arc::clone(&faults)),
+            ..DbConfig::default()
         })
         .unwrap();
         db.execute(
@@ -489,6 +498,7 @@ fn parallel_matches_serial_under_join_build_faults() {
         let db = Database::with_config(DbConfig {
             wal_path: None,
             faults: Some(Arc::clone(&faults)),
+            ..DbConfig::default()
         })
         .unwrap();
         db.execute(
@@ -538,6 +548,60 @@ fn parallel_matches_serial_under_join_build_faults() {
             "seed={case}: join-build fault never fired"
         );
     }
+}
+
+/// Spilling is an execution strategy, not an answer-changing fallback: a
+/// memory-governed database whose per-query budget forces joins,
+/// aggregates, and sorts to disk answers every query byte-identically to
+/// an unbudgeted in-memory run — on the serial path and at every
+/// parallelism level.
+#[test]
+fn spilled_results_match_in_memory() {
+    use oltapdb::core::{DbConfig, MemoryConfig};
+
+    let mut total_spills = 0u64;
+    for case in 0..6u64 {
+        let seed = case ^ 0x5B11_7D15;
+        let mut rng = rng_for(seed);
+        let (reference, queries) = random_parallel_workload(&mut rng);
+
+        // Same seed, same data — but under a budget small enough that the
+        // larger cases cannot keep a pipeline breaker resident.
+        let governed = Database::with_config(DbConfig {
+            memory: Some(MemoryConfig {
+                total_bytes: 1 << 20,
+                oltp_bytes: 256 << 10,
+                olap_bytes: 768 << 10,
+                query_bytes: 16 << 10,
+            }),
+            ..DbConfig::default()
+        })
+        .unwrap();
+        let mut rng2 = rng_for(seed);
+        let replayed = load_star_schema(&governed, &mut rng2);
+        assert_eq!(queries, replayed, "seed={case}: workload replay diverged");
+
+        for sql in &queries {
+            reference.set_parallelism(1);
+            let want = reference.query(sql).unwrap();
+            governed.set_parallelism(1);
+            assert_eq!(
+                governed.query(sql).unwrap(),
+                want,
+                "seed={case} serial query=`{sql}`"
+            );
+            for workers in [2, 8] {
+                governed.set_parallelism(workers);
+                assert_eq!(
+                    governed.query(sql).unwrap(),
+                    want,
+                    "seed={case} workers={workers} query=`{sql}`"
+                );
+            }
+        }
+        total_spills += governed.memory_governor().unwrap().spill_events();
+    }
+    assert!(total_spills > 0, "no case ever spilled — property is vacuous");
 }
 
 /// WAL replay is prefix-closed: truncating the log at *every* byte offset
