@@ -6,6 +6,11 @@
 //! the replication factor costs ingest throughput (more copies per commit)
 //! but buys fault tolerance. Expected shape: near-linear query speedup in
 //! nodes; RF=3 ingest < RF=1 ingest; availability demo survives one node.
+//!
+//! E10d compares crash recovery with and without Raft log compaction: a
+//! node that missed most of the history either replays the full log or
+//! installs a snapshot plus the short tail. Emits a machine-readable
+//! summary to `results/BENCH_dist.json` (override with `BENCH_DIST_OUT`).
 
 use oltap_bench::harness::{rate, scaled, time, TextTable};
 use oltap_common::{row, Value};
@@ -124,5 +129,76 @@ fn main() {
     println!("\nE10c availability: node 2 crashed mid-ingest; cluster answered \
               count={count} (expected 600) from the surviving majority");
     assert_eq!(count, 600);
-    println!("expected shape: E10a speedup grows with nodes; E10b RF=3/5 < RF=1");
+
+    // E10d — recovery cost: a node that missed most of the history comes
+    // back with a wiped data disk. Without compaction it replays the full
+    // log; with compaction the leader ships a snapshot plus the tail.
+    let n_rec = scaled(4_000);
+    let mut t3 = TextTable::new(&["variant", "recover_ms", "entries_replayed"]);
+    let mut json_series = Vec::new();
+    let mut base_secs = f64::NAN;
+    for (variant, threshold) in [
+        ("full-log-replay", None),
+        ("snapshot+tail", Some(256usize)),
+    ] {
+        let cfg = ClusterConfig {
+            nodes: 3,
+            replication: 3,
+            partitions: 1,
+            raft: RaftConfig {
+                snapshot_threshold: threshold,
+                ..RaftConfig::default()
+            },
+        };
+        let table = DistributedTable::new(schema(), cfg).unwrap();
+        for i in 0..(n_rec / 10) {
+            table.insert(row![i as i64, 0i64, 1i64]).unwrap();
+        }
+        table.crash_node(1);
+        for i in (n_rec / 10)..n_rec {
+            table.insert(row![i as i64, 0i64, 1i64]).unwrap();
+        }
+        let (_, recover_s) = time(|| {
+            table.restart_node_rebuilt(1);
+            assert!(
+                table.wait_converged(std::time::Duration::from_secs(120)),
+                "{variant}: node never converged"
+            );
+        });
+        let rep = table.groups()[0].replicas[1].raft.report().unwrap();
+        let replayed = rep.applied_since_boot;
+        if base_secs.is_nan() {
+            base_secs = recover_s;
+        }
+        t3.row(&[
+            variant.to_string(),
+            format!("{:.1}", recover_s * 1000.0),
+            replayed.to_string(),
+        ]);
+        json_series.push(format!(
+            "{{\"variant\":\"{variant}\",\"secs\":{recover_s:.6},\
+             \"entries_replayed\":{replayed},\
+             \"speedup_vs_replay\":{:.3}}}",
+            base_secs / recover_s
+        ));
+    }
+    t3.print("E10d: node catch-up, full log replay vs snapshot + tail");
+
+    let out = std::env::var("BENCH_DIST_OUT")
+        .unwrap_or_else(|_| "results/BENCH_dist.json".to_string());
+    let json = format!(
+        "{{\"experiment\":\"e10_scaleout\",\"rows\":{n_rec},\"reps\":1,\
+         \"series\":[\n  {}\n]}}\n",
+        json_series.join(",\n  ")
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, &json).expect("write BENCH_dist.json");
+    println!("wrote {out}");
+
+    println!(
+        "expected shape: E10a speedup grows with nodes; E10b RF=3/5 < RF=1; \
+         E10d snapshot+tail replays far fewer entries than full replay"
+    );
 }

@@ -43,6 +43,25 @@ pub enum DbError {
     Corruption(String),
     /// A distributed-layer failure (no leader, node down, quorum lost).
     Cluster(String),
+    /// A specific partition could not serve a request (no leader elected
+    /// within the timeout, or no running replica). Carries the partition id
+    /// so routers can retry or redirect per shard instead of failing the
+    /// whole statement.
+    ShardUnavailable {
+        /// The partition that was unreachable.
+        partition: u64,
+        /// What the shard was needed for ("no leader", "no replica", ...).
+        reason: String,
+    },
+    /// A distributed transaction whose outcome is not yet known at this
+    /// node: it prepared (or decided) but the coordinator crashed before
+    /// the decision reached every participant. Recovery resolves it from
+    /// the replicated coordinator log; callers must not assume commit *or*
+    /// abort until then.
+    TxnInDoubt {
+        /// The global transaction id.
+        gtxn: u64,
+    },
     /// The operation is not supported by this table format or engine build.
     Unsupported(String),
     /// Invalid argument supplied by the caller.
@@ -93,6 +112,12 @@ impl fmt::Display for DbError {
             DbError::Execution(m) => write!(f, "execution error: {m}"),
             DbError::Corruption(m) => write!(f, "corruption: {m}"),
             DbError::Cluster(m) => write!(f, "cluster error: {m}"),
+            DbError::ShardUnavailable { partition, reason } => {
+                write!(f, "shard unavailable: partition {partition} ({reason})")
+            }
+            DbError::TxnInDoubt { gtxn } => {
+                write!(f, "transaction in doubt: gtxn {gtxn} awaits coordinator recovery")
+            }
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             DbError::Io(m) => write!(f, "io error: {m}"),
@@ -161,6 +186,24 @@ mod tests {
             DbError::Cancelled("x".into()),
             DbError::DeadlineExceeded("x".into())
         );
+    }
+
+    #[test]
+    fn shard_unavailable_names_partition() {
+        let e = DbError::ShardUnavailable {
+            partition: 3,
+            reason: "no leader".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("partition 3"));
+        assert!(s.contains("no leader"));
+    }
+
+    #[test]
+    fn txn_in_doubt_names_gtxn() {
+        let e = DbError::TxnInDoubt { gtxn: 42 };
+        assert!(e.to_string().contains("42"));
+        assert_ne!(e, DbError::TxnInDoubt { gtxn: 43 });
     }
 
     #[test]

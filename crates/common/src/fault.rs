@@ -55,6 +55,22 @@ pub mod points {
     /// were exhausted; operators must degrade (spill) or surface a typed
     /// `ResourceExhausted`, never panic.
     pub const MEM_RESERVE_FAIL: &str = "mem.reserve_fail";
+    /// Crash the 2PC coordinator after at least one participant prepared
+    /// but before the decision is logged — the classic in-doubt window.
+    pub const TWOPC_COORD_CRASH_AFTER_PREPARE: &str = "twopc.coord_crash_after_prepare";
+    /// Crash the 2PC coordinator after its decision is durably logged but
+    /// before every participant learned it.
+    pub const TWOPC_COORD_CRASH_AFTER_DECISION: &str = "twopc.coord_crash_after_decision";
+    /// Kill a participant replica's event loop right after it applies a
+    /// PREPARE (prepared-but-undecided state held across the crash).
+    pub const TWOPC_PARTICIPANT_CRASH_PREPARED: &str = "twopc.participant_crash_prepared";
+    /// Drop a COMMIT/ABORT decision message to a participant; the
+    /// coordinator must retry until every shard has the decision.
+    pub const TWOPC_DECISION_MSG_DROP: &str = "twopc.decision_msg_drop";
+    /// Fail a follower-side Raft snapshot installation; the leader retries
+    /// and, where the entries are still in its log, falls back to plain
+    /// log replication.
+    pub const RAFT_SNAPSHOT_INSTALL_FAIL: &str = "raft.snapshot_install_fail";
 }
 
 /// Configuration of one named fault point.

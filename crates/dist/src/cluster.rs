@@ -14,38 +14,178 @@
 //! simulated (see DESIGN.md).
 
 use crate::partition::Partitioner;
-use crate::raft::{ApplyFn, Network, RaftConfig, RaftNode, Role};
+use crate::raft::{Network, RaftConfig, RaftNode, Role, StateMachine};
 use oltap_common::fault::{points, FaultInjector};
 use oltap_common::ids::{NodeId, PartitionId, TxnId};
 use oltap_common::retry::Backoff;
 use oltap_common::schema::SchemaRef;
 use oltap_common::{DbError, Result, Row};
 use oltap_storage::{DeltaMainTable, ScanPredicate};
-use oltap_txn::wal::{decode_row, encode_row};
-use oltap_txn::TransactionManager;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use oltap_txn::wal::{decode_row, encode_row, in_doubt_gtxns, CommitRecord, Wal, WalOp};
+use oltap_txn::{Transaction, TransactionManager};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 const NOBODY: TxnId = TxnId(u64::MAX - 4);
+
+/// A command replicated through a partition's Raft log.
+///
+/// `Insert` is the auto-committed single-shard fast path. `Prepare` and
+/// `Decide` are the two-phase-commit participant transitions driven by
+/// [`crate::twopc::TwoPcCoordinator`]: `Prepare` stages rows under a local
+/// transaction whose MVCC versions stay pending (invisible) until the
+/// matching `Decide` commits or aborts them. Because both transitions flow
+/// through the same replicated log as inserts, every replica of a
+/// partition reaches the same prepare vote and the same final state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardCmd {
+    /// Auto-committed single-row insert.
+    Insert(Row),
+    /// 2PC phase 1: stage `rows` under global transaction `gtxn` and vote.
+    Prepare {
+        /// Global (cross-shard) transaction id.
+        gtxn: u64,
+        /// Rows routed to this partition.
+        rows: Vec<Row>,
+    },
+    /// 2PC phase 2: resolve `gtxn` (commit or roll back staged versions).
+    Decide {
+        /// Global (cross-shard) transaction id.
+        gtxn: u64,
+        /// True = commit, false = abort.
+        commit: bool,
+    },
+}
+
+impl ShardCmd {
+    /// Serializes the command for the Raft log (tag byte + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            ShardCmd::Insert(row) => {
+                buf.push(0);
+                buf.extend_from_slice(&encode_row(row));
+            }
+            ShardCmd::Prepare { gtxn, rows } => {
+                buf.push(1);
+                buf.extend_from_slice(&gtxn.to_le_bytes());
+                buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for r in rows {
+                    let b = encode_row(r);
+                    buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&b);
+                }
+            }
+            ShardCmd::Decide { gtxn, commit } => {
+                buf.push(2);
+                buf.extend_from_slice(&gtxn.to_le_bytes());
+                buf.push(*commit as u8);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a command produced by [`ShardCmd::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<ShardCmd> {
+        let corrupt = || DbError::Corruption("truncated shard command".into());
+        let (&tag, rest) = bytes.split_first().ok_or_else(corrupt)?;
+        match tag {
+            0 => Ok(ShardCmd::Insert(decode_row(rest)?)),
+            1 => {
+                if rest.len() < 12 {
+                    return Err(corrupt());
+                }
+                let gtxn = u64::from_le_bytes(rest[0..8].try_into().unwrap());
+                let n = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+                let mut off = 12usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    if rest.len() < off + 4 {
+                        return Err(corrupt());
+                    }
+                    let len =
+                        u32::from_le_bytes(rest[off..off + 4].try_into().unwrap()) as usize;
+                    off += 4;
+                    if rest.len() < off + len {
+                        return Err(corrupt());
+                    }
+                    rows.push(decode_row(&rest[off..off + len])?);
+                    off += len;
+                }
+                Ok(ShardCmd::Prepare { gtxn, rows })
+            }
+            2 => {
+                if rest.len() < 9 {
+                    return Err(corrupt());
+                }
+                let gtxn = u64::from_le_bytes(rest[0..8].try_into().unwrap());
+                Ok(ShardCmd::Decide {
+                    gtxn,
+                    commit: rest[8] != 0,
+                })
+            }
+            t => Err(DbError::Corruption(format!("bad shard command tag {t}"))),
+        }
+    }
+}
+
+/// A prepared-but-undecided global transaction held by one replica.
+struct PendingPrepare {
+    /// The local MVCC transaction pinning the staged versions. `None`
+    /// when staging failed (vote = abort) — there is nothing to commit.
+    txn: Option<Transaction>,
+    /// This replica's prepare vote.
+    ok: bool,
+    /// The staged rows, retained so a Raft snapshot can re-stage them on
+    /// a restoring replica.
+    rows: Vec<Row>,
+}
+
+/// Per-replica 2PC participant state: prepared transactions awaiting a
+/// decision, decided outcomes (for idempotent re-delivery), and the
+/// participant WAL recording `Prepare`/`TxnDecision` records so a
+/// restarted replica can enumerate its in-doubt transactions.
+struct TwoPcLocal {
+    pending: BTreeMap<u64, PendingPrepare>,
+    outcomes: BTreeMap<u64, bool>,
+    wal: Wal,
+}
+
+impl TwoPcLocal {
+    fn new() -> Self {
+        TwoPcLocal {
+            pending: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            wal: Wal::new_in_memory(),
+        }
+    }
+}
 
 /// Swappable replica storage: the table + transaction manager the Raft
 /// apply function writes into. Held behind a lock so a crash-restart can
 /// *wipe* the replica (simulating loss of the machine's data disk) and
 /// rebuild it purely from the Raft log — the re-applied entries land in
-/// the fresh table.
+/// the fresh table. Also hosts the replica's 2PC participant state
+/// ([`TwoPcLocal`]), which is wiped and rebuilt the same way.
 pub struct ReplicaStore {
     schema: SchemaRef,
     inner: RwLock<(Arc<DeltaMainTable>, Arc<TransactionManager>)>,
+    twopc: Mutex<TwoPcLocal>,
+    faults: Arc<FaultInjector>,
 }
 
 impl ReplicaStore {
-    fn new(schema: SchemaRef) -> Arc<ReplicaStore> {
+    fn new(schema: SchemaRef, faults: Arc<FaultInjector>) -> Arc<ReplicaStore> {
         let table = Arc::new(DeltaMainTable::new(Arc::clone(&schema)));
         let mgr = Arc::new(TransactionManager::new());
         Arc::new(ReplicaStore {
             schema,
             inner: RwLock::new((table, mgr)),
+            twopc: Mutex::new(TwoPcLocal::new()),
+            faults,
         })
     }
 
@@ -59,29 +199,276 @@ impl ReplicaStore {
         Arc::clone(&self.inner.read().1)
     }
 
-    /// Drops all local state, replacing table and manager with empty ones.
-    /// The next Raft re-apply pass repopulates from the log.
+    /// Drops all local state, replacing table, manager, and 2PC state
+    /// with empty ones. The next Raft re-apply pass repopulates from the
+    /// log (or a snapshot install repopulates via [`Self::restore_bytes`]).
     pub fn wipe(&self) {
         let table = Arc::new(DeltaMainTable::new(Arc::clone(&self.schema)));
         let mgr = Arc::new(TransactionManager::new());
+        let mut tp = self.twopc.lock();
         *self.inner.write() = (table, mgr);
+        *tp = TwoPcLocal::new();
+    }
+
+    /// This replica's prepare vote for `gtxn`, if it has seen the
+    /// `Prepare` (possibly already resolved).
+    pub fn prepare_vote(&self, gtxn: u64) -> Option<bool> {
+        let tp = self.twopc.lock();
+        // After a decision the original vote is moot: a committed outcome
+        // implies the vote was yes; reporting no for an aborted one steers
+        // a retrying coordinator toward the already-taken abort.
+        tp.pending
+            .get(&gtxn)
+            .map(|p| p.ok)
+            .or_else(|| tp.outcomes.get(&gtxn).copied())
+    }
+
+    /// The decided outcome for `gtxn`, if this replica has applied the
+    /// decision.
+    pub fn decided(&self, gtxn: u64) -> Option<bool> {
+        self.twopc.lock().outcomes.get(&gtxn).copied()
+    }
+
+    /// Global transaction ids this replica prepared but never saw a
+    /// decision for — recovered by scanning the participant WAL, exactly
+    /// what a restarted node does before asking the coordinator log.
+    pub fn in_doubt(&self) -> Vec<u64> {
+        let tp = self.twopc.lock();
+        let (records, _) = tp.wal.replay_records();
+        in_doubt_gtxns(&records)
     }
 
     /// Applies one replicated command (called from the Raft apply fn).
-    fn apply(&self, cmd: &[u8]) {
-        if let Ok(row) = decode_row(cmd) {
-            let (table, mgr) = {
-                let g = self.inner.read();
-                (Arc::clone(&g.0), Arc::clone(&g.1))
-            };
-            let tx = mgr.begin();
-            // Replicated commands are already committed cluster-wide;
-            // local conflicts cannot occur because all writes flow
-            // through the same log. Duplicate keys appear only during
-            // re-apply after restart and are safely skipped.
-            if table.insert(&tx, row).is_ok() {
-                let _ = tx.commit();
+    /// Returns `true` when an armed fault requests this replica crash
+    /// *after* the prepare is durable — the participant-crash chaos point.
+    fn apply(&self, cmd: &[u8]) -> bool {
+        let cmd = match ShardCmd::decode(cmd) {
+            Ok(c) => c,
+            Err(_) => return false,
+        };
+        let (table, mgr) = {
+            let g = self.inner.read();
+            (Arc::clone(&g.0), Arc::clone(&g.1))
+        };
+        match cmd {
+            ShardCmd::Insert(row) => {
+                let tx = mgr.begin();
+                // Replicated commands are already committed cluster-wide;
+                // local conflicts cannot occur because all writes flow
+                // through the same log. Duplicate keys appear only during
+                // re-apply after restart and are safely skipped.
+                if table.insert(&tx, row).is_ok() {
+                    let _ = tx.commit();
+                }
+                false
             }
+            ShardCmd::Prepare { gtxn, rows } => {
+                let mut tp = self.twopc.lock();
+                // Re-apply after restart: skip if already staged/decided.
+                if tp.pending.contains_key(&gtxn) || tp.outcomes.contains_key(&gtxn) {
+                    return false;
+                }
+                // Stage under a local transaction, leave it open: the MVCC
+                // versions stay pending (invisible to snapshots) until the
+                // decision arrives. Apply is single-threaded per replica
+                // and commands are log-ordered, so success/failure here is
+                // deterministic across all replicas of the partition.
+                let tx = mgr.begin();
+                let mut ok = true;
+                for row in &rows {
+                    if table.insert(&tx, row.clone()).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                let txn = if ok && tx.prepare().is_ok() {
+                    Some(tx)
+                } else {
+                    ok = false;
+                    None // dropping `tx` aborts the partial staging
+                };
+                let _ = tp.wal.append(&CommitRecord {
+                    txn: TxnId(gtxn),
+                    commit_ts: 0,
+                    ops: vec![WalOp::Prepare {
+                        gtxn,
+                        table: String::new(),
+                        rows: rows.clone(),
+                    }],
+                });
+                tp.pending.insert(gtxn, PendingPrepare { txn, ok, rows });
+                drop(tp);
+                self.faults
+                    .should_fire(points::TWOPC_PARTICIPANT_CRASH_PREPARED)
+            }
+            ShardCmd::Decide { gtxn, commit } => {
+                let mut tp = self.twopc.lock();
+                if tp.outcomes.contains_key(&gtxn) {
+                    return false; // duplicate decision delivery
+                }
+                if let Some(p) = tp.pending.remove(&gtxn) {
+                    if let Some(tx) = p.txn {
+                        if commit && p.ok {
+                            let _ = tx.commit();
+                        } else {
+                            let _ = tx.abort();
+                        }
+                    }
+                }
+                let _ = tp.wal.append(&CommitRecord {
+                    txn: TxnId(gtxn),
+                    commit_ts: 0,
+                    ops: vec![WalOp::TxnDecision { gtxn, commit }],
+                });
+                tp.outcomes.insert(gtxn, commit);
+                false
+            }
+        }
+    }
+
+    /// Serializes the replica's full state for a Raft snapshot: committed
+    /// rows, still-pending prepares (with their staged rows, so a restored
+    /// replica can re-stage them), and decided outcomes. Called from the
+    /// Raft worker thread, which is also the only caller of `apply`, so
+    /// the state observed is exactly the state at `last_applied`.
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let (table, mgr) = {
+            let g = self.inner.read();
+            (Arc::clone(&g.0), Arc::clone(&g.1))
+        };
+        let all: Vec<usize> = (0..self.schema.len()).collect();
+        let mut rows: Vec<Row> = Vec::new();
+        if let Ok(batches) = table.scan(&all, &ScanPredicate::all(), mgr.now(), NOBODY, 4096)
+        {
+            for b in &batches {
+                rows.extend(b.to_rows());
+            }
+        }
+        let tp = self.twopc.lock();
+        let mut buf = Vec::with_capacity(64 + rows.len() * 16);
+        buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+        for r in &rows {
+            let b = encode_row(r);
+            buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&b);
+        }
+        buf.extend_from_slice(&(tp.pending.len() as u32).to_le_bytes());
+        for (gtxn, p) in &tp.pending {
+            buf.extend_from_slice(&gtxn.to_le_bytes());
+            buf.push(p.ok as u8);
+            buf.extend_from_slice(&(p.rows.len() as u32).to_le_bytes());
+            for r in &p.rows {
+                let b = encode_row(r);
+                buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&b);
+            }
+        }
+        buf.extend_from_slice(&(tp.outcomes.len() as u32).to_le_bytes());
+        for (gtxn, commit) in &tp.outcomes {
+            buf.extend_from_slice(&gtxn.to_le_bytes());
+            buf.push(*commit as u8);
+        }
+        buf
+    }
+
+    /// Replaces the replica's state with a snapshot produced by
+    /// [`Self::snapshot_bytes`] (InstallSnapshot on a lagging follower).
+    fn restore_bytes(&self, bytes: &[u8]) {
+        fn read_u32(b: &[u8], off: &mut usize) -> Option<u32> {
+            let v = u32::from_le_bytes(b.get(*off..*off + 4)?.try_into().ok()?);
+            *off += 4;
+            Some(v)
+        }
+        fn read_u64(b: &[u8], off: &mut usize) -> Option<u64> {
+            let v = u64::from_le_bytes(b.get(*off..*off + 8)?.try_into().ok()?);
+            *off += 8;
+            Some(v)
+        }
+        fn read_rows(b: &[u8], off: &mut usize) -> Option<Vec<Row>> {
+            let n = read_u32(b, off)? as usize;
+            let mut rows = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let len = read_u32(b, off)? as usize;
+                let slice = b.get(*off..*off + len)?;
+                *off += len;
+                rows.push(decode_row(slice).ok()?);
+            }
+            Some(rows)
+        }
+        self.wipe();
+        let (table, mgr) = {
+            let g = self.inner.read();
+            (Arc::clone(&g.0), Arc::clone(&g.1))
+        };
+        let mut off = 0usize;
+        let Some(committed) = read_rows(bytes, &mut off) else {
+            return;
+        };
+        let tx = mgr.begin();
+        for row in committed {
+            let _ = table.insert(&tx, row);
+        }
+        let _ = tx.commit();
+        let mut tp = self.twopc.lock();
+        let Some(np) = read_u32(bytes, &mut off) else {
+            return;
+        };
+        for _ in 0..np {
+            let (Some(gtxn), Some(&okb)) = (read_u64(bytes, &mut off), bytes.get(off))
+            else {
+                return;
+            };
+            off += 1;
+            let Some(rows) = read_rows(bytes, &mut off) else {
+                return;
+            };
+            // Re-stage exactly as apply(Prepare) would, including the WAL
+            // record, so in-doubt recovery works from a restored replica.
+            let tx = mgr.begin();
+            let mut ok = okb != 0;
+            if ok {
+                for row in &rows {
+                    if table.insert(&tx, row.clone()).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let txn = if ok && tx.prepare().is_ok() {
+                Some(tx)
+            } else {
+                ok = false;
+                None
+            };
+            let _ = tp.wal.append(&CommitRecord {
+                txn: TxnId(gtxn),
+                commit_ts: 0,
+                ops: vec![WalOp::Prepare {
+                    gtxn,
+                    table: String::new(),
+                    rows: rows.clone(),
+                }],
+            });
+            tp.pending.insert(gtxn, PendingPrepare { txn, ok, rows });
+        }
+        let Some(no) = read_u32(bytes, &mut off) else {
+            return;
+        };
+        for _ in 0..no {
+            let (Some(gtxn), Some(&commit)) = (read_u64(bytes, &mut off), bytes.get(off))
+            else {
+                return;
+            };
+            off += 1;
+            let _ = tp.wal.append(&CommitRecord {
+                txn: TxnId(gtxn),
+                commit_ts: 0,
+                ops: vec![WalOp::TxnDecision {
+                    gtxn,
+                    commit: commit != 0,
+                }],
+            });
+            tp.outcomes.insert(gtxn, commit != 0);
         }
     }
 }
@@ -147,22 +534,41 @@ impl PartitionGroup {
                 return Ok(i);
             }
             if !backoff.sleep_until_deadline(deadline) {
-                return Err(DbError::Cluster(format!(
-                    "no leader for partition {}",
-                    self.id
-                )));
+                return Err(DbError::ShardUnavailable {
+                    partition: self.id.raw(),
+                    reason: "no leader elected within timeout".into(),
+                });
             }
         }
     }
 
-    /// Best-effort read target: the leader if one exists, otherwise — the
-    /// degraded-read path — the running replica with the highest commit
-    /// index. Returns `(replica_index, degraded)`. A degraded read is
-    /// *not* linearizable (it may miss entries committed elsewhere) but
+    /// Best-effort read target: a *lease-holding* leader if one appears
+    /// within the timeout, otherwise — the degraded-read path — the
+    /// running replica with the highest commit index. Returns
+    /// `(replica_index, degraded)`. A lease-holding leader serves
+    /// linearizable local reads (it cannot have been superseded, so it
+    /// has every committed entry — including both halves of any finished
+    /// cross-shard commit). A degraded read is *not* linearizable but
     /// keeps analytics available while the partition has no quorum.
     pub fn read_index(&self, leader_timeout: Duration) -> Result<(usize, bool)> {
-        if let Ok(i) = self.leader_index(leader_timeout) {
-            return Ok((i, false));
+        let deadline = std::time::Instant::now() + leader_timeout;
+        let mut backoff = Backoff::for_cluster();
+        loop {
+            let leased = self
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.raft.is_running())
+                .filter_map(|(i, r)| r.raft.report().map(|rep| (i, rep)))
+                .filter(|(_, rep)| rep.role == Role::Leader && rep.lease_valid)
+                .max_by_key(|(_, rep)| rep.term)
+                .map(|(i, _)| i);
+            if let Some(i) = leased {
+                return Ok((i, false));
+            }
+            if !backoff.sleep_until_deadline(deadline) {
+                break;
+            }
         }
         self.replicas
             .iter()
@@ -171,27 +577,79 @@ impl PartitionGroup {
             .filter_map(|(i, r)| r.raft.report().map(|rep| (i, rep.commit_index)))
             .max_by_key(|&(_, ci)| ci)
             .map(|(i, _)| (i, true))
-            .ok_or_else(|| {
-                DbError::Cluster(format!("no running replica for partition {}", self.id))
+            .ok_or_else(|| DbError::ShardUnavailable {
+                partition: self.id.raw(),
+                reason: "no running replica".into(),
             })
     }
 
-    /// Proposes a row insert through the leader, retrying across
-    /// elections with exponential backoff.
-    pub fn replicate_insert(&self, row: &Row, timeout: Duration) -> Result<()> {
-        let cmd = encode_row(row);
+    /// Proposes a command through the leader, retrying across elections
+    /// with exponential backoff + jitter until `timeout`. Returns once
+    /// the entry is committed and applied on the leader.
+    pub fn propose_cmd(&self, cmd: &ShardCmd, timeout: Duration) -> Result<()> {
+        let bytes = cmd.encode();
         let deadline = std::time::Instant::now() + timeout;
         let mut backoff = Backoff::for_cluster();
         loop {
-            let leader = self.leader_index(deadline.saturating_duration_since(
-                std::time::Instant::now(),
-            ))?;
-            match self.replicas[leader].raft.propose(cmd.clone()) {
+            let leader = self.leader_index(
+                deadline.saturating_duration_since(std::time::Instant::now()),
+            )?;
+            match self.replicas[leader].raft.propose(bytes.clone()) {
                 Ok(_) => return Ok(()),
                 Err(_) if backoff.sleep_until_deadline(deadline) => {}
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Proposes a row insert through the leader, retrying across
+    /// elections with exponential backoff.
+    pub fn replicate_insert(&self, row: &Row, timeout: Duration) -> Result<()> {
+        self.propose_cmd(&ShardCmd::Insert(row.clone()), timeout)
+    }
+
+    /// This partition's prepare vote for `gtxn`: polls the running
+    /// replicas until one has applied the `Prepare` (the coordinator calls
+    /// this right after proposing it, so normally the leader answers
+    /// immediately). Times out with [`DbError::TxnInDoubt`].
+    pub fn prepare_outcome(&self, gtxn: u64, timeout: Duration) -> Result<bool> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut backoff = Backoff::for_cluster();
+        loop {
+            let vote = self
+                .replicas
+                .iter()
+                .filter(|r| r.raft.is_running())
+                .find_map(|r| r.store.prepare_vote(gtxn));
+            if let Some(ok) = vote {
+                return Ok(ok);
+            }
+            if !backoff.sleep_until_deadline(deadline) {
+                return Err(DbError::TxnInDoubt { gtxn });
+            }
+        }
+    }
+
+    /// Whether any running replica has applied a decision for `gtxn`.
+    pub fn decided(&self, gtxn: u64) -> Option<bool> {
+        self.replicas
+            .iter()
+            .filter(|r| r.raft.is_running())
+            .find_map(|r| r.store.decided(gtxn))
+    }
+
+    /// Global transactions some running replica prepared but never saw
+    /// decided — the partition's in-doubt set after a crash.
+    pub fn in_doubt_gtxns(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .replicas
+            .iter()
+            .filter(|r| r.raft.is_running())
+            .flat_map(|r| r.store.in_doubt())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -263,20 +721,36 @@ impl DistributedTable {
             let ids: Vec<NodeId> = members.iter().map(|&m| NodeId(m as u64)).collect();
             let mut replicas = Vec::with_capacity(members.len());
             for &id in &ids {
-                let store = ReplicaStore::new(Arc::clone(&schema));
-                let s2 = Arc::clone(&store);
-                let apply: ApplyFn = Arc::new(move |_idx, cmd| s2.apply(cmd));
-                replicas.push(Replica {
-                    store,
-                    raft: RaftNode::spawn_with_faults(
-                        id,
-                        ids.clone(),
-                        Arc::clone(&network),
-                        config.raft,
-                        apply,
-                        Arc::clone(&faults),
-                    ),
-                });
+                let store = ReplicaStore::new(Arc::clone(&schema), Arc::clone(&faults));
+                // The apply closure needs the node's kill switch to crash
+                // the replica at a precise apply point, but the switch only
+                // exists once the node is spawned — bridge with a OnceLock.
+                let ks_holder: Arc<OnceLock<Arc<std::sync::atomic::AtomicBool>>> =
+                    Arc::new(OnceLock::new());
+                let (s_apply, s_snap, s_rest) =
+                    (Arc::clone(&store), Arc::clone(&store), Arc::clone(&store));
+                let ks = Arc::clone(&ks_holder);
+                let machine = StateMachine {
+                    apply: Arc::new(move |_idx, cmd| {
+                        if s_apply.apply(cmd) {
+                            if let Some(sw) = ks.get() {
+                                sw.store(true, Ordering::SeqCst);
+                            }
+                        }
+                    }),
+                    snapshot: Arc::new(move || s_snap.snapshot_bytes()),
+                    restore: Arc::new(move |bytes| s_rest.restore_bytes(bytes)),
+                };
+                let raft = RaftNode::spawn_with_machine(
+                    id,
+                    ids.clone(),
+                    Arc::clone(&network),
+                    config.raft,
+                    machine,
+                    Arc::clone(&faults),
+                );
+                let _ = ks_holder.set(raft.kill_switch());
+                replicas.push(Replica { store, raft });
             }
             groups.push(PartitionGroup {
                 id: PartitionId(p as u64),
@@ -314,17 +788,22 @@ impl DistributedTable {
         &self.groups
     }
 
-    /// Routes and replicates an insert (durable once a quorum of the
-    /// partition's replicas has the log entry).
-    pub fn insert(&self, row: Row) -> Result<()> {
-        self.schema.check_row(&row)?;
+    /// The partition a row routes to (hash of its primary key).
+    pub fn partition_of(&self, row: &Row) -> Result<usize> {
+        self.schema.check_row(row)?;
         let key = if self.schema.has_primary_key() {
-            self.schema.key_of(&row)
+            self.schema.key_of(row)
         } else {
             row.clone()
         };
-        let p = self.partitioner.partition_of(&key);
-        self.groups[p.raw() as usize].replicate_insert(&row, Duration::from_secs(10))
+        Ok(self.partitioner.partition_of(&key).raw() as usize)
+    }
+
+    /// Routes and replicates an insert (durable once a quorum of the
+    /// partition's replicas has the log entry).
+    pub fn insert(&self, row: Row) -> Result<()> {
+        let p = self.partition_of(&row)?;
+        self.groups[p].replicate_insert(&row, Duration::from_secs(10))
     }
 
     /// One partition's partial aggregate, with per-partition retry: a
@@ -690,6 +1169,142 @@ mod tests {
         assert_eq!(count, 10);
         assert_eq!(sum, 10);
         assert_eq!(faults.fired_count(), 2, "both armed failures consumed");
+    }
+
+    #[test]
+    fn shard_cmd_roundtrip() {
+        let cmds = vec![
+            ShardCmd::Insert(row![1i64, 2i64]),
+            ShardCmd::Prepare {
+                gtxn: 0xDEAD_BEEF,
+                rows: vec![row![3i64, 4i64], row![5i64, 6i64]],
+            },
+            ShardCmd::Prepare {
+                gtxn: 7,
+                rows: vec![],
+            },
+            ShardCmd::Decide {
+                gtxn: 42,
+                commit: true,
+            },
+            ShardCmd::Decide {
+                gtxn: 43,
+                commit: false,
+            },
+        ];
+        for cmd in cmds {
+            assert_eq!(ShardCmd::decode(&cmd.encode()).unwrap(), cmd);
+        }
+        assert!(ShardCmd::decode(&[]).is_err());
+        assert!(ShardCmd::decode(&[9, 0, 0]).is_err());
+        assert!(ShardCmd::decode(&[1, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn prepared_rows_invisible_until_decided() {
+        let cfg = ClusterConfig {
+            nodes: 3,
+            replication: 3,
+            partitions: 1,
+            raft: RaftConfig::default(),
+        };
+        let t = DistributedTable::new(schema(), cfg).unwrap();
+        let g = &t.groups()[0];
+        g.propose_cmd(
+            &ShardCmd::Prepare {
+                gtxn: 101,
+                rows: vec![row![1i64, 10i64], row![2i64, 20i64]],
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        assert!(
+            g.prepare_outcome(101, Duration::from_secs(5)).unwrap(),
+            "clean staging must vote commit"
+        );
+        // Staged versions are pending: invisible to reads.
+        assert_eq!(t.collect_all().unwrap().len(), 0);
+        assert_eq!(g.in_doubt_gtxns(), vec![101]);
+        // Decision commits them.
+        g.propose_cmd(
+            &ShardCmd::Decide {
+                gtxn: 101,
+                commit: true,
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        assert_eq!(t.collect_all().unwrap().len(), 2);
+        // Followers apply the decision asynchronously; poll until the
+        // whole group has cleared its in-doubt set.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !g.in_doubt_gtxns().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "decision never cleared the in-doubt set"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(g.decided(101), Some(true));
+    }
+
+    #[test]
+    fn aborted_prepare_rolls_back_staged_rows() {
+        let cfg = ClusterConfig {
+            nodes: 3,
+            replication: 3,
+            partitions: 1,
+            raft: RaftConfig::default(),
+        };
+        let t = DistributedTable::new(schema(), cfg).unwrap();
+        let g = &t.groups()[0];
+        g.propose_cmd(
+            &ShardCmd::Prepare {
+                gtxn: 55,
+                rows: vec![row![9i64, 90i64]],
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        g.propose_cmd(
+            &ShardCmd::Decide {
+                gtxn: 55,
+                commit: false,
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        assert_eq!(t.collect_all().unwrap().len(), 0, "abort leaves no rows");
+        assert_eq!(g.decided(55), Some(false));
+        // A later insert of the same key succeeds: the staged version was
+        // rolled back, not leaked.
+        t.insert(row![9i64, 91i64]).unwrap();
+        assert_eq!(t.collect_all().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn leaderless_partition_reports_shard_unavailable() {
+        let cfg = ClusterConfig {
+            nodes: 3,
+            replication: 3,
+            partitions: 1,
+            raft: RaftConfig::default(),
+        };
+        let t = DistributedTable::new(schema(), cfg).unwrap();
+        let g = &t.groups()[0];
+        // Kill everything: both the leader wait and the degraded fallback
+        // must fail with the typed error naming the partition.
+        for r in &g.replicas {
+            r.raft.crash();
+        }
+        match g.leader_index(Duration::from_millis(200)) {
+            Err(DbError::ShardUnavailable { partition, .. }) => assert_eq!(partition, 0),
+            other => panic!("expected ShardUnavailable, got {other:?}"),
+        }
+        match g.read_index(Duration::from_millis(200)) {
+            Err(DbError::ShardUnavailable { partition, .. }) => assert_eq!(partition, 0),
+            other => panic!("expected ShardUnavailable, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,11 +12,18 @@
 //!   each partition driven by a Raft group applying into a local
 //!   delta+main table; queries scatter partial aggregates to partition
 //!   leaders and gather.
+//! * [`twopc`] — cross-shard atomic commit: two-phase commit with a
+//!   Raft-replicated coordinator decision log, presumed-abort recovery,
+//!   and chaos-testable crash points at every protocol transition.
 
 pub mod cluster;
 pub mod partition;
 pub mod raft;
+pub mod twopc;
 
-pub use cluster::{ClusterConfig, DistributedTable, PartitionGroup, Replica};
+pub use cluster::{ClusterConfig, DistributedTable, PartitionGroup, Replica, ShardCmd};
 pub use partition::Partitioner;
-pub use raft::{Network, NodeReport, RaftConfig, RaftGroup, RaftNode, Role};
+pub use raft::{
+    Network, NodeReport, RaftConfig, RaftGroup, RaftNode, Role, StateMachine,
+};
+pub use twopc::{CoordRecord, RecoveryReport, TwoPcCoordinator, TwoPcOutcome};

@@ -14,6 +14,11 @@ use std::sync::Arc;
 pub enum TxnStatus {
     /// Running; may read and write.
     Active,
+    /// Prepared under two-phase commit: the write set is staged and must
+    /// be held (pending versions stay pinned, invisible to other
+    /// snapshots) until the coordinator's COMMIT or ABORT decision
+    /// arrives. No further writes are accepted.
+    Prepared,
     /// Successfully committed at the contained timestamp.
     Committed(Ts),
     /// Rolled back.
@@ -89,11 +94,28 @@ impl Transaction {
         self.write_set.lock().len()
     }
 
+    /// Transitions `Active → Prepared` (the participant half of 2PC phase
+    /// one): the write set is frozen and its pending versions stay pinned
+    /// until [`Transaction::commit`] or [`Transaction::abort`] delivers
+    /// the coordinator's decision. Idempotent on an already-prepared
+    /// transaction.
+    pub fn prepare(&self) -> Result<()> {
+        let mut status = self.status.lock();
+        match *status {
+            TxnStatus::Active | TxnStatus::Prepared => {
+                *status = TxnStatus::Prepared;
+                Ok(())
+            }
+            other => Err(DbError::TxnClosed(format!("{other:?}"))),
+        }
+    }
+
     /// Commits: obtains a commit timestamp and stamps the write set.
-    /// Returns the commit timestamp.
+    /// Returns the commit timestamp. Valid from `Active` (local commit)
+    /// and from `Prepared` (2PC decision delivery).
     pub fn commit(&self) -> Result<Ts> {
         let mut status = self.status.lock();
-        if *status != TxnStatus::Active {
+        if !matches!(*status, TxnStatus::Active | TxnStatus::Prepared) {
             return Err(DbError::TxnClosed(format!("{:?}", *status)));
         }
         // Commit-window protocol: the commit timestamp is *reserved*
@@ -112,10 +134,11 @@ impl Transaction {
         Ok(cts)
     }
 
-    /// Aborts: rolls back the write set.
+    /// Aborts: rolls back the write set. Valid from `Active` and from
+    /// `Prepared` (2PC abort decision delivery).
     pub fn abort(&self) -> Result<()> {
         let mut status = self.status.lock();
-        if *status != TxnStatus::Active {
+        if !matches!(*status, TxnStatus::Active | TxnStatus::Prepared) {
             return Err(DbError::TxnClosed(format!("{:?}", *status)));
         }
         for e in self.write_set.lock().iter() {
@@ -130,8 +153,12 @@ impl Transaction {
 impl Drop for Transaction {
     fn drop(&mut self) {
         // Implicit rollback: an un-finalized transaction must not leave
-        // pending stamps behind.
-        if *self.status.lock() == TxnStatus::Active {
+        // pending stamps behind. This includes `Prepared` — a 2PC
+        // participant must keep the handle alive (it owns the staged
+        // versions) until the decision arrives; dropping it is the
+        // in-process equivalent of losing the prepared state's holder,
+        // and leaking pinned versions forever would be strictly worse.
+        if matches!(*self.status.lock(), TxnStatus::Active | TxnStatus::Prepared) {
             for e in self.write_set.lock().iter() {
                 e.abort(self.id);
             }
@@ -317,6 +344,40 @@ mod tests {
         }
         assert_eq!(chain.version_count(), 0);
         assert_eq!(mgr.active_count(), 0);
+    }
+
+    #[test]
+    fn prepared_txn_holds_versions_until_decision() {
+        let mgr = Arc::new(TransactionManager::new());
+        let chain = Arc::new(VersionChain::new());
+        let t = mgr.begin();
+        chain.insert(7, t.id(), t.begin_ts()).unwrap();
+        t.enlist(Arc::new(ChainEntry(Arc::clone(&chain)))).unwrap();
+        t.prepare().unwrap();
+        assert_eq!(t.status(), TxnStatus::Prepared);
+        // Prepared is not committed: other snapshots still see nothing.
+        let reader = mgr.begin();
+        assert_eq!(chain.read(reader.begin_ts(), reader.id()), None);
+        // No further writes are accepted once prepared.
+        assert!(t.enlist(Arc::new(ChainEntry(Arc::clone(&chain)))).is_err());
+        // Decision delivery: commit from Prepared works.
+        let cts = t.commit().unwrap();
+        assert_eq!(chain.read(cts, TxnId(999)), Some(7));
+    }
+
+    #[test]
+    fn prepared_txn_abort_decision_rolls_back() {
+        let mgr = Arc::new(TransactionManager::new());
+        let chain = Arc::new(VersionChain::new());
+        let t = mgr.begin();
+        chain.insert(7, t.id(), t.begin_ts()).unwrap();
+        t.enlist(Arc::new(ChainEntry(Arc::clone(&chain)))).unwrap();
+        t.prepare().unwrap();
+        t.prepare().unwrap(); // idempotent
+        t.abort().unwrap();
+        assert_eq!(chain.version_count(), 0);
+        // A finished transaction cannot be re-prepared.
+        assert!(matches!(t.prepare(), Err(DbError::TxnClosed(_))));
     }
 
     #[test]

@@ -15,8 +15,11 @@
 
 use oltapdb::common::fault::{points, FaultInjector, FaultPoint};
 use oltapdb::common::{row, DataType, DbError, Field, Schema, Value};
+use oltapdb::common::Row;
 use oltapdb::core::{Database, DbConfig};
-use oltapdb::dist::{ClusterConfig, DistributedTable, RaftConfig, RaftGroup};
+use oltapdb::dist::{
+    ClusterConfig, DistributedTable, RaftConfig, RaftGroup, TwoPcCoordinator, TwoPcOutcome,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -638,4 +641,290 @@ fn chaos_spill_files_cleaned_up_and_purged_after_crash() {
         Value::Int(3000)
     );
     std::fs::remove_file(&path).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard two-phase commit scenarios (12–15). All run on a small
+// partitioned cluster plus a separately-replicated coordinator log; the
+// invariant under every fault is ATOMICITY: after recovery, either every
+// shard shows the batch or no shard does.
+// ---------------------------------------------------------------------------
+
+/// A 4-partition cluster for the 2PC scenarios.
+fn twopc_cluster(faults: Arc<FaultInjector>, raft: RaftConfig) -> DistributedTable {
+    let cfg = ClusterConfig {
+        nodes: 3,
+        replication: 3,
+        partitions: 4,
+        raft,
+    };
+    DistributedTable::new_with_faults(schema(), cfg, faults).unwrap()
+}
+
+/// Rows that provably hash to more than one partition.
+fn batch_rows(t: &DistributedTable, n: i64) -> Vec<Row> {
+    let rows: Vec<Row> = (0..n).map(|i| row![i, i * 10]).collect();
+    let parts: std::collections::BTreeSet<usize> = rows
+        .iter()
+        .map(|r| t.partition_of(r).unwrap())
+        .collect();
+    assert!(parts.len() > 1, "batch must span multiple shards");
+    rows
+}
+
+/// Waits for every replica's prepared-but-undecided set to drain.
+fn wait_no_doubt(t: &DistributedTable, timeout: Duration) {
+    let deadline = std::time::Instant::now() + timeout;
+    while t.groups().iter().any(|g| !g.in_doubt_gtxns().is_empty()) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "in-doubt transactions never resolved"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Scenario 12 — coordinator crash between prepare and commit: every
+/// shard is prepared, then the coordinator dies before logging any
+/// decision. Participants hold the prepared (invisible) versions; a
+/// successor coordinator finds no decision record and resolves by
+/// presumed abort. No shard may show any batch row, ever.
+#[test]
+fn chaos_2pc_coordinator_crash_between_prepare_and_commit() {
+    let seed = seed_for(12);
+    let coord_faults = FaultInjector::new(seed);
+    coord_faults.arm(
+        points::TWOPC_COORD_CRASH_AFTER_PREPARE,
+        FaultPoint::times(1),
+    );
+    let t = twopc_cluster(FaultInjector::disabled(), RaftConfig::default());
+    let coord = TwoPcCoordinator::new(3, Arc::clone(&coord_faults)).unwrap();
+
+    let rows = batch_rows(&t, 8);
+    let err = coord.commit_rows(&t, rows).unwrap_err();
+    let gtxn = match err {
+        DbError::TxnInDoubt { gtxn } => gtxn,
+        e => panic!("expected TxnInDoubt, got {e}"),
+    };
+    // The crash point really fired, and before any decision was logged.
+    assert!(
+        coord_faults
+            .decisions_at(points::TWOPC_COORD_CRASH_AFTER_PREPARE)
+            .iter()
+            .any(|d| d.fired),
+        "crash point never fired — scenario vacuous (seed={seed:#x})"
+    );
+    assert_eq!(coord.decision_for(gtxn), None, "no decision may exist");
+    // Participants are genuinely in doubt (prepared, invisible).
+    assert!(
+        t.groups().iter().any(|g| g.in_doubt_gtxns().contains(&gtxn)),
+        "no participant holds a prepare — scenario vacuous"
+    );
+    assert_eq!(t.collect_all().unwrap(), Vec::<Row>::new());
+
+    // Successor takes over the replicated log: presumed abort.
+    let log = coord.log();
+    drop(coord);
+    let coord2 = TwoPcCoordinator::attach(log, FaultInjector::disabled()).unwrap();
+    let report = coord2.resolve_in_doubt(&t).unwrap();
+    assert_eq!(report.presumed_aborted, vec![gtxn]);
+    assert_eq!(coord2.decision_for(gtxn), Some(false), "abort now durable");
+    wait_no_doubt(&t, Duration::from_secs(15));
+    assert_eq!(
+        t.collect_all().unwrap(),
+        Vec::<Row>::new(),
+        "presumed-abort leaked rows (seed={seed:#x})"
+    );
+}
+
+/// Scenario 13 — participant crash after prepare, coordinator crash after
+/// decision: the worst double fault. One replica kills itself the moment
+/// its prepare is applied; the coordinator then logs COMMIT but dies
+/// before delivering it. The restarted participant re-stages the prepare
+/// from its Raft log and stays in doubt until a successor coordinator
+/// re-delivers the logged decision — the batch must then be complete on
+/// every shard.
+#[test]
+fn chaos_2pc_participant_crash_resolved_at_recovery() {
+    let seed = seed_for(13);
+    let cluster_faults = FaultInjector::new(seed);
+    cluster_faults.arm(
+        points::TWOPC_PARTICIPANT_CRASH_PREPARED,
+        FaultPoint::times(1),
+    );
+    let coord_faults = FaultInjector::new(seed ^ 1);
+    coord_faults.arm(
+        points::TWOPC_COORD_CRASH_AFTER_DECISION,
+        FaultPoint::times(1),
+    );
+    let t = twopc_cluster(Arc::clone(&cluster_faults), RaftConfig::default());
+    let coord = TwoPcCoordinator::new(3, Arc::clone(&coord_faults)).unwrap();
+
+    let rows = batch_rows(&t, 8);
+    let err = coord.commit_rows(&t, rows.clone()).unwrap_err();
+    let gtxn = match err {
+        DbError::TxnInDoubt { gtxn } => gtxn,
+        e => panic!("expected TxnInDoubt, got {e}"),
+    };
+    assert_eq!(
+        coord.decision_for(gtxn),
+        Some(true),
+        "decision was logged before the coordinator died"
+    );
+    // A participant replica actually died holding a prepare.
+    assert!(
+        cluster_faults
+            .decisions_at(points::TWOPC_PARTICIPANT_CRASH_PREPARED)
+            .iter()
+            .any(|d| d.fired),
+        "participant crash never fired — scenario vacuous (seed={seed:#x})"
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let dead: Vec<(usize, usize)> = t
+            .groups()
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, g)| {
+                g.replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.raft.is_running())
+                    .map(move |(ri, _)| (gi, ri))
+            })
+            .collect();
+        if !dead.is_empty() {
+            // Restart the dead replicas: each re-applies its log, which
+            // re-stages the prepare — prepared state survives the crash.
+            for (gi, ri) in dead {
+                t.groups()[gi].replicas[ri].raft.restart();
+            }
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "armed participant crash killed no replica"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Successor coordinator re-delivers the logged commit.
+    let log = coord.log();
+    drop(coord);
+    let coord2 = TwoPcCoordinator::attach(log, FaultInjector::disabled()).unwrap();
+    let report = coord2.resolve_in_doubt(&t).unwrap();
+    assert!(report.resumed.contains(&gtxn), "logged commit must resume");
+    wait_no_doubt(&t, Duration::from_secs(15));
+    let mut expect = rows;
+    expect.sort();
+    assert_eq!(
+        t.collect_all().unwrap(),
+        expect,
+        "committed batch incomplete after recovery (seed={seed:#x})"
+    );
+}
+
+/// Scenario 14 — decision-message loss: the first three decision
+/// deliveries vanish in flight. The coordinator must retry until every
+/// participant applies the outcome; the commit completes in one call with
+/// no external recovery.
+#[test]
+fn chaos_2pc_decision_message_loss_retried_until_resolved() {
+    let seed = seed_for(14);
+    let coord_faults = FaultInjector::new(seed);
+    coord_faults.arm(points::TWOPC_DECISION_MSG_DROP, FaultPoint::times(3));
+    let t = twopc_cluster(FaultInjector::disabled(), RaftConfig::default());
+    let coord = TwoPcCoordinator::new(3, Arc::clone(&coord_faults)).unwrap();
+
+    let rows = batch_rows(&t, 8);
+    let outcome = coord.commit_rows(&t, rows.clone()).unwrap();
+    assert_eq!(outcome, TwoPcOutcome::Committed);
+    let drops = coord_faults
+        .decisions_at(points::TWOPC_DECISION_MSG_DROP)
+        .iter()
+        .filter(|d| d.fired)
+        .count();
+    assert_eq!(drops, 3, "all armed message drops consumed (seed={seed:#x})");
+    wait_no_doubt(&t, Duration::from_secs(15));
+    let mut expect = rows;
+    expect.sort();
+    assert_eq!(t.collect_all().unwrap(), expect);
+}
+
+/// Scenario 15 — snapshot-install failure during catch-up: a node misses
+/// enough writes that the leader has compacted past its position and must
+/// send a snapshot; the first installs fail (armed fault). The leader
+/// retries on subsequent heartbeats and the node still converges — from
+/// the snapshot plus the log tail, not a full-history replay.
+#[test]
+fn chaos_2pc_snapshot_install_failure_falls_back_to_replay() {
+    let seed = seed_for(15);
+    let cluster_faults = FaultInjector::new(seed);
+    cluster_faults.arm(points::RAFT_SNAPSHOT_INSTALL_FAIL, FaultPoint::times(2));
+    let raft = RaftConfig {
+        snapshot_threshold: Some(12),
+        ..RaftConfig::default()
+    };
+    let cfg = ClusterConfig {
+        nodes: 3,
+        replication: 3,
+        partitions: 1,
+        raft,
+    };
+    let t = DistributedTable::new_with_faults(schema(), cfg, Arc::clone(&cluster_faults))
+        .unwrap();
+    for i in 0..10i64 {
+        t.insert(row![i, i]).unwrap();
+    }
+    assert!(t.wait_converged(Duration::from_secs(15)));
+
+    // Node 1 goes down and misses enough writes that every leader
+    // compacts past its log position.
+    t.crash_node(1);
+    for i in 10..50i64 {
+        t.insert(row![i, i]).unwrap();
+    }
+    let g = &t.groups()[0];
+    {
+        let deadline = std::time::Instant::now() + Duration::from_secs(15);
+        loop {
+            let compacted = g
+                .replicas
+                .iter()
+                .filter(|r| r.raft.is_running())
+                .filter_map(|r| r.raft.report())
+                .any(|rep| rep.snap_index > 10);
+            if compacted {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "leader never compacted — scenario vacuous (seed={seed:#x})"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    t.restart_node(1);
+    assert!(
+        t.wait_converged(Duration::from_secs(30)),
+        "node failed to converge despite install retries (seed={seed:#x})"
+    );
+    assert!(
+        cluster_faults
+            .decisions_at(points::RAFT_SNAPSHOT_INSTALL_FAIL)
+            .iter()
+            .any(|d| d.fired),
+        "install-failure fault never fired — scenario vacuous"
+    );
+    assert_eq!(t.collect_all().unwrap().len(), 50, "rows lost in catch-up");
+    // The restarted replica recovered via snapshot + tail: it holds a
+    // snapshot and applied far fewer entries than the full history.
+    let rep = g.replicas[1].raft.report().unwrap();
+    assert!(rep.snap_index > 0, "no snapshot on the restarted node");
+    assert!(
+        rep.applied_since_boot < 50,
+        "node replayed the full history ({} entries) instead of using the snapshot",
+        rep.applied_since_boot
+    );
 }
