@@ -154,6 +154,12 @@ struct TwoPcLocal {
     wal: Wal,
 }
 
+/// Decided outcomes retained per replica for idempotent re-delivery.
+/// Older ones may be forgotten: re-delivery of a forgotten decision
+/// re-applies as a no-op (the pending entry is long gone, so no version
+/// state changes — only the outcome map entry is recreated).
+const OUTCOME_RETENTION: usize = 64;
+
 impl TwoPcLocal {
     fn new() -> Self {
         TwoPcLocal {
@@ -161,6 +167,41 @@ impl TwoPcLocal {
             outcomes: BTreeMap::new(),
             wal: Wal::new_in_memory(),
         }
+    }
+
+    /// Checkpoint: once decided outcomes pile up past twice the retention
+    /// window, drop the oldest (gtxns are time-ordered: epoch in the high
+    /// bits, sequence in the low) and rewrite the WAL to hold only the
+    /// still-pending prepares plus the retained decisions. Without this,
+    /// participant memory and in-doubt recovery scans grow with total
+    /// transaction history instead of with the in-flight set.
+    fn maybe_checkpoint(&mut self) {
+        if self.outcomes.len() < OUTCOME_RETENTION * 2 {
+            return;
+        }
+        while self.outcomes.len() > OUTCOME_RETENTION {
+            self.outcomes.pop_first();
+        }
+        let wal = Wal::new_in_memory();
+        for (&gtxn, p) in &self.pending {
+            let _ = wal.append(&CommitRecord {
+                txn: TxnId(gtxn),
+                commit_ts: 0,
+                ops: vec![WalOp::Prepare {
+                    gtxn,
+                    table: String::new(),
+                    rows: p.rows.clone(),
+                }],
+            });
+        }
+        for (&gtxn, &commit) in &self.outcomes {
+            let _ = wal.append(&CommitRecord {
+                txn: TxnId(gtxn),
+                commit_ts: 0,
+                ops: vec![WalOp::TxnDecision { gtxn, commit }],
+            });
+        }
+        self.wal = wal;
     }
 }
 
@@ -230,9 +271,17 @@ impl ReplicaStore {
     }
 
     /// Global transaction ids this replica prepared but never saw a
-    /// decision for — recovered by scanning the participant WAL, exactly
-    /// what a restarted node does before asking the coordinator log.
+    /// decision for. Maintained incrementally as the keys of the pending
+    /// map (O(in-flight), not O(history)); the participant WAL mirrors
+    /// the same set — [`Self::wal_in_doubt`] recomputes it by replay, the
+    /// path a restarted node with only its WAL would take.
     pub fn in_doubt(&self) -> Vec<u64> {
+        self.twopc.lock().pending.keys().copied().collect()
+    }
+
+    /// The in-doubt set as derived from the participant WAL alone
+    /// (full replay — test oracle for the incremental set).
+    pub fn wal_in_doubt(&self) -> Vec<u64> {
         let tp = self.twopc.lock();
         let (records, _) = tp.wal.replay_records();
         in_doubt_gtxns(&records)
@@ -321,6 +370,7 @@ impl ReplicaStore {
                     ops: vec![WalOp::TxnDecision { gtxn, commit }],
                 });
                 tp.outcomes.insert(gtxn, commit);
+                tp.maybe_checkpoint();
                 false
             }
         }
@@ -1280,6 +1330,66 @@ mod tests {
         // rolled back, not leaked.
         t.insert(row![9i64, 91i64]).unwrap();
         assert_eq!(t.collect_all().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn participant_checkpoint_bounds_state_growth() {
+        let cfg = ClusterConfig {
+            nodes: 1,
+            replication: 1,
+            partitions: 1,
+            raft: RaftConfig::default(),
+        };
+        let t = DistributedTable::new(schema(), cfg).unwrap();
+        let g = &t.groups()[0];
+        let n = (OUTCOME_RETENTION * 2 + 8) as u64;
+        for gtxn in 1..=n {
+            g.propose_cmd(
+                &ShardCmd::Prepare {
+                    gtxn,
+                    rows: vec![row![gtxn as i64, 0i64]],
+                },
+                Duration::from_secs(10),
+            )
+            .unwrap();
+            g.propose_cmd(
+                &ShardCmd::Decide { gtxn, commit: false },
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        }
+        let store = &g.replicas[0].store;
+        {
+            let tp = store.twopc.lock();
+            assert!(
+                tp.outcomes.len() < OUTCOME_RETENTION * 2,
+                "outcomes grew unbounded: {}",
+                tp.outcomes.len()
+            );
+            assert!(
+                (tp.wal.record_count() as usize) < OUTCOME_RETENTION * 2 + 1,
+                "participant WAL grew unbounded: {}",
+                tp.wal.record_count()
+            );
+        }
+        // Recent outcomes are retained for idempotent re-delivery; the
+        // oldest were forgotten at checkpoint.
+        assert_eq!(store.decided(n), Some(false));
+        assert_eq!(store.decided(1), None);
+        // The incremental in-doubt set agrees with the WAL-replay oracle,
+        // before and after an undecided prepare.
+        assert_eq!(store.in_doubt(), store.wal_in_doubt());
+        assert!(store.in_doubt().is_empty());
+        g.propose_cmd(
+            &ShardCmd::Prepare {
+                gtxn: n + 1,
+                rows: vec![row![(n + 1) as i64, 0i64]],
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        assert_eq!(store.in_doubt(), vec![n + 1]);
+        assert_eq!(store.wal_in_doubt(), vec![n + 1]);
     }
 
     #[test]

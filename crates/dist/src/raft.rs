@@ -686,10 +686,20 @@ struct Worker {
 struct VolatileLeader {
     next_index: FxHashMap<NodeId, u64>,
     match_index: FxHashMap<NodeId, u64>,
-    /// When each peer last acknowledged our term (any Append/Install
-    /// response that did not depose us). A response implies the follower
-    /// reset its election timer, which is what the lease counts.
+    /// Lease ack time per peer. A response to our Append/Install proves
+    /// the follower reset its election timer — but the no-election
+    /// promise began when the follower *received* our request, so the
+    /// lease must be measured from no later than when the request was
+    /// sent. Timestamping at response receipt would stretch the lease by
+    /// the response's transport delay and let a deposed leader serve a
+    /// stale read as linearizable.
     acks: FxHashMap<NodeId, Instant>,
+    /// Send time of the oldest outstanding (unanswered) Append/Install
+    /// to each peer; adopted into `acks` when a response arrives.
+    /// Keeping the *oldest* send is conservative: the response may be to
+    /// any outstanding request, and an earlier timestamp only shortens
+    /// the lease.
+    pending_since: FxHashMap<NodeId, Instant>,
 }
 
 impl VolatileLeader {
@@ -698,6 +708,15 @@ impl VolatileLeader {
             next_index: FxHashMap::default(),
             match_index: FxHashMap::default(),
             acks: FxHashMap::default(),
+            pending_since: FxHashMap::default(),
+        }
+    }
+
+    /// Records a response from `from`: the follower's promise covers at
+    /// least the window starting at our oldest outstanding send to it.
+    fn ack_from_send_time(&mut self, from: NodeId) {
+        if let Some(sent) = self.pending_since.remove(&from) {
+            self.acks.insert(from, sent);
         }
     }
 }
@@ -1085,14 +1104,19 @@ impl Worker {
                         v.leader_state = None;
                         return;
                     }
+                    if term < p.current_term {
+                        // Stale response to a request from an older term:
+                        // it proves nothing about the follower's timer in
+                        // this term.
+                        return;
+                    }
                 }
                 if v.role != Role::Leader {
                     return;
                 }
                 if let Some(ls) = v.leader_state.as_mut() {
-                    // Any response to our term is a lease ack: the
-                    // follower reset its election timer for us.
-                    ls.acks.insert(from, Instant::now());
+                    // Lease ack, measured from when the request was sent.
+                    ls.ack_from_send_time(from);
                     if success {
                         ls.match_index.insert(from, match_index);
                         ls.next_index.insert(from, match_index + 1);
@@ -1179,12 +1203,16 @@ impl Worker {
                         v.leader_state = None;
                         return;
                     }
+                    if term < p.current_term {
+                        return; // stale response from an older term
+                    }
                 }
                 if v.role != Role::Leader {
                     return;
                 }
                 if let Some(ls) = v.leader_state.as_mut() {
-                    ls.acks.insert(from, Instant::now());
+                    // Lease ack, measured from when the install was sent.
+                    ls.ack_from_send_time(from);
                     if success {
                         let m = ls.match_index.entry(from).or_insert(0);
                         *m = (*m).max(last_index);
@@ -1211,6 +1239,9 @@ impl Worker {
     }
 
     fn send_append_to(&self, peer: NodeId, ls: &mut VolatileLeader, commit_index: u64) {
+        // Lease bookkeeping: keep the oldest outstanding send time; a
+        // later response acks a promise starting no earlier than this.
+        ls.pending_since.entry(peer).or_insert_with(Instant::now);
         let p = self.persistent.lock();
         let next = *ls.next_index.get(&peer).unwrap_or(&1);
         if next <= p.snap_index {

@@ -39,10 +39,13 @@ use std::time::{Duration, Instant};
 /// A record in the replicated coordinator log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoordRecord {
-    /// A coordinator incarnation claimed epoch `n` (gtxn namespace fence).
+    /// A coordinator incarnation's epoch claim (gtxn namespace fence).
+    /// The claimed epoch is *not* stored: it is the record's 1-based
+    /// ordinal among all `Epoch` records in committed log order, so it
+    /// derives from the log itself, never from a possibly-stale read.
     Epoch {
-        /// The claimed epoch.
-        n: u64,
+        /// Uniquely identifies which incarnation appended this claim.
+        nonce: u64,
     },
     /// The commit decision for `gtxn` — the 2PC commit point.
     Commit {
@@ -65,7 +68,7 @@ impl CoordRecord {
     /// Serializes the record (tag byte + u64 payload).
     pub fn encode(&self) -> Vec<u8> {
         let (tag, v) = match *self {
-            CoordRecord::Epoch { n } => (0u8, n),
+            CoordRecord::Epoch { nonce } => (0u8, nonce),
             CoordRecord::Commit { gtxn } => (1, gtxn),
             CoordRecord::Abort { gtxn } => (2, gtxn),
             CoordRecord::End { gtxn } => (3, gtxn),
@@ -83,7 +86,7 @@ impl CoordRecord {
         }
         let v = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
         match bytes[0] {
-            0 => Ok(CoordRecord::Epoch { n: v }),
+            0 => Ok(CoordRecord::Epoch { nonce: v }),
             1 => Ok(CoordRecord::Commit { gtxn: v }),
             2 => Ok(CoordRecord::Abort { gtxn: v }),
             3 => Ok(CoordRecord::End { gtxn: v }),
@@ -137,27 +140,44 @@ impl TwoPcCoordinator {
     /// claims the next epoch so this incarnation's gtxns cannot collide
     /// with ids handed out before a crash — even ones whose prepares are
     /// still floating around un-decided.
+    ///
+    /// The claim goes through a *committed barrier*: a nonce'd `Epoch`
+    /// record is replicated first, and the epoch is then derived from
+    /// that record's position among all `Epoch` records in log order.
+    /// Deriving it from a replica read instead (e.g. max-seen epoch + 1)
+    /// would let two racing incarnations claim the same epoch whenever
+    /// the read missed a committed-but-not-yet-applied claim.
     pub fn attach(
         log: Arc<RaftGroup>,
         faults: Arc<FaultInjector>,
     ) -> Result<TwoPcCoordinator> {
-        let max_epoch = Self::records_of(&log)
-            .iter()
-            .filter_map(|r| match r {
-                CoordRecord::Epoch { n } => Some(*n),
-                _ => None,
-            })
-            .max()
-            .unwrap_or(0);
-        let epoch = max_epoch + 1;
-        let coord = TwoPcCoordinator {
+        static ATTACH_NONCE: AtomicU64 = AtomicU64::new(1);
+        let nonce = ATTACH_NONCE.fetch_add(1, Ordering::SeqCst);
+        Self::log_record_to(&log, CoordRecord::Epoch { nonce })?;
+        // `log_record_to` returns only after the record is applied on the
+        // log leader, whose applied list is the longest — so the re-read
+        // below is guaranteed to include our claim and every claim
+        // committed before it.
+        let mut ordinal = 0u64;
+        let mut epoch = None;
+        for r in Self::records_of(&log) {
+            if let CoordRecord::Epoch { nonce: n } = r {
+                ordinal += 1;
+                if n == nonce {
+                    epoch = Some(ordinal);
+                    break;
+                }
+            }
+        }
+        let epoch = epoch.ok_or_else(|| {
+            DbError::Cluster("epoch claim not visible after commit".into())
+        })?;
+        Ok(TwoPcCoordinator {
             log,
             epoch,
             seq: AtomicU64::new(0),
             faults,
-        };
-        coord.log_record(CoordRecord::Epoch { n: epoch })?;
-        Ok(coord)
+        })
     }
 
     /// The replicated coordinator log (share it to simulate a successor
@@ -173,7 +193,15 @@ impl TwoPcCoordinator {
 
     /// Allocates a globally unique transaction id: `epoch << 32 | seq`.
     fn next_gtxn(&self) -> u64 {
-        (self.epoch << 32) | (self.seq.fetch_add(1, Ordering::SeqCst) + 1)
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        // The epoch fence lives in the high 32 bits; letting seq bleed
+        // into them would break cross-incarnation uniqueness.
+        assert!(
+            seq <= u64::from(u32::MAX),
+            "gtxn sequence exhausted for epoch {}: re-attach for a fresh epoch",
+            self.epoch
+        );
+        (self.epoch << 32) | seq
     }
 
     /// The applied coordinator records, read from the most caught-up
@@ -201,9 +229,12 @@ impl TwoPcCoordinator {
         Self::records_of(&self.log)
     }
 
-    /// The logged decision for `gtxn`, if any.
+    /// The logged decision for `gtxn`, if any. The **first** decision
+    /// record in log order wins: racing coordinator incarnations may
+    /// append a later conflicting record, which every reader ignores, so
+    /// all incarnations converge on one outcome.
     pub fn decision_for(&self, gtxn: u64) -> Option<bool> {
-        self.records().iter().rev().find_map(|r| match *r {
+        self.records().iter().find_map(|r| match *r {
             CoordRecord::Commit { gtxn: g } if g == gtxn => Some(true),
             CoordRecord::Abort { gtxn: g } if g == gtxn => Some(false),
             _ => None,
@@ -214,12 +245,15 @@ impl TwoPcCoordinator {
     /// elections. Returns only once the record is committed and applied
     /// on the log leader — the durability point.
     fn log_record(&self, rec: CoordRecord) -> Result<()> {
+        Self::log_record_to(&self.log, rec)
+    }
+
+    fn log_record_to(log: &RaftGroup, rec: CoordRecord) -> Result<()> {
         let bytes = rec.encode();
         let deadline = Instant::now() + STEP_TIMEOUT;
         let mut backoff = Backoff::for_cluster();
         loop {
-            let leader = self
-                .log
+            let leader = log
                 .nodes
                 .iter()
                 .enumerate()
@@ -229,7 +263,7 @@ impl TwoPcCoordinator {
                 .max_by_key(|(_, rep)| rep.term)
                 .map(|(i, _)| i);
             if let Some(i) = leader {
-                if self.log.nodes[i].propose(bytes.clone()).is_ok() {
+                if log.nodes[i].propose(bytes.clone()).is_ok() {
                     return Ok(());
                 }
             }
@@ -239,6 +273,26 @@ impl TwoPcCoordinator {
                 ));
             }
         }
+    }
+
+    /// Makes the decision for `gtxn` durable, **first-writer-wins**
+    /// across racing coordinator incarnations: if the log already holds
+    /// a decision for `gtxn`, it is adopted and nothing is appended; if
+    /// a racer appends between our read and our write, the re-read below
+    /// yields whichever record landed first in log order. Either way the
+    /// caller must act on the *returned* decision, which may differ from
+    /// the one it proposed.
+    fn log_decision(&self, gtxn: u64, commit: bool) -> Result<bool> {
+        if let Some(existing) = self.decision_for(gtxn) {
+            return Ok(existing);
+        }
+        let rec = if commit {
+            CoordRecord::Commit { gtxn }
+        } else {
+            CoordRecord::Abort { gtxn }
+        };
+        self.log_record(rec)?;
+        Ok(self.decision_for(gtxn).unwrap_or(commit))
     }
 
     /// Runs a cross-shard atomic commit of `rows` into `table`.
@@ -291,15 +345,14 @@ impl TwoPcCoordinator {
         }
 
         // Commit point: the decision record is replicated. If this fails
-        // the txn stays in doubt (presumed abort on recovery).
-        let decision = if all_ok {
-            CoordRecord::Commit { gtxn }
-        } else {
-            CoordRecord::Abort { gtxn }
+        // the txn stays in doubt (presumed abort on recovery). The
+        // *effective* decision may differ from our vote if a successor
+        // coordinator raced us and its record landed first — we must
+        // deliver and report what the log says, not what we wanted.
+        let commit = match self.log_decision(gtxn, all_ok) {
+            Ok(c) => c,
+            Err(_) => return Err(DbError::TxnInDoubt { gtxn }),
         };
-        if self.log_record(decision).is_err() {
-            return Err(DbError::TxnInDoubt { gtxn });
-        }
 
         // Chaos: coordinator dies right after the decision is durable but
         // before delivering it. Recovery must *re-deliver*, not abort.
@@ -310,11 +363,11 @@ impl TwoPcCoordinator {
         // Phase 2: deliver the decision to every participant until each
         // acknowledges (applies) it. Lost messages are retried — the
         // decision is idempotent on the participant side.
-        self.deliver_decision(table, by_part.keys().copied(), gtxn, all_ok)?;
+        self.deliver_decision(table, by_part.keys().copied(), gtxn, commit)?;
 
         // Forgettable: all participants acked, recovery can skip this txn.
         let _ = self.log_record(CoordRecord::End { gtxn });
-        Ok(if all_ok {
+        Ok(if commit {
             TwoPcOutcome::Committed
         } else {
             TwoPcOutcome::Aborted
@@ -336,8 +389,19 @@ impl TwoPcCoordinator {
             let deadline = Instant::now() + STEP_TIMEOUT;
             let mut backoff = Backoff::for_cluster();
             loop {
-                if groups[p].decided(gtxn).is_some() {
-                    break;
+                match groups[p].decided(gtxn) {
+                    Some(applied) if applied == commit => break,
+                    Some(applied) => {
+                        // The participant applied the *opposite* outcome:
+                        // a conflicting decision escaped the first-writer
+                        // fence. Never report success over a torn commit.
+                        return Err(DbError::Cluster(format!(
+                            "conflicting 2PC outcomes for gtxn {gtxn}: \
+                             delivering commit={commit} but partition {p} \
+                             applied commit={applied}"
+                        )));
+                    }
+                    None => {}
                 }
                 let dropped = self.faults.should_fire(points::TWOPC_DECISION_MSG_DROP);
                 if !dropped {
@@ -346,7 +410,7 @@ impl TwoPcCoordinator {
                         Duration::from_secs(2),
                     );
                     if groups[p].decided(gtxn).is_some() {
-                        break;
+                        continue; // re-enter the verified check above
                     }
                 }
                 if !backoff.sleep_until_deadline(deadline) {
@@ -372,11 +436,12 @@ impl TwoPcCoordinator {
         let mut ended: Vec<u64> = Vec::new();
         for r in &records {
             match *r {
+                // First decision record wins, matching `decision_for`.
                 CoordRecord::Commit { gtxn } => {
-                    decisions.insert(gtxn, true);
+                    decisions.entry(gtxn).or_insert(true);
                 }
                 CoordRecord::Abort { gtxn } => {
-                    decisions.insert(gtxn, false);
+                    decisions.entry(gtxn).or_insert(false);
                 }
                 CoordRecord::End { gtxn } => ended.push(gtxn),
                 CoordRecord::Epoch { .. } => {}
@@ -406,11 +471,19 @@ impl TwoPcCoordinator {
         in_doubt.dedup();
         for gtxn in in_doubt {
             // Log the abort *before* delivering: if we crash mid-delivery
-            // the next recovery finds a decision, not fresh doubt.
-            self.log_record(CoordRecord::Abort { gtxn })?;
-            self.deliver_decision(table, all_parts.iter().copied(), gtxn, false)?;
+            // the next recovery finds a decision, not fresh doubt. A
+            // still-running predecessor may have logged a commit since we
+            // read the records above — `log_decision` adopts whichever
+            // record landed first, so we deliver *its* outcome rather
+            // than appending a conflicting abort.
+            let commit = self.log_decision(gtxn, false)?;
+            self.deliver_decision(table, all_parts.iter().copied(), gtxn, commit)?;
             let _ = self.log_record(CoordRecord::End { gtxn });
-            report.presumed_aborted.push(gtxn);
+            if commit {
+                report.resumed.push(gtxn);
+            } else {
+                report.presumed_aborted.push(gtxn);
+            }
         }
         Ok(report)
     }
@@ -465,7 +538,7 @@ mod tests {
     #[test]
     fn coord_record_roundtrip() {
         for rec in [
-            CoordRecord::Epoch { n: 3 },
+            CoordRecord::Epoch { nonce: 3 },
             CoordRecord::Commit { gtxn: u64::MAX },
             CoordRecord::Abort { gtxn: 0 },
             CoordRecord::End { gtxn: 99 },
@@ -555,6 +628,64 @@ mod tests {
         let mut expect = rows;
         expect.sort();
         assert_eq!(t.collect_all().unwrap(), expect, "commit was completed");
+    }
+
+    #[test]
+    fn decision_log_is_first_writer_wins() {
+        let coord = TwoPcCoordinator::new(1, FaultInjector::disabled()).unwrap();
+        let gtxn = coord.next_gtxn();
+        // A predecessor's abort lands first...
+        coord.log_record(CoordRecord::Abort { gtxn }).unwrap();
+        // ...so a racing incarnation trying to commit must adopt it.
+        assert_eq!(coord.log_decision(gtxn, true).unwrap(), false);
+        assert_eq!(coord.decision_for(gtxn), Some(false));
+        // Even if a conflicting record sneaks into the log, every reader
+        // still resolves to the first record in log order.
+        coord.log_record(CoordRecord::Commit { gtxn }).unwrap();
+        assert_eq!(coord.decision_for(gtxn), Some(false));
+    }
+
+    #[test]
+    fn delivery_surfaces_conflicting_participant_outcome() {
+        let t = cluster();
+        let coord = TwoPcCoordinator::new(3, FaultInjector::disabled()).unwrap();
+        // Partition 0 already applied a commit for gtxn 77; delivering an
+        // abort for it must fail loudly, not report success.
+        t.groups()[0]
+            .propose_cmd(
+                &ShardCmd::Decide {
+                    gtxn: 77,
+                    commit: true,
+                },
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        let err = coord
+            .deliver_decision(&t, std::iter::once(0), 77, false)
+            .unwrap_err();
+        assert!(matches!(err, DbError::Cluster(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn racing_attaches_claim_distinct_epochs() {
+        let c1 = TwoPcCoordinator::new(1, FaultInjector::disabled()).unwrap();
+        let log = c1.log();
+        let mut epochs: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let log = Arc::clone(&log);
+                    s.spawn(move || {
+                        TwoPcCoordinator::attach(log, FaultInjector::disabled())
+                            .unwrap()
+                            .epoch()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        epochs.push(c1.epoch());
+        let uniq: std::collections::BTreeSet<u64> = epochs.iter().copied().collect();
+        assert_eq!(uniq.len(), epochs.len(), "epoch collision: {epochs:?}");
     }
 
     #[test]
