@@ -105,7 +105,7 @@ fn main() {
             .collect();
         let (hits, gets_s) = time(|| {
             keys.iter()
-                .filter(|k| handle.get(k, read_ts, NOBODY).is_some())
+                .filter(|k| handle.get(k, read_ts, NOBODY).is_ok_and(|r| r.is_some()))
                 .count()
         });
         assert_eq!(hits, gets);

@@ -192,6 +192,16 @@ impl BitSet {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Rebuilds a bitset from raw words and a logical length (the inverse
+    /// of [`BitSet::words`], used by the column-page codec). Missing words
+    /// are zero-filled; surplus words and trailing bits are masked off.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(len.div_ceil(64), 0);
+        let mut s = Self { words, len };
+        s.clear_trailing();
+        s
+    }
 }
 
 /// Iterator over set-bit indexes produced by [`BitSet::iter_ones`].

@@ -71,6 +71,17 @@ pub mod points {
     /// and, where the entries are still in its log, falls back to plain
     /// log replication.
     pub const RAFT_SNAPSHOT_INSTALL_FAIL: &str = "raft.snapshot_install_fail";
+    /// Corrupt a column-page read from a segment page file (one payload
+    /// byte flipped *after* the page checksum was computed). The buffer
+    /// manager's CRC verification must catch it and surface a typed
+    /// `Corruption` error — never a panic, never silent bad data.
+    pub const STORAGE_PAGE_READ_FAIL: &str = "storage.page_read_fail";
+    /// Simulate an eviction race in the buffer pool: the clock hand's
+    /// chosen victim looks unpinned, but a concurrent pin lands before
+    /// the eviction completes. The evictor must re-check under the lock,
+    /// skip the frame, and keep searching (or surface a typed
+    /// `ResourceExhausted` when nothing evictable remains).
+    pub const BUFFER_EVICT_RACE: &str = "buffer.evict_race";
 }
 
 /// Configuration of one named fault point.

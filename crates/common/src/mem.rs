@@ -101,6 +101,11 @@ impl ClassPool {
 pub struct MemoryGovernor {
     total: ClassPool,
     classes: [ClassPool; 2],
+    /// Carve-out for the storage buffer pool (resident column pages).
+    /// Unlimited unless constructed via [`MemoryGovernor::with_buffer_pool`],
+    /// so buffer-pool bytes, operator budgets, and OLTP working sets all
+    /// draw from the same process-wide `total` hierarchy.
+    buffer: ClassPool,
     faults: Arc<FaultInjector>,
     spill_events: AtomicU64,
 }
@@ -120,9 +125,24 @@ impl MemoryGovernor {
         olap_limit: u64,
         faults: Arc<FaultInjector>,
     ) -> Arc<MemoryGovernor> {
+        Self::with_buffer_pool(total_limit, oltp_limit, olap_limit, u64::MAX, faults)
+    }
+
+    /// Like [`MemoryGovernor::with_faults`], plus an explicit carve-out
+    /// limit for the storage buffer pool. Buffer-pool claims count against
+    /// both the carve-out and the process total, so page caching competes
+    /// with operator budgets in one hierarchy instead of OOMing past it.
+    pub fn with_buffer_pool(
+        total_limit: u64,
+        oltp_limit: u64,
+        olap_limit: u64,
+        buffer_limit: u64,
+        faults: Arc<FaultInjector>,
+    ) -> Arc<MemoryGovernor> {
         Arc::new(MemoryGovernor {
             total: ClassPool::new(total_limit),
             classes: [ClassPool::new(oltp_limit), ClassPool::new(olap_limit)],
+            buffer: ClassPool::new(buffer_limit),
             faults,
             spill_events: AtomicU64::new(0),
         })
@@ -161,6 +181,38 @@ impl MemoryGovernor {
     /// Total spill events recorded by budgets of this governor.
     pub fn spill_events(&self) -> u64 {
         self.spill_events.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently held by the storage buffer pool.
+    pub fn buffer_used(&self) -> u64 {
+        self.buffer.used.load(Ordering::Acquire)
+    }
+
+    /// The buffer-pool carve-out limit (`u64::MAX` when unconstrained).
+    pub fn buffer_limit(&self) -> u64 {
+        self.buffer.limit
+    }
+
+    /// Claims `bytes` for the buffer pool — carve-out first, then the
+    /// process total, all-or-nothing. `Err` carries the bytes left in the
+    /// tighter of the two pools; the buffer manager responds by evicting,
+    /// not by failing the query.
+    pub fn try_claim_buffer(&self, bytes: u64) -> std::result::Result<(), u64> {
+        self.buffer.try_claim(bytes)?;
+        if let Err(left) = self.total.try_claim(bytes) {
+            self.buffer.release(bytes);
+            return Err(left);
+        }
+        Ok(())
+    }
+
+    /// Returns buffer-pool bytes to the carve-out and the process total.
+    pub fn release_buffer(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.buffer.release(bytes);
+        self.total.release(bytes);
     }
 
     /// Claims at class level then process level; all-or-nothing.
@@ -472,6 +524,58 @@ mod tests {
         b.note_spill();
         assert_eq!(b.spill_count(), 2);
         assert_eq!(gov.spill_events(), 2);
+    }
+
+    #[test]
+    fn buffer_carveout_caps_and_releases() {
+        let gov = MemoryGovernor::with_buffer_pool(
+            u64::MAX,
+            u64::MAX,
+            u64::MAX,
+            1000,
+            FaultInjector::disabled(),
+        );
+        assert_eq!(gov.buffer_limit(), 1000);
+        gov.try_claim_buffer(600).unwrap();
+        assert_eq!(gov.buffer_used(), 600);
+        assert_eq!(gov.total_used(), 600, "buffer bytes count in the total");
+        let left = gov.try_claim_buffer(600).unwrap_err();
+        assert_eq!(left, 400);
+        assert_eq!(gov.buffer_used(), 600, "failed claim rolled back fully");
+        gov.release_buffer(600);
+        assert_eq!(gov.buffer_used(), 0);
+        assert_eq!(gov.total_used(), 0);
+    }
+
+    #[test]
+    fn buffer_competes_with_operator_budgets_in_total() {
+        let gov = MemoryGovernor::with_buffer_pool(
+            1000,
+            u64::MAX,
+            u64::MAX,
+            u64::MAX,
+            FaultInjector::disabled(),
+        );
+        let b = gov.budget(WorkloadClass::Olap, u64::MAX);
+        b.try_reserve(700).unwrap();
+        // The carve-out is unlimited but the process total is not: a
+        // buffer claim that would exceed it must fail and roll back.
+        let left = gov.try_claim_buffer(700).unwrap_err();
+        assert_eq!(left, 300);
+        assert_eq!(gov.buffer_used(), 0, "total-level failure rolled back the carve-out");
+        gov.try_claim_buffer(300).unwrap();
+        assert_eq!(gov.total_used(), 1000);
+        gov.release_buffer(300);
+        drop(b);
+        assert_eq!(gov.total_used(), 0);
+    }
+
+    #[test]
+    fn default_ctors_leave_buffer_unlimited() {
+        let gov = MemoryGovernor::new(u64::MAX, u64::MAX, u64::MAX);
+        assert_eq!(gov.buffer_limit(), u64::MAX);
+        gov.try_claim_buffer(1 << 40).unwrap();
+        gov.release_buffer(1 << 40);
     }
 
     #[test]

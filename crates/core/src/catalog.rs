@@ -17,7 +17,7 @@ use oltap_common::schema::SchemaRef;
 use oltap_common::{Batch, DbError, Result, Row};
 use oltap_sql::ast::FormatOpt;
 use oltap_sql::CatalogView;
-use oltap_storage::{DeltaMainTable, DualFormatTable, RowStore, ScanPredicate};
+use oltap_storage::{DeltaMainTable, DualFormatTable, RowStore, ScanPredicate, SegmentPager};
 use oltap_txn::{Transaction, Ts};
 use std::sync::Arc;
 
@@ -66,12 +66,25 @@ impl std::fmt::Debug for TableHandle {
 impl TableHandle {
     /// Creates an empty table of the requested format.
     pub fn create(schema: SchemaRef, format: TableFormat) -> Result<TableHandle> {
+        Self::create_with_pager(schema, format, None)
+    }
+
+    /// Creates an empty table; when `pager` is set, columnar segments
+    /// (delta-main and dual image) are paged through its buffer pool. Row
+    /// stores ignore the pager — they are the OLTP working set.
+    pub fn create_with_pager(
+        schema: SchemaRef,
+        format: TableFormat,
+        pager: Option<Arc<SegmentPager>>,
+    ) -> Result<TableHandle> {
         Ok(match format {
             TableFormat::Row => TableHandle::Row(Arc::new(RowStore::new(schema))),
             TableFormat::Column => {
-                TableHandle::Column(Arc::new(DeltaMainTable::new(schema)))
+                TableHandle::Column(Arc::new(DeltaMainTable::with_pager(schema, pager)))
             }
-            TableFormat::Dual => TableHandle::Dual(Arc::new(DualFormatTable::new(schema)?)),
+            TableFormat::Dual => {
+                TableHandle::Dual(Arc::new(DualFormatTable::with_pager(schema, pager)?))
+            }
         })
     }
 
@@ -120,12 +133,13 @@ impl TableHandle {
         }
     }
 
-    /// Point lookup at a snapshot.
-    pub fn get(&self, key: &Row, read_ts: Ts, me: TxnId) -> Option<Row> {
+    /// Point lookup at a snapshot. Fallible: paged column stores may need
+    /// to fault the row's pages in.
+    pub fn get(&self, key: &Row, read_ts: Ts, me: TxnId) -> Result<Option<Row>> {
         match self {
-            TableHandle::Row(t) => t.get(key, read_ts, me),
+            TableHandle::Row(t) => Ok(t.get(key, read_ts, me)),
             TableHandle::Column(t) => t.get(key, read_ts, me),
-            TableHandle::Dual(t) => t.get(key, read_ts, me),
+            TableHandle::Dual(t) => Ok(t.get(key, read_ts, me)),
         }
     }
 
@@ -286,7 +300,7 @@ mod tests {
             let cts = tx.commit().unwrap();
 
             let me = TxnId(u64::MAX - 9);
-            assert_eq!(h.get(&row![1i64], cts, me).unwrap()[1], row![10i64][0]);
+            assert_eq!(h.get(&row![1i64], cts, me).unwrap().unwrap()[1], row![10i64][0]);
             let total: usize = h
                 .scan(&[0, 1], &ScanPredicate::all(), cts, me, 4096)
                 .unwrap()
@@ -299,8 +313,8 @@ mod tests {
             h.update(&tx, &row![1i64], row![1i64, 99i64]).unwrap();
             h.delete(&tx, &row![2i64]).unwrap();
             let cts = tx.commit().unwrap();
-            assert_eq!(h.get(&row![1i64], cts, me).unwrap()[1], row![99i64][0]);
-            assert!(h.get(&row![2i64], cts, me).is_none());
+            assert_eq!(h.get(&row![1i64], cts, me).unwrap().unwrap()[1], row![99i64][0]);
+            assert!(h.get(&row![2i64], cts, me).unwrap().is_none());
 
             let note = h.maintain(mgr.gc_watermark()).unwrap();
             assert!(!note.is_empty());

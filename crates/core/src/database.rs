@@ -12,6 +12,7 @@ use oltap_sched::{AdmissionConfig, AdmissionController, AdmissionTicket};
 use oltap_sql::ast::Statement;
 use oltap_sql::parse;
 use oltap_storage::spill::{purge_spill_root, SpillDir};
+use oltap_storage::{purge_page_root, BufferManager, BufferStats, SegmentPager};
 use oltap_txn::wal::{CommitRecord, Wal, WalOp};
 use oltap_txn::{Transaction, TransactionManager, Ts};
 use parking_lot::{RwLock, RwLockReadGuard};
@@ -49,6 +50,38 @@ impl MemoryConfig {
     }
 }
 
+/// Buffer-pool configuration for larger-than-memory column stores.
+///
+/// When set, columnar segments built by merges, compactions, bulk loads,
+/// and dual-format population are written to checksummed page files and
+/// faulted back in page-at-a-time through a clock-evicted buffer pool,
+/// instead of being held fully resident. Only zone maps, schemas, delete
+/// stamps, and page directories stay in memory.
+#[derive(Debug, Clone)]
+pub struct BufferConfig {
+    /// Buffer-pool capacity in bytes. When [`DbConfig::memory`] is also
+    /// set, this becomes a carve-out of the governed process total, so
+    /// page caching and operator budgets compete in one hierarchy.
+    pub pool_bytes: u64,
+    /// Rows per column page (one page holds one column of one row group).
+    pub page_rows: usize,
+    /// Page-file directory override. Defaults to `<wal>.pages/` next to
+    /// the WAL for durable databases, or a per-database temp dir
+    /// otherwise.
+    pub page_root: Option<PathBuf>,
+}
+
+impl BufferConfig {
+    /// A pool of `pool_bytes` with the default page granularity.
+    pub fn with_pool(pool_bytes: u64) -> BufferConfig {
+        BufferConfig {
+            pool_bytes,
+            page_rows: 4096,
+            page_root: None,
+        }
+    }
+}
+
 /// Database configuration.
 #[derive(Debug, Clone, Default)]
 pub struct DbConfig {
@@ -63,6 +96,9 @@ pub struct DbConfig {
     /// Spill root override. Defaults to `<wal>.spill/` next to the WAL
     /// for durable databases, or a per-database temp dir otherwise.
     pub spill_root: Option<PathBuf>,
+    /// Buffer-pool governance for columnar base data; `None` keeps
+    /// segments fully resident (the pre-paging behaviour).
+    pub buffer: Option<BufferConfig>,
 }
 
 /// The engine.
@@ -75,28 +111,36 @@ pub struct Database {
     memory: RwLock<Option<(Arc<MemoryGovernor>, u64)>>,
     admission: RwLock<Option<Arc<AdmissionController>>>,
     spill_root: PathBuf,
+    /// Segment pager; when set, every columnar table built after open
+    /// pages its base data through the shared buffer pool.
+    pager: Option<Arc<SegmentPager>>,
 }
 
-/// Sequence for per-database temp spill roots (ephemeral databases).
+/// Sequence for per-database temp roots (ephemeral databases).
 static SPILL_ROOT_SEQ: AtomicU64 = AtomicU64::new(0);
 
-fn default_spill_root(wal_path: Option<&PathBuf>) -> PathBuf {
+fn default_db_dir(wal_path: Option<&PathBuf>, suffix: &str) -> PathBuf {
     match wal_path {
         // Durable database: a sibling dir of the WAL, stable across
         // restarts so recovery can purge crash leftovers.
         Some(p) => {
             let mut os = p.clone().into_os_string();
-            os.push(".spill");
+            os.push(suffix);
             PathBuf::from(os)
         }
         // Ephemeral database: a unique temp dir (nothing survives the
         // process, so there is nothing to purge on open).
         None => std::env::temp_dir().join(format!(
-            "oltap-spill-{}-{}",
+            "oltap{}-{}-{}",
+            suffix,
             std::process::id(),
             SPILL_ROOT_SEQ.fetch_add(1, Ordering::Relaxed)
         )),
     }
+}
+
+fn default_spill_root(wal_path: Option<&PathBuf>) -> PathBuf {
+    default_db_dir(wal_path, ".spill")
 }
 
 impl std::fmt::Debug for Database {
@@ -120,6 +164,7 @@ impl Database {
             memory: RwLock::new(None),
             admission: RwLock::new(None),
             spill_root: default_spill_root(None),
+            pager: None,
         })
     }
 
@@ -133,17 +178,55 @@ impl Database {
         let spill_root = config
             .spill_root
             .unwrap_or_else(|| default_spill_root(config.wal_path.as_ref()));
+        // When both memory governance and a buffer pool are configured,
+        // the pool is a carve-out of the governed total: page residency
+        // claims count against the process limit alongside query budgets.
+        let governor = config.memory.as_ref().map(|c| {
+            let buffer_limit = config
+                .buffer
+                .as_ref()
+                .map_or(u64::MAX, |b| b.pool_bytes);
+            MemoryGovernor::with_buffer_pool(
+                c.total_bytes,
+                c.oltp_bytes,
+                c.olap_bytes,
+                buffer_limit,
+                Arc::clone(&faults),
+            )
+        });
+        let pager = match &config.buffer {
+            Some(b) => {
+                let root = b
+                    .page_root
+                    .clone()
+                    .unwrap_or_else(|| default_db_dir(config.wal_path.as_ref(), ".pages"));
+                // Segments are rebuilt from the WAL on recovery, so any
+                // page file present at open is leakage from a crash.
+                purge_page_root(&root)?;
+                let buffer =
+                    BufferManager::new(b.pool_bytes, governor.clone(), Arc::clone(&faults));
+                Some(SegmentPager::new(
+                    root,
+                    buffer,
+                    b.page_rows,
+                    Arc::clone(&faults),
+                ))
+            }
+            None => None,
+        };
         let db = Arc::new(Database {
             catalog: RwLock::new(Catalog::new()),
             txn_mgr: Arc::new(TransactionManager::new()),
             wal,
             faults,
             parallel: RwLock::new(None),
-            memory: RwLock::new(None),
+            memory: RwLock::new(
+                governor.zip(config.memory.as_ref().map(|c| c.query_bytes)),
+            ),
             admission: RwLock::new(None),
             spill_root,
+            pager,
         });
-        db.set_memory_config(config.memory);
         db.set_admission_config(config.admission);
         // Spill files never outlive a process on purpose; anything under
         // the root at open time is leakage from a crash.
@@ -156,6 +239,10 @@ impl Database {
     /// subsequent statement runs under a per-query
     /// [`oltap_common::mem::MemoryBudget`] drawn from a shared
     /// [`MemoryGovernor`], spilling to disk instead of exceeding it.
+    ///
+    /// Note: a buffer pool configured at open time stays tied to the
+    /// governor it was opened with; reconfiguring memory here does not
+    /// move page-residency accounting to the new governor.
     pub fn set_memory_config(&self, cfg: Option<MemoryConfig>) {
         *self.memory.write() = cfg.map(|c| {
             (
@@ -219,6 +306,17 @@ impl Database {
     /// The fault injector (disabled unless configured via [`DbConfig`]).
     pub fn faults(&self) -> &Arc<FaultInjector> {
         &self.faults
+    }
+
+    /// The segment pager, if a buffer pool is configured.
+    pub fn pager(&self) -> Option<&Arc<SegmentPager>> {
+        self.pager.as_ref()
+    }
+
+    /// Buffer-pool counters (hits, misses, evictions, pinned/resident
+    /// bytes), or `None` when no buffer pool is configured.
+    pub fn buffer_stats(&self) -> Option<BufferStats> {
+        self.pager.as_ref().map(|p| p.buffer().stats())
     }
 
     /// Sets the degree of intra-query parallelism for SELECTs. `workers
@@ -301,9 +399,8 @@ impl Database {
         format: TableFormat,
     ) -> Result<()> {
         let sql = render_create_table(name, &schema, format);
-        self.catalog
-            .write()
-            .create(name, TableHandle::create(schema, format)?)?;
+        let handle = TableHandle::create_with_pager(schema, format, self.pager.clone())?;
+        self.catalog.write().create(name, handle)?;
         self.log_ddl(&sql)
     }
 
@@ -332,9 +429,12 @@ impl Database {
                     .collect();
                 let key_refs: Vec<&str> = primary_key.iter().map(|s| s.as_str()).collect();
                 let schema = Arc::new(Schema::with_primary_key(fields, &key_refs)?);
-                self.catalog
-                    .write()
-                    .create(name, TableHandle::create(schema, (*format).into())?)
+                let handle = TableHandle::create_with_pager(
+                    schema,
+                    (*format).into(),
+                    self.pager.clone(),
+                )?;
+                self.catalog.write().create(name, handle)
             }
             Statement::DropTable { name } => self.catalog.write().drop_table(name),
             other => Err(DbError::Unsupported(format!("not DDL: {other:?}"))),
@@ -916,6 +1016,136 @@ mod tests {
         reader.execute("COMMIT").unwrap();
         let after = db.query("SELECT SUM(v) FROM t").unwrap()[0][0].clone();
         assert_eq!(after, Value::Int(50 - 1 + 100 + 100));
+    }
+
+    fn paged_config(pool_bytes: u64, page_rows: usize) -> DbConfig {
+        DbConfig {
+            buffer: Some(BufferConfig {
+                pool_bytes,
+                page_rows,
+                page_root: None,
+            }),
+            ..DbConfig::default()
+        }
+    }
+
+    #[test]
+    fn paged_column_store_matches_resident_results() {
+        let paged = Database::with_config(paged_config(256, 64)).unwrap();
+        let resident = Database::new();
+        for db in [&paged, &resident] {
+            db.execute(
+                "CREATE TABLE t (id BIGINT PRIMARY KEY, grp BIGINT, v BIGINT) USING FORMAT COLUMN",
+            )
+            .unwrap();
+            for chunk in 0..5 {
+                let vals: Vec<String> = (0..100)
+                    .map(|i| {
+                        let id = chunk * 100 + i;
+                        format!("({id}, {}, {})", id % 7, id * 3)
+                    })
+                    .collect();
+                db.execute(&format!("INSERT INTO t VALUES {}", vals.join(", ")))
+                    .unwrap();
+            }
+            db.maintenance(); // merge the delta into (paged) main segments
+        }
+        for q in [
+            "SELECT COUNT(*), SUM(v) FROM t",
+            "SELECT grp, SUM(v) AS s FROM t GROUP BY grp ORDER BY grp",
+            "SELECT id, v FROM t WHERE id >= 480 ORDER BY id",
+            "SELECT v FROM t WHERE grp = 3 ORDER BY v LIMIT 10",
+        ] {
+            assert_eq!(paged.query(q).unwrap(), resident.query(q).unwrap(), "{q}");
+        }
+        let stats = paged.buffer_stats().expect("buffer pool configured");
+        assert!(stats.misses > 0, "paged scans must fault pages: {stats:?}");
+        assert!(
+            stats.evictions > 0,
+            "a pool smaller than the data must evict: {stats:?}"
+        );
+        assert!(resident.buffer_stats().is_none());
+    }
+
+    #[test]
+    fn paged_point_reads_and_dml_after_merge() {
+        let db = Database::with_config(paged_config(8 * 1024, 32)).unwrap();
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT) USING FORMAT COLUMN")
+            .unwrap();
+        for i in 0..200 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        }
+        db.maintenance();
+        // Updates and deletes against rows that now live in paged segments.
+        db.execute("UPDATE t SET v = 999 WHERE id = 7").unwrap();
+        db.execute("DELETE FROM t WHERE id = 8").unwrap();
+        let rows = db.query("SELECT v FROM t WHERE id = 7").unwrap();
+        assert_eq!(rows[0][0], Value::Int(999));
+        assert!(db.query("SELECT v FROM t WHERE id = 8").unwrap().is_empty());
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+            Value::Int(199)
+        );
+    }
+
+    #[test]
+    fn orphaned_page_files_are_purged_at_open() {
+        let dir = std::env::temp_dir().join(format!(
+            "oltap_orphan_{}_{}",
+            std::process::id(),
+            SPILL_ROOT_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let root = dir.join("pages");
+        std::fs::create_dir_all(&root).unwrap();
+        // Leftovers from a simulated crash mid-`Segment::build_paged`: a
+        // published page file whose segment never made it into the WAL,
+        // and a torn tmp file from an unfinished writer.
+        std::fs::write(root.join("seg-1-1.pages"), b"orphan").unwrap();
+        std::fs::write(root.join("seg-1-2.pages.tmp"), b"torn").unwrap();
+        let db = Database::with_config(DbConfig {
+            buffer: Some(BufferConfig {
+                pool_bytes: 1 << 20,
+                page_rows: 128,
+                page_root: Some(root.clone()),
+            }),
+            ..DbConfig::default()
+        })
+        .unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&root).unwrap().collect();
+        assert!(leftovers.is_empty(), "open must purge orphans: {leftovers:?}");
+        // The purged root is immediately reusable for new segments.
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY) USING FORMAT COLUMN")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.maintenance();
+        assert_eq!(db.query("SELECT COUNT(*) FROM t").unwrap()[0][0], Value::Int(1));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn buffer_pool_is_a_governed_carveout() {
+        let db = Database::with_config(DbConfig {
+            memory: Some(MemoryConfig::with_total(1 << 20)),
+            buffer: Some(BufferConfig::with_pool(64 * 1024)),
+            ..DbConfig::default()
+        })
+        .unwrap();
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT) USING FORMAT COLUMN")
+            .unwrap();
+        for i in 0..100 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        }
+        db.maintenance();
+        db.query("SELECT SUM(v) FROM t").unwrap();
+        let gov = db.memory_governor().unwrap();
+        let stats = db.buffer_stats().unwrap();
+        assert_eq!(
+            gov.buffer_used(),
+            stats.resident_bytes,
+            "resident pages must be claimed from the governor carve-out"
+        );
+        assert!(gov.buffer_used() <= 64 * 1024);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod physical;
 pub mod session;
 
 pub use catalog::{Catalog, TableFormat, TableHandle};
-pub use database::{Database, DbConfig, MaintenanceDaemon, MaintenanceStats, MemoryConfig};
+pub use database::{BufferConfig, Database, DbConfig, MaintenanceDaemon, MaintenanceStats, MemoryConfig};
 pub use parallel::ParallelExec;
 pub use session::{QueryResult, Session};

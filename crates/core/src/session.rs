@@ -327,7 +327,7 @@ impl Session {
         let predicate = filter.map(|f| bind_scalar(f, schema)).transpose()?;
         if let Some(p) = &predicate {
             if let Some(key) = pk_equality_key(p, schema) {
-                return Ok(match handle.get(&key, txn.begin_ts(), txn.id()) {
+                return Ok(match handle.get(&key, txn.begin_ts(), txn.id())? {
                     // Re-check the full predicate (it may have residual
                     // conjuncts beyond the key columns).
                     Some(row) if matches!(p.eval_row(&row)?, Value::Bool(true)) => {

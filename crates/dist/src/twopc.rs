@@ -637,7 +637,7 @@ mod tests {
         // A predecessor's abort lands first...
         coord.log_record(CoordRecord::Abort { gtxn }).unwrap();
         // ...so a racing incarnation trying to commit must adopt it.
-        assert_eq!(coord.log_decision(gtxn, true).unwrap(), false);
+        assert!(!coord.log_decision(gtxn, true).unwrap());
         assert_eq!(coord.decision_for(gtxn), Some(false));
         // Even if a conflicting record sneaks into the log, every reader
         // still resolves to the first record in log order.

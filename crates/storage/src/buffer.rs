@@ -1,0 +1,514 @@
+//! The buffer manager: a governed, clock-evicted pool of column pages.
+//!
+//! Paged segments keep only zone maps, schemas, delete stamps, and page
+//! directories resident; the encoded column payloads live in page files
+//! ([`crate::pagefile`]) and are faulted in through [`BufferManager::pin`].
+//! A pinned page is wrapped in a [`PageGuard`] — a pin count keeps the
+//! frame from being evicted while any scan dereferences it; dropping the
+//! guard unpins.
+//!
+//! Sizing integrates with [`MemoryGovernor`]'s buffer carve-out: resident
+//! page bytes are claimed via `try_claim_buffer`, so the buffer pool,
+//! operator budgets, and OLTP working sets share one process hierarchy.
+//! When a claim fails the pool *evicts* (clock second-chance over
+//! unpinned frames) and retries; only when everything is pinned does the
+//! pressure surface as a typed [`DbError::ResourceExhausted`] — never an
+//! OOM.
+//!
+//! The [`points::BUFFER_EVICT_RACE`] fault makes the clock hand treat its
+//! chosen victim as freshly pinned by a racing reader, exercising the
+//! re-check-and-skip path deterministically.
+
+use crate::pagefile::{PageFile, PageFileWriter};
+use crate::segment::EncodedColumn;
+use oltap_common::fault::{points, FaultInjector};
+use oltap_common::hash::FxHashMap;
+use oltap_common::mem::MemoryGovernor;
+use oltap_common::{DbError, Result};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identity of one column page: the page file's process-unique id plus
+/// the page index inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// The owning page file's id.
+    pub file: u64,
+    /// Page index within the file.
+    pub page: u32,
+}
+
+/// Snapshot of buffer-pool counters, surfaced through the database stats
+/// path so benches and tests assert on behavior instead of timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferStats {
+    /// Pin requests served from a resident frame.
+    pub hits: u64,
+    /// Pin requests that faulted the page in from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Bytes of currently pinned frames.
+    pub pinned_bytes: u64,
+    /// Bytes of all resident frames (pinned + evictable).
+    pub resident_bytes: u64,
+    /// Configured pool capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+struct Frame {
+    key: PageKey,
+    data: Arc<EncodedColumn>,
+    bytes: u64,
+    pins: u32,
+    referenced: bool,
+}
+
+struct Pool {
+    map: FxHashMap<PageKey, usize>,
+    frames: Vec<Option<Frame>>,
+    free: Vec<usize>,
+    hand: usize,
+    resident_bytes: u64,
+    pinned_bytes: u64,
+}
+
+/// A clock-evicted pool of decoded column pages.
+///
+/// The pool lock is held across page loads, which serializes faults; on
+/// the current single-socket targets this is the simple-and-correct
+/// choice (per-frame IO latches are future work, noted in DESIGN.md).
+#[derive(Debug)]
+pub struct BufferManager {
+    pool: Mutex<Pool>,
+    capacity: u64,
+    governor: Option<Arc<MemoryGovernor>>,
+    faults: Arc<FaultInjector>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("frames", &self.map.len())
+            .field("resident_bytes", &self.resident_bytes)
+            .field("pinned_bytes", &self.pinned_bytes)
+            .finish()
+    }
+}
+
+impl BufferManager {
+    /// A pool capped at `capacity` bytes. When a `governor` is supplied,
+    /// resident bytes are additionally claimed from its buffer carve-out
+    /// (and thus the process total).
+    pub fn new(
+        capacity: u64,
+        governor: Option<Arc<MemoryGovernor>>,
+        faults: Arc<FaultInjector>,
+    ) -> Arc<BufferManager> {
+        Arc::new(BufferManager {
+            pool: Mutex::new(Pool {
+                map: FxHashMap::default(),
+                frames: Vec::new(),
+                free: Vec::new(),
+                hand: 0,
+                resident_bytes: 0,
+                pinned_bytes: 0,
+            }),
+            capacity,
+            governor,
+            faults,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// An effectively unbounded pool (tests, unlimited-pool baselines).
+    pub fn unbounded() -> Arc<BufferManager> {
+        Self::new(u64::MAX, None, FaultInjector::disabled())
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> BufferStats {
+        let pool = self.pool.lock();
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            pinned_bytes: pool.pinned_bytes,
+            resident_bytes: pool.resident_bytes,
+            capacity_bytes: self.capacity,
+        }
+    }
+
+    /// Pins the page under `key`, loading it via `load` on a miss. The
+    /// returned guard keeps the frame unevictable until dropped.
+    pub fn pin(
+        self: &Arc<Self>,
+        key: PageKey,
+        load: impl FnOnce() -> Result<EncodedColumn>,
+    ) -> Result<PageGuard> {
+        let mut pool = self.pool.lock();
+        if let Some(&slot) = pool.map.get(&key) {
+            let frame = pool.frames[slot]
+                .as_mut()
+                .expect("mapped frame must be occupied");
+            frame.pins += 1;
+            frame.referenced = true;
+            let bytes = frame.bytes;
+            let data = Arc::clone(&frame.data);
+            if frame.pins == 1 {
+                pool.pinned_bytes += bytes;
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PageGuard {
+                manager: Arc::clone(self),
+                key,
+                data,
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Load while holding the pool lock: faults are serialized, and a
+        // concurrent pin of the same page cannot double-load it.
+        let data = Arc::new(load()?);
+        let bytes = data.size_bytes().max(1) as u64;
+        self.make_room(&mut pool, bytes)?;
+        pool.resident_bytes += bytes;
+        pool.pinned_bytes += bytes;
+        let frame = Frame {
+            key,
+            data: Arc::clone(&data),
+            bytes,
+            pins: 1,
+            referenced: true,
+        };
+        let slot = match pool.free.pop() {
+            Some(s) => {
+                pool.frames[s] = Some(frame);
+                s
+            }
+            None => {
+                pool.frames.push(Some(frame));
+                pool.frames.len() - 1
+            }
+        };
+        pool.map.insert(key, slot);
+        Ok(PageGuard {
+            manager: Arc::clone(self),
+            key,
+            data,
+        })
+    }
+
+    /// Ensures capacity (local cap and governor carve-out) for `bytes`,
+    /// evicting unpinned frames clock-wise until the claim fits.
+    fn make_room(&self, pool: &mut Pool, bytes: u64) -> Result<()> {
+        loop {
+            let over_local = pool.resident_bytes.saturating_add(bytes) > self.capacity;
+            if !over_local {
+                match &self.governor {
+                    None => return Ok(()),
+                    // On a failed claim, fall through to eviction.
+                    Some(gov) => {
+                        if gov.try_claim_buffer(bytes).is_ok() {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            self.evict_one(pool).map_err(|mut e| {
+                // Report the page being faulted, not the victim search.
+                if let DbError::ResourceExhausted { requested, .. } = &mut e {
+                    *requested = bytes;
+                }
+                e
+            })?;
+        }
+    }
+
+    /// Evicts one unpinned frame via clock second-chance. Two full sweeps
+    /// without a victim (everything pinned, or racing pins keep landing)
+    /// surface as `ResourceExhausted{class: "buffer"}`.
+    fn evict_one(&self, pool: &mut Pool) -> Result<()> {
+        let n = pool.frames.len();
+        if n == 0 {
+            return Err(self.exhausted(pool));
+        }
+        for _ in 0..2 * n {
+            let slot = pool.hand;
+            pool.hand = (pool.hand + 1) % n;
+            let Some(frame) = pool.frames[slot].as_mut() else {
+                continue;
+            };
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            if self.faults.should_fire(points::BUFFER_EVICT_RACE) {
+                // Injected race: a reader pinned the victim between the
+                // hand's check and the eviction. Re-marking it referenced
+                // models the pin-and-release; the hand moves on.
+                frame.referenced = true;
+                continue;
+            }
+            let frame = pool.frames[slot].take().expect("checked occupied");
+            pool.map.remove(&frame.key);
+            pool.free.push(slot);
+            pool.resident_bytes -= frame.bytes;
+            if let Some(gov) = &self.governor {
+                gov.release_buffer(frame.bytes);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        Err(self.exhausted(pool))
+    }
+
+    fn exhausted(&self, pool: &Pool) -> DbError {
+        DbError::ResourceExhausted {
+            class: "buffer".into(),
+            requested: 0,
+            available: self.capacity.saturating_sub(pool.pinned_bytes),
+        }
+    }
+
+    fn unpin(&self, key: PageKey) {
+        let mut pool = self.pool.lock();
+        if let Some(&slot) = pool.map.get(&key) {
+            let frame = pool.frames[slot]
+                .as_mut()
+                .expect("mapped frame must be occupied");
+            debug_assert!(frame.pins > 0, "unpin without pin");
+            frame.pins -= 1;
+            let bytes = frame.bytes;
+            if frame.pins == 0 {
+                pool.pinned_bytes -= bytes;
+            }
+        }
+    }
+}
+
+impl Drop for BufferManager {
+    fn drop(&mut self) {
+        // Return all resident bytes to the governor's carve-out.
+        if let Some(gov) = &self.governor {
+            let pool = self.pool.get_mut();
+            if pool.resident_bytes > 0 {
+                gov.release_buffer(pool.resident_bytes);
+            }
+        }
+    }
+}
+
+/// A pinned column page. Dereferences to the decoded [`EncodedColumn`];
+/// dropping the guard unpins the frame.
+#[derive(Debug)]
+pub struct PageGuard {
+    manager: Arc<BufferManager>,
+    key: PageKey,
+    data: Arc<EncodedColumn>,
+}
+
+impl std::ops::Deref for PageGuard {
+    type Target = EncodedColumn;
+    fn deref(&self) -> &EncodedColumn {
+        &self.data
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.manager.unpin(self.key);
+    }
+}
+
+/// Factory and fault-in service for paged segments: owns the page root
+/// directory, the shared buffer pool, and the rows-per-group policy.
+#[derive(Debug)]
+pub struct SegmentPager {
+    root: PathBuf,
+    buffer: Arc<BufferManager>,
+    rows_per_group: usize,
+    faults: Arc<FaultInjector>,
+}
+
+impl SegmentPager {
+    /// Creates a pager writing page files under `root`.
+    pub fn new(
+        root: impl Into<PathBuf>,
+        buffer: Arc<BufferManager>,
+        rows_per_group: usize,
+        faults: Arc<FaultInjector>,
+    ) -> Arc<SegmentPager> {
+        Arc::new(SegmentPager {
+            root: root.into(),
+            buffer,
+            rows_per_group: rows_per_group.max(1),
+            faults,
+        })
+    }
+
+    /// Rows per row group (one page per group per column).
+    pub fn rows_per_group(&self) -> usize {
+        self.rows_per_group
+    }
+
+    /// The page root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The shared buffer pool.
+    pub fn buffer(&self) -> &Arc<BufferManager> {
+        &self.buffer
+    }
+
+    /// Opens a writer for a new segment's page file.
+    pub fn create_file(&self) -> Result<PageFileWriter> {
+        PageFileWriter::create_under(&self.root, Arc::clone(&self.faults))
+    }
+
+    /// Pins page `page` of `file`, faulting it in on a miss.
+    pub fn pin(&self, file: &Arc<PageFile>, page: u32) -> Result<PageGuard> {
+        let key = PageKey {
+            file: file.file_id(),
+            page,
+        };
+        let file = Arc::clone(file);
+        self.buffer.pin(key, move || file.read_column(page as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::IntEncoding;
+    use oltap_common::fault::FaultPoint;
+
+    fn page(tag: i64, rows: usize) -> EncodedColumn {
+        EncodedColumn::Int {
+            enc: IntEncoding::Raw((0..rows as i64).map(|i| i * tag).collect()),
+            validity: None,
+        }
+    }
+
+    fn key(n: u32) -> PageKey {
+        PageKey { file: 1, page: n }
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_accounting() {
+        let bytes = page(1, 100).size_bytes() as u64;
+        // Room for exactly two frames.
+        let mgr = BufferManager::new(2 * bytes, None, FaultInjector::disabled());
+        for n in 0..2u32 {
+            let g = mgr.pin(key(n), || Ok(page(n as i64 + 1, 100))).unwrap();
+            drop(g);
+        }
+        assert_eq!(mgr.stats().misses, 2);
+        assert_eq!(mgr.stats().resident_bytes, 2 * bytes);
+        // Re-pin: hits, no faults.
+        let g = mgr.pin(key(0), || panic!("must not reload")).unwrap();
+        assert_eq!(mgr.stats().hits, 1);
+        assert_eq!(g.len(), 100);
+        drop(g);
+        // Third page forces one eviction.
+        let g = mgr.pin(key(2), || Ok(page(3, 100))).unwrap();
+        assert_eq!(mgr.stats().evictions, 1);
+        assert_eq!(mgr.stats().resident_bytes, 2 * bytes);
+        assert_eq!(mgr.stats().pinned_bytes, bytes);
+        drop(g);
+        assert_eq!(mgr.stats().pinned_bytes, 0);
+    }
+
+    #[test]
+    fn pinned_frames_are_not_evicted() {
+        let bytes = page(1, 100).size_bytes() as u64;
+        let mgr = BufferManager::new(2 * bytes, None, FaultInjector::disabled());
+        let g0 = mgr.pin(key(0), || Ok(page(1, 100))).unwrap();
+        let _g1 = mgr.pin(key(1), || Ok(page(2, 100))).unwrap();
+        // Both frames pinned: a third page has nowhere to go.
+        let err = mgr.pin(key(2), || Ok(page(3, 100))).unwrap_err();
+        match err {
+            DbError::ResourceExhausted { class, .. } => assert_eq!(class, "buffer"),
+            other => panic!("wrong error: {other:?}"),
+        }
+        drop(g0);
+        // One slot free again.
+        mgr.pin(key(2), || Ok(page(3, 100))).unwrap();
+        // The evicted frame was key 0 (the only unpinned one).
+        assert!(!mgr.pool.lock().map.contains_key(&key(0)));
+    }
+
+    #[test]
+    fn second_chance_prefers_cold_frames() {
+        let bytes = page(1, 100).size_bytes() as u64;
+        let mgr = BufferManager::new(2 * bytes, None, FaultInjector::disabled());
+        drop(mgr.pin(key(0), || Ok(page(1, 100))).unwrap());
+        drop(mgr.pin(key(1), || Ok(page(2, 100))).unwrap());
+        // Touch key 0 so its ref bit is fresh relative to the hand sweep.
+        drop(mgr.pin(key(0), || panic!("resident")).unwrap());
+        drop(mgr.pin(key(2), || Ok(page(3, 100))).unwrap());
+        // Both survivors resident; exactly one eviction happened.
+        assert_eq!(mgr.stats().evictions, 1);
+        assert_eq!(mgr.pool.lock().map.len(), 2);
+    }
+
+    #[test]
+    fn governor_carveout_bounds_residency() {
+        let bytes = page(1, 100).size_bytes() as u64;
+        let gov = MemoryGovernor::with_buffer_pool(
+            u64::MAX,
+            u64::MAX,
+            u64::MAX,
+            2 * bytes,
+            FaultInjector::disabled(),
+        );
+        // Local cap is loose; the carve-out is the binding constraint.
+        let mgr = BufferManager::new(u64::MAX, Some(Arc::clone(&gov)), FaultInjector::disabled());
+        for n in 0..5u32 {
+            drop(mgr.pin(key(n), || Ok(page(n as i64 + 1, 100))).unwrap());
+        }
+        assert_eq!(gov.buffer_used(), 2 * bytes, "carve-out fully used");
+        assert_eq!(mgr.stats().evictions, 3);
+        drop(mgr);
+        assert_eq!(gov.buffer_used(), 0, "drop returns carve-out bytes");
+    }
+
+    #[test]
+    fn evict_race_fault_skips_victim_deterministically() {
+        let faults = FaultInjector::new(0xE71C);
+        faults.arm(points::BUFFER_EVICT_RACE, FaultPoint::times(1));
+        let bytes = page(1, 100).size_bytes() as u64;
+        let mgr = BufferManager::new(2 * bytes, None, faults.clone());
+        drop(mgr.pin(key(0), || Ok(page(1, 100))).unwrap());
+        drop(mgr.pin(key(1), || Ok(page(2, 100))).unwrap());
+        // The race fires on the first victim; the hand must move past it
+        // and still complete the pin.
+        let g = mgr.pin(key(2), || Ok(page(3, 100))).unwrap();
+        assert_eq!(g.len(), 100);
+        assert_eq!(faults.fired_count(), 1);
+        assert_eq!(mgr.stats().evictions, 1);
+    }
+
+    #[test]
+    fn failed_load_counts_a_miss_but_leaves_no_frame() {
+        let mgr = BufferManager::unbounded();
+        let err = mgr
+            .pin(key(0), || Err(DbError::Corruption("torn page".into())))
+            .unwrap_err();
+        assert!(matches!(err, DbError::Corruption(_)));
+        assert_eq!(mgr.stats().misses, 1);
+        assert_eq!(mgr.stats().resident_bytes, 0);
+        // A retry can still succeed.
+        assert!(mgr.pin(key(0), || Ok(page(1, 10))).is_ok());
+    }
+}

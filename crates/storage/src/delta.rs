@@ -24,6 +24,7 @@
 //! which scans take for read, so no reader observes the intermediate
 //! state.
 
+use crate::buffer::SegmentPager;
 use crate::predicate::ScanPredicate;
 use crate::rowstore::RowStore;
 use crate::segment::Segment;
@@ -102,6 +103,9 @@ pub struct DeltaMainTable {
     schema: SchemaRef,
     state: RwLock<TableState>,
     next_segment: AtomicU64,
+    /// When set, merged/bulk-loaded segments are built *paged*: column
+    /// data lives in page files and faults in through the buffer pool.
+    pager: Option<Arc<SegmentPager>>,
 }
 
 impl std::fmt::Debug for DeltaMainTable {
@@ -116,8 +120,14 @@ impl std::fmt::Debug for DeltaMainTable {
 }
 
 impl DeltaMainTable {
-    /// An empty table.
+    /// An empty table with fully resident segments.
     pub fn new(schema: SchemaRef) -> Self {
+        Self::with_pager(schema, None)
+    }
+
+    /// An empty table; when `pager` is set, segments are paged through its
+    /// buffer pool instead of held resident.
+    pub fn with_pager(schema: SchemaRef, pager: Option<Arc<SegmentPager>>) -> Self {
         DeltaMainTable {
             state: RwLock::new(TableState {
                 delta: RowStore::new(Arc::clone(&schema)),
@@ -126,6 +136,17 @@ impl DeltaMainTable {
             }),
             schema,
             next_segment: AtomicU64::new(1),
+            pager,
+        }
+    }
+
+    /// Builds a segment in the table's configured residency mode.
+    fn build_segment(&self, id: SegmentId, rows: &[Row], visible_from: Ts) -> Result<Segment> {
+        match &self.pager {
+            Some(pager) => {
+                Segment::build_paged(id, Arc::clone(&self.schema), rows, visible_from, pager)
+            }
+            None => Segment::build_visible_from(id, Arc::clone(&self.schema), rows, visible_from),
         }
     }
 
@@ -162,7 +183,7 @@ impl DeltaMainTable {
             }
         }
         let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
-        let seg = Arc::new(Segment::build(id, Arc::clone(&self.schema), rows)?);
+        let seg = Arc::new(self.build_segment(id, rows, 0)?);
         if self.schema.has_primary_key() {
             for (i, r) in rows.iter().enumerate() {
                 let key = self.schema.key_of(r);
@@ -223,21 +244,24 @@ impl DeltaMainTable {
         Ok(())
     }
 
-    /// Point lookup at a snapshot.
-    pub fn get(&self, key: &Row, read_ts: Ts, me: TxnId) -> Option<Row> {
+    /// Point lookup at a snapshot. Faults the row's pages when the main
+    /// location is paged; page-read failures surface as typed errors.
+    pub fn get(&self, key: &Row, read_ts: Ts, me: TxnId) -> Result<Option<Row>> {
         let state = self.state.read();
         if let Some(r) = state.delta.get(key, read_ts, me) {
-            return Some(r);
+            return Ok(Some(r));
         }
-        let locs = state.pk_locs.get(key)?;
+        let Some(locs) = state.pk_locs.get(key) else {
+            return Ok(None);
+        };
         for &(sid, off) in locs {
             if let Some(seg) = state.segment(sid) {
                 if seg.visible_to(read_ts) && !seg.is_deleted(off, read_ts, me) {
-                    return Some(seg.row_at(off));
+                    return Ok(Some(seg.row_at(off)?));
                 }
             }
         }
-        None
+        Ok(None)
     }
 
     /// Transactional update (full-row image; the key must not change).
@@ -335,12 +359,7 @@ impl DeltaMainTable {
             return Ok(MergeStats::default());
         }
         let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
-        let seg = Arc::new(Segment::build_visible_from(
-            id,
-            Arc::clone(&self.schema),
-            &drained,
-            watermark,
-        )?);
+        let seg = Arc::new(self.build_segment(id, &drained, watermark)?);
         if self.schema.has_primary_key() {
             for (i, r) in drained.iter().enumerate() {
                 let key = self.schema.key_of(r);
@@ -382,9 +401,9 @@ impl DeltaMainTable {
                     }
                     Some(stamp @ Stamp::Committed(_)) => {
                         carried_stamps.push((rows.len() as u32, stamp));
-                        rows.push(seg.row_at(off));
+                        rows.push(seg.row_at(off)?);
                     }
-                    _ => rows.push(seg.row_at(off)),
+                    _ => rows.push(seg.row_at(off)?),
                 }
             }
         }
@@ -393,12 +412,7 @@ impl DeltaMainTable {
             return Ok(stats);
         }
         let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
-        let seg = Arc::new(Segment::build_visible_from(
-            id,
-            Arc::clone(&self.schema),
-            &rows,
-            watermark,
-        )?);
+        let seg = Arc::new(self.build_segment(id, &rows, watermark)?);
         for (off, stamp) in carried_stamps {
             seg.restore_delete_stamp(off, stamp);
         }
@@ -410,7 +424,7 @@ impl DeltaMainTable {
             let segments = std::mem::take(&mut state.segments);
             for s in &segments {
                 for off in 0..s.row_count() as u32 {
-                    let key = self.schema.key_of(&s.row_at(off));
+                    let key = self.schema.key_of(&s.row_at(off)?);
                     state.pk_locs.entry(key).or_default().push((s.id(), off));
                 }
             }
@@ -437,12 +451,13 @@ impl DeltaMainTable {
     }
 
     /// Per-segment encoding names of column `c` (diagnostics / EXPLAIN).
-    pub fn column_encodings(&self, c: usize) -> Vec<&'static str> {
+    /// Pins the first page of each paged segment's column.
+    pub fn column_encodings(&self, c: usize) -> Result<Vec<&'static str>> {
         self.state
             .read()
             .segments
             .iter()
-            .map(|s| s.columns()[c].encoding_name())
+            .map(|s| s.column_encoding_name(c))
             .collect()
     }
 }
@@ -500,7 +515,7 @@ mod tests {
         assert_eq!(t.sizes().main_rows, 100);
         assert_eq!(count(&t, mgr.now()), 100);
         // Point reads route to main now.
-        assert!(t.get(&row![42i64], mgr.now(), NOBODY).is_some());
+        assert!(t.get(&row![42i64], mgr.now(), NOBODY).unwrap().is_some());
     }
 
     #[test]
@@ -559,10 +574,10 @@ mod tests {
         t.update(&tx, &row![1i64], row![1i64, "a", 99i64]).unwrap();
         let cts = tx.commit().unwrap();
 
-        assert_eq!(t.get(&row![1i64], cts, NOBODY).unwrap()[2], Value::Int(99));
+        assert_eq!(t.get(&row![1i64], cts, NOBODY).unwrap().unwrap()[2], Value::Int(99));
         // Old snapshot sees the old value.
         assert_eq!(
-            t.get(&row![1i64], cts - 1, NOBODY).unwrap()[2],
+            t.get(&row![1i64], cts - 1, NOBODY).unwrap().unwrap()[2],
             Value::Int(10)
         );
         // Still exactly two visible rows.
@@ -583,7 +598,7 @@ mod tests {
         let cts = tx.commit().unwrap();
         assert_eq!(count(&t, cts), 0);
         assert_eq!(count(&t, cts - 1), 2);
-        assert!(t.get(&row![1i64], cts, NOBODY).is_none());
+        assert!(t.get(&row![1i64], cts, NOBODY).unwrap().is_none());
     }
 
     #[test]
@@ -600,7 +615,7 @@ mod tests {
         t.insert(&tx, row![1i64, "new", 5i64]).unwrap();
         let cts = tx.commit().unwrap();
         assert_eq!(
-            t.get(&row![1i64], cts, NOBODY).unwrap()[1],
+            t.get(&row![1i64], cts, NOBODY).unwrap().unwrap()[1],
             Value::Str("new".into())
         );
         assert_eq!(count(&t, cts), 1);
@@ -633,7 +648,7 @@ mod tests {
         t.update(&tx, &row![1i64], row![1i64, "a", 2i64]).unwrap();
         tx.abort().unwrap();
         assert_eq!(
-            t.get(&row![1i64], mgr.now(), NOBODY).unwrap()[2],
+            t.get(&row![1i64], mgr.now(), NOBODY).unwrap().unwrap()[2],
             Value::Int(1)
         );
         assert_eq!(count(&t, mgr.now()), 1);
@@ -674,7 +689,7 @@ mod tests {
             tx.commit().unwrap();
             t.merge(mgr.gc_watermark()).unwrap();
             assert_eq!(
-                t.get(&row![1i64], mgr.now(), NOBODY).unwrap()[2],
+                t.get(&row![1i64], mgr.now(), NOBODY).unwrap().unwrap()[2],
                 Value::Int(round as i64),
                 "round {round}"
             );
@@ -689,7 +704,7 @@ mod tests {
         assert_eq!(t.sizes().segments, 1);
         assert_eq!(count(&t, mgr.now()), 1);
         assert_eq!(
-            t.get(&row![1i64], mgr.now(), NOBODY).unwrap()[2],
+            t.get(&row![1i64], mgr.now(), NOBODY).unwrap().unwrap()[2],
             Value::Int(5)
         );
     }
@@ -719,7 +734,7 @@ mod tests {
         let tx = mgr.begin();
         t.update(&tx, &row![1i64], row![1i64, "a", 2i64]).unwrap();
         let cts = tx.commit().unwrap();
-        assert_eq!(t.get(&row![1i64], cts, NOBODY).unwrap()[2], Value::Int(2));
+        assert_eq!(t.get(&row![1i64], cts, NOBODY).unwrap().unwrap()[2], Value::Int(2));
         assert_eq!(count(&t, cts), 1);
     }
 

@@ -22,6 +22,7 @@
 //!   overlays the current row-store versions of those keys plus
 //!   newly-inserted keys — each visible row is produced exactly once.
 
+use crate::buffer::SegmentPager;
 use crate::predicate::ScanPredicate;
 use crate::rowstore::RowStore;
 use crate::segment::Segment;
@@ -67,6 +68,9 @@ pub struct DualFormatTable {
     next_segment: AtomicU64,
     /// Rows per columnar segment when populating.
     segment_rows: usize,
+    /// When set, populated image segments are paged through the buffer
+    /// pool instead of held resident.
+    pager: Option<Arc<SegmentPager>>,
 }
 
 impl std::fmt::Debug for DualFormatTable {
@@ -84,6 +88,12 @@ impl DualFormatTable {
     /// Creates a dual-format table. Requires a primary key (the journal
     /// identifies rows by key).
     pub fn new(schema: SchemaRef) -> Result<Self> {
+        Self::with_pager(schema, None)
+    }
+
+    /// Creates a dual-format table whose columnar image is paged through
+    /// `pager`'s buffer pool when one is supplied.
+    pub fn with_pager(schema: SchemaRef, pager: Option<Arc<SegmentPager>>) -> Result<Self> {
         if !schema.has_primary_key() {
             return Err(DbError::InvalidArgument(
                 "dual-format tables require a primary key".into(),
@@ -100,6 +110,7 @@ impl DualFormatTable {
             next_segment: AtomicU64::new(1),
             segment_rows: 131_072,
             schema,
+            pager,
         })
     }
 
@@ -187,12 +198,14 @@ impl DualFormatTable {
         let mut pk_locs = FxHashMap::default();
         for chunk in rows.chunks(self.segment_rows.max(1)) {
             let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
-            let seg = Segment::build_visible_from(
-                id,
-                Arc::clone(&self.schema),
-                chunk,
-                watermark,
-            )?;
+            let seg = match &self.pager {
+                Some(pager) => {
+                    Segment::build_paged(id, Arc::clone(&self.schema), chunk, watermark, pager)?
+                }
+                None => {
+                    Segment::build_visible_from(id, Arc::clone(&self.schema), chunk, watermark)?
+                }
+            };
             let seg_idx = segments.len();
             for (off, r) in chunk.iter().enumerate() {
                 pk_locs.insert(self.schema.key_of(r), (seg_idx, off as u32));
@@ -268,11 +281,7 @@ impl DualFormatTable {
             }
             let indexes = sel.to_selection();
             for chunk in indexes.chunks(batch_size.max(1)) {
-                let cols: Vec<_> = projection
-                    .iter()
-                    .map(|&c| seg.columns()[c].gather(chunk))
-                    .collect();
-                out.push(Batch::new(cols)?);
+                out.push(Batch::new(seg.gather_columns(projection, chunk)?)?);
             }
         }
 

@@ -138,6 +138,26 @@ impl BitPacked {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Reassembles from raw parts (the inverse of [`BitPacked::words`] /
+    /// [`BitPacked::width`] / [`BitPacked::len`], used by the column-page
+    /// codec). Rejects a word vector too short for `len * width` bits so a
+    /// truncated page cannot build an out-of-bounds accessor.
+    pub fn from_parts(width: u8, len: usize, words: Vec<u64>) -> Result<Self> {
+        if width as usize > 64 {
+            return Err(DbError::InvalidArgument(format!(
+                "bit width {width} out of range"
+            )));
+        }
+        let need = (len * width as usize).div_ceil(64);
+        if words.len() < need {
+            return Err(DbError::Corruption(format!(
+                "bit-packed payload has {} words, needs {need}",
+                words.len()
+            )));
+        }
+        Ok(BitPacked { width, len, words })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -205,6 +225,17 @@ impl ForPacked {
     /// Heap bytes used.
     pub fn size_bytes(&self) -> usize {
         self.packed.size_bytes() + 8
+    }
+
+    /// The underlying bit-packed shifted codes (for serialization).
+    pub fn packed(&self) -> &BitPacked {
+        &self.packed
+    }
+
+    /// Reassembles from a frame base and packed codes (page codec inverse
+    /// of [`ForPacked::base`] / [`ForPacked::packed`]).
+    pub fn from_parts(base: i64, packed: BitPacked) -> Self {
+        ForPacked { base, packed }
     }
 }
 
@@ -280,6 +311,18 @@ impl Rle {
     /// Heap bytes used.
     pub fn size_bytes(&self) -> usize {
         self.runs.len() * 12
+    }
+
+    /// Reassembles from runs (page codec inverse of [`Rle::runs`]). The
+    /// run lengths must sum to `len`; a mismatch means a corrupt page.
+    pub fn from_parts(runs: Vec<(i64, u32)>, len: usize) -> Result<Self> {
+        let total: usize = runs.iter().map(|&(_, n)| n as usize).sum();
+        if total != len {
+            return Err(DbError::Corruption(format!(
+                "RLE runs cover {total} rows, header says {len}"
+            )));
+        }
+        Ok(Rle { runs, len })
     }
 }
 
@@ -364,6 +407,22 @@ impl<T: Ord + Clone + std::hash::Hash> Dictionary<T> {
         match self.dict.binary_search(value) {
             Ok(i) | Err(i) => i as u64,
         }
+    }
+
+    /// Reassembles from a sorted dictionary and packed codes (page codec
+    /// inverse of [`Dictionary::dict`] / [`Dictionary::codes`]). Every code
+    /// must index into the dictionary; out-of-range codes mean corruption.
+    pub fn from_parts(dict: Vec<T>, codes: BitPacked) -> Result<Self> {
+        let card = dict.len() as u64;
+        for i in 0..codes.len() {
+            if codes.get(i) >= card {
+                return Err(DbError::Corruption(format!(
+                    "dictionary code {} out of range (cardinality {card})",
+                    codes.get(i)
+                )));
+            }
+        }
+        Ok(Dictionary { dict, codes })
     }
 }
 

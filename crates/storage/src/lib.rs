@@ -16,10 +16,16 @@
 //! * [`predicate`] — pushed-down scan predicates shared by all formats.
 //! * [`spill`] — length-framed spill files under per-query scratch dirs,
 //!   the disk half of the executor's memory-bounded operators.
+//! * [`pagefile`] + [`buffer`] — checksummed on-disk column pages behind
+//!   a governed, clock-evicted buffer pool, making segments
+//!   larger-than-memory (§2's "operational analytics under one memory
+//!   hierarchy").
 
+pub mod buffer;
 pub mod delta;
 pub mod dual;
 pub mod encoding;
+pub mod pagefile;
 pub mod predicate;
 pub mod rowstore;
 pub mod segment;
@@ -27,8 +33,10 @@ pub mod skiplist;
 pub mod spill;
 pub mod zonemap;
 
+pub use buffer::{BufferManager, BufferStats, PageGuard, PageKey, SegmentPager};
 pub use delta::{DeltaMainTable, MergeStats, TableSizes};
 pub use dual::DualFormatTable;
+pub use pagefile::{purge_page_root, PageFile, PageFileWriter};
 pub use predicate::{CmpOp, ColumnPredicate, JoinFilter, ScanPredicate};
 pub use rowstore::RowStore;
 pub use segment::Segment;

@@ -27,6 +27,16 @@ pub struct ColumnZone {
 impl ColumnZone {
     /// Builds the zone from values.
     pub fn build(values: &[Value]) -> Self {
+        Self::build_iter(values.iter(), values.len())
+    }
+
+    /// Builds the zone from borrowed values — the clone-free path used by
+    /// segment builds, which transpose rows into `&Value` slices.
+    pub fn build_refs(values: &[&Value]) -> Self {
+        Self::build_iter(values.iter().copied(), values.len())
+    }
+
+    fn build_iter<'a>(values: impl Iterator<Item = &'a Value>, row_count: usize) -> Self {
         let mut min: Option<&Value> = None;
         let mut max: Option<&Value> = None;
         let mut null_count = 0;
@@ -48,7 +58,7 @@ impl ColumnZone {
             min: min.cloned(),
             max: max.cloned(),
             null_count,
-            row_count: values.len(),
+            row_count,
         }
     }
 
@@ -88,6 +98,14 @@ impl ZoneMap {
     pub fn build(columns: &[Vec<Value>]) -> Self {
         ZoneMap {
             columns: columns.iter().map(|c| ColumnZone::build(c)).collect(),
+        }
+    }
+
+    /// Builds zones from borrowed per-column value slices (clone-free
+    /// segment build path).
+    pub fn build_refs(columns: &[Vec<&Value>]) -> Self {
+        ZoneMap {
+            columns: columns.iter().map(|c| ColumnZone::build_refs(c)).collect(),
         }
     }
 

@@ -928,3 +928,122 @@ fn chaos_2pc_snapshot_install_failure_falls_back_to_replay() {
         rep.applied_since_boot
     );
 }
+
+// ---------------------------------------------------------------------------
+// Buffer-manager scenarios (16–17): columnar base data lives in on-disk
+// page files behind a clock-evicted buffer pool, so torn page reads and
+// eviction races are first-class fault surfaces. The invariants: page
+// corruption surfaces as a typed error (never a panic, never silently
+// wrong rows), and eviction interference never changes query results.
+
+/// A paged column-store database: a `pages` fact table whose merged main
+/// segments live in page files behind a `pool_bytes` buffer pool.
+fn paged_db(faults: Arc<FaultInjector>, pool_bytes: u64) -> Arc<Database> {
+    let db = Database::with_config(DbConfig {
+        wal_path: None,
+        faults: Some(faults),
+        buffer: Some(oltapdb::core::BufferConfig {
+            pool_bytes,
+            page_rows: 64,
+            page_root: None,
+        }),
+        ..DbConfig::default()
+    })
+    .unwrap();
+    load_pages_table(&db);
+    db
+}
+
+fn load_pages_table(db: &Arc<Database>) {
+    db.execute(
+        "CREATE TABLE pages (id BIGINT PRIMARY KEY, g BIGINT, v BIGINT) USING FORMAT COLUMN",
+    )
+    .unwrap();
+    let t = db.table("pages").unwrap();
+    let tx = db.txn_manager().begin();
+    for i in 0..2000i64 {
+        t.insert(&tx, row![i, i % 50, i * 7 % 17]).unwrap();
+    }
+    tx.commit().unwrap();
+    // Merge the delta into paged main segments.
+    db.maintenance();
+}
+
+/// Scenario 16 — `storage.page_read_fail`: a bit flips on the read path
+/// of a column page. The CRC check must turn it into a typed
+/// `Corruption` error from the query — no panic, no partial batch — and
+/// because failed loads cache nothing, the very next read of the same
+/// page succeeds with the correct bytes.
+#[test]
+fn chaos_corrupt_page_read_is_a_typed_error_not_a_panic() {
+    let seed = seed_for(16);
+    let faults = FaultInjector::new(seed);
+    // Pool far smaller than the data: every query must fault pages back
+    // in, so an armed read fault is guaranteed to be exercised.
+    let db = paged_db(Arc::clone(&faults), 2048);
+    let sql = "SELECT g, COUNT(*), SUM(v) FROM pages GROUP BY g ORDER BY g";
+    let clean = db.query(sql).unwrap();
+    assert_eq!(clean.len(), 50);
+    let stats = db.buffer_stats().unwrap();
+    assert!(stats.misses > 0, "paged scan faulted nothing — vacuous");
+
+    faults.arm(points::STORAGE_PAGE_READ_FAIL, FaultPoint::times(2));
+    for attempt in 0..2 {
+        let err = db.query(sql).unwrap_err();
+        assert!(
+            matches!(err, DbError::Corruption(_)),
+            "attempt {attempt}: expected Corruption, got {err} (seed={seed:#x})"
+        );
+    }
+    assert_eq!(
+        faults.fired_count(),
+        2,
+        "page-read fault never fired — scenario vacuous (seed={seed:#x})"
+    );
+    // The corruption was injected on the read path, not persisted, and a
+    // failed load leaves no poisoned frame behind: the same query now
+    // returns exactly the pre-fault answer.
+    assert_eq!(db.query(sql).unwrap(), clean);
+    // And the database still accepts writes afterwards.
+    db.execute("INSERT INTO pages VALUES (99999, 0, 0)").unwrap();
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM pages").unwrap()[0][0],
+        Value::Int(2001)
+    );
+}
+
+/// Scenario 17 — `buffer.evict_race` under a tiny pool: the clock hand's
+/// chosen victim is re-pinned at the last moment (simulating a racing
+/// reader), forcing the sweep to skip it and pick another frame. Results
+/// must be byte-identical to a fully-resident database, serial and
+/// parallel, while evictions actually happen.
+#[test]
+fn chaos_evict_race_never_changes_results() {
+    let seed = seed_for(17);
+    let faults = FaultInjector::new(seed);
+    faults.arm(points::BUFFER_EVICT_RACE, FaultPoint::with_probability(0.3));
+    let db = paged_db(Arc::clone(&faults), 2048);
+
+    let resident = Database::new();
+    load_pages_table(&resident);
+
+    for sql in [
+        "SELECT g, COUNT(*), SUM(v), MIN(id), MAX(id) FROM pages GROUP BY g ORDER BY g",
+        "SELECT id, v FROM pages WHERE id >= 1900 ORDER BY id",
+        "SELECT COUNT(*) FROM pages WHERE v > 8",
+    ] {
+        db.set_parallelism(1);
+        let serial = db.query(sql).unwrap();
+        db.set_parallelism(4);
+        let parallel = db.query(sql).unwrap();
+        let want = resident.query(sql).unwrap();
+        assert_eq!(serial, want, "serial diverged: {sql} (seed={seed:#x})");
+        assert_eq!(parallel, want, "parallel diverged: {sql} (seed={seed:#x})");
+    }
+    let stats = db.buffer_stats().unwrap();
+    assert!(stats.evictions > 0, "tiny pool never evicted — vacuous");
+    assert!(
+        faults.fired_count() > 0,
+        "evict-race fault never fired — scenario vacuous (seed={seed:#x})"
+    );
+}
