@@ -193,6 +193,33 @@ impl BitSet {
         &self.words
     }
 
+    /// Copies bits `[start, start + len)` into a fresh bitset whose bit 0
+    /// is the source's bit `start`. Word-shift copy, so row-group slices of
+    /// a segment-wide selection stay cheap even when groups are not
+    /// 64-aligned.
+    pub fn slice(&self, start: usize, len: usize) -> BitSet {
+        assert!(start + len <= self.len, "slice out of range");
+        let nwords = len.div_ceil(64);
+        let mut words = vec![0u64; nwords];
+        let base = start / 64;
+        let off = start % 64;
+        if off == 0 {
+            words.copy_from_slice(&self.words[base..base + nwords]);
+        } else {
+            for (k, w) in words.iter_mut().enumerate() {
+                let lo = self.words[base + k] >> off;
+                let hi = self
+                    .words
+                    .get(base + k + 1)
+                    .map_or(0, |next| next << (64 - off));
+                *w = lo | hi;
+            }
+        }
+        let mut s = BitSet { words, len };
+        s.clear_trailing();
+        s
+    }
+
     /// Rebuilds a bitset from raw words and a logical length (the inverse
     /// of [`BitSet::words`], used by the column-page codec). Missing words
     /// are zero-filled; surplus words and trailing bits are masked off.
@@ -317,6 +344,19 @@ mod tests {
         let b = BitSet::from_indexes(200, &idx);
         let got: Vec<usize> = b.iter_ones().collect();
         assert_eq!(got, idx);
+    }
+
+    #[test]
+    fn slice_matches_per_bit_copy() {
+        let idx: Vec<usize> = (0..500).filter(|i| i % 7 == 0 || i % 13 == 0).collect();
+        let b = BitSet::from_indexes(500, &idx);
+        for (start, len) in [(0, 64), (0, 500), (1, 63), (63, 130), (64, 64), (37, 251), (499, 1), (500, 0)] {
+            let s = b.slice(start, len);
+            assert_eq!(s.len(), len);
+            for i in 0..len {
+                assert_eq!(s.get(i), b.get(start + i), "start {start} len {len} bit {i}");
+            }
+        }
     }
 
     #[test]

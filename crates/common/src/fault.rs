@@ -82,6 +82,12 @@ pub mod points {
     /// skip the frame, and keep searching (or surface a typed
     /// `ResourceExhausted` when nothing evictable remains).
     pub const BUFFER_EVICT_RACE: &str = "buffer.evict_race";
+
+    /// Forces the fused operate-on-compressed aggregate kernels to take
+    /// the scalar decode-then-evaluate fallback at a row-group boundary.
+    /// Fired per (segment, row group); fused and fallback paths must
+    /// produce byte-identical results, which the chaos suite asserts.
+    pub const EXEC_KERNEL_FALLBACK: &str = "exec.kernel_fallback";
 }
 
 /// Configuration of one named fault point.

@@ -175,6 +175,23 @@ impl ParallelExec {
                 p
             }
             LogicalPlan::Aggregate { input, group, aggs } => {
+                // Fused operate-on-compressed path: both planners call the
+                // same helper, so serial and parallel plans hit the same
+                // fused kernels and produce byte-identical batches. The
+                // fused scan reads encoded segments directly — there is no
+                // batch stream to morselize, so the result is terminal.
+                if let Some(batches) =
+                    crate::physical::try_fused_aggregate(input, group, aggs, catalog, ctx)?
+                {
+                    let input_schema = input.output_schema()?;
+                    let schema =
+                        AggregatorCore::new(&input_schema, group.clone(), aggs.clone())?.schema();
+                    return Ok(Pipeline {
+                        batches,
+                        stages: Vec::new(),
+                        schema,
+                    });
+                }
                 let p = self.decompose(input, catalog, ctx, pctx, sips)?;
                 let core = Arc::new(AggregatorCore::new(
                     &p.schema,

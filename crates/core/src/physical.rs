@@ -11,13 +11,15 @@
 //!   that filter attached to its pushdown — storage skips or thins
 //!   segments before batches ever reach the probe.
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, TableHandle};
+use oltap_common::fault::FaultInjector;
 use oltap_common::hash::FxHashMap;
 use oltap_common::ids::TxnId;
-use oltap_common::{CancellationToken, Result};
+use oltap_common::{Batch, CancellationToken, Result};
 use oltap_exec::operator::{BoxedOperator, CancelOp, FilterOp, LimitOp, MemorySource, ProjectOp};
 use oltap_exec::{
-    ExecResources, HashAggregateOp, HashJoinOp, JoinTable, JoinTableBuilder, SortOp, TopKOp,
+    fused_aggregate_segments, fused_shape, AggExpr, AggregatorCore, ExecResources, Expr,
+    FusedScanCtx, HashAggregateOp, HashJoinOp, JoinTable, JoinTableBuilder, SortOp, TopKOp,
 };
 use oltap_sql::LogicalPlan;
 use oltap_storage::JoinFilter;
@@ -40,6 +42,9 @@ pub struct ExecContext {
     /// Memory budget + spill directory for the pipeline breakers;
     /// [`ExecResources::unlimited`] for unmetered execution.
     pub mem: ExecResources,
+    /// Fault injector probed by the fused kernels (forces the scalar
+    /// fallback path); [`FaultInjector::disabled`] outside chaos tests.
+    pub faults: Arc<FaultInjector>,
 }
 
 /// Lowers a logical plan to a pulling operator tree. Every plan edge gets
@@ -117,11 +122,15 @@ fn lower_inner(
             Box::new(ProjectOp::new(child, es, names)?)
         }
         LogicalPlan::Aggregate { input, group, aggs } => {
-            let child = lower_inner(input, catalog, ctx, sips)?;
-            Box::new(
-                HashAggregateOp::new(child, group.clone(), aggs.clone())?
-                    .with_resources(ctx.mem.clone()),
-            )
+            if let Some(batches) = try_fused_aggregate(input, group, aggs, catalog, ctx)? {
+                Box::new(MemorySource::new(plan.output_schema()?, batches))
+            } else {
+                let child = lower_inner(input, catalog, ctx, sips)?;
+                Box::new(
+                    HashAggregateOp::new(child, group.clone(), aggs.clone())?
+                        .with_resources(ctx.mem.clone()),
+                )
+            }
         }
         LogicalPlan::Join {
             left,
@@ -177,6 +186,68 @@ fn lower_inner(
     Ok(Box::new(CancelOp::new(op, ctx.cancel.clone())))
 }
 
+/// Attempts the fused operate-on-compressed path for an
+/// `Aggregate(Scan)` plan over a delta-main table: group keys and
+/// aggregate inputs are read straight from the encoded segments (see
+/// `oltap_exec::fused`), the delta is folded through the same
+/// [`AggregatorCore`], and the finished batches replace the whole
+/// operator subtree. Returns `None` — fall back to the operator
+/// pipeline — when the shape doesn't qualify: non-column expressions,
+/// non-columnar tables, or a scan carrying a sideways join filter
+/// (whose build side is only drained during regular lowering).
+///
+/// Both the serial and the parallel planner call this, so the two cannot
+/// drift: a fusable plan produces byte-identical batches either way.
+pub fn try_fused_aggregate(
+    input: &LogicalPlan,
+    group: &[(Expr, String)],
+    aggs: &[AggExpr],
+    catalog: &Catalog,
+    ctx: &ExecContext,
+) -> Result<Option<Vec<Batch>>> {
+    let LogicalPlan::Scan {
+        table,
+        projection,
+        pushdown,
+        sip,
+        ..
+    } = input
+    else {
+        return Ok(None);
+    };
+    if sip.is_some() {
+        return Ok(None);
+    }
+    let TableHandle::Column(t) = catalog.get(table)? else {
+        return Ok(None);
+    };
+    let input_schema = input.output_schema()?;
+    let core = AggregatorCore::new(&input_schema, group.to_vec(), aggs.to_vec())?;
+    let Some(shape) = fused_shape(&core) else {
+        return Ok(None);
+    };
+    let (segments, delta) =
+        t.fused_scan_parts(projection, pushdown, ctx.read_ts, ctx.me, ctx.batch_size)?;
+    let mut map = core.new_map();
+    fused_aggregate_segments(
+        &core,
+        &mut map,
+        &segments,
+        &shape,
+        projection,
+        &FusedScanCtx {
+            pred: pushdown,
+            read_ts: ctx.read_ts,
+            me: ctx.me,
+            faults: &ctx.faults,
+        },
+    )?;
+    for b in &delta {
+        core.consume(&mut map, b)?;
+    }
+    Ok(Some(core.finish(map)?))
+}
+
 /// Convenience: lower + drain into batches.
 pub fn execute_plan(
     plan: &LogicalPlan,
@@ -200,6 +271,7 @@ pub fn snapshot_ctx(read_ts: Ts) -> ExecContext {
         batch_size: oltap_common::vector::BATCH_SIZE,
         cancel: CancellationToken::none(),
         mem: ExecResources::unlimited(),
+        faults: FaultInjector::disabled(),
     }
 }
 

@@ -169,6 +169,7 @@ impl Session {
             batch_size: oltap_common::vector::BATCH_SIZE,
             cancel,
             mem: self.db.exec_resources(class)?,
+            faults: Arc::clone(self.db.faults()),
         };
         let result = match self.db.parallel_exec() {
             Some(pexec) => pexec.execute(&plan, &catalog, &ctx),

@@ -94,7 +94,7 @@ impl AggExpr {
 
 /// Running state of one aggregate within one group.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     SumI {
         sum: i64,
@@ -113,7 +113,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc, input_type: DataType) -> AggState {
+    pub(crate) fn new(func: AggFunc, input_type: DataType) -> AggState {
         match func {
             AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => match input_type {
@@ -129,7 +129,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: &Value) -> Result<()> {
+    pub(crate) fn update(&mut self, v: &Value) -> Result<()> {
         match self {
             AggState::Count(c) => {
                 if !v.is_null() {
@@ -168,7 +168,7 @@ impl AggState {
         Ok(())
     }
 
-    fn count_row(&mut self) {
+    pub(crate) fn count_row(&mut self) {
         if let AggState::Count(c) = self {
             *c += 1;
         }
@@ -177,7 +177,7 @@ impl AggState {
     /// Folds another partial state (same function, different input slice)
     /// into this one. Every aggregate here is decomposable, which is what
     /// lets the parallel executor aggregate per worker and merge.
-    fn merge(&mut self, other: AggState) -> Result<()> {
+    pub(crate) fn merge(&mut self, other: AggState) -> Result<()> {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (AggState::SumI { sum, seen }, AggState::SumI { sum: s2, seen: n2 }) => {
@@ -250,7 +250,7 @@ impl AggState {
 /// A thread-local partial aggregation: group key → one running state per
 /// aggregate. Opaque; produced by [`AggregatorCore::new_map`], filled by
 /// [`AggregatorCore::consume`], combined by [`AggregatorCore::merge`].
-pub struct GroupMap(FxHashMap<Row, Vec<AggState>>);
+pub struct GroupMap(pub(crate) FxHashMap<Row, Vec<AggState>>);
 
 impl GroupMap {
     /// Number of distinct groups accumulated so far.
@@ -308,12 +308,49 @@ impl AggregatorCore {
         Arc::clone(&self.schema)
     }
 
+    /// The group-by expressions (in output order).
+    pub fn group_exprs(&self) -> &[Expr] {
+        &self.group_by
+    }
+
+    /// The aggregates (in output order).
+    pub fn agg_exprs(&self) -> &[AggExpr] {
+        &self.aggs
+    }
+
+    /// The resolved input type of each aggregate.
+    pub fn agg_input_types(&self) -> &[DataType] {
+        &self.input_types
+    }
+
+    /// Folds one key's partial states into `map` — the single-key mirror
+    /// of [`AggregatorCore::merge`], used by the fused segment path to
+    /// translate dense per-code accumulators into the global map.
+    pub(crate) fn merge_key(
+        &self,
+        map: &mut GroupMap,
+        key: Row,
+        states: Vec<AggState>,
+    ) -> Result<()> {
+        match map.0.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                for (dst, src) in e.get_mut().iter_mut().zip(states) {
+                    dst.merge(src)?;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(states);
+            }
+        }
+        Ok(())
+    }
+
     /// An empty partial map.
     pub fn new_map(&self) -> GroupMap {
         GroupMap(FxHashMap::default())
     }
 
-    fn make_states(&self) -> Vec<AggState> {
+    pub(crate) fn make_states(&self) -> Vec<AggState> {
         self.aggs
             .iter()
             .zip(&self.input_types)

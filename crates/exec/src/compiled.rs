@@ -16,6 +16,15 @@
 //! * intermediates live in a small set of reused f64/i64 registers instead
 //!   of freshly allocated vectors.
 //!
+//! A peephole pass folds literal operands into [`Instr::BinConst`], so the
+//! ubiquitous `column ⋄ constant` comparisons cost one instruction and one
+//! register instead of a `LoadConst` block refill per block.
+//!
+//! String predicates never reach this VM by design: pushed-down string
+//! comparisons are rewritten into the *code domain* at the scan layer
+//! (`oltap-storage` translates them to dictionary-code comparisons per row
+//! group), so the compiled engine only ever sees numeric/boolean work.
+//!
 //! The benchmark `e11_compilation` compares the three engines
 //! (tuple-interpreted / vectorized / compiled) on identical expressions.
 
@@ -43,6 +52,11 @@ enum Instr {
     LoadConst { dst: u8, val: f64 },
     /// `reg[dst] = reg[a] op reg[b]`.
     Bin { op: VmOp, dst: u8, a: u8, b: u8 },
+    /// `reg[dst] = reg[a] op const` — the peephole form of `Bin` with a
+    /// literal operand folded into the instruction. Saves a register plus
+    /// a `LoadConst` block fill on every one of the (very common)
+    /// column-vs-literal comparisons and column±constant arithmetic.
+    BinConst { op: VmOp, dst: u8, a: u8, val: f64 },
     /// `reg[dst] = -reg[a]`.
     Neg { dst: u8, a: u8 },
     /// `reg[dst] = 1.0 - reg[a]` (logical NOT over masks).
@@ -153,8 +167,6 @@ fn compile_node(expr: &Expr, schema: &Schema, prog: &mut Program, depth: u8) -> 
                     "integer division not supported by the compiled engine".into(),
                 ));
             }
-            let a = compile_node(left, schema, prog, depth)?;
-            let b = compile_node(right, schema, prog, depth + 1)?;
             let vm_op = match op {
                 BinOp::Add => VmOp::Add,
                 BinOp::Sub => VmOp::Sub,
@@ -170,6 +182,32 @@ fn compile_node(expr: &Expr, schema: &Schema, prog: &mut Program, depth: u8) -> 
                 BinOp::And => VmOp::And,
                 BinOp::Or => VmOp::Or,
             };
+            // Peephole: fold a literal operand into the instruction. A
+            // left-side literal mirrors the comparison (`5 < x` → `x > 5`)
+            // when the op allows it; Sub/Div/Mod are not mirrorable and
+            // keep the generic two-register form.
+            if let Some(val) = literal_f64(right) {
+                let a = compile_node(left, schema, prog, depth)?;
+                prog.instrs.push(Instr::BinConst {
+                    op: vm_op,
+                    dst: depth,
+                    a,
+                    val,
+                });
+                return Ok(depth);
+            }
+            if let (Some(val), Some(mirrored)) = (literal_f64(left), mirror_op(vm_op)) {
+                let a = compile_node(right, schema, prog, depth)?;
+                prog.instrs.push(Instr::BinConst {
+                    op: mirrored,
+                    dst: depth,
+                    a,
+                    val,
+                });
+                return Ok(depth);
+            }
+            let a = compile_node(left, schema, prog, depth)?;
+            let b = compile_node(right, schema, prog, depth + 1)?;
             prog.instrs.push(Instr::Bin {
                 op: vm_op,
                 dst: depth,
@@ -189,6 +227,29 @@ fn compile_node(expr: &Expr, schema: &Schema, prog: &mut Program, depth: u8) -> 
         Expr::IsNull(_) | Expr::IsNotNull(_) => Err(DbError::Unsupported(
             "IS NULL not supported by the compiled engine".into(),
         )),
+    }
+}
+
+/// The f64 value of a compilable literal, or `None` (NULL and string
+/// literals are rejected later by the generic literal arm).
+fn literal_f64(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Literal(Value::Int(x)) | Expr::Literal(Value::Timestamp(x)) => Some(*x as f64),
+        Expr::Literal(Value::Float(x)) => Some(*x),
+        Expr::Literal(Value::Bool(b)) => Some(*b as u8 as f64),
+        _ => None,
+    }
+}
+
+/// The op with swapped operands, where one exists (`x op y` ≡ `y op' x`).
+fn mirror_op(op: VmOp) -> Option<VmOp> {
+    match op {
+        VmOp::Add | VmOp::Mul | VmOp::Eq | VmOp::Ne | VmOp::And | VmOp::Or => Some(op),
+        VmOp::Lt => Some(VmOp::Gt),
+        VmOp::Le => Some(VmOp::Ge),
+        VmOp::Gt => Some(VmOp::Lt),
+        VmOp::Ge => Some(VmOp::Le),
+        VmOp::Sub | VmOp::Div | VmOp::Mod => None,
     }
 }
 
@@ -318,6 +379,34 @@ impl Program {
                     // Integer division is rejected at compile time, so
                     // these are IEEE float semantics: x/0 = ±inf, matching
                     // the interpreter's float path.
+                    VmOp::Div => lane!(|x: f64, y: f64| x / y),
+                    VmOp::Mod => lane!(|x: f64, y: f64| x % y),
+                    VmOp::Eq => lane!(|x: f64, y: f64| (x == y) as u8 as f64),
+                    VmOp::Ne => lane!(|x: f64, y: f64| (x != y) as u8 as f64),
+                    VmOp::Lt => lane!(|x: f64, y: f64| (x < y) as u8 as f64),
+                    VmOp::Le => lane!(|x: f64, y: f64| (x <= y) as u8 as f64),
+                    VmOp::Gt => lane!(|x: f64, y: f64| (x > y) as u8 as f64),
+                    VmOp::Ge => lane!(|x: f64, y: f64| (x >= y) as u8 as f64),
+                    VmOp::And => lane!(|x: f64, y: f64| ((x != 0.0) && (y != 0.0)) as u8 as f64),
+                    VmOp::Or => lane!(|x: f64, y: f64| ((x != 0.0) || (y != 0.0)) as u8 as f64),
+                }
+            }
+            Instr::BinConst { op, dst, a, val } => {
+                let va = regs[a as usize];
+                let reg = &mut regs[dst as usize];
+                // Same lane table as `Bin` with the constant operand kept
+                // in a scalar (one register, no per-block refill).
+                macro_rules! lane {
+                    ($f:expr) => {
+                        for o in 0..len {
+                            reg[o] = $f(va[o], val);
+                        }
+                    };
+                }
+                match op {
+                    VmOp::Add => lane!(|x: f64, y: f64| x + y),
+                    VmOp::Sub => lane!(|x: f64, y: f64| x - y),
+                    VmOp::Mul => lane!(|x: f64, y: f64| x * y),
                     VmOp::Div => lane!(|x: f64, y: f64| x / y),
                     VmOp::Mod => lane!(|x: f64, y: f64| x % y),
                     VmOp::Eq => lane!(|x: f64, y: f64| (x == y) as u8 as f64),
@@ -537,6 +626,36 @@ mod tests {
         assert_eq!(v.value_at(0), Value::Float(f64::INFINITY)); // f[0] = 0.0
         let interp = e.eval_batch(&b).unwrap();
         assert_eq!(interp.value_at(0), Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn literal_operands_fold_into_bin_const() {
+        let s = schema();
+        let b = batch(2048);
+        // Right-side literal: LoadCol + BinConst = 2 instructions.
+        let e = Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(100i64));
+        let p = compile(&e, &s).unwrap();
+        assert_eq!(p.instr_count(), 2, "{:?}", p);
+        assert_matches_interpreter(&e, &b);
+        // Left-side literal mirrors the comparison: 5 < a ⇒ a > 5.
+        let e = Expr::binary(BinOp::Lt, Expr::lit(5i64), Expr::col(0));
+        let p = compile(&e, &s).unwrap();
+        assert_eq!(p.instr_count(), 2);
+        assert_matches_interpreter(&e, &b);
+        // Left-side literal on a non-mirrorable op stays generic (3
+        // instructions) but still agrees.
+        let e = Expr::binary(BinOp::Sub, Expr::lit(1000.0f64), Expr::col(2));
+        let p = compile(&e, &s).unwrap();
+        assert_eq!(p.instr_count(), 3);
+        assert_matches_interpreter(&e, &b);
+        // Folding must not change register pressure for a chain.
+        let mut e = Expr::col(0);
+        for _ in 0..16 {
+            e = Expr::binary(BinOp::Add, e, Expr::lit(2i64));
+        }
+        let p = compile(&e, &schema()).unwrap();
+        assert_eq!(p.regs, 1);
+        assert_matches_interpreter(&e, &b);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Fused filter + aggregate over compressed segments
+//! (operate-on-compressed, paper §3).
+//!
+//! The classic pipeline for `SELECT k, SUM(v) … GROUP BY k` decompresses
+//! every surviving row into a [`Batch`], re-evaluates the group key
+//! expression per batch, and probes a hash map per row. When the plan is
+//! `Aggregate(Scan)` with plain column references, none of that
+//! materialization is necessary: the segment's selection bitmap from
+//! [`Segment::select`] already says which rows survive, and the encoded
+//! columns can feed the aggregates directly:
+//!
+//! * **Dense code-domain grouping** — when the single group column is
+//!   dictionary-coded in a row group, its codes index a dense
+//!   `Vec<slot>` of per-group accumulators (one hash probe per *distinct
+//!   key per group*, not per row). Aggregate inputs are block-decoded 64
+//!   rows at a time and folded with the branch-free
+//!   [`IntFold`](crate::kernels::IntFold) kernel under the selection
+//!   word, so cold blocks are skipped entirely.
+//! * **Scalar fallback** — any shape the dense path cannot prove safe
+//!   (multi-column keys, non-dictionary group chunks, float aggregates
+//!   whose `f64` addition order must match the row-at-a-time engine
+//!   bit-for-bit) runs a per-row decode-then-update loop over the same
+//!   selection. The [`points::EXEC_KERNEL_FALLBACK`] fault point forces
+//!   this path at row-group granularity, and the chaos suite asserts the
+//!   two produce byte-identical results.
+//!
+//! Identity argument: the dense path is only taken for aggregates whose
+//! state updates are associative and commutative in the wrapping-integer
+//! domain (`COUNT`, `COUNT(*)`, integer `SUM`, `MIN`, `MAX`), so folding
+//! per code and merging into the global map cannot differ from row-order
+//! updates. Order-sensitive states (`AVG`, float `SUM`) always use the
+//! scalar path, which visits rows in exactly the order the unfused
+//! operator pipeline would.
+
+use crate::aggregate::{AggFunc, AggState, AggregatorCore, GroupMap};
+use crate::expr::Expr;
+use crate::kernels::IntFold;
+use oltap_common::fault::{points, FaultInjector};
+use oltap_common::ids::TxnId;
+use oltap_common::{BitSet, DataType, Result, Row, Value};
+use oltap_storage::encoding::{IntEncoding, StrEncoding};
+use oltap_storage::segment::{ColumnRef, EncodedColumn, Segment};
+use oltap_storage::ScanPredicate;
+use oltap_txn::Ts;
+use std::sync::Arc;
+
+/// The column shape of a fusable aggregation: group keys and aggregate
+/// inputs resolved to scan-output ordinals.
+pub struct FusedShape {
+    /// Group-by columns (scan-output ordinals).
+    pub group_cols: Vec<usize>,
+    /// Aggregate input columns (`None` for `COUNT(*)`).
+    pub agg_cols: Vec<Option<usize>>,
+}
+
+/// Checks whether `core` is fusable: every group key and aggregate input
+/// must be a plain column reference (anything else needs expression
+/// evaluation, which the batch pipeline already does well).
+pub fn fused_shape(core: &AggregatorCore) -> Option<FusedShape> {
+    let mut group_cols = Vec::with_capacity(core.group_exprs().len());
+    for e in core.group_exprs() {
+        match e {
+            Expr::Column(c) => group_cols.push(*c),
+            _ => return None,
+        }
+    }
+    let mut agg_cols = Vec::with_capacity(core.agg_exprs().len());
+    for a in core.agg_exprs() {
+        match &a.input {
+            None => agg_cols.push(None),
+            Some(Expr::Column(c)) => agg_cols.push(Some(*c)),
+            Some(_) => return None,
+        }
+    }
+    Some(FusedShape {
+        group_cols,
+        agg_cols,
+    })
+}
+
+/// True when every aggregate's per-row update is associative and
+/// commutative at the bit level, i.e. safe to accumulate per dictionary
+/// code and merge. Float sums and averages regroup `f64` additions when
+/// merged, so they stay on the order-preserving scalar path.
+fn order_insensitive(core: &AggregatorCore) -> bool {
+    core.agg_exprs()
+        .iter()
+        .zip(core.agg_input_types())
+        .all(|(a, t)| match a.func {
+            AggFunc::CountStar | AggFunc::Count => true,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => *t == DataType::Int64,
+            AggFunc::Avg => false,
+        })
+}
+
+/// Snapshot-visibility inputs shared by every segment visit of one fused
+/// aggregation.
+pub struct FusedScanCtx<'a> {
+    /// Pushed-down predicate (drives [`Segment::select`]).
+    pub pred: &'a ScanPredicate,
+    /// Snapshot timestamp.
+    pub read_ts: Ts,
+    /// Transaction identity.
+    pub me: TxnId,
+    /// Fault injector probed at [`points::EXEC_KERNEL_FALLBACK`].
+    pub faults: &'a FaultInjector,
+}
+
+/// Aggregates the visible rows of `segments` directly into `map`, in
+/// segment order, without materializing batches. `projection` maps
+/// scan-output ordinals (which the shape's columns are expressed in) to
+/// table ordinals. The caller feeds delta-store batches through
+/// [`AggregatorCore::consume`] afterwards, preserving the unfused scan's
+/// segments-then-delta row order.
+pub fn fused_aggregate_segments(
+    core: &AggregatorCore,
+    map: &mut GroupMap,
+    segments: &[Arc<Segment>],
+    shape: &FusedShape,
+    projection: &[usize],
+    ctx: &FusedScanCtx<'_>,
+) -> Result<()> {
+    let FusedScanCtx {
+        pred,
+        read_ts,
+        me,
+        faults,
+    } = *ctx;
+    let group_tab: Vec<usize> = shape.group_cols.iter().map(|&c| projection[c]).collect();
+    let agg_tab: Vec<Option<usize>> = shape.agg_cols.iter().map(|c| c.map(|c| projection[c])).collect();
+    let dense_ok = order_insensitive(core) && group_tab.len() <= 1;
+    for seg in segments {
+        let Some(sel) = seg.select(pred, read_ts, me)? else {
+            continue;
+        };
+        if sel.none_set() {
+            continue;
+        }
+        for g in 0..seg.group_count() {
+            let (start, rows) = seg.group_bounds(g);
+            if rows == 0 {
+                continue;
+            }
+            let local = sel.slice(start, rows);
+            if local.none_set() {
+                continue;
+            }
+            // The fault point forces the scalar decode-then-evaluate path
+            // at row-group boundaries; results must not change.
+            let fused = dense_ok && !faults.should_fire(points::EXEC_KERNEL_FALLBACK);
+            if fused && dense_group(core, map, seg, g, &group_tab, &agg_tab, &local)? {
+                continue;
+            }
+            scalar_group(core, map, seg, g, &group_tab, &agg_tab, &local)?;
+        }
+    }
+    Ok(())
+}
+
+/// The group-key source of a dense row group.
+enum KeyCodes<'a> {
+    /// Global aggregate: every row belongs to the single empty key.
+    None,
+    /// Dictionary-coded key column: code = dense slot index.
+    Int(&'a oltap_storage::encoding::Dictionary<i64>, Option<&'a BitSet>),
+    Str(
+        &'a oltap_storage::encoding::Dictionary<String>,
+        Option<&'a BitSet>,
+    ),
+}
+
+/// Attempts the dense code-domain path for one row group. Returns `false`
+/// (touching nothing) when the group column's chunk is not
+/// dictionary-coded or an aggregate input is not block-decodable, in
+/// which case the caller runs the scalar path.
+fn dense_group(
+    core: &AggregatorCore,
+    map: &mut GroupMap,
+    seg: &Segment,
+    g: usize,
+    group_tab: &[usize],
+    agg_tab: &[Option<usize>],
+    local: &BitSet,
+) -> Result<bool> {
+    let key_chunk: Option<ColumnRef<'_>> = match group_tab.first() {
+        Some(&c) => Some(seg.column_chunk(g, c)?),
+        None => None,
+    };
+    let keys = match key_chunk.as_deref() {
+        None => KeyCodes::None,
+        Some(EncodedColumn::Int {
+            enc: IntEncoding::Dict(d),
+            validity,
+        }) => KeyCodes::Int(d, validity.as_ref()),
+        Some(EncodedColumn::Str {
+            enc: StrEncoding::Dict(d),
+            validity,
+        }) => KeyCodes::Str(d, validity.as_ref()),
+        Some(_) => return Ok(false),
+    };
+    // Aggregate inputs must be integer columns (or key-only COUNTs) for
+    // the fold kernel; anything else falls back.
+    let mut agg_chunks: Vec<Option<ColumnRef<'_>>> = Vec::with_capacity(agg_tab.len());
+    for &c in agg_tab {
+        match c {
+            Some(c) => {
+                let chunk = seg.column_chunk(g, c)?;
+                let ok = matches!(&*chunk, EncodedColumn::Int { .. });
+                if !ok {
+                    return Ok(false);
+                }
+                agg_chunks.push(Some(chunk));
+            }
+            None => agg_chunks.push(None),
+        }
+    }
+
+    let (card, null_slot) = match &keys {
+        KeyCodes::None => (0, 0),
+        KeyCodes::Int(d, _) => (d.cardinality(), d.cardinality()),
+        KeyCodes::Str(d, _) => (d.cardinality(), d.cardinality()),
+    };
+    // One IntFold per aggregate per touched slot; slot `card` is the NULL
+    // key. Lazily materialized so high-cardinality dictionaries with few
+    // surviving rows stay cheap.
+    let naggs = agg_tab.len();
+    let mut slots: Vec<Option<Vec<IntFold>>> = vec![None; card + 1];
+
+    let mut keybuf = [0u64; 64];
+    let mut valbuf = vec![[0i64; 64]; naggs];
+    let rows = local.len();
+    for (wb, &selword) in local.words().iter().enumerate() {
+        if selword == 0 {
+            continue;
+        }
+        let base = wb * 64;
+        let take = (rows - base).min(64);
+        match &keys {
+            KeyCodes::None => {}
+            KeyCodes::Int(d, _) => d.codes().unpack_block(base, &mut keybuf[..take]),
+            KeyCodes::Str(d, _) => d.codes().unpack_block(base, &mut keybuf[..take]),
+        }
+        // Block-decode each integer aggregate input once per 64-row block
+        // and precompute its validity-masked selection word.
+        let mut aggmask = [0u64; 16];
+        let mut aggmask_overflow: Vec<u64>;
+        let masks: &mut [u64] = if naggs <= 16 {
+            &mut aggmask[..naggs]
+        } else {
+            aggmask_overflow = vec![0u64; naggs];
+            &mut aggmask_overflow[..]
+        };
+        for (k, chunk) in agg_chunks.iter().enumerate() {
+            match chunk {
+                Some(chunk) => {
+                    chunk.decode_int_block(base, &mut valbuf[k][..take]);
+                    let vmask = match &**chunk {
+                        EncodedColumn::Int {
+                            validity: Some(v), ..
+                        } => v.words().get(wb).copied().unwrap_or(0),
+                        _ => u64::MAX,
+                    };
+                    masks[k] = selword & vmask;
+                }
+                None => masks[k] = selword,
+            }
+        }
+        let key_valid = match &keys {
+            KeyCodes::Int(_, Some(v)) | KeyCodes::Str(_, Some(v)) => {
+                v.words().get(wb).copied().unwrap_or(0)
+            }
+            _ => u64::MAX,
+        };
+        if matches!(keys, KeyCodes::None) {
+            // Global aggregate: fold the whole block into slot 0, no
+            // per-row scatter at all.
+            let folds = slots[0].get_or_insert_with(|| vec![IntFold::default(); naggs]);
+            for (k, fold) in folds.iter_mut().enumerate() {
+                fold.update_block(&valbuf[k][..take], masks[k]);
+            }
+            continue;
+        }
+        // Keyed: scatter rows to slots by code, folding per row. Slot
+        // resolution per distinct (word, slot) pair would require sorting;
+        // per-row indexing into the dense vector is already hash-free.
+        let mut w = selword;
+        while w != 0 {
+            let o = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let slot = if (key_valid >> o) & 1 == 1 {
+                keybuf[o] as usize
+            } else {
+                null_slot
+            };
+            let folds = slots[slot].get_or_insert_with(|| vec![IntFold::default(); naggs]);
+            for (k, fold) in folds.iter_mut().enumerate() {
+                let bit = 1u64 << o;
+                if masks[k] & bit != 0 {
+                    fold.count += 1;
+                    let v = valbuf[k][o];
+                    fold.sum = fold.sum.wrapping_add(v);
+                    fold.min = fold.min.min(v);
+                    fold.max = fold.max.max(v);
+                }
+            }
+        }
+    }
+
+    // Translate touched slots into the global map, reconstructing the key
+    // value from the dictionary once per distinct code.
+    for (slot, folds) in slots.into_iter().enumerate() {
+        let Some(folds) = folds else { continue };
+        let key = match &keys {
+            KeyCodes::None => Row::new(Vec::new()),
+            KeyCodes::Int(d, _) => Row::new(vec![if slot == null_slot {
+                Value::Null
+            } else {
+                Value::Int(d.dict()[slot])
+            }]),
+            KeyCodes::Str(d, _) => Row::new(vec![if slot == null_slot {
+                Value::Null
+            } else {
+                Value::Str(d.dict()[slot].clone())
+            }]),
+        };
+        let states = core
+            .agg_exprs()
+            .iter()
+            .zip(core.agg_input_types())
+            .zip(folds)
+            .map(|((a, t), f)| match a.func {
+                AggFunc::CountStar | AggFunc::Count => AggState::Count(f.count),
+                AggFunc::Sum => AggState::SumI {
+                    sum: f.sum,
+                    seen: f.count > 0,
+                },
+                AggFunc::Min => AggState::Min((f.count > 0).then_some(Value::Int(f.min))),
+                AggFunc::Max => AggState::Max((f.count > 0).then_some(Value::Int(f.max))),
+                // Unreachable: `order_insensitive` gates the dense path,
+                // but keep the state well-formed if it ever runs.
+                AggFunc::Avg => AggState::new(a.func, *t),
+            })
+            .collect();
+        core.merge_key(map, key, states)?;
+    }
+    Ok(true)
+}
+
+/// The scalar reference path: per-row decode and update, visiting rows in
+/// selection order — exactly what the unfused operator pipeline does
+/// after materializing batches, minus the materialization.
+fn scalar_group(
+    core: &AggregatorCore,
+    map: &mut GroupMap,
+    seg: &Segment,
+    g: usize,
+    group_tab: &[usize],
+    agg_tab: &[Option<usize>],
+    local: &BitSet,
+) -> Result<()> {
+    let key_chunks: Vec<ColumnRef<'_>> = group_tab
+        .iter()
+        .map(|&c| seg.column_chunk(g, c))
+        .collect::<Result<_>>()?;
+    let agg_chunks: Vec<Option<ColumnRef<'_>>> = agg_tab
+        .iter()
+        .map(|c| c.map(|c| seg.column_chunk(g, c)).transpose())
+        .collect::<Result<_>>()?;
+    for i in local.iter_ones() {
+        let key = Row::new(key_chunks.iter().map(|c| c.value_at(i)).collect());
+        let states = map.0.entry(key).or_insert_with(|| core.make_states());
+        for (s, (a, chunk)) in states
+            .iter_mut()
+            .zip(core.agg_exprs().iter().zip(&agg_chunks))
+        {
+            match (a.func, chunk) {
+                (AggFunc::CountStar, _) => s.count_row(),
+                (_, Some(c)) => s.update(&c.value_at(i))?,
+                (_, None) => {
+                    return Err(oltap_common::DbError::Plan(
+                        "non-COUNT(*) aggregate without input".into(),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}

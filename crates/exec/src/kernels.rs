@@ -62,11 +62,9 @@ pub fn scan_unpack_block(codes: &BitPacked, cmp: PackedCmp, literal: u64) -> Bit
     // sub-chunk below) starts word-aligned in the output bitmap.
     while start < n {
         let len = (n - start).min(UNPACK_BLOCK);
-        // Decode loop (sequential positions share words; the compiler
-        // unrolls this well for fixed widths).
-        for (o, slot) in buf[..len].iter_mut().enumerate() {
-            *slot = codes.get(start + o);
-        }
+        // Sequential block decode: the cursor-based unpacker avoids the
+        // per-element bounds check and index arithmetic of `get`.
+        codes.unpack_block(start, &mut buf[..len]);
         // Branch-free compare, 64 hits packed per output word.
         let mut o = 0usize;
         while o < len {
@@ -130,9 +128,36 @@ pub fn scan_swar(codes: &BitPacked, cmp: PackedCmp, literal: u64) -> Option<BitS
         m
     };
 
+    // Precompute the lane-compaction schedule: each step halves the
+    // spacing of the (shifted-down) lane hit bits, so `log2(lanes)`
+    // shift/or/mask rounds replace a per-hit `trailing_zeros` scatter.
+    // This is a branch-free movemask — the cost per input word is
+    // constant regardless of selectivity.
+    let mut steps: Vec<(u32, u64)> = Vec::new();
+    {
+        let mut g = 1usize; // contiguous group size
+        let mut s = w; // group spacing
+        while g < lanes {
+            let shift = (s - g) as u32;
+            let (ng, ns) = (g * 2, s * 2);
+            let mut mask = 0u64;
+            let mut p = 0;
+            while p < 64 {
+                mask |= (((1u128 << ng) - 1) as u64) << p;
+                p += ns;
+            }
+            steps.push((shift, mask));
+            g = ng;
+            s = ns;
+        }
+    }
+
     let words = codes.words();
     let mut out = BitSet::with_len(n);
-    for (wi, &x) in words.iter().enumerate() {
+    let mut acc = 0u64; // selection bits for the output word being filled
+    let mut filled = 0usize;
+    let mut out_word = 0usize;
+    for &x in words.iter() {
         // Per-lane comparison producing a 1 in each matching lane's MSB.
         let msb_hits = match cmp {
             PackedCmp::Eq => {
@@ -154,19 +179,86 @@ pub fn scan_swar(codes: &BitPacked, cmp: PackedCmp, literal: u64) -> Option<BitS
                 borrow & high
             }
         };
-        // Scatter lane MSB hits into the selection bitmap.
-        let mut hits = msb_hits;
-        while hits != 0 {
-            let bit = hits.trailing_zeros() as usize;
-            hits &= hits - 1;
-            let lane = bit / w;
-            let idx = wi * lanes + lane;
-            if idx < n {
-                out.set(idx);
-            }
+        // Compact lane MSBs into `lanes` contiguous low bits, then pack
+        // them into the current output word. Trailing garbage lanes of the
+        // last input word fall beyond bit `n` and are masked by `or_word`.
+        let mut compact = msb_hits >> (w - 1);
+        for &(sh, m) in &steps {
+            compact = (compact | (compact >> sh)) & m;
+        }
+        acc |= compact << filled;
+        filled += lanes;
+        if filled == 64 {
+            out.or_word(out_word, acc);
+            out_word += 1;
+            acc = 0;
+            filled = 0;
         }
     }
+    if filled > 0 {
+        out.or_word(out_word, acc);
+    }
     Some(out)
+}
+
+/// Running integer fold for the fused filter+aggregate path: COUNT, a
+/// wrapping SUM, and MIN/MAX of the selected lanes of 64-row blocks.
+///
+/// One fold instance accumulates one aggregate input column; the caller
+/// supplies each block's decoded values plus a 64-bit mask (selection ∧
+/// validity). Every operation here is associative and commutative in the
+/// wrapping-integer domain, so block order and block/scalar grouping
+/// cannot change the result — the byte-identity contract the property
+/// tests pin down.
+#[derive(Debug, Clone, Copy)]
+pub struct IntFold {
+    /// Number of selected lanes folded so far.
+    pub count: i64,
+    /// Wrapping sum of selected values.
+    pub sum: i64,
+    /// Minimum selected value (`i64::MAX` until `count > 0`).
+    pub min: i64,
+    /// Maximum selected value (`i64::MIN` until `count > 0`).
+    pub max: i64,
+}
+
+impl Default for IntFold {
+    fn default() -> Self {
+        IntFold {
+            count: 0,
+            sum: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+}
+
+impl IntFold {
+    /// Folds one block: `vals[o]` participates iff bit `o` of `mask` is
+    /// set. Count/sum are branch-free multiply-accumulates; min/max use
+    /// select-style conditionals, so the whole loop autovectorizes.
+    pub fn update_block(&mut self, vals: &[i64], mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        debug_assert!(vals.len() <= 64);
+        let mut count = 0i64;
+        let mut sum = 0i64;
+        let mut mn = self.min;
+        let mut mx = self.max;
+        for (o, &v) in vals.iter().enumerate() {
+            let bit = (mask >> o) & 1;
+            let m = bit as i64;
+            count += m;
+            sum = sum.wrapping_add(v.wrapping_mul(m));
+            mn = if bit == 1 && v < mn { v } else { mn };
+            mx = if bit == 1 && v > mx { v } else { mx };
+        }
+        self.count += count;
+        self.sum = self.sum.wrapping_add(sum);
+        self.min = mn;
+        self.max = mx;
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +360,37 @@ mod tests {
             assert_eq!(b, r, "n {n}");
             assert_eq!(c, r, "n {n}");
         }
+    }
+
+    #[test]
+    fn int_fold_matches_scalar_reference() {
+        let vals: Vec<i64> = (0..300)
+            .map(|i| ((i * 2654435761i64) % 1000) - 500)
+            .collect();
+        let mut fold = IntFold::default();
+        let mut ref_count = 0i64;
+        let mut ref_sum = 0i64;
+        let mut ref_min = i64::MAX;
+        let mut ref_max = i64::MIN;
+        for (b, block) in vals.chunks(64).enumerate() {
+            let mask = 0xA5A5_A5A5_A5A5_A5A5u64.rotate_left(b as u32);
+            fold.update_block(block, mask);
+            for (o, &v) in block.iter().enumerate() {
+                if (mask >> o) & 1 == 1 {
+                    ref_count += 1;
+                    ref_sum = ref_sum.wrapping_add(v);
+                    ref_min = ref_min.min(v);
+                    ref_max = ref_max.max(v);
+                }
+            }
+        }
+        assert_eq!(fold.count, ref_count);
+        assert_eq!(fold.sum, ref_sum);
+        assert_eq!(fold.min, ref_min);
+        assert_eq!(fold.max, ref_max);
+        let mut empty = IntFold::default();
+        empty.update_block(&vals[..64], 0);
+        assert_eq!(empty.count, 0);
     }
 
     #[test]

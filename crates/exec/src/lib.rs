@@ -9,6 +9,10 @@
 //!   LLVM query compilation (HyPer \[28\] / Impala \[41\] analog).
 //! * [`kernels`] — SIMD-style predicate scans over bit-packed codes
 //!   (Willhalm et al. \[42\] analog), including a SWAR variant.
+//! * [`fused`] — fused filter+aggregate directly over compressed
+//!   segments: code-domain grouping with dense per-code accumulators and
+//!   block-folded integer aggregates (HANA/BLU operate-on-compressed
+//!   analog).
 //! * [`operator`], [`aggregate`], [`join`], [`sort`] — the batched
 //!   operator set: filter, project, limit, hash aggregation, hash join,
 //!   sort, top-K.
@@ -24,6 +28,7 @@
 pub mod aggregate;
 pub mod compiled;
 pub mod expr;
+pub mod fused;
 pub mod join;
 pub mod kernels;
 pub mod operator;
@@ -37,6 +42,7 @@ pub use aggregate::{
 };
 pub use compiled::{compile, CompiledExpr, Program};
 pub use expr::{BinOp, Expr, UnOp};
+pub use fused::{fused_aggregate_segments, fused_shape, FusedScanCtx, FusedShape};
 pub use join::{
     join_output_schema, probe_batch, HashJoinOp, JoinTable, JoinTableBuilder, JoinType,
     ProbeScratch, PARTITION_BITS,

@@ -73,13 +73,44 @@ struct Pool {
     hand: usize,
     resident_bytes: u64,
     pinned_bytes: u64,
+    /// In-flight page loads: a fault registers its latch here (under the
+    /// pool lock), drops the lock, and reads the page. Same-key pins wait
+    /// on the latch instead of double-loading; different keys fault in
+    /// parallel.
+    loading: FxHashMap<PageKey, Arc<LoadLatch>>,
+}
+
+/// A one-shot latch a faulting pin parks on while another thread loads
+/// the same page. `release` is called exactly once, after the loader has
+/// published (or abandoned) the frame; waiters then retry the pin from
+/// the top — a successful load becomes their hit, a failed load makes
+/// the first retrier the next loader.
+#[derive(Debug, Default)]
+struct LoadLatch {
+    done: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl LoadLatch {
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("latch poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("latch poisoned");
+        }
+    }
+
+    fn release(&self) {
+        *self.done.lock().expect("latch poisoned") = true;
+        self.cv.notify_all();
+    }
 }
 
 /// A clock-evicted pool of decoded column pages.
 ///
-/// The pool lock is held across page loads, which serializes faults; on
-/// the current single-socket targets this is the simple-and-correct
-/// choice (per-frame IO latches are future work, noted in DESIGN.md).
+/// Page IO runs *outside* the pool lock behind per-frame load latches:
+/// a fault publishes its in-flight latch, releases the pool, and reads
+/// the page; concurrent faults on other pages overlap their IO, while
+/// same-page pins wait on the latch rather than loading twice.
 #[derive(Debug)]
 pub struct BufferManager {
     pool: Mutex<Pool>,
@@ -118,6 +149,7 @@ impl BufferManager {
                 hand: 0,
                 resident_bytes: 0,
                 pinned_bytes: 0,
+                loading: FxHashMap::default(),
             }),
             capacity,
             governor,
@@ -148,61 +180,88 @@ impl BufferManager {
 
     /// Pins the page under `key`, loading it via `load` on a miss. The
     /// returned guard keeps the frame unevictable until dropped.
+    ///
+    /// The pool lock is **not** held across `load`: a miss publishes a
+    /// per-frame load latch and reads the page unlocked, so faults on
+    /// distinct pages overlap their IO. A concurrent pin of the same page
+    /// waits on the latch and retries — it never double-loads, and if the
+    /// load failed the retrier becomes the next loader.
     pub fn pin(
         self: &Arc<Self>,
         key: PageKey,
         load: impl FnOnce() -> Result<EncodedColumn>,
     ) -> Result<PageGuard> {
-        let mut pool = self.pool.lock();
-        if let Some(&slot) = pool.map.get(&key) {
-            let frame = pool.frames[slot]
-                .as_mut()
-                .expect("mapped frame must be occupied");
-            frame.pins += 1;
-            frame.referenced = true;
-            let bytes = frame.bytes;
-            let data = Arc::clone(&frame.data);
-            if frame.pins == 1 {
+        let mut load = Some(load);
+        loop {
+            let mut pool = self.pool.lock();
+            if let Some(&slot) = pool.map.get(&key) {
+                let frame = pool.frames[slot]
+                    .as_mut()
+                    .expect("mapped frame must be occupied");
+                frame.pins += 1;
+                frame.referenced = true;
+                let bytes = frame.bytes;
+                let data = Arc::clone(&frame.data);
+                if frame.pins == 1 {
+                    pool.pinned_bytes += bytes;
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PageGuard {
+                    manager: Arc::clone(self),
+                    key,
+                    data,
+                });
+            }
+            if let Some(latch) = pool.loading.get(&key) {
+                let latch = Arc::clone(latch);
+                drop(pool);
+                latch.wait();
+                continue;
+            }
+            // This thread is the loader: publish the latch, drop the pool
+            // lock, and fault the page in with IO fully unlocked.
+            let latch = Arc::new(LoadLatch::default());
+            pool.loading.insert(key, Arc::clone(&latch));
+            drop(pool);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let result = (load.take().expect("loader runs once"))().map(Arc::new);
+            let mut pool = self.pool.lock();
+            pool.loading.remove(&key);
+            // Publish the outcome before waking waiters so their retry
+            // observes either the frame (success) or its absence (failure).
+            let out = result.and_then(|data| {
+                let bytes = data.size_bytes().max(1) as u64;
+                self.make_room(&mut pool, bytes)?;
+                pool.resident_bytes += bytes;
                 pool.pinned_bytes += bytes;
-            }
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(PageGuard {
-                manager: Arc::clone(self),
-                key,
-                data,
+                let frame = Frame {
+                    key,
+                    data: Arc::clone(&data),
+                    bytes,
+                    pins: 1,
+                    referenced: true,
+                };
+                let slot = match pool.free.pop() {
+                    Some(s) => {
+                        pool.frames[s] = Some(frame);
+                        s
+                    }
+                    None => {
+                        pool.frames.push(Some(frame));
+                        pool.frames.len() - 1
+                    }
+                };
+                pool.map.insert(key, slot);
+                Ok(PageGuard {
+                    manager: Arc::clone(self),
+                    key,
+                    data,
+                })
             });
+            drop(pool);
+            latch.release();
+            return out;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Load while holding the pool lock: faults are serialized, and a
-        // concurrent pin of the same page cannot double-load it.
-        let data = Arc::new(load()?);
-        let bytes = data.size_bytes().max(1) as u64;
-        self.make_room(&mut pool, bytes)?;
-        pool.resident_bytes += bytes;
-        pool.pinned_bytes += bytes;
-        let frame = Frame {
-            key,
-            data: Arc::clone(&data),
-            bytes,
-            pins: 1,
-            referenced: true,
-        };
-        let slot = match pool.free.pop() {
-            Some(s) => {
-                pool.frames[s] = Some(frame);
-                s
-            }
-            None => {
-                pool.frames.push(Some(frame));
-                pool.frames.len() - 1
-            }
-        };
-        pool.map.insert(key, slot);
-        Ok(PageGuard {
-            manager: Arc::clone(self),
-            key,
-            data,
-        })
     }
 
     /// Ensures capacity (local cap and governor carve-out) for `bytes`,
@@ -497,6 +556,76 @@ mod tests {
         assert_eq!(g.len(), 100);
         assert_eq!(faults.fired_count(), 1);
         assert_eq!(mgr.stats().evictions, 1);
+    }
+
+    #[test]
+    fn concurrent_faults_on_distinct_pages_overlap() {
+        // Each load blocks until the *other* load has started. If the pool
+        // lock were still held across IO, the second fault could never
+        // begin and the deadline below would trip.
+        use std::sync::atomic::AtomicUsize;
+        let mgr = BufferManager::unbounded();
+        let started = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..2u32)
+            .map(|n| {
+                let mgr = Arc::clone(&mgr);
+                let started = Arc::clone(&started);
+                std::thread::spawn(move || {
+                    let g = mgr
+                        .pin(key(n), move || {
+                            started.fetch_add(1, Ordering::SeqCst);
+                            let deadline =
+                                std::time::Instant::now() + std::time::Duration::from_secs(10);
+                            while started.load(Ordering::SeqCst) < 2 {
+                                assert!(
+                                    std::time::Instant::now() < deadline,
+                                    "page loads serialized: concurrent fault never started"
+                                );
+                                std::thread::yield_now();
+                            }
+                            Ok(page(n as i64 + 1, 100))
+                        })
+                        .unwrap();
+                    assert_eq!(g.len(), 100);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(mgr.stats().misses, 2);
+        assert_eq!(mgr.pool.lock().loading.len(), 0, "latch table drained");
+    }
+
+    #[test]
+    fn concurrent_same_page_pins_load_once() {
+        use std::sync::atomic::AtomicUsize;
+        let mgr = BufferManager::unbounded();
+        let loads = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let mgr = Arc::clone(&mgr);
+                let loads = Arc::clone(&loads);
+                std::thread::spawn(move || {
+                    let g = mgr
+                        .pin(key(7), move || {
+                            loads.fetch_add(1, Ordering::SeqCst);
+                            // Dawdle so the other pins arrive while the
+                            // load is in flight and must take the latch.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(page(3, 50))
+                        })
+                        .unwrap();
+                    assert_eq!(g.len(), 50);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "single-flight per page");
+        assert_eq!(mgr.stats().misses, 1);
+        assert_eq!(mgr.stats().hits, 7);
     }
 
     #[test]

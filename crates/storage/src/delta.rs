@@ -27,7 +27,7 @@
 use crate::buffer::SegmentPager;
 use crate::predicate::ScanPredicate;
 use crate::rowstore::RowStore;
-use crate::segment::Segment;
+use crate::segment::{Segment, SegmentBuilder};
 use oltap_common::hash::FxHashMap;
 use oltap_common::ids::{SegmentId, TxnId};
 use oltap_common::schema::SchemaRef;
@@ -148,6 +148,13 @@ impl DeltaMainTable {
             }
             None => Segment::build_visible_from(id, Arc::clone(&self.schema), rows, visible_from),
         }
+    }
+
+    /// A streamed segment build in the table's residency mode (merge and
+    /// compaction push rows group-at-a-time instead of materializing the
+    /// whole segment).
+    fn segment_builder(&self, id: SegmentId, visible_from: Ts) -> Result<SegmentBuilder> {
+        Segment::builder(id, Arc::clone(&self.schema), visible_from, self.pager.as_ref())
     }
 
     /// The table schema.
@@ -350,6 +357,31 @@ impl DeltaMainTable {
         Ok(out)
     }
 
+    /// The raw inputs of a fused (operate-on-compressed) scan: the main
+    /// segments visible at `read_ts` plus the delta store's batches. The
+    /// fused aggregate path consumes segments without materializing them;
+    /// the delta — small and row-format — is returned pre-scanned in the
+    /// same order the batched [`DeltaMainTable::scan`] would emit it.
+    pub fn fused_scan_parts(
+        &self,
+        projection: &[usize],
+        pred: &ScanPredicate,
+        read_ts: Ts,
+        me: TxnId,
+        batch_size: usize,
+    ) -> Result<(Vec<Arc<Segment>>, Vec<Batch>)> {
+        pred.validate(&self.schema)?;
+        let state = self.state.read();
+        let segments = state
+            .segments
+            .iter()
+            .filter(|s| s.visible_to(read_ts))
+            .cloned()
+            .collect();
+        let delta = state.delta.scan(projection, pred, read_ts, me, batch_size)?;
+        Ok((segments, delta))
+    }
+
     /// Merges committed delta rows (at or below `watermark`) into a new
     /// main segment. See the module docs for why this is MVCC-safe.
     pub fn merge(&self, watermark: Ts) -> Result<MergeStats> {
@@ -359,20 +391,27 @@ impl DeltaMainTable {
             return Ok(MergeStats::default());
         }
         let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
-        let seg = Arc::new(self.build_segment(id, &drained, watermark)?);
+        let rows_merged = drained.len();
         if self.schema.has_primary_key() {
             for (i, r) in drained.iter().enumerate() {
                 let key = self.schema.key_of(r);
                 state.pk_locs.entry(key).or_default().push((id, i as u32));
             }
         }
-        state.segments.push(seg);
+        // Stream the drained rows into the builder: paged builds flush and
+        // drop each full row group, so the drained vector shrinks as the
+        // segment grows instead of coexisting with a second copy.
+        let mut builder = self.segment_builder(id, watermark)?;
+        for r in drained {
+            builder.push_row(r)?;
+        }
+        state.segments.push(Arc::new(builder.finish()?));
         // Compact the delta index: drop chains now dead to every snapshot
         // (their data lives in the new segment). Live/pending chains move
         // over by Arc.
         state.delta = state.delta.rebuilt_without_dead(watermark);
         Ok(MergeStats {
-            rows_merged: drained.len(),
+            rows_merged,
             new_segment: Some(id.raw()),
         })
     }
@@ -383,12 +422,22 @@ impl DeltaMainTable {
     pub fn compact(&self, watermark: Ts) -> Result<CompactStats> {
         let mut state = self.state.write();
         let mut stats = CompactStats::default();
+        let compactable = |s: &Arc<Segment>| !s.has_pending_deletes() && s.visible_to(watermark);
+        if !state.segments.iter().any(&compactable) {
+            stats.segments_skipped = state.segments.len();
+            return Ok(stats);
+        }
         let mut keep: Vec<Arc<Segment>> = Vec::new();
-        let mut rows: Vec<Row> = Vec::new();
-        // (row index in `rows`) → surviving delete stamp to re-register.
+        // Streamed rewrite: surviving rows go straight into the builder,
+        // which flushes each completed row group, so peak transient
+        // materialization is one row group — not the union of every
+        // compacted segment.
+        let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
+        let mut builder = self.segment_builder(id, watermark)?;
+        // (row offset in the new segment) → surviving stamp to re-register.
         let mut carried_stamps: Vec<(u32, Stamp)> = Vec::new();
         for seg in state.segments.drain(..) {
-            if seg.has_pending_deletes() || !seg.visible_to(watermark) {
+            if !compactable(&seg) {
                 stats.segments_skipped += 1;
                 keep.push(seg);
                 continue;
@@ -400,19 +449,14 @@ impl DeltaMainTable {
                         stats.rows_dropped += 1;
                     }
                     Some(stamp @ Stamp::Committed(_)) => {
-                        carried_stamps.push((rows.len() as u32, stamp));
-                        rows.push(seg.row_at(off)?);
+                        carried_stamps.push((builder.rows_pushed() as u32, stamp));
+                        builder.push_row(seg.row_at(off)?)?;
                     }
-                    _ => rows.push(seg.row_at(off)?),
+                    _ => builder.push_row(seg.row_at(off)?)?,
                 }
             }
         }
-        if stats.segments_compacted == 0 {
-            state.segments = keep;
-            return Ok(stats);
-        }
-        let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
-        let seg = Arc::new(self.build_segment(id, &rows, watermark)?);
+        let seg = Arc::new(builder.finish()?);
         for (off, stamp) in carried_stamps {
             seg.restore_delete_stamp(off, stamp);
         }

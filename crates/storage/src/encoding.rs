@@ -124,8 +124,39 @@ impl BitPacked {
     pub fn unpack_into(&self, out: &mut Vec<u64>) {
         out.clear();
         out.reserve(self.len);
-        for i in 0..self.len {
-            out.push(self.get(i));
+        let mut buf = [0u64; 64];
+        let mut start = 0usize;
+        while start < self.len {
+            let len = (self.len - start).min(64);
+            self.unpack_block(start, &mut buf[..len]);
+            out.extend_from_slice(&buf[..len]);
+            start += len;
+        }
+    }
+
+    /// Decodes `out.len()` consecutive values starting at `start` into
+    /// `out`. This is the block-wise accessor the operate-on-compressed
+    /// kernels use: a sequential bit cursor instead of per-index math, in
+    /// a shape the compiler can unroll for the common widths.
+    #[inline]
+    pub fn unpack_block(&self, start: usize, out: &mut [u64]) {
+        let w = self.width as usize;
+        debug_assert!(start + out.len() <= self.len);
+        if w == 0 {
+            out.fill(0);
+            return;
+        }
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let mut bit = start * w;
+        for slot in out.iter_mut() {
+            let word = bit >> 6;
+            let off = bit & 63;
+            let mut v = self.words[word] >> off;
+            if off + w > 64 {
+                v |= self.words[word + 1] << (64 - off);
+            }
+            *slot = v & mask;
+            bit += w;
         }
     }
 
@@ -648,6 +679,27 @@ mod tests {
             for (i, &v) in values.iter().enumerate() {
                 assert_eq!(packed.get(i), v, "width {width} idx {i}");
             }
+        }
+    }
+
+    #[test]
+    fn unpack_block_matches_get_at_any_offset() {
+        for width in [0u8, 1, 5, 8, 13, 32, 63, 64] {
+            let max = if width == 0 {
+                0
+            } else if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..300).map(|i| (i as u64 * 2654435761) & max).collect();
+            let packed = BitPacked::pack(&values, width).unwrap();
+            for (start, len) in [(0usize, 64usize), (1, 63), (77, 100), (299, 1), (0, 300)] {
+                let mut out = vec![0u64; len];
+                packed.unpack_block(start, &mut out);
+                assert_eq!(out, values[start..start + len], "width {width} at {start}");
+            }
+            assert_eq!(packed.unpack(), values, "width {width}");
         }
     }
 

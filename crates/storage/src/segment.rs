@@ -13,8 +13,8 @@
 //! reduces to "not (visibly deleted)".
 
 use crate::buffer::{PageGuard, SegmentPager};
-use crate::encoding::{IntEncoding, StrEncoding};
-use crate::pagefile::PageFile;
+use crate::encoding::{BitPacked, IntEncoding, StrEncoding};
+use crate::pagefile::{PageFile, PageFileWriter};
 use crate::predicate::{CmpOp, ColumnPredicate, ScanPredicate};
 use crate::zonemap::{ColumnZone, ZoneMap};
 use oltap_common::hash::FxHashMap;
@@ -119,8 +119,18 @@ impl EncodedColumn {
         }
     }
 
-    /// Gathers `sel` rows into a decoded [`ColumnVector`].
+    /// Gathers `sel` rows into a decoded [`ColumnVector`]. `sel` must be
+    /// ascending (scan selections always are).
     pub fn gather(&self, sel: &[u32]) -> ColumnVector {
+        debug_assert!(sel.windows(2).all(|w| w[0] < w[1]), "gather needs ascending indexes");
+        // Contiguous-selection fast path: full-group scans and dense ranges
+        // decode sequentially (block cursor + memcpy) instead of per-index.
+        if let Some(&first) = sel.first() {
+            let last = sel[sel.len() - 1];
+            if (last - first) as usize == sel.len() - 1 {
+                return self.gather_range(first as usize, sel.len());
+            }
+        }
         let gather_validity = |validity: &Option<BitSet>| {
             validity.as_ref().map(|v| {
                 let mut out = BitSet::with_len(sel.len());
@@ -157,6 +167,56 @@ impl EncodedColumn {
                     validity: gather_validity(validity),
                 }
             }
+        }
+    }
+
+    /// Decodes the dense row range `[start, start + len)` — the contiguous
+    /// fast path of [`EncodedColumn::gather`].
+    fn gather_range(&self, start: usize, len: usize) -> ColumnVector {
+        let sub_validity =
+            |validity: &Option<BitSet>| validity.as_ref().map(|v| v.slice(start, len));
+        match self {
+            EncodedColumn::Int { enc, validity } => ColumnVector::Int64 {
+                values: decode_int_range(enc, start, len),
+                validity: sub_validity(validity),
+            },
+            EncodedColumn::Float { values, validity } => ColumnVector::Float64 {
+                values: values[start..start + len].to_vec(),
+                validity: sub_validity(validity),
+            },
+            EncodedColumn::Str { enc, validity } => {
+                let values = match enc {
+                    StrEncoding::Raw(v) => v[start..start + len].to_vec(),
+                    StrEncoding::Dict(d) => {
+                        let mut codes = vec![0u64; len];
+                        d.codes().unpack_block(start, &mut codes);
+                        let dict = d.dict();
+                        codes.iter().map(|&c| dict[c as usize].clone()).collect()
+                    }
+                };
+                ColumnVector::Utf8 {
+                    values,
+                    validity: sub_validity(validity),
+                }
+            }
+            EncodedColumn::Bool { values, validity } => ColumnVector::Bool {
+                values: values.slice(start, len),
+                validity: sub_validity(validity),
+            },
+        }
+    }
+
+    /// Block-decodes integer rows `[start, start + out.len())` into `out`
+    /// without allocating (FOR/dict codes are unpacked 64 at a time, RLE
+    /// runs are walked with a skip counter). Returns `false`, leaving
+    /// `out` untouched, for non-integer columns.
+    pub fn decode_int_block(&self, start: usize, out: &mut [i64]) -> bool {
+        match self {
+            EncodedColumn::Int { enc, .. } => {
+                decode_int_block(enc, start, out);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -246,12 +306,7 @@ fn eval_int(enc: &IntEncoding, op: CmpOp, lit: i64, out: &mut BitSet) {
                 }
                 return;
             }
-            let rel = rel as u64;
-            for i in 0..n {
-                if op.matches(f.raw_code(i).cmp(&rel)) {
-                    out.set(i);
-                }
-            }
+            cmp_codes_block(f.packed(), op, rel as u64, out);
         }
         IntEncoding::Rle(r) => {
             let mut offset = 0usize;
@@ -277,12 +332,7 @@ fn eval_int(enc: &IntEncoding, op: CmpOp, lit: i64, out: &mut BitSet) {
                 }
                 TranslatedPred::Cmp(o, c) => (o, c),
             };
-            let codes = d.codes();
-            for i in 0..n {
-                if code_op.matches(codes.get(i).cmp(&code)) {
-                    out.set(i);
-                }
-            }
+            cmp_codes_block(d.codes(), code_op, code, out);
         }
     }
 }
@@ -313,11 +363,105 @@ fn eval_str(enc: &StrEncoding, op: CmpOp, lit: &str, out: &mut BitSet) {
                 }
                 TranslatedPred::Cmp(o, c) => (o, c),
             };
-            let codes = d.codes();
-            for i in 0..n {
-                if code_op.matches(codes.get(i).cmp(&code)) {
-                    out.set(i);
+            cmp_codes_block(d.codes(), code_op, code, out);
+        }
+    }
+}
+
+/// Compares every packed code against `lit`, ORing hits into `out` a
+/// 64-bit word at a time. Codes are unpacked 64 per block into a stack
+/// buffer; the comparison loop is branch-free so it autovectorizes, and
+/// hit bits land in `out` via a single `or_word` per block. Public so
+/// property tests can pit it directly against decode-then-evaluate.
+pub fn cmp_codes_block(codes: &BitPacked, op: CmpOp, lit: u64, out: &mut BitSet) {
+    let n = codes.len();
+    let mut buf = [0u64; 64];
+    let mut start = 0usize;
+    macro_rules! run {
+        ($test:expr) => {
+            while start < n {
+                let take = (n - start).min(64);
+                let block = &mut buf[..take];
+                codes.unpack_block(start, block);
+                let mut word = 0u64;
+                for (o, &c) in block.iter().enumerate() {
+                    let hit: bool = $test(c);
+                    word |= (hit as u64) << o;
                 }
+                out.or_word(start / 64, word);
+                start += take;
+            }
+        };
+    }
+    match op {
+        CmpOp::Eq => run!(|c: u64| c == lit),
+        CmpOp::Ne => run!(|c: u64| c != lit),
+        CmpOp::Lt => run!(|c: u64| c < lit),
+        CmpOp::Le => run!(|c: u64| c <= lit),
+        CmpOp::Gt => run!(|c: u64| c > lit),
+        CmpOp::Ge => run!(|c: u64| c >= lit),
+    }
+}
+
+/// Decodes the dense row range `[start, start + len)` of an integer
+/// encoding without touching the rest of the column — the workhorse
+/// behind [`EncodedColumn::gather_range`] and the fused aggregate path.
+fn decode_int_range(enc: &IntEncoding, start: usize, len: usize) -> Vec<i64> {
+    let mut out = vec![0i64; len];
+    decode_int_block(enc, start, &mut out);
+    out
+}
+
+/// Non-allocating version of [`decode_int_range`]: decodes
+/// `[start, start + out.len())` into a caller-provided buffer, so the
+/// fused kernels can reuse one stack block across row groups.
+fn decode_int_block(enc: &IntEncoding, start: usize, out: &mut [i64]) {
+    let len = out.len();
+    match enc {
+        IntEncoding::Raw(values) => out.copy_from_slice(&values[start..start + len]),
+        IntEncoding::For(f) => {
+            let base = f.base();
+            let mut codes = [0u64; 64];
+            let mut done = 0usize;
+            while done < len {
+                let take = (len - done).min(64);
+                f.packed().unpack_block(start + done, &mut codes[..take]);
+                for (slot, &c) in out[done..done + take].iter_mut().zip(&codes[..take]) {
+                    *slot = base.wrapping_add(c as i64);
+                }
+                done += take;
+            }
+        }
+        IntEncoding::Rle(r) => {
+            let mut skip = start;
+            let mut filled = 0usize;
+            for &(v, run) in r.runs() {
+                let run = run as usize;
+                if skip >= run {
+                    skip -= run;
+                    continue;
+                }
+                let avail = run - skip;
+                skip = 0;
+                let take = avail.min(len - filled);
+                out[filled..filled + take].fill(v);
+                filled += take;
+                if filled == len {
+                    break;
+                }
+            }
+        }
+        IntEncoding::Dict(d) => {
+            let dict = d.dict();
+            let mut codes = [0u64; 64];
+            let mut done = 0usize;
+            while done < len {
+                let take = (len - done).min(64);
+                d.codes().unpack_block(start + done, &mut codes[..take]);
+                for (slot, &c) in out[done..done + take].iter_mut().zip(&codes[..take]) {
+                    *slot = dict[c as usize];
+                }
+                done += take;
             }
         }
     }
@@ -528,6 +672,34 @@ impl Segment {
         matches!(self.data, ColumnData::Paged { .. })
     }
 
+    /// Starts a streamed build (see [`SegmentBuilder`]): rows are pushed
+    /// one at a time and paged builds flush each full row group to disk,
+    /// so peak materialization is one row group instead of the segment.
+    pub fn builder(
+        id: SegmentId,
+        schema: SchemaRef,
+        visible_from: Ts,
+        pager: Option<&Arc<SegmentPager>>,
+    ) -> Result<SegmentBuilder> {
+        let mode = match pager {
+            Some(pager) => BuilderMode::Paged {
+                writer: pager.create_file()?,
+                pager: Arc::clone(pager),
+                buf: Vec::new(),
+                groups: Vec::new(),
+                zone: ZoneMap::empty(schema.len()),
+                row_count: 0,
+            },
+            None => BuilderMode::Resident { rows: Vec::new() },
+        };
+        Ok(SegmentBuilder {
+            id,
+            schema,
+            visible_from,
+            mode,
+        })
+    }
+
     /// The earliest snapshot timestamp that may see this segment's rows.
     pub fn visible_from(&self) -> Ts {
         self.visible_from
@@ -602,7 +774,7 @@ impl Segment {
     }
 
     /// `(row_start, rows)` of group `g`.
-    fn group_bounds(&self, g: usize) -> (usize, usize) {
+    pub fn group_bounds(&self, g: usize) -> (usize, usize) {
         match &self.data {
             ColumnData::Resident(_) => (0, self.row_count),
             ColumnData::Paged { groups, .. } => (groups[g].row_start, groups[g].rows),
@@ -612,7 +784,7 @@ impl Segment {
     /// The zone map guarding group `g` (the global map for resident
     /// segments, which have already passed it by the time groups are
     /// visited).
-    fn group_zone(&self, g: usize) -> &ZoneMap {
+    pub fn group_zone(&self, g: usize) -> &ZoneMap {
         match &self.data {
             ColumnData::Resident(_) => &self.zone_map,
             ColumnData::Paged { groups, .. } => &groups[g].zone,
@@ -945,6 +1117,147 @@ impl Segment {
     }
 }
 
+/// A streamed, bounded-memory segment build. Rows are pushed one at a
+/// time; in paged mode each full row group is encoded, written to the
+/// page file, and dropped immediately, so building a segment of N rows
+/// buffers at most one row group of materialized rows (plus one encoded
+/// chunk) at any instant. Merge and compaction use this to avoid
+/// materializing a whole segment's worth of `Row`s transiently.
+///
+/// Resident mode has no paging boundary to flush at; it buffers all rows
+/// (the finished segment is fully in-memory anyway) and delegates to
+/// [`Segment::build_visible_from`] so both paths produce identical
+/// segments.
+pub struct SegmentBuilder {
+    id: SegmentId,
+    schema: SchemaRef,
+    visible_from: Ts,
+    mode: BuilderMode,
+}
+
+enum BuilderMode {
+    Resident {
+        rows: Vec<Row>,
+    },
+    Paged {
+        pager: Arc<SegmentPager>,
+        writer: PageFileWriter,
+        buf: Vec<Row>,
+        groups: Vec<RowGroupMeta>,
+        zone: ZoneMap,
+        row_count: usize,
+    },
+}
+
+impl SegmentBuilder {
+    /// Appends one row; may flush a completed row group to the page file.
+    pub fn push_row(&mut self, row: Row) -> Result<()> {
+        match &mut self.mode {
+            BuilderMode::Resident { rows } => {
+                rows.push(row);
+                Ok(())
+            }
+            BuilderMode::Paged { pager, buf, .. } => {
+                buf.push(row);
+                if buf.len() >= pager.rows_per_group() {
+                    self.flush_group()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Rows pushed so far (their offsets in the finished segment).
+    pub fn rows_pushed(&self) -> usize {
+        match &self.mode {
+            BuilderMode::Resident { rows } => rows.len(),
+            BuilderMode::Paged { row_count, buf, .. } => row_count + buf.len(),
+        }
+    }
+
+    /// Rows currently buffered in memory — bounded by one row group in
+    /// paged mode (asserted by tests).
+    pub fn buffered_rows(&self) -> usize {
+        match &self.mode {
+            BuilderMode::Resident { rows } => rows.len(),
+            BuilderMode::Paged { buf, .. } => buf.len(),
+        }
+    }
+
+    fn flush_group(&mut self) -> Result<()> {
+        let BuilderMode::Paged {
+            writer,
+            buf,
+            groups,
+            zone,
+            row_count,
+            ..
+        } = &mut self.mode
+        else {
+            return Ok(());
+        };
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let cols = transpose_refs(&self.schema, buf)?;
+        for (c, field) in self.schema.fields().iter().enumerate() {
+            let enc = encode_column(field.data_type, &cols[c])?;
+            writer.append_column(&enc)?;
+        }
+        let group_zone = ZoneMap {
+            columns: cols.iter().map(|c| ColumnZone::build_refs(c)).collect(),
+        };
+        zone.absorb(&group_zone);
+        groups.push(RowGroupMeta {
+            row_start: *row_count,
+            rows: buf.len(),
+            zone: group_zone,
+        });
+        *row_count += buf.len();
+        buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the tail group and seals the segment.
+    pub fn finish(mut self) -> Result<Segment> {
+        match self.mode {
+            BuilderMode::Resident { ref rows } => {
+                Segment::build_visible_from(self.id, Arc::clone(&self.schema), rows, self.visible_from)
+            }
+            BuilderMode::Paged { .. } => {
+                self.flush_group()?;
+                let BuilderMode::Paged {
+                    pager,
+                    writer,
+                    groups,
+                    zone,
+                    row_count,
+                    ..
+                } = self.mode
+                else {
+                    unreachable!("mode checked above");
+                };
+                let ncols = self.schema.len();
+                let file = Arc::new(writer.finish()?);
+                Ok(Segment {
+                    id: self.id,
+                    schema: self.schema,
+                    row_count,
+                    data: ColumnData::Paged {
+                        pager,
+                        file,
+                        ncols,
+                        groups,
+                    },
+                    zone_map: zone,
+                    visible_from: self.visible_from,
+                    deletes: RwLock::new(FxHashMap::default()),
+                })
+            }
+        }
+    }
+}
+
 /// Transposes rows into per-column `&Value` slices, checking arity. The
 /// borrow-based transpose is what keeps [`Segment::build`] clone-free.
 fn transpose_refs<'r>(schema: &SchemaRef, rows: &'r [Row]) -> Result<Vec<Vec<&'r Value>>> {
@@ -1183,6 +1496,60 @@ mod tests {
     }
 
     const NOBODY: TxnId = TxnId(u64::MAX);
+
+    #[test]
+    fn streamed_paged_build_matches_batch_build_with_bounded_buffer() {
+        let rows = sample_rows();
+        let group = 128;
+        let batch_built =
+            Segment::build_paged(SegmentId(1), schema(), &rows, 5, &test_pager(u64::MAX, group))
+                .unwrap();
+        let mut builder =
+            Segment::builder(SegmentId(1), schema(), 5, Some(&test_pager(u64::MAX, group)))
+                .unwrap();
+        for (i, r) in rows.iter().cloned().enumerate() {
+            builder.push_row(r).unwrap();
+            assert!(
+                builder.buffered_rows() <= group,
+                "streamed build buffered {} rows at push {i} (group = {group})",
+                builder.buffered_rows()
+            );
+        }
+        let streamed = builder.finish().unwrap();
+        assert_eq!(streamed.row_count(), batch_built.row_count());
+        assert_eq!(streamed.visible_from(), batch_built.visible_from());
+        for off in [0u32, 1, group as u32 - 1, group as u32, 777, 999] {
+            assert_eq!(
+                streamed.row_at(off).unwrap(),
+                batch_built.row_at(off).unwrap(),
+                "row {off} differs between streamed and batch build"
+            );
+        }
+        // Zone maps agree, so predicate pruning is unchanged.
+        let pred = ScanPredicate::single(0, CmpOp::Gt, Value::Int(990));
+        let a = streamed.select(&pred, 10, NOBODY).unwrap();
+        let b = batch_built.select(&pred, 10, NOBODY).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_resident_build_matches_batch_build() {
+        let rows = sample_rows();
+        let batch_built =
+            Segment::build_visible_from(SegmentId(9), schema(), &rows, 3).unwrap();
+        let mut builder = Segment::builder(SegmentId(9), schema(), 3, None).unwrap();
+        for r in &rows {
+            builder.push_row(r.clone()).unwrap();
+        }
+        let streamed = builder.finish().unwrap();
+        assert_eq!(streamed.row_count(), batch_built.row_count());
+        for off in [0u32, 499, 999] {
+            assert_eq!(
+                streamed.row_at(off).unwrap(),
+                batch_built.row_at(off).unwrap()
+            );
+        }
+    }
 
     #[test]
     fn build_and_read_back() {

@@ -62,6 +62,23 @@ impl ColumnZone {
         }
     }
 
+    /// Widens this zone to also cover `other` (streamed segment builds
+    /// fold per-group zones into the segment zone group by group).
+    pub fn absorb(&mut self, other: &ColumnZone) {
+        self.null_count += other.null_count;
+        self.row_count += other.row_count;
+        if let Some(omin) = &other.min {
+            if self.min.as_ref().is_none_or(|m| omin < m) {
+                self.min = Some(omin.clone());
+            }
+        }
+        if let Some(omax) = &other.max {
+            if self.max.as_ref().is_none_or(|m| omax > m) {
+                self.max = Some(omax.clone());
+            }
+        }
+    }
+
     /// Can any row in this zone match `op literal`?
     ///
     /// Returns `true` conservatively; `false` is a proof that the segment
@@ -106,6 +123,29 @@ impl ZoneMap {
     pub fn build_refs(columns: &[Vec<&Value>]) -> Self {
         ZoneMap {
             columns: columns.iter().map(|c| ColumnZone::build_refs(c)).collect(),
+        }
+    }
+
+    /// An all-empty zone map for `ncols` columns (streamed builds widen it
+    /// with [`ZoneMap::absorb`] as groups flush).
+    pub fn empty(ncols: usize) -> Self {
+        ZoneMap {
+            columns: (0..ncols)
+                .map(|_| ColumnZone {
+                    min: None,
+                    max: None,
+                    null_count: 0,
+                    row_count: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Widens every column zone to also cover `other` (same arity).
+    pub fn absorb(&mut self, other: &ZoneMap) {
+        debug_assert_eq!(self.columns.len(), other.columns.len());
+        for (z, o) in self.columns.iter_mut().zip(&other.columns) {
+            z.absorb(o);
         }
     }
 

@@ -1047,3 +1047,45 @@ fn chaos_evict_race_never_changes_results() {
         "evict-race fault never fired — scenario vacuous (seed={seed:#x})"
     );
 }
+
+/// Scenario 18 — `exec.kernel_fallback` mid-aggregate: random row groups
+/// of a fused GROUP BY abandon the code-domain fast path and fall back to
+/// the scalar reference mid-query. Mixed fused/scalar execution must be
+/// byte-identical to the clean fused run and to a fully-resident
+/// database, serial and parallel, on resident and paged storage alike.
+#[test]
+fn chaos_kernel_fallback_mid_query_never_changes_results() {
+    let seed = seed_for(18);
+    let resident = Database::new();
+    load_pages_table(&resident);
+
+    let queries = [
+        "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM pages GROUP BY g ORDER BY g",
+        "SELECT g, COUNT(v) FROM pages WHERE v > 8 GROUP BY g ORDER BY g",
+        "SELECT COUNT(*), SUM(v) FROM pages",
+    ];
+    for pool_bytes in [u64::MAX, 2048] {
+        let faults = FaultInjector::new(seed ^ pool_bytes);
+        faults.arm(points::EXEC_KERNEL_FALLBACK, FaultPoint::with_probability(0.4));
+        let db = paged_db(Arc::clone(&faults), pool_bytes);
+        for sql in &queries {
+            let want = resident.query(sql).unwrap();
+            db.set_parallelism(1);
+            let serial = db.query(sql).unwrap();
+            db.set_parallelism(4);
+            let parallel = db.query(sql).unwrap();
+            assert_eq!(
+                serial, want,
+                "serial fused/fallback mix diverged: {sql} (seed={seed:#x})"
+            );
+            assert_eq!(
+                parallel, want,
+                "parallel fused/fallback mix diverged: {sql} (seed={seed:#x})"
+            );
+        }
+        assert!(
+            faults.fired_count() > 0,
+            "kernel-fallback fault never fired — scenario vacuous (seed={seed:#x})"
+        );
+    }
+}

@@ -713,3 +713,252 @@ fn paged_scans_match_resident_at_any_pool_size() {
         "no workload ever overflowed the tiny pool — vacuous"
     );
 }
+
+/// The packed-code scan kernels (block unpack and SWAR) match the naive
+/// decode-then-compare reference over random widths, values, and
+/// literals, including the all-hit / no-hit selectivity extremes.
+#[test]
+fn packed_scan_kernels_equal_scalar_reference() {
+    use oltapdb::exec::kernels::{scan_naive, scan_swar, scan_unpack_block, PackedCmp};
+
+    for case in 0..64u64 {
+        let mut rng = rng_for(case ^ 0x5CAB_51DE);
+        let width = rng.gen_range(1..=20u8);
+        let n = rng.gen_range(0..500usize);
+        let max = 1u64.checked_shl(width as u32).unwrap() - 1;
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=max)).collect();
+        let packed = BitPacked::pack(&values, width).unwrap();
+        let literals = [0, max / 2, max, rng.gen_range(0..=max)];
+        for cmp in [PackedCmp::Eq, PackedCmp::Lt, PackedCmp::Gt] {
+            for &lit in &literals {
+                let want = scan_naive(&packed, cmp, lit);
+                let block = scan_unpack_block(&packed, cmp, lit);
+                assert_eq!(block, want, "seed={case} w={width} {cmp:?} lit={lit}");
+                if let Some(swar) = scan_swar(&packed, cmp, lit) {
+                    assert_eq!(swar, want, "seed={case} w={width} swar {cmp:?} lit={lit}");
+                }
+            }
+        }
+    }
+}
+
+/// The code-domain comparison kernel agrees with decoding every code and
+/// comparing in the value domain, for every operator and random widths.
+#[test]
+fn code_domain_compare_equals_decode_then_evaluate() {
+    use oltapdb::common::BitSet;
+    use oltapdb::storage::segment::cmp_codes_block;
+    use oltapdb::storage::CmpOp;
+
+    for case in 0..64u64 {
+        let mut rng = rng_for(case ^ 0xC0DE_D011);
+        let width = rng.gen_range(1..=16u8);
+        let n = rng.gen_range(1..400usize);
+        let max = 1u64.checked_shl(width as u32).unwrap() - 1;
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=max)).collect();
+        let packed = BitPacked::pack(&values, width).unwrap();
+        let lit = rng.gen_range(0..=max);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let mut got = BitSet::with_len(n);
+            cmp_codes_block(&packed, op, lit, &mut got);
+            let mut want = BitSet::with_len(n);
+            for (i, &v) in values.iter().enumerate() {
+                let hit = match op {
+                    CmpOp::Eq => v == lit,
+                    CmpOp::Ne => v != lit,
+                    CmpOp::Lt => v < lit,
+                    CmpOp::Le => v <= lit,
+                    CmpOp::Gt => v > lit,
+                    CmpOp::Ge => v >= lit,
+                };
+                if hit {
+                    want.set(i);
+                }
+            }
+            assert_eq!(got, want, "seed={case} w={width} {op:?} lit={lit}");
+        }
+    }
+}
+
+/// The fused filter+aggregate block fold matches a per-row scalar fold
+/// under random values and selection masks.
+#[test]
+fn int_fold_blocks_equal_scalar_fold() {
+    use oltapdb::exec::kernels::IntFold;
+
+    for case in 0..64u64 {
+        let mut rng = rng_for(case ^ 0xF01D_CA5E);
+        let n = rng.gen_range(0..300usize);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen::<i64>()).collect();
+        let masks: Vec<u64> = (0..n.div_ceil(64)).map(|_| rng.gen::<u64>()).collect();
+        let mut fold = IntFold::default();
+        for (w, chunk) in values.chunks(64).enumerate() {
+            fold.update_block(chunk, masks[w]);
+        }
+        let mut count = 0i64;
+        let mut sum = 0i64;
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for (i, &v) in values.iter().enumerate() {
+            if masks[i / 64] >> (i % 64) & 1 == 1 {
+                count += 1;
+                sum = sum.wrapping_add(v);
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        assert_eq!(fold.count, count, "seed={case}");
+        assert_eq!(fold.sum, sum, "seed={case}");
+        assert_eq!(fold.min, min, "seed={case}");
+        assert_eq!(fold.max, max, "seed={case}");
+    }
+}
+
+/// Loads a random aggregation workload (dictionary-coded string group
+/// key, int group key, NULLs in both keys and measures) and the GROUP BY
+/// query shapes the fused path covers plus the ones it must refuse
+/// (AVG, float SUM).
+fn load_fused_agg_workload(db: &Arc<Database>, rng: &mut StdRng) -> Vec<String> {
+    db.execute(
+        "CREATE TABLE m (id BIGINT PRIMARY KEY, tag TEXT, g BIGINT, v BIGINT, f DOUBLE) \
+         USING FORMAT COLUMN",
+    )
+    .unwrap();
+    let tags = ["red", "green", "blue", "cyan", "teal"];
+    let n = rng.gen_range(100..900usize);
+    let t = db.table("m").unwrap();
+    let tx = db.txn_manager().begin();
+    for i in 0..n {
+        let tag = if rng.gen_range(0..10u8) == 0 {
+            Value::Null
+        } else {
+            Value::Str(tags[rng.gen_range(0..tags.len())].to_string())
+        };
+        let v = if rng.gen_range(0..12u8) == 0 {
+            Value::Null
+        } else {
+            Value::Int(rng.gen_range(-1000..1000i64))
+        };
+        t.insert(
+            &tx,
+            oltapdb::common::Row::new(vec![
+                Value::Int(i as i64),
+                tag,
+                Value::Int(rng.gen_range(0..7i64)),
+                v,
+                Value::Float(rng.gen_range(-50..50i64) as f64 / 4.0),
+            ]),
+        )
+        .unwrap();
+    }
+    tx.commit().unwrap();
+    // Merge most rows into (possibly paged) main segments, then add a
+    // small delta tail so the fused path exercises both stores.
+    db.maintenance();
+    let tx = db.txn_manager().begin();
+    for i in 0..rng.gen_range(1..40usize) {
+        t.insert(
+            &tx,
+            row![
+                (n + i) as i64,
+                tags[i % tags.len()],
+                (i % 7) as i64,
+                (i as i64) - 20,
+                i as f64
+            ],
+        )
+        .unwrap();
+    }
+    tx.commit().unwrap();
+    let x = rng.gen_range(-500..500i64);
+    vec![
+        "SELECT tag, COUNT(*), SUM(v), MIN(v), MAX(v) FROM m GROUP BY tag ORDER BY tag".into(),
+        "SELECT g, COUNT(v), SUM(v) FROM m GROUP BY g ORDER BY g".into(),
+        format!("SELECT tag, SUM(v) FROM m WHERE v > {x} GROUP BY tag ORDER BY tag"),
+        "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM m".into(),
+        format!("SELECT COUNT(*) FROM m WHERE g = {}", x.rem_euclid(7)),
+        // Order-sensitive aggregates: must take the scalar path yet still
+        // agree everywhere.
+        "SELECT tag, AVG(v), SUM(f) FROM m GROUP BY tag ORDER BY tag".into(),
+    ]
+}
+
+/// Fused code-domain aggregation is invisible: resident and paged
+/// storage, serial and parallel execution, and the forced-scalar fault
+/// fallback all produce byte-identical GROUP BY results.
+#[test]
+fn fused_aggregation_matches_scalar_everywhere() {
+    use oltapdb::common::fault::{points, FaultInjector, FaultPoint};
+    use oltapdb::core::{BufferConfig, DbConfig};
+
+    for case in 0..8u64 {
+        let seed = case ^ 0xF0_5ED_A66;
+        let baseline = Database::new();
+        let queries = load_fused_agg_workload(&baseline, &mut rng_for(seed));
+
+        // Forced fallback: every fused block boundary drops to the scalar
+        // path. Probability 0.5 mixes fused and scalar groups mid-query.
+        for prob in [1.0f64, 0.5] {
+            let faults = FaultInjector::new(seed ^ prob.to_bits());
+            faults.arm(points::EXEC_KERNEL_FALLBACK, FaultPoint::with_probability(prob));
+            let db = Database::with_config(DbConfig {
+                faults: Some(Arc::clone(&faults)),
+                ..DbConfig::default()
+            })
+            .unwrap();
+            load_fused_agg_workload(&db, &mut rng_for(seed));
+            for sql in &queries {
+                assert_eq!(
+                    db.query(sql).unwrap(),
+                    baseline.query(sql).unwrap(),
+                    "seed={seed:#x} fallback_prob={prob} `{sql}`"
+                );
+            }
+            assert!(
+                faults.fired_count() > 0,
+                "seed={seed:#x}: fallback fault never exercised"
+            );
+        }
+
+        // Paged storage (tiny and unbounded pools) × serial/parallel.
+        for pool_bytes in [1024u64, u64::MAX] {
+            let db = Database::with_config(DbConfig {
+                buffer: Some(BufferConfig {
+                    pool_bytes,
+                    page_rows: 64,
+                    page_root: None,
+                }),
+                ..DbConfig::default()
+            })
+            .unwrap();
+            load_fused_agg_workload(&db, &mut rng_for(seed));
+            for sql in &queries {
+                let want = baseline.query(sql).unwrap();
+                db.set_parallelism(1);
+                assert_eq!(
+                    db.query(sql).unwrap(),
+                    want,
+                    "seed={seed:#x} pool={pool_bytes} serial `{sql}`"
+                );
+                db.set_parallelism(4);
+                assert_eq!(
+                    db.query(sql).unwrap(),
+                    want,
+                    "seed={seed:#x} pool={pool_bytes} parallel `{sql}`"
+                );
+            }
+        }
+
+        // Parallel on the resident baseline itself.
+        baseline.set_parallelism(4);
+        let reserial = Database::new();
+        load_fused_agg_workload(&reserial, &mut rng_for(seed));
+        for sql in &queries {
+            assert_eq!(
+                baseline.query(sql).unwrap(),
+                reserial.query(sql).unwrap(),
+                "seed={seed:#x} parallel-resident `{sql}`"
+            );
+        }
+    }
+}
