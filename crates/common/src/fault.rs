@@ -88,6 +88,14 @@ pub mod points {
     /// Fired per (segment, row group); fused and fallback paths must
     /// produce byte-identical results, which the chaos suite asserts.
     pub const EXEC_KERNEL_FALLBACK: &str = "exec.kernel_fallback";
+
+    /// Crash the background freeze pass *after* the frozen replacement
+    /// segment's page file was published (tmp+rename) but *before* the
+    /// in-memory swap. The table must keep serving the old representation
+    /// unchanged — never a torn mix — and the orphaned page file must be
+    /// reclaimed (Drop on the unpublished segment, purge-at-open after a
+    /// real crash).
+    pub const STORAGE_FREEZE_CRASH: &str = "storage.freeze_crash";
 }
 
 /// Configuration of one named fault point.

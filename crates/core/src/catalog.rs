@@ -11,13 +11,17 @@
 //!   (Oracle DBIM-style), with point reads routed to the row format and
 //!   scans to the columnar image.
 
+use oltap_common::fault::FaultInjector;
 use oltap_common::hash::FxHashMap;
 use oltap_common::ids::TxnId;
 use oltap_common::schema::SchemaRef;
 use oltap_common::{Batch, DbError, Result, Row};
 use oltap_sql::ast::FormatOpt;
 use oltap_sql::CatalogView;
-use oltap_storage::{DeltaMainTable, DualFormatTable, RowStore, ScanPredicate, SegmentPager};
+use oltap_storage::{
+    DeltaMainTable, DualFormatTable, FreezeStats, HeatStats, RowStore, ScanPredicate,
+    SegmentPager,
+};
 use oltap_txn::{Transaction, Ts};
 use std::sync::Arc;
 
@@ -174,6 +178,15 @@ impl TableHandle {
     /// Format-appropriate maintenance at `watermark`: merge (column),
     /// populate (dual), GC (all). Returns a human-readable note.
     pub fn maintain(&self, watermark: Ts) -> Result<String> {
+        self.maintain_full(watermark, &FaultInjector::disabled())
+    }
+
+    /// Maintenance with the database's fault injector threaded through, so
+    /// chaos points inside the background freeze pass fire. Column tables
+    /// additionally run the hot/cold freeze pass every tick — which is what
+    /// re-evaluates segments an earlier pass skipped for in-flight deletes
+    /// once those deletes commit and the GC watermark passes them.
+    pub fn maintain_full(&self, watermark: Ts, faults: &FaultInjector) -> Result<String> {
         Ok(match self {
             TableHandle::Row(t) => {
                 let pruned = t.gc(watermark);
@@ -181,10 +194,12 @@ impl TableHandle {
             }
             TableHandle::Column(t) => {
                 let stats = t.merge(watermark)?;
+                let frozen = t.freeze(watermark, faults, false)?;
                 let pruned = t.gc(watermark);
                 format!(
-                    "merged {} rows, gc pruned {pruned} versions",
-                    stats.rows_merged
+                    "merged {} rows, froze {} segments ({} -> {} bytes), gc pruned {pruned} versions",
+                    stats.rows_merged, frozen.segments_frozen, frozen.bytes_before,
+                    frozen.bytes_after
                 )
             }
             TableHandle::Dual(t) => {
@@ -193,6 +208,28 @@ impl TableHandle {
                 format!("populated {n} rows, gc pruned {pruned} versions")
             }
         })
+    }
+
+    /// Runs the cold-segment freeze pass (column tables only; `None` for
+    /// formats without frozen representations). `force` ignores heat.
+    pub fn freeze(
+        &self,
+        watermark: Ts,
+        faults: &FaultInjector,
+        force: bool,
+    ) -> Result<Option<FreezeStats>> {
+        match self {
+            TableHandle::Column(t) => t.freeze(watermark, faults, force).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Heat / freeze counters (column tables only).
+    pub fn heat_stats(&self) -> Option<HeatStats> {
+        match self {
+            TableHandle::Column(t) => Some(t.heat_stats()),
+            _ => None,
+        }
     }
 }
 

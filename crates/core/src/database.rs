@@ -12,7 +12,9 @@ use oltap_sched::{AdmissionConfig, AdmissionController, AdmissionTicket};
 use oltap_sql::ast::Statement;
 use oltap_sql::parse;
 use oltap_storage::spill::{purge_spill_root, SpillDir};
-use oltap_storage::{purge_page_root, BufferManager, BufferStats, SegmentPager};
+use oltap_storage::{
+    purge_page_root, BufferManager, BufferStats, FreezeStats, HeatStats, SegmentPager,
+};
 use oltap_txn::wal::{CommitRecord, Wal, WalOp};
 use oltap_txn::{Transaction, TransactionManager, Ts};
 use parking_lot::{RwLock, RwLockReadGuard};
@@ -114,6 +116,11 @@ pub struct Database {
     /// Segment pager; when set, every columnar table built after open
     /// pages its base data through the shared buffer pool.
     pager: Option<Arc<SegmentPager>>,
+    /// Oldest timestamp historical (`AS OF`) reads may target. Merge, GC,
+    /// and the freeze pass all destroy row versions at or below the
+    /// maintenance watermark, so each pass raises this floor to the
+    /// watermark it ran at.
+    history_floor: AtomicU64,
 }
 
 /// Sequence for per-database temp roots (ephemeral databases).
@@ -165,6 +172,7 @@ impl Database {
             admission: RwLock::new(None),
             spill_root: default_spill_root(None),
             pager: None,
+            history_floor: AtomicU64::new(0),
         })
     }
 
@@ -226,6 +234,7 @@ impl Database {
             admission: RwLock::new(None),
             spill_root,
             pager,
+            history_floor: AtomicU64::new(0),
         });
         db.set_admission_config(config.admission);
         // Spill files never outlive a process on purpose; anything under
@@ -533,15 +542,56 @@ impl Database {
             panic!("fault injected: merge.abort");
         }
         let watermark = self.txn_mgr.gc_watermark();
+        // Merge/GC/freeze destroy versions at or below the watermark, so
+        // `AS OF` reads below it are no longer answerable.
+        self.history_floor.fetch_max(watermark, Ordering::SeqCst);
         let catalog = self.catalog.read();
         let mut notes = Vec::new();
         for (name, handle) in catalog.handles() {
-            match handle.maintain(watermark) {
+            match handle.maintain_full(watermark, &self.faults) {
                 Ok(note) => notes.push((name.clone(), note)),
                 Err(e) => notes.push((name.clone(), format!("error: {e}"))),
             }
         }
         MaintenanceStats { watermark, notes }
+    }
+
+    /// Oldest timestamp an `AS OF` read may target (see maintenance).
+    pub fn history_floor(&self) -> Ts {
+        self.history_floor.load(Ordering::SeqCst)
+    }
+
+    /// Forces the freeze pass over every column table at the current GC
+    /// watermark, ignoring heat (tests and benchmarks; the background
+    /// daemon freezes only cold segments).
+    pub fn freeze_all(&self, force: bool) -> Result<FreezeStats> {
+        let watermark = self.txn_mgr.gc_watermark();
+        self.history_floor.fetch_max(watermark, Ordering::SeqCst);
+        let catalog = self.catalog.read();
+        let mut total = FreezeStats::default();
+        for (_, handle) in catalog.handles() {
+            if let Some(stats) = handle.freeze(watermark, &self.faults, force)? {
+                total.absorb(&stats);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Storage-engine counters: buffer-pool hits/misses (when a pool is
+    /// configured) plus hot/cold heat and freeze statistics aggregated
+    /// over every column table.
+    pub fn stats(&self) -> DbStats {
+        let mut heat = HeatStats::default();
+        for (_, handle) in self.catalog.read().handles() {
+            if let Some(h) = handle.heat_stats() {
+                heat.absorb(&h);
+            }
+        }
+        DbStats {
+            buffer: self.buffer_stats(),
+            heat,
+            history_floor: self.history_floor(),
+        }
     }
 
     /// Spawns a background maintenance thread ticking every `interval`.
@@ -584,6 +634,17 @@ impl Database {
             handle: Some(handle),
         }
     }
+}
+
+/// Storage-engine counters surfaced by [`Database::stats`].
+#[derive(Debug, Clone)]
+pub struct DbStats {
+    /// Buffer-pool counters; `None` when no pool is configured.
+    pub buffer: Option<BufferStats>,
+    /// Heat / freeze counters aggregated over all column tables.
+    pub heat: HeatStats,
+    /// Oldest timestamp `AS OF` reads may target.
+    pub history_floor: Ts,
 }
 
 /// Result of one maintenance pass.
@@ -1146,6 +1207,113 @@ mod tests {
             "resident pages must be claimed from the governor carve-out"
         );
         assert!(gov.buffer_used() <= 64 * 1024);
+    }
+
+    #[test]
+    fn as_of_reads_historical_snapshots() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT) USING FORMAT COLUMN")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+        let ts1 = db.txn_manager().now();
+        db.execute("UPDATE t SET v = 99 WHERE id = 1").unwrap();
+        db.execute("DELETE FROM t WHERE id = 2").unwrap();
+        db.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+
+        // The present sees the mutations; AS OF ts1 sees the old world.
+        assert_eq!(
+            db.query("SELECT SUM(v) FROM t").unwrap()[0][0],
+            Value::Int(99 + 30)
+        );
+        let hist = db
+            .query(&format!("SELECT id, v FROM t AS OF {ts1} ORDER BY id"))
+            .unwrap();
+        assert_eq!(ints(&hist, 0), vec![1, 2]);
+        assert_eq!(ints(&hist, 1), vec![10, 20]);
+
+        // Future timestamps are rejected.
+        let err = db.query("SELECT v FROM t AS OF 99999999").unwrap_err();
+        assert!(matches!(err, DbError::InvalidArgument(_)), "{err}");
+
+        // Maintenance destroys versions at/below the watermark, so the
+        // same historical read now fails with a typed error.
+        db.maintenance();
+        assert!(db.history_floor() > ts1);
+        let err = db
+            .query(&format!("SELECT v FROM t AS OF {ts1}"))
+            .unwrap_err();
+        assert!(
+            matches!(&err, DbError::InvalidArgument(m) if m.contains("history floor")),
+            "{err}"
+        );
+        // Reads at or above the floor still work.
+        let now = db.txn_manager().now();
+        assert_eq!(
+            db.query(&format!("SELECT SUM(v) FROM t AS OF {now}")).unwrap()[0][0],
+            Value::Int(129)
+        );
+    }
+
+    #[test]
+    fn as_of_inside_txn_ignores_pending_writes() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        let ts = db.txn_manager().now();
+        let mut s = db.session();
+        s.execute("BEGIN").unwrap();
+        s.execute("UPDATE t SET v = 77 WHERE id = 1").unwrap();
+        // The session snapshot sees its own write; the historical read
+        // must not.
+        assert_eq!(
+            s.execute("SELECT v FROM t").unwrap().rows()[0][0],
+            Value::Int(77)
+        );
+        assert_eq!(
+            s.execute(&format!("SELECT v FROM t AS OF {ts}")).unwrap().rows()[0][0],
+            Value::Int(10)
+        );
+        s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn stats_surface_heat_and_freeze_counters() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, grp BIGINT, v BIGINT) USING FORMAT COLUMN")
+            .unwrap();
+        for chunk in 0..4 {
+            let vals: Vec<String> = (0..250)
+                .map(|i| {
+                    let id = chunk * 250 + i;
+                    format!("({id}, {}, {})", id % 5, id)
+                })
+                .collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", vals.join(", ")))
+                .unwrap();
+        }
+        let before = db.query("SELECT grp, SUM(v) AS s FROM t GROUP BY grp ORDER BY grp").unwrap();
+        db.maintenance(); // merge the delta into a main segment
+        let stats = db.freeze_all(true).unwrap();
+        assert!(stats.segments_frozen >= 1, "{stats:?}");
+        assert!(
+            stats.bytes_after <= stats.bytes_before,
+            "frozen re-encoding must not grow: {stats:?}"
+        );
+        let after = db.query("SELECT grp, SUM(v) AS s FROM t GROUP BY grp ORDER BY grp").unwrap();
+        assert_eq!(before, after, "freezing must not change results");
+
+        let s = db.stats();
+        assert!(s.heat.frozen_segments >= 1, "{s:?}");
+        assert!(s.heat.frozen_scan_hits > 0, "frozen scans must be counted: {s:?}");
+        assert_eq!(s.heat.segments_frozen_total, stats.segments_frozen as u64);
+        assert!(s.buffer.is_none(), "no pool configured");
+
+        // OLTP updates against frozen rows redirect through the delta.
+        db.execute("UPDATE t SET v = 0 WHERE id = 3").unwrap();
+        assert_eq!(
+            db.query("SELECT v FROM t WHERE id = 3").unwrap()[0][0],
+            Value::Int(0)
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub mod physical;
 pub mod session;
 
 pub use catalog::{Catalog, TableFormat, TableHandle};
-pub use database::{BufferConfig, Database, DbConfig, MaintenanceDaemon, MaintenanceStats, MemoryConfig};
+pub use database::{
+    BufferConfig, Database, DbConfig, DbStats, MaintenanceDaemon, MaintenanceStats, MemoryConfig,
+};
 pub use parallel::ParallelExec;
 pub use session::{QueryResult, Session};

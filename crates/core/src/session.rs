@@ -150,7 +150,31 @@ impl Session {
     }
 
     fn execute_select(&self, sel: &SelectStmt) -> Result<QueryResult> {
-        let (read_ts, me) = self.snapshot();
+        let (read_ts, me) = match sel.as_of {
+            // Time travel: pin the snapshot to the requested timestamp.
+            // The reader identity is an anonymous snapshot reader, so a
+            // historical read inside an open transaction does not see that
+            // transaction's own pending writes.
+            Some(ts) => {
+                let ts = ts as oltap_txn::Ts;
+                let floor = self.db.history_floor();
+                if ts < floor {
+                    return Err(DbError::InvalidArgument(format!(
+                        "AS OF {ts} is below the history floor {floor}: \
+                         maintenance already reclaimed versions at or \
+                         before the floor"
+                    )));
+                }
+                let now = self.db.txn_manager().now();
+                if ts > now {
+                    return Err(DbError::InvalidArgument(format!(
+                        "AS OF {ts} is in the future (current ts {now})"
+                    )));
+                }
+                (ts, TxnId(u64::MAX - 8))
+            }
+            None => self.snapshot(),
+        };
         let cancel = match self.query_timeout {
             Some(t) => CancellationToken::with_timeout(t),
             None => CancellationToken::new(),

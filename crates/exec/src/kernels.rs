@@ -109,14 +109,91 @@ pub fn scan_swar(codes: &BitPacked, cmp: PackedCmp, literal: u64) -> Option<BitS
     }
     let n = codes.len();
     let lanes = 64 / w;
-    // Replicate the literal into every lane.
+    let rep = replicate(literal, w, lanes);
+    let (high, low) = lane_masks(w, lanes);
+    let steps = compaction_steps(w, lanes);
+
+    let words = codes.words();
+    let mut out = BitSet::with_len(n);
+    let mut emit = MaskEmitter::new(&mut out, lanes);
+    for &x in words.iter() {
+        // Per-lane comparison producing a 1 in each matching lane's MSB.
+        let msb_hits = match cmp {
+            PackedCmp::Eq => {
+                // z = x ^ rep is 0 in matching lanes. Detect zero lanes:
+                // (z | ((z & low) + low)) has MSB set iff lane non-zero.
+                let z = x ^ rep;
+                !((z | ((z & low) + low)) | z) & high
+            }
+            PackedCmp::Lt => swar_lt(x, rep, high),
+            PackedCmp::Gt => swar_lt(rep, x, high),
+        };
+        emit.push(msb_hits, w, &steps);
+    }
+    emit.finish();
+    Some(out)
+}
+
+/// One-pass SWAR band scan: per lane, `lo <= code <= hi` (inclusive).
+///
+/// This is the frozen-segment range shape: a value-domain range predicate
+/// on an order-preserving dictionary or FOR column rewrites to a band of
+/// codes, which the two-sided borrow trick answers in a single pass over
+/// the packed words — half the work of `Ge`-scan ∧ `Le`-scan. Returns
+/// `None` for unsupported widths (caller falls back to two passes).
+pub fn scan_swar_band(codes: &BitPacked, lo: u64, hi: u64) -> Option<BitSet> {
+    let w = codes.width() as usize;
+    if !matches!(w, 1 | 2 | 4 | 8 | 16 | 32) {
+        return None;
+    }
+    let n = codes.len();
+    let max = (1u64 << w) - 1;
+    if lo > hi || lo > max {
+        return Some(BitSet::with_len(n));
+    }
+    let hi = hi.min(max);
+    let lanes = 64 / w;
+    let rep_lo = replicate(lo, w, lanes);
+    let rep_hi = replicate(hi, w, lanes);
+    let (high, _) = lane_masks(w, lanes);
+    let steps = compaction_steps(w, lanes);
+
+    let words = codes.words();
+    let mut out = BitSet::with_len(n);
+    let mut emit = MaskEmitter::new(&mut out, lanes);
+    for &x in words.iter() {
+        // In-band iff neither borrow fires: !(x < lo) & !(hi < x).
+        let below = swar_lt(x, rep_lo, high);
+        let above = swar_lt(rep_hi, x, high);
+        emit.push(!(below | above) & high, w, &steps);
+    }
+    emit.finish();
+    Some(out)
+}
+
+/// Per-lane `a < b` (unsigned): borrow out of `a - b`, isolated to each
+/// lane's MSB. Standard SWAR subtract-borrow.
+#[inline]
+fn swar_lt(a: u64, b: u64, high: u64) -> u64 {
+    let d = (a | high).wrapping_sub(b & !high);
+    let borrow = (!a & b) | ((!a | b) & !d);
+    borrow & high
+}
+
+/// Replicates a `w`-bit literal into every lane of a word.
+#[inline]
+fn replicate(literal: u64, w: usize, lanes: usize) -> u64 {
     let mut rep = 0u64;
     for _ in 0..lanes {
         rep = (rep << w) | literal;
     }
-    // Per-lane MSB and low-bits masks.
+    rep
+}
+
+/// Per-lane MSB mask and low-bits (non-MSB) mask.
+fn lane_masks(w: usize, lanes: usize) -> (u64, u64) {
     let lane_mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-    let mut high = 0u64; // MSB of each lane
+    let mut high = 0u64;
     for lane in 0..lanes {
         high |= 1u64 << (lane * w + (w - 1));
     }
@@ -127,78 +204,77 @@ pub fn scan_swar(codes: &BitPacked, cmp: PackedCmp, literal: u64) -> Option<BitS
         }
         m
     };
+    (high, low)
+}
 
-    // Precompute the lane-compaction schedule: each step halves the
-    // spacing of the (shifted-down) lane hit bits, so `log2(lanes)`
-    // shift/or/mask rounds replace a per-hit `trailing_zeros` scatter.
-    // This is a branch-free movemask — the cost per input word is
-    // constant regardless of selectivity.
+/// The lane-compaction schedule: each step halves the spacing of the
+/// (shifted-down) lane hit bits, so `log2(lanes)` shift/or/mask rounds
+/// replace a per-hit `trailing_zeros` scatter. This is a branch-free
+/// movemask — the cost per input word is constant regardless of
+/// selectivity.
+fn compaction_steps(w: usize, lanes: usize) -> Vec<(u32, u64)> {
     let mut steps: Vec<(u32, u64)> = Vec::new();
-    {
-        let mut g = 1usize; // contiguous group size
-        let mut s = w; // group spacing
-        while g < lanes {
-            let shift = (s - g) as u32;
-            let (ng, ns) = (g * 2, s * 2);
-            let mut mask = 0u64;
-            let mut p = 0;
-            while p < 64 {
-                mask |= (((1u128 << ng) - 1) as u64) << p;
-                p += ns;
-            }
-            steps.push((shift, mask));
-            g = ng;
-            s = ns;
+    let mut g = 1usize; // contiguous group size
+    let mut s = w; // group spacing
+    while g < lanes {
+        let shift = (s - g) as u32;
+        let (ng, ns) = (g * 2, s * 2);
+        let mut mask = 0u64;
+        let mut p = 0;
+        while p < 64 {
+            mask |= (((1u128 << ng) - 1) as u64) << p;
+            p += ns;
+        }
+        steps.push((shift, mask));
+        g = ng;
+        s = ns;
+    }
+    steps
+}
+
+/// Packs per-word lane-MSB hit masks into the output bitmap, 64 selection
+/// bits at a time. Trailing garbage lanes of the last input word fall
+/// beyond the bitmap length and are masked by `or_word`.
+struct MaskEmitter<'a> {
+    out: &'a mut BitSet,
+    lanes: usize,
+    acc: u64,
+    filled: usize,
+    out_word: usize,
+}
+
+impl<'a> MaskEmitter<'a> {
+    fn new(out: &'a mut BitSet, lanes: usize) -> Self {
+        MaskEmitter {
+            out,
+            lanes,
+            acc: 0,
+            filled: 0,
+            out_word: 0,
         }
     }
 
-    let words = codes.words();
-    let mut out = BitSet::with_len(n);
-    let mut acc = 0u64; // selection bits for the output word being filled
-    let mut filled = 0usize;
-    let mut out_word = 0usize;
-    for &x in words.iter() {
-        // Per-lane comparison producing a 1 in each matching lane's MSB.
-        let msb_hits = match cmp {
-            PackedCmp::Eq => {
-                // z = x ^ rep is 0 in matching lanes. Detect zero lanes:
-                // (z | ((z & low) + low)) has MSB set iff lane non-zero.
-                let z = x ^ rep;
-                !((z | ((z & low) + low)) | z) & high
-            }
-            PackedCmp::Lt => {
-                // x < rep per lane: borrow out of (x - rep).
-                // Standard SWAR subtract-borrow: (~x & rep) | ((~x | rep) & (x - rep per lane)).
-                let d = (x | high).wrapping_sub(rep & !high);
-                let borrow = (!x & rep) | ((!x | rep) & !d);
-                borrow & high
-            }
-            PackedCmp::Gt => {
-                let d = (rep | high).wrapping_sub(x & !high);
-                let borrow = (!rep & x) | ((!rep | x) & !d);
-                borrow & high
-            }
-        };
-        // Compact lane MSBs into `lanes` contiguous low bits, then pack
-        // them into the current output word. Trailing garbage lanes of the
-        // last input word fall beyond bit `n` and are masked by `or_word`.
+    #[inline]
+    fn push(&mut self, msb_hits: u64, w: usize, steps: &[(u32, u64)]) {
         let mut compact = msb_hits >> (w - 1);
-        for &(sh, m) in &steps {
+        for &(sh, m) in steps {
             compact = (compact | (compact >> sh)) & m;
         }
-        acc |= compact << filled;
-        filled += lanes;
-        if filled == 64 {
-            out.or_word(out_word, acc);
-            out_word += 1;
-            acc = 0;
-            filled = 0;
+        self.acc |= compact << self.filled;
+        self.filled += self.lanes;
+        if self.filled == 64 {
+            self.out.or_word(self.out_word, self.acc);
+            self.out_word += 1;
+            self.acc = 0;
+            self.filled = 0;
         }
     }
-    if filled > 0 {
-        out.or_word(out_word, acc);
+
+    fn finish(self) {
+        if self.filled > 0 {
+            self.out.or_word(self.out_word, self.acc);
+        }
     }
-    Some(out)
 }
 
 /// Running integer fold for the fused filter+aggregate path: COUNT, a
@@ -331,6 +407,40 @@ mod tests {
     fn swar_rejects_odd_widths() {
         let (_, packed) = codes_with_width(7, 100);
         assert!(scan_swar(&packed, PackedCmp::Eq, 3).is_none());
+        assert!(scan_swar_band(&packed, 1, 5).is_none());
+    }
+
+    #[test]
+    fn swar_band_matches_two_pass_reference() {
+        for width in [1u8, 2, 4, 8, 16, 32] {
+            let (values, packed) = codes_with_width(width, 2048);
+            let max = (1u64 << width) - 1;
+            for (lo, hi) in [(0u64, 0u64), (0, max), (1, max / 2), (max / 3, max)] {
+                let got: Vec<usize> = scan_swar_band(&packed, lo, hi)
+                    .unwrap()
+                    .iter_ones()
+                    .collect();
+                let want: Vec<usize> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| lo <= v && v <= hi)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(got, want, "width {width} band [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn swar_band_degenerate_bounds() {
+        let (values, packed) = codes_with_width(8, 300);
+        // Empty band.
+        assert_eq!(scan_swar_band(&packed, 10, 3).unwrap().count_ones(), 0);
+        // lo above the code domain.
+        assert_eq!(scan_swar_band(&packed, 1 << 8, u64::MAX).unwrap().count_ones(), 0);
+        // hi above the domain clamps to the lane maximum.
+        let got = scan_swar_band(&packed, 0, u64::MAX).unwrap().count_ones();
+        assert_eq!(got, values.len());
     }
 
     #[test]

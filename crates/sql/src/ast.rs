@@ -137,6 +137,9 @@ pub struct SelectStmt {
     pub limit: Option<usize>,
     /// OFFSET.
     pub offset: Option<usize>,
+    /// `AS OF <ts>` time-travel clause: run the statement at this
+    /// historical snapshot instead of the session's.
+    pub as_of: Option<i64>,
 }
 
 /// Storage format requested in CREATE TABLE ... USING FORMAT.

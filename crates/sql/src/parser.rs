@@ -327,6 +327,13 @@ impl Parser {
         }
         self.expect_kw("FROM")?;
         let from = self.table_ref()?;
+        // Time travel: `FROM t AS OF <ts>` pins the statement's snapshot.
+        let as_of = if self.eat_kw("AS") {
+            self.expect_kw("OF")?;
+            Some(self.usize_literal()? as i64)
+        } else {
+            None
+        };
         let mut joins = Vec::new();
         loop {
             let join_type = if self.eat_kw("JOIN") || {
@@ -420,6 +427,7 @@ impl Parser {
             order_by,
             limit,
             offset,
+            as_of,
         })
     }
 
@@ -434,7 +442,13 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let name = self.ident()?;
-        let alias = if self.eat_kw("AS") {
+        // `AS` introduces an alias unless it starts an `AS OF <ts>`
+        // time-travel clause (two-token lookahead).
+        let starts_as_of = matches!(self.peek(), Token::Keyword(k) if k == "AS")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Keyword(k)) if k == "OF");
+        let alias = if starts_as_of {
+            None
+        } else if self.eat_kw("AS") {
             Some(self.ident()?)
         } else if let Token::Ident(_) = self.peek() {
             Some(self.ident()?)
@@ -681,6 +695,30 @@ mod tests {
         assert!(!sel.order_by[1].desc);
         assert_eq!(sel.limit, Some(10));
         assert_eq!(sel.offset, Some(5));
+        assert_eq!(sel.as_of, None);
+    }
+
+    #[test]
+    fn parses_as_of_time_travel() {
+        let sel = match parse("SELECT v FROM t AS OF 42 WHERE v > 1").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(sel.as_of, Some(42));
+        assert_eq!(sel.from.alias, None);
+        assert!(sel.filter.is_some());
+
+        // `AS <ident>` is still an alias; `AS OF` needs the keyword pair.
+        let sel = match parse("SELECT o.v FROM t AS o AS OF 7").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(sel.from.alias.as_deref(), Some("o"));
+        assert_eq!(sel.as_of, Some(7));
+
+        // A negative or missing timestamp is a parse error.
+        assert!(parse("SELECT v FROM t AS OF -1").is_err());
+        assert!(parse("SELECT v FROM t AS OF").is_err());
     }
 
     #[test]

@@ -58,6 +58,7 @@ const KEYWORDS: &[&str] = &[
     "INT", "BIGINT", "DOUBLE", "FLOAT", "TEXT", "VARCHAR", "BOOLEAN", "BOOL", "TIMESTAMP",
     "TRUE", "FALSE", "IS", "COUNT", "SUM", "MIN", "MAX", "AVG", "USING", "FORMAT", "ROW",
     "COLUMN", "DUAL", "HAVING", "DISTINCT", "BEGIN", "COMMIT", "ROLLBACK", "DROP", "EXPLAIN",
+    "OF",
 ];
 
 /// Tokenizes `input`.

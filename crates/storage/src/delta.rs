@@ -28,6 +28,7 @@ use crate::buffer::SegmentPager;
 use crate::predicate::ScanPredicate;
 use crate::rowstore::RowStore;
 use crate::segment::{Segment, SegmentBuilder};
+use oltap_common::fault::{points, FaultInjector};
 use oltap_common::hash::FxHashMap;
 use oltap_common::ids::{SegmentId, TxnId};
 use oltap_common::schema::SchemaRef;
@@ -71,6 +72,68 @@ pub struct CompactStats {
     pub segments_skipped: usize,
 }
 
+/// Statistics returned by [`DeltaMainTable::freeze`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FreezeStats {
+    /// Segments rewritten into the frozen representation this pass.
+    pub segments_frozen: usize,
+    /// Row groups in the frozen rewrites.
+    pub groups_frozen: usize,
+    /// Rows dropped because their deletion is below the watermark.
+    pub rows_dropped: usize,
+    /// Compressed bytes of the rewritten segments before freezing.
+    pub bytes_before: usize,
+    /// Compressed bytes after freezing.
+    pub bytes_after: usize,
+    /// Unfrozen segments left alone this pass (still hot, pending deletes,
+    /// or above the watermark) — they are re-evaluated next pass.
+    pub segments_skipped: usize,
+}
+
+impl FreezeStats {
+    /// Accumulates another pass (or another table) into this one.
+    pub fn absorb(&mut self, other: &FreezeStats) {
+        self.segments_frozen += other.segments_frozen;
+        self.groups_frozen += other.groups_frozen;
+        self.rows_dropped += other.rows_dropped;
+        self.bytes_before += other.bytes_before;
+        self.bytes_after += other.bytes_after;
+        self.segments_skipped += other.segments_skipped;
+    }
+}
+
+/// Aggregated heat/freeze counters (surfaced via `Database::stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeatStats {
+    /// Live frozen segments.
+    pub frozen_segments: usize,
+    /// Live frozen row groups.
+    pub frozen_groups: usize,
+    /// Sum of current per-group heat across all segments.
+    pub total_heat: u64,
+    /// Scans served by live frozen segments.
+    pub frozen_scan_hits: u64,
+    /// Segments ever frozen (cumulative over the table's lifetime).
+    pub segments_frozen_total: u64,
+    /// Cumulative compressed bytes before freezing.
+    pub bytes_before_total: u64,
+    /// Cumulative compressed bytes after freezing.
+    pub bytes_after_total: u64,
+}
+
+impl HeatStats {
+    /// Folds another table's counters into this aggregate.
+    pub fn absorb(&mut self, other: &HeatStats) {
+        self.frozen_segments += other.frozen_segments;
+        self.frozen_groups += other.frozen_groups;
+        self.total_heat += other.total_heat;
+        self.frozen_scan_hits += other.frozen_scan_hits;
+        self.segments_frozen_total += other.segments_frozen_total;
+        self.bytes_before_total += other.bytes_before_total;
+        self.bytes_after_total += other.bytes_after_total;
+    }
+}
+
 /// Snapshot of table size for merge policies and planners.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TableSizes {
@@ -106,6 +169,10 @@ pub struct DeltaMainTable {
     /// When set, merged/bulk-loaded segments are built *paged*: column
     /// data lives in page files and faults in through the buffer pool.
     pager: Option<Arc<SegmentPager>>,
+    /// Cumulative freeze counters (survive segment churn).
+    frozen_total: AtomicU64,
+    freeze_bytes_before: AtomicU64,
+    freeze_bytes_after: AtomicU64,
 }
 
 impl std::fmt::Debug for DeltaMainTable {
@@ -137,6 +204,9 @@ impl DeltaMainTable {
             schema,
             next_segment: AtomicU64::new(1),
             pager,
+            frozen_total: AtomicU64::new(0),
+            freeze_bytes_before: AtomicU64::new(0),
+            freeze_bytes_after: AtomicU64::new(0),
         }
     }
 
@@ -450,7 +520,7 @@ impl DeltaMainTable {
                     }
                     Some(stamp @ Stamp::Committed(_)) => {
                         carried_stamps.push((builder.rows_pushed() as u32, stamp));
-                        builder.push_row(seg.row_at(off)?)?;
+                        builder.push_row(seg.row_at_uncounted(off)?)?;
                     }
                     _ => builder.push_row(seg.row_at(off)?)?,
                 }
@@ -475,6 +545,145 @@ impl DeltaMainTable {
             state.segments = segments;
         }
         Ok(stats)
+    }
+
+    /// Decays every segment's heat counters and rewrites the *cold* ones
+    /// into their frozen representation: surviving rows (deletions
+    /// committed at or before `watermark` are dropped, L-Store style) are
+    /// streamed into a fresh segment built with the frozen encodings
+    /// (exact-cost selection, sorted-run delta, full-cardinality ordered
+    /// dictionaries), and the replacement is swapped in atomically per
+    /// segment under the table's state write lock.
+    ///
+    /// OLTP transparency: updates and deletes of frozen rows go through
+    /// the delta / delete-stamp paths exactly as for hot segments, so no
+    /// writer ever blocks on (or errors because of) a freeze. Segments
+    /// with in-flight (pending) deletes are skipped **this pass** and
+    /// re-evaluated on every subsequent pass — once the deleting
+    /// transaction resolves and the watermark passes it, the segment
+    /// freezes (this also fixes the old `compact` behaviour of shelving
+    /// such segments forever).
+    ///
+    /// Crash hygiene: the frozen page file is published tmp+rename by the
+    /// segment builder *before* the in-memory swap. The
+    /// [`points::STORAGE_FREEZE_CRASH`] fault aborts between publish and
+    /// swap — the table keeps serving the old representation unchanged and
+    /// the orphaned replacement is reclaimed (Drop now, purge-at-open
+    /// after a real crash, since segments rebuild from the WAL anyway).
+    ///
+    /// `force` freezes every eligible segment regardless of heat (tests,
+    /// benchmarks, and explicit operator requests).
+    pub fn freeze(
+        &self,
+        watermark: Ts,
+        faults: &FaultInjector,
+        force: bool,
+    ) -> Result<FreezeStats> {
+        /// Consecutive zero-heat maintenance decays before a segment is
+        /// considered cold enough to freeze.
+        const COLD_TICKS: u32 = 2;
+        let mut state = self.state.write();
+        let mut stats = FreezeStats::default();
+        for idx in 0..state.segments.len() {
+            let seg = Arc::clone(&state.segments[idx]);
+            seg.decay_heat();
+            if seg.is_frozen() {
+                continue;
+            }
+            if !seg.visible_to(watermark)
+                || seg.has_pending_deletes()
+                || (!force && seg.cold_ticks() < COLD_TICKS)
+            {
+                stats.segments_skipped += 1;
+                continue;
+            }
+            let bytes_before = seg.size_bytes();
+            let id = SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed));
+            let mut builder = self.segment_builder(id, watermark)?.frozen();
+            // Old row offset → new offset for surviving rows (pk remap).
+            let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+            let mut carried_stamps: Vec<(u32, Stamp)> = Vec::new();
+            let mut dropped = 0usize;
+            for off in 0..seg.row_count() as u32 {
+                let stamp = seg.delete_stamp(off);
+                if let Some(Stamp::Committed(ts)) = stamp {
+                    if ts <= watermark {
+                        dropped += 1;
+                        continue;
+                    }
+                }
+                let new_off = builder.rows_pushed() as u32;
+                if let Some(s @ Stamp::Committed(_)) = stamp {
+                    carried_stamps.push((new_off, s));
+                }
+                remap.insert(off, new_off);
+                builder.push_row(seg.row_at_uncounted(off)?)?;
+            }
+            let frozen = Arc::new(builder.finish()?);
+            for &(off, stamp) in &carried_stamps {
+                frozen.restore_delete_stamp(off, stamp);
+            }
+            // The replacement is fully built (page file published via
+            // tmp+rename) but not yet visible. A crash here must leave the
+            // old representation serving and the new one reclaimable.
+            if faults.should_fire(points::STORAGE_FREEZE_CRASH) {
+                return Err(DbError::FaultInjected(
+                    "crash between freeze publish and swap".into(),
+                ));
+            }
+            let bytes_after = frozen.size_bytes();
+            // Atomic per-segment swap + pk remap, all under the write lock.
+            state.segments[idx] = Arc::clone(&frozen);
+            if self.schema.has_primary_key() {
+                let old_id = seg.id();
+                for locs in state.pk_locs.values_mut() {
+                    locs.retain_mut(|loc| {
+                        if loc.0 != old_id {
+                            return true;
+                        }
+                        match remap.get(&loc.1) {
+                            Some(&new_off) => {
+                                *loc = (id, new_off);
+                                true
+                            }
+                            None => false,
+                        }
+                    });
+                }
+                state.pk_locs.retain(|_, locs| !locs.is_empty());
+            }
+            stats.segments_frozen += 1;
+            stats.groups_frozen += frozen.group_count();
+            stats.rows_dropped += dropped;
+            stats.bytes_before += bytes_before;
+            stats.bytes_after += bytes_after;
+            self.frozen_total.fetch_add(1, Ordering::Relaxed);
+            self.freeze_bytes_before
+                .fetch_add(bytes_before as u64, Ordering::Relaxed);
+            self.freeze_bytes_after
+                .fetch_add(bytes_after as u64, Ordering::Relaxed);
+        }
+        Ok(stats)
+    }
+
+    /// Aggregated heat/freeze counters for `Database::stats`.
+    pub fn heat_stats(&self) -> HeatStats {
+        let state = self.state.read();
+        let mut hs = HeatStats {
+            segments_frozen_total: self.frozen_total.load(Ordering::Relaxed),
+            bytes_before_total: self.freeze_bytes_before.load(Ordering::Relaxed),
+            bytes_after_total: self.freeze_bytes_after.load(Ordering::Relaxed),
+            ..HeatStats::default()
+        };
+        for s in &state.segments {
+            hs.total_heat += s.heat();
+            if s.is_frozen() {
+                hs.frozen_segments += 1;
+                hs.frozen_groups += s.group_count();
+                hs.frozen_scan_hits += s.frozen_scan_hits();
+            }
+        }
+        hs
     }
 
     /// Runs version GC on the delta store.
@@ -751,6 +960,112 @@ mod tests {
             t.get(&row![1i64], mgr.now(), NOBODY).unwrap().unwrap()[2],
             Value::Int(5)
         );
+    }
+
+    #[test]
+    fn freeze_rewrites_cold_segments_without_changing_results() {
+        let (mgr, t) = table();
+        // Sorted ids and a low-cardinality tag: the frozen re-encoding has
+        // something to win on (delta runs + full-cardinality dictionaries).
+        let rows: Vec<_> = (0..500)
+            .map(|i| row![i as i64, ["a", "b"][i % 2], (i / 10) as i64])
+            .collect();
+        t.bulk_load(&rows).unwrap();
+        let faults = FaultInjector::disabled();
+
+        // Hot segment: nothing freezes without `force` until it has been
+        // cold for consecutive decay ticks.
+        let stats = t.freeze(mgr.gc_watermark(), &faults, false).unwrap();
+        assert_eq!(stats.segments_frozen, 0);
+        assert_eq!(stats.segments_skipped, 1);
+
+        // One more idle decay tick and it is cold; it freezes on its own.
+        let stats = t.freeze(mgr.gc_watermark(), &faults, false).unwrap();
+        assert_eq!(stats.segments_frozen, 1);
+        assert!(stats.bytes_after <= stats.bytes_before, "{stats:?}");
+
+        // A frozen segment is never re-frozen.
+        let again = t.freeze(mgr.gc_watermark(), &faults, true).unwrap();
+        assert_eq!(again.segments_frozen, 0);
+
+        // Scans, predicates, and point reads are unchanged.
+        assert_eq!(count(&t, mgr.now()), 500);
+        let pred = ScanPredicate::single(0, CmpOp::Ge, Value::Int(400));
+        let survivors: usize = t
+            .scan(&[0], &pred, mgr.now(), NOBODY, 4096)
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(survivors, 100);
+        assert_eq!(
+            t.get(&row![123i64], mgr.now(), NOBODY).unwrap().unwrap()[2],
+            Value::Int(12)
+        );
+
+        // OLTP stays transparent: update + delete against frozen rows.
+        let tx = mgr.begin();
+        t.update(&tx, &row![1i64], row![1i64, "a", 999i64]).unwrap();
+        t.delete(&tx, &row![2i64]).unwrap();
+        let cts = tx.commit().unwrap();
+        assert_eq!(t.get(&row![1i64], cts, NOBODY).unwrap().unwrap()[2], Value::Int(999));
+        assert!(t.get(&row![2i64], cts, NOBODY).unwrap().is_none());
+        assert_eq!(count(&t, cts), 499);
+
+        let hs = t.heat_stats();
+        assert_eq!(hs.frozen_segments, 1);
+        assert!(hs.frozen_scan_hits > 0);
+    }
+
+    #[test]
+    fn freeze_reevaluates_segments_once_pending_deletes_commit() {
+        let (mgr, t) = table();
+        t.bulk_load(&[row![1i64, "a", 1i64], row![2i64, "b", 2i64]])
+            .unwrap();
+        let faults = FaultInjector::disabled();
+
+        // An in-flight delete blocks the freeze (stamps must not be
+        // baked into an immutable rewrite while undecided).
+        let tx = mgr.begin();
+        t.delete(&tx, &row![1i64]).unwrap();
+        let stats = t.freeze(mgr.gc_watermark(), &faults, true).unwrap();
+        assert_eq!(stats.segments_frozen, 0);
+        assert_eq!(stats.segments_skipped, 1);
+
+        // The skip is NOT permanent: after the delete commits and the GC
+        // watermark passes it, the next pass rewrites the segment and
+        // drops the dead row.
+        tx.commit().unwrap();
+        let stats = t.freeze(mgr.gc_watermark(), &faults, true).unwrap();
+        assert_eq!(stats.segments_frozen, 1);
+        assert_eq!(stats.rows_dropped, 1);
+        assert_eq!(count(&t, mgr.now()), 1);
+        assert!(t.get(&row![1i64], mgr.now(), NOBODY).unwrap().is_none());
+        assert_eq!(
+            t.get(&row![2i64], mgr.now(), NOBODY).unwrap().unwrap()[1],
+            Value::Str("b".into())
+        );
+    }
+
+    #[test]
+    fn freeze_crash_point_leaves_table_intact() {
+        let (mgr, t) = table();
+        let rows: Vec<_> = (0..200).map(|i| row![i as i64, "x", i as i64]).collect();
+        t.bulk_load(&rows).unwrap();
+        let faults = FaultInjector::new(7);
+        faults.arm(points::STORAGE_FREEZE_CRASH, oltap_common::FaultPoint::times(1));
+
+        let err = t.freeze(mgr.gc_watermark(), &faults, true).unwrap_err();
+        assert!(matches!(err, DbError::FaultInjected(_)), "{err}");
+        // The swap never happened: the segment is still unfrozen and every
+        // row is still readable.
+        assert_eq!(t.heat_stats().frozen_segments, 0);
+        assert_eq!(count(&t, mgr.now()), 200);
+
+        // The retry (fault exhausted) succeeds with identical results.
+        let stats = t.freeze(mgr.gc_watermark(), &faults, true).unwrap();
+        assert_eq!(stats.segments_frozen, 1);
+        assert_eq!(count(&t, mgr.now()), 200);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! surfaces as a typed [`DbError::Corruption`], never a panic and never
 //! silently wrong rows.
 
-use crate::encoding::{BitPacked, Dictionary, ForPacked, IntEncoding, Rle, StrEncoding};
+use crate::encoding::{BitPacked, DeltaEnc, Dictionary, ForPacked, IntEncoding, Rle, StrEncoding};
 use crate::segment::EncodedColumn;
 use oltap_common::fault::{points, FaultInjector};
 use oltap_common::{BitSet, DbError, Result};
@@ -268,6 +268,7 @@ const INT_RAW: u8 = 0;
 const INT_FOR: u8 = 1;
 const INT_RLE: u8 = 2;
 const INT_DICT: u8 = 3;
+const INT_DELTA: u8 = 4;
 
 const STR_RAW: u8 = 0;
 const STR_DICT: u8 = 1;
@@ -309,6 +310,15 @@ pub fn encode_page(col: &EncodedColumn) -> Vec<u8> {
                         out.extend_from_slice(&v.to_le_bytes());
                     }
                     put_bitpacked(&mut out, d.codes());
+                }
+                IntEncoding::Delta(d) => {
+                    out.push(INT_DELTA);
+                    put_u64(&mut out, d.len() as u64);
+                    put_u64(&mut out, d.anchors().len() as u64);
+                    for &v in d.anchors() {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    put_bitpacked(&mut out, d.deltas());
                 }
             }
             put_validity(&mut out, validity);
@@ -389,6 +399,15 @@ pub fn decode_page(buf: &[u8]) -> Result<EncodedColumn> {
                         dict.push(cur.i64()?);
                     }
                     IntEncoding::Dict(Box::new(Dictionary::from_parts(dict, cur.bitpacked()?)?))
+                }
+                INT_DELTA => {
+                    let len = cur.len()?;
+                    let nanchors = cur.len()?;
+                    let mut anchors = Vec::with_capacity(nanchors);
+                    for _ in 0..nanchors {
+                        anchors.push(cur.i64()?);
+                    }
+                    IntEncoding::Delta(DeltaEnc::from_parts(anchors, cur.bitpacked()?, len)?)
                 }
                 t => return Err(corrupt(format!("unknown int encoding tag {t}"))),
             };

@@ -23,6 +23,7 @@ use oltap_common::{BitSet, ColumnVector, DataType, DbError, Result, Row, Value};
 use oltap_common::schema::SchemaRef;
 use oltap_txn::{Stamp, Ts};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One encoded column plus its validity bitmap.
@@ -334,6 +335,41 @@ fn eval_int(enc: &IntEncoding, op: CmpOp, lit: i64, out: &mut BitSet) {
             };
             cmp_codes_block(d.codes(), code_op, code, out);
         }
+        IntEncoding::Delta(d) => {
+            // Sorted run: every comparison reduces to at most two binary
+            // searches and a contiguous bit-range fill — no scan at all.
+            let n = d.len();
+            match op {
+                CmpOp::Eq => set_bit_range(out, d.lower_bound(lit), d.upper_bound(lit)),
+                CmpOp::Ne => {
+                    set_bit_range(out, 0, d.lower_bound(lit));
+                    set_bit_range(out, d.upper_bound(lit), n);
+                }
+                CmpOp::Lt => set_bit_range(out, 0, d.lower_bound(lit)),
+                CmpOp::Le => set_bit_range(out, 0, d.upper_bound(lit)),
+                CmpOp::Gt => set_bit_range(out, d.upper_bound(lit), n),
+                CmpOp::Ge => set_bit_range(out, d.lower_bound(lit), n),
+            }
+        }
+    }
+}
+
+/// ORs the contiguous index range `[lo, hi)` into `out`, whole words at a
+/// time (the sorted-run predicate path produces exactly such ranges).
+fn set_bit_range(out: &mut BitSet, lo: usize, hi: usize) {
+    if lo >= hi {
+        return;
+    }
+    let (lw, hw) = (lo / 64, (hi - 1) / 64);
+    for w in lw..=hw {
+        let from = if w == lw { lo % 64 } else { 0 };
+        let to = if w == hw { (hi - 1) % 64 } else { 63 };
+        let bits = if to - from == 63 {
+            u64::MAX
+        } else {
+            ((1u64 << (to - from + 1)) - 1) << from
+        };
+        out.or_word(w, bits);
     }
 }
 
@@ -464,6 +500,7 @@ fn decode_int_block(enc: &IntEncoding, start: usize, out: &mut [i64]) {
                 done += take;
             }
         }
+        IntEncoding::Delta(d) => d.decode_block(start, out),
     }
 }
 
@@ -569,6 +606,22 @@ pub struct Segment {
     visible_from: Ts,
     /// MVCC delete stamps: row offset → stamp of the deleting transaction.
     deletes: RwLock<FxHashMap<u32, Stamp>>,
+    /// True when this segment is a freeze-pass rewrite (cold data,
+    /// re-encoded with the denser frozen encodings).
+    frozen: bool,
+    /// Per-row-group access heat: bumped (relaxed) by every scan that
+    /// survives zone pruning into the group and by point row access,
+    /// halved by the maintenance daemon. Purely advisory — no ordering.
+    heat: Vec<AtomicU32>,
+    /// Consecutive maintenance decays that observed zero total heat
+    /// (the freeze pass's coldness signal).
+    cold_ticks: AtomicU32,
+    /// Scans served by this segment since it was frozen.
+    frozen_scan_hits: AtomicU64,
+}
+
+fn heat_counters(groups: usize) -> Vec<AtomicU32> {
+    (0..groups.max(1)).map(|_| AtomicU32::new(0)).collect()
 }
 
 impl Segment {
@@ -580,21 +633,29 @@ impl Segment {
         rows: &[Row],
         visible_from: Ts,
     ) -> Result<Self> {
-        let mut seg = Self::build(id, schema, rows)?;
-        seg.visible_from = visible_from;
-        Ok(seg)
+        Self::build_inner(id, schema, rows, visible_from, false)
     }
 
     /// Builds a fully resident segment from materialized rows (visible to
     /// all snapshots).
     pub fn build(id: SegmentId, schema: SchemaRef, rows: &[Row]) -> Result<Self> {
+        Self::build_inner(id, schema, rows, 0, false)
+    }
+
+    fn build_inner(
+        id: SegmentId,
+        schema: SchemaRef,
+        rows: &[Row],
+        visible_from: Ts,
+        frozen: bool,
+    ) -> Result<Self> {
         // Transpose into per-column borrow vectors: the zone map and the
         // encoders only need to *read* the values, so no row is cloned.
         let cols = transpose_refs(&schema, rows)?;
         let zone_map = ZoneMap::build_refs(&cols);
         let mut columns = Vec::with_capacity(schema.len());
         for (c, field) in schema.fields().iter().enumerate() {
-            columns.push(encode_column(field.data_type, &cols[c])?);
+            columns.push(encode_column(field.data_type, &cols[c], frozen)?);
         }
         Ok(Segment {
             id,
@@ -602,8 +663,12 @@ impl Segment {
             row_count: rows.len(),
             data: ColumnData::Resident(columns),
             zone_map,
-            visible_from: 0,
+            visible_from,
             deletes: RwLock::new(FxHashMap::default()),
+            frozen,
+            heat: heat_counters(1),
+            cold_ticks: AtomicU32::new(0),
+            frozen_scan_hits: AtomicU64::new(0),
         })
     }
 
@@ -633,7 +698,7 @@ impl Segment {
             // chunks are dropped right after framing — peak memory is one
             // column chunk, not the segment.
             for (c, field) in schema.fields().iter().enumerate() {
-                let enc = encode_column(field.data_type, &cols[c][start..start + len])?;
+                let enc = encode_column(field.data_type, &cols[c][start..start + len], false)?;
                 writer.append_column(&enc)?;
             }
             let zone = ZoneMap {
@@ -650,6 +715,7 @@ impl Segment {
             start += len;
         }
         let file = Arc::new(writer.finish()?);
+        let ngroups = groups.len();
         Ok(Segment {
             id,
             schema,
@@ -663,6 +729,10 @@ impl Segment {
             zone_map,
             visible_from,
             deletes: RwLock::new(FxHashMap::default()),
+            frozen: false,
+            heat: heat_counters(ngroups),
+            cold_ticks: AtomicU32::new(0),
+            frozen_scan_hits: AtomicU64::new(0),
         })
     }
 
@@ -696,6 +766,7 @@ impl Segment {
             id,
             schema,
             visible_from,
+            frozen: false,
             mode,
         })
     }
@@ -703,6 +774,49 @@ impl Segment {
     /// The earliest snapshot timestamp that may see this segment's rows.
     pub fn visible_from(&self) -> Ts {
         self.visible_from
+    }
+
+    /// True when this segment is a freeze-pass rewrite.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Total access heat across all row groups.
+    pub fn heat(&self) -> u64 {
+        self.heat.iter().map(|h| h.load(Ordering::Relaxed) as u64).sum()
+    }
+
+    /// Access heat of row group `g`.
+    pub fn group_heat(&self, g: usize) -> u32 {
+        self.heat.get(g).map_or(0, |h| h.load(Ordering::Relaxed))
+    }
+
+    /// Maintenance decay: halves every group's heat counter and tracks how
+    /// many consecutive decays observed zero total heat. Returns the total
+    /// heat *before* this decay.
+    pub fn decay_heat(&self) -> u64 {
+        let mut total = 0u64;
+        for h in &self.heat {
+            let cur = h.load(Ordering::Relaxed);
+            total += cur as u64;
+            h.store(cur / 2, Ordering::Relaxed);
+        }
+        if total == 0 {
+            self.cold_ticks.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cold_ticks.store(0, Ordering::Relaxed);
+        }
+        total
+    }
+
+    /// Consecutive zero-heat maintenance decays (coldness signal).
+    pub fn cold_ticks(&self) -> u32 {
+        self.cold_ticks.load(Ordering::Relaxed)
+    }
+
+    /// Scans served since this segment was frozen (0 for hot segments).
+    pub fn frozen_scan_hits(&self) -> u64 {
+        self.frozen_scan_hits.load(Ordering::Relaxed)
     }
 
     /// Whether a snapshot at `read_ts` may see this segment at all.
@@ -944,11 +1058,18 @@ impl Segment {
                 }
             }
         }
+        if self.frozen {
+            self.frozen_scan_hits.fetch_add(1, Ordering::Relaxed);
+        }
         let mut sel = BitSet::with_len(self.row_count);
         for g in 0..self.group_count() {
             let (start, rows) = self.group_bounds(g);
             if rows == 0 || !self.group_zone(g).may_match(pred) {
                 continue;
+            }
+            // The group survived zone pruning: it is about to be touched.
+            if let Some(h) = self.heat.get(g) {
+                h.fetch_add(1, Ordering::Relaxed);
             }
             let mut local = BitSet::all_set(rows);
             for ColumnPredicate { column, op, value } in &pred.conjuncts {
@@ -1094,6 +1215,17 @@ impl Segment {
     /// Materializes the full row at `offset` (no visibility check — caller
     /// is responsible). Faults the row's pages for paged segments.
     pub fn row_at(&self, offset: u32) -> Result<Row> {
+        self.row_at_inner(offset, true)
+    }
+
+    /// `row_at` for maintenance-internal reads (freeze rewrites): does not
+    /// bump heat counters, so a crashed rewrite cannot re-heat the segment
+    /// it was trying to freeze.
+    pub fn row_at_uncounted(&self, offset: u32) -> Result<Row> {
+        self.row_at_inner(offset, false)
+    }
+
+    fn row_at_inner(&self, offset: u32, count_heat: bool) -> Result<Row> {
         let i = offset as usize;
         if i >= self.row_count {
             return Err(DbError::InvalidArgument(format!(
@@ -1102,10 +1234,20 @@ impl Segment {
         }
         match &self.data {
             ColumnData::Resident(cols) => {
+                if count_heat {
+                    if let Some(h) = self.heat.first() {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 Ok(Row::new(cols.iter().map(|c| c.value_at(i)).collect()))
             }
             ColumnData::Paged { ncols, groups, .. } => {
                 let g = groups.partition_point(|gr| gr.row_start + gr.rows <= i);
+                if count_heat {
+                    if let Some(h) = self.heat.get(g) {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 let local = i - groups[g].row_start;
                 let mut values = Vec::with_capacity(*ncols);
                 for c in 0..*ncols {
@@ -1132,6 +1274,7 @@ pub struct SegmentBuilder {
     id: SegmentId,
     schema: SchemaRef,
     visible_from: Ts,
+    frozen: bool,
     mode: BuilderMode,
 }
 
@@ -1150,6 +1293,13 @@ enum BuilderMode {
 }
 
 impl SegmentBuilder {
+    /// Switches the build to the *frozen* encodings (exact-cost selection,
+    /// sorted-run delta): what the freeze pass uses to rewrite cold data.
+    pub fn frozen(mut self) -> Self {
+        self.frozen = true;
+        self
+    }
+
     /// Appends one row; may flush a completed row group to the page file.
     pub fn push_row(&mut self, row: Row) -> Result<()> {
         match &mut self.mode {
@@ -1201,7 +1351,7 @@ impl SegmentBuilder {
         }
         let cols = transpose_refs(&self.schema, buf)?;
         for (c, field) in self.schema.fields().iter().enumerate() {
-            let enc = encode_column(field.data_type, &cols[c])?;
+            let enc = encode_column(field.data_type, &cols[c], self.frozen)?;
             writer.append_column(&enc)?;
         }
         let group_zone = ZoneMap {
@@ -1221,9 +1371,13 @@ impl SegmentBuilder {
     /// Flushes the tail group and seals the segment.
     pub fn finish(mut self) -> Result<Segment> {
         match self.mode {
-            BuilderMode::Resident { ref rows } => {
-                Segment::build_visible_from(self.id, Arc::clone(&self.schema), rows, self.visible_from)
-            }
+            BuilderMode::Resident { ref rows } => Segment::build_inner(
+                self.id,
+                Arc::clone(&self.schema),
+                rows,
+                self.visible_from,
+                self.frozen,
+            ),
             BuilderMode::Paged { .. } => {
                 self.flush_group()?;
                 let BuilderMode::Paged {
@@ -1239,6 +1393,7 @@ impl SegmentBuilder {
                 };
                 let ncols = self.schema.len();
                 let file = Arc::new(writer.finish()?);
+                let ngroups = groups.len();
                 Ok(Segment {
                     id: self.id,
                     schema: self.schema,
@@ -1252,6 +1407,10 @@ impl SegmentBuilder {
                     zone_map: zone,
                     visible_from: self.visible_from,
                     deletes: RwLock::new(FxHashMap::default()),
+                    frozen: self.frozen,
+                    heat: heat_counters(ngroups),
+                    cold_ticks: AtomicU32::new(0),
+                    frozen_scan_hits: AtomicU64::new(0),
                 })
             }
         }
@@ -1374,7 +1533,7 @@ fn append_vector(out: &mut ColumnVector, piece: ColumnVector) -> Result<()> {
     Ok(())
 }
 
-fn encode_column(data_type: DataType, values: &[&Value]) -> Result<EncodedColumn> {
+fn encode_column(data_type: DataType, values: &[&Value], frozen: bool) -> Result<EncodedColumn> {
     let n = values.len();
     let mut validity: Option<BitSet> = None;
     let mark_null = |validity: &mut Option<BitSet>, i: usize| {
@@ -1394,7 +1553,11 @@ fn encode_column(data_type: DataType, values: &[&Value]) -> Result<EncodedColumn
                 }
             }
             EncodedColumn::Int {
-                enc: IntEncoding::choose(&ints),
+                enc: if frozen {
+                    IntEncoding::choose_frozen(&ints)
+                } else {
+                    IntEncoding::choose(&ints)
+                },
                 validity,
             }
         }

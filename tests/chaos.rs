@@ -1089,3 +1089,129 @@ fn chaos_kernel_fallback_mid_query_never_changes_results() {
         );
     }
 }
+
+/// Scenario 19 — `storage.freeze_crash`: the background freeze pass dies
+/// after publishing the frozen replacement segment's page file
+/// (tmp+rename) but before the in-memory swap. The table must be left
+/// with the old representation fully intact — never torn — and return
+/// byte-identical results before the crash, after the crash, and after a
+/// clean retry that completes the freeze. The orphaned replacement's
+/// page file is reclaimed, and OLTP writes keep working throughout.
+#[test]
+fn chaos_crash_mid_freeze_never_tears_a_segment() {
+    let seed = seed_for(19);
+    let resident = Database::new();
+    load_pages_table(&resident);
+    let queries = [
+        "SELECT g, COUNT(*), SUM(v), MIN(id), MAX(id) FROM pages GROUP BY g ORDER BY g",
+        "SELECT id, v FROM pages WHERE id >= 1900 ORDER BY id",
+        "SELECT COUNT(*) FROM pages WHERE v > 8",
+    ];
+
+    for pool_bytes in [u64::MAX, 2048] {
+        let faults = FaultInjector::new(seed ^ pool_bytes);
+        let db = paged_db(Arc::clone(&faults), pool_bytes);
+
+        faults.arm(points::STORAGE_FREEZE_CRASH, FaultPoint::times(1));
+        let err = db.freeze_all(true).unwrap_err();
+        assert!(
+            matches!(err, DbError::FaultInjected(_)),
+            "pool={pool_bytes}: expected FaultInjected, got {err} (seed={seed:#x})"
+        );
+        assert_eq!(
+            faults.fired_count(),
+            1,
+            "freeze-crash fault never fired — scenario vacuous (seed={seed:#x})"
+        );
+        // The swap never happened: no frozen segment is live, and every
+        // query answers exactly as the resident reference.
+        assert_eq!(db.stats().heat.frozen_segments, 0, "pool={pool_bytes}");
+        for sql in &queries {
+            let want = resident.query(sql).unwrap();
+            db.set_parallelism(1);
+            assert_eq!(
+                db.query(sql).unwrap(),
+                want,
+                "post-crash serial diverged: {sql} (seed={seed:#x})"
+            );
+            db.set_parallelism(4);
+            assert_eq!(
+                db.query(sql).unwrap(),
+                want,
+                "post-crash parallel diverged: {sql} (seed={seed:#x})"
+            );
+        }
+        db.set_parallelism(1);
+
+        // Writes land normally on the (still unfrozen) table.
+        db.execute("INSERT INTO pages VALUES (50000, 0, 1)").unwrap();
+        db.execute("UPDATE pages SET v = 100 WHERE id = 7").unwrap();
+
+        // The retry (fault exhausted) completes the freeze; results match
+        // the reference with the same writes applied.
+        let stats = db.freeze_all(true).unwrap();
+        assert!(
+            stats.segments_frozen > 0,
+            "pool={pool_bytes}: clean retry froze nothing (seed={seed:#x})"
+        );
+        resident.execute("INSERT INTO pages VALUES (50000, 0, 1)").unwrap();
+        resident.execute("UPDATE pages SET v = 100 WHERE id = 7").unwrap();
+        for sql in &queries {
+            assert_eq!(
+                db.query(sql).unwrap(),
+                resident.query(sql).unwrap(),
+                "post-retry diverged: {sql} (seed={seed:#x})"
+            );
+        }
+        // Undo the reference writes (id 7's original v is 7*7 % 17 = 15)
+        // before the next pool size reuses the reference.
+        resident.execute("DELETE FROM pages WHERE id = 50000").unwrap();
+        resident.execute("UPDATE pages SET v = 15 WHERE id = 7").unwrap();
+    }
+}
+
+/// Scenario 19b — the same crash point hit from the background
+/// maintenance daemon: the pass reports the fault as a per-table error
+/// note, the daemon keeps ticking, and once the fault is exhausted the
+/// heat-based path freezes the (by now cold) segment on its own.
+#[test]
+fn chaos_freeze_crash_in_maintenance_daemon_self_heals() {
+    let seed = seed_for(191);
+    let faults = FaultInjector::new(seed);
+    let db = paged_db(Arc::clone(&faults), u64::MAX);
+    let before = db
+        .query("SELECT g, COUNT(*), SUM(v) FROM pages GROUP BY g ORDER BY g")
+        .unwrap();
+
+    // The baseline scan heated the segment; two idle decay ticks make it
+    // cold, so the fault is armed for the tick that attempts the freeze.
+    db.maintenance();
+    db.maintenance();
+    faults.arm(points::STORAGE_FREEZE_CRASH, FaultPoint::times(1));
+    let stats = db.maintenance();
+    assert!(
+        stats
+            .notes
+            .iter()
+            .any(|(t, n)| t == "pages" && n.contains("error") && n.contains("fault")),
+        "crash must surface as a per-table note: {stats:?} (seed={seed:#x})"
+    );
+    assert_eq!(db.stats().heat.frozen_segments, 0);
+
+    // The next clean tick freezes it (still cold, fault exhausted).
+    let stats = db.maintenance();
+    assert!(
+        stats
+            .notes
+            .iter()
+            .any(|(t, n)| t == "pages" && n.contains("froze 1 segments")),
+        "cold segment must freeze on the next clean tick: {stats:?} (seed={seed:#x})"
+    );
+    assert_eq!(db.stats().heat.frozen_segments, 1);
+    assert_eq!(
+        db.query("SELECT g, COUNT(*), SUM(v) FROM pages GROUP BY g ORDER BY g")
+            .unwrap(),
+        before,
+        "seed={seed:#x}"
+    );
+}
