@@ -1,0 +1,348 @@
+//! E20 — Network front end: connections vs throughput, and OLTP tail
+//! latency under mixed load at the edge.
+//!
+//! Claim (tutorial §5; operational-analytics serving): admission
+//! control and workload classification must survive the hop to the
+//! network edge. With ~1k simulated clients hammering the wire
+//! protocol, point-query (OLTP) p99 under a *mixed* OLTP+analytics load
+//! must stay within **2×** of the OLTP-only p99 on the same topology —
+//! the scheduler, not the socket layer, decides who waits.
+//!
+//! Phases:
+//! 1. **Curve** — OLTP point queries at increasing connection counts:
+//!    connections vs throughput (informational; absolute ops/s are not
+//!    machine-portable).
+//! 2. **OLTP-only** — p99 at the full connection count.
+//! 3. **Mixed** — same, with every 8th operation an analytic aggregate;
+//!    the gated cell is the *ratio* `oltp_only_p99 / mixed_p99`
+//!    (higher is better; ≥ 0.5 means "within 2×").
+//!
+//! `OLTAP_SCALE=1` simulates 1000 clients; CI quick mode scales down.
+//! Emits `results/BENCH_server.json` (override `BENCH_SERVER_OUT`).
+//! With `BENCH_SERVER_GATE=1` the run fails if the gated ratio drops
+//! below 80% of the checked-in baseline (>20% regression) or below the
+//! 0.5 acceptance floor.
+
+use oltap_bench::harness::{scaled, TextTable};
+use oltap_client::Client;
+use oltap_core::{Database, DbConfig};
+use oltap_sched::AdmissionConfig;
+use oltap_server::{Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const GATE_FRACTION: f64 = 0.8;
+/// Acceptance: mixed-load OLTP p99 within 2× of OLTP-only p99.
+const MIN_ISOLATION: f64 = 0.5;
+
+struct Cell {
+    name: &'static str,
+    metric: f64,
+    gated: bool,
+    detail: String,
+}
+
+fn bench_db() -> Arc<Database> {
+    let db = Database::with_config(DbConfig {
+        memory: Some(oltap_core::MemoryConfig {
+            total_bytes: 256 << 20,
+            oltp_bytes: 64 << 20,
+            olap_bytes: 192 << 20,
+            query_bytes: 16 << 20,
+        }),
+        admission: Some(AdmissionConfig::default()),
+        ..DbConfig::default()
+    })
+    .expect("in-memory db");
+    db.execute("CREATE TABLE kv (id BIGINT PRIMARY KEY, v BIGINT) USING FORMAT DUAL")
+        .expect("create kv");
+    let rows = scaled(20_000).max(2_000);
+    let kv = db.table("kv").expect("kv handle");
+    let tx = db.txn_manager().begin();
+    for i in 0..rows as i64 {
+        kv.insert(&tx, oltap_common::row![i, i * 7]).expect("load");
+    }
+    tx.commit().expect("load commit");
+    db.maintenance();
+    db
+}
+
+/// Drives `conns` connections from up to 32 OS threads (each thread
+/// round-robins a slice of blocking clients — the standard way to
+/// simulate more clients than cores). Returns (total OLTP ops, sorted
+/// OLTP latencies in micros).
+fn drive(
+    addr: &str,
+    conns: usize,
+    secs: f64,
+    mixed: bool,
+    rows: i64,
+) -> (u64, Vec<u64>) {
+    let drivers = conns.min(32);
+    let stop = Arc::new(AtomicBool::new(false));
+    let results: Vec<(u64, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                let stop = Arc::clone(&stop);
+                let addr = addr.to_string();
+                s.spawn(move || {
+                    let my_conns = conns / drivers + usize::from(d < conns % drivers);
+                    let mut clients: Vec<Client> = (0..my_conns)
+                        .map(|_| Client::connect(addr.as_str()).expect("connect"))
+                        .collect();
+                    let mut ops = 0u64;
+                    let mut lats = Vec::new();
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let slot = i % clients.len();
+                        let c = &mut clients[slot];
+                        if mixed && i % 8 == 7 {
+                            // Analytic op: measured load, not an OLTP
+                            // latency sample.
+                            let _ = c.query("SELECT COUNT(*), SUM(v) FROM kv");
+                        } else {
+                            let id = ((d * 7919 + i * 104_729) as i64) % rows;
+                            let t = Instant::now();
+                            c.query(&format!("SELECT v FROM kv WHERE id = {id}"))
+                                .expect("point query");
+                            lats.push(t.elapsed().as_micros() as u64);
+                            ops += 1;
+                        }
+                        i += 1;
+                    }
+                    for c in clients.drain(..) {
+                        let _ = c.close();
+                    }
+                    (ops, lats)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("driver")).collect()
+    });
+    let mut all = Vec::new();
+    let mut total = 0u64;
+    for (ops, lats) in results {
+        total += ops;
+        all.extend(lats);
+    }
+    all.sort_unstable();
+    (total, all)
+}
+
+fn p99(sorted_micros: &[u64]) -> f64 {
+    if sorted_micros.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (sorted_micros.len() * 99 / 100).min(sorted_micros.len() - 1);
+    sorted_micros[idx] as f64
+}
+
+fn parse_cells(json: &str) -> Vec<(String, f64, bool)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("{\"name\":\"") {
+        rest = &rest[i + 9..];
+        let Some(name_end) = rest.find('"') else { break };
+        let name = rest[..name_end].to_string();
+        let Some(cell_end) = rest.find('}') else { break };
+        let cell = &rest[..cell_end];
+        if let Some(m) = cell.find("\"metric\":") {
+            let tail = &cell[m + 9..];
+            let num = &tail[..tail.find(',').unwrap_or(tail.len())];
+            if let Ok(metric) = num.trim().parse::<f64>() {
+                out.push((name, metric, cell.contains("\"gated\":true")));
+            }
+        }
+        rest = &rest[cell_end..];
+    }
+    out
+}
+
+fn run_gate(baseline_json: &str, cells: &[Cell]) -> bool {
+    let baseline = parse_cells(baseline_json);
+    let mut t = TextTable::new(&["cell", "baseline", "current", "floor", "verdict"]);
+    let mut failures = 0;
+    for (name, base, gated) in &baseline {
+        if !gated {
+            continue;
+        }
+        let Some(cur) = cells.iter().find(|c| c.name == name) else {
+            println!("gate: baseline cell {name} missing from this run");
+            failures += 1;
+            continue;
+        };
+        let floor = base * GATE_FRACTION;
+        let ok = cur.metric >= floor;
+        failures += usize::from(!ok);
+        t.row(&[
+            name.clone(),
+            format!("{base:.3}"),
+            format!("{:.3}", cur.metric),
+            format!("{floor:.3}"),
+            if ok { "ok" } else { "REGRESSED" }.to_string(),
+        ]);
+    }
+    t.print("E20 gate: ratios vs checked-in baseline");
+    failures == 0
+}
+
+fn main() {
+    println!("E20: network front end — connections vs throughput, mixed-load p99");
+    let db = bench_db();
+    let rows = scaled(20_000).max(2_000) as i64;
+    let max_clients = scaled(1000).clamp(32, 1000);
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_conns: max_clients + 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr().to_string();
+    let phase_secs = 2.0;
+
+    let mut cells = Vec::new();
+    let mut table = TextTable::new(&["cell", "conns", "value", "gated"]);
+
+    // Phase 1: connections vs throughput (informational).
+    let mut steps: Vec<usize> = [8usize, 32, 128, max_clients]
+        .into_iter()
+        .filter(|&c| c <= max_clients)
+        .collect();
+    steps.dedup();
+    let mut curve = Vec::new();
+    for &conns in &steps {
+        let (ops, lats) = drive(&addr, conns, phase_secs, false, rows);
+        let rate = ops as f64 / phase_secs;
+        curve.push(format!(
+            "{{\"conns\":{conns},\"ops_per_sec\":{rate:.0},\"p99_us\":{:.0}}}",
+            p99(&lats)
+        ));
+        table.row(&[
+            "throughput".into(),
+            conns.to_string(),
+            format!("{rate:.0} ops/s, p99 {:.0}us", p99(&lats)),
+            "no".into(),
+        ]);
+    }
+    cells.push(Cell {
+        name: "connections_vs_throughput",
+        metric: steps.len() as f64,
+        gated: false,
+        detail: format!("\"curve\":[{}]", curve.join(",")),
+    });
+
+    // Phase 2: OLTP-only p99 at the full client count.
+    let (only_ops, only_lats) = drive(&addr, max_clients, phase_secs, false, rows);
+    let only_p99 = p99(&only_lats);
+    table.row(&[
+        "oltp_only_p99".into(),
+        max_clients.to_string(),
+        format!("{only_p99:.0} us ({} ops)", only_ops),
+        "no".into(),
+    ]);
+    cells.push(Cell {
+        name: "oltp_only_p99_us",
+        metric: only_p99,
+        gated: false,
+        detail: format!("\"ops\":{only_ops},\"conns\":{max_clients}"),
+    });
+
+    // Phase 3: mixed load; the gated cell is the isolation ratio.
+    let (mixed_ops, mixed_lats) = drive(&addr, max_clients, phase_secs, true, rows);
+    let mixed_p99 = p99(&mixed_lats);
+    // Saturate at 1.0: "mixed no worse than OLTP-only" is full marks;
+    // anything above that is run-to-run noise and would make a fragile
+    // checked-in baseline.
+    let isolation = (only_p99 / mixed_p99.max(1.0)).min(1.0);
+    table.row(&[
+        "oltp_mixed_p99".into(),
+        max_clients.to_string(),
+        format!("{mixed_p99:.0} us ({} ops)", mixed_ops),
+        "no".into(),
+    ]);
+    table.row(&[
+        "oltp_isolation".into(),
+        max_clients.to_string(),
+        format!("{isolation:.3} (floor {MIN_ISOLATION})"),
+        "yes".into(),
+    ]);
+    cells.push(Cell {
+        name: "oltp_mixed_p99_us",
+        metric: mixed_p99,
+        gated: false,
+        detail: format!("\"ops\":{mixed_ops},\"conns\":{max_clients}"),
+    });
+    cells.push(Cell {
+        name: "oltp_isolation",
+        metric: isolation,
+        gated: true,
+        detail: format!(
+            "\"oltp_only_p99_us\":{only_p99:.0},\"mixed_p99_us\":{mixed_p99:.0},\
+             \"acceptance_floor\":{MIN_ISOLATION}"
+        ),
+    });
+    table.print("E20: edge latency under load (measured within this run)");
+    println!(
+        "expected shape: oltp_isolation >= {MIN_ISOLATION} (mixed p99 within 2x of OLTP-only)"
+    );
+    let final_stats = server.stats();
+    println!(
+        "server: accepted={} queries={} errors={} active={}",
+        final_stats.accepted, final_stats.queries, final_stats.statement_errors,
+        final_stats.active
+    );
+    let report = server.drain();
+    println!("drain: {report:?}");
+
+    let out = std::env::var("BENCH_SERVER_OUT")
+        .unwrap_or_else(|_| "results/BENCH_server.json".to_string());
+    let baseline_path = std::env::var("BENCH_SERVER_BASELINE").unwrap_or_else(|_| out.clone());
+    let baseline_json = std::fs::read_to_string(&baseline_path).ok();
+    let json_cells: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"name\":\"{}\",\"metric\":{:.4},\"gated\":{},{}}}",
+                c.name, c.metric, c.gated, c.detail
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"e20_server\",\"gate_fraction\":{GATE_FRACTION},\
+         \"clients\":{max_clients},\"cells\":[\n  {}\n]}}\n",
+        json_cells.join(",\n  ")
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, &json).expect("write BENCH_server.json");
+    println!("wrote {out}");
+
+    if std::env::var("BENCH_SERVER_GATE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        if isolation < MIN_ISOLATION {
+            eprintln!(
+                "gate: oltp_isolation {isolation:.3} below acceptance floor {MIN_ISOLATION} \
+                 (mixed p99 more than 2x OLTP-only p99)"
+            );
+            std::process::exit(1);
+        }
+        if let Some(baseline_json) = baseline_json {
+            if !run_gate(&baseline_json, &cells) {
+                eprintln!(
+                    "gate: edge-latency ratio regressed >{:.0}% vs {baseline_path}",
+                    (1.0 - GATE_FRACTION) * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!("gate: all gated ratios within {GATE_FRACTION} of baseline");
+        } else {
+            println!("gate: no baseline at {baseline_path} — acceptance floor only");
+        }
+    }
+}

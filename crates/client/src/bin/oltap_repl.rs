@@ -1,0 +1,76 @@
+//! Minimal line-oriented REPL against a running `oltap_server`.
+//!
+//! ```text
+//! oltap_repl [--addr HOST:PORT]
+//! ```
+//!
+//! Reads one SQL statement per line from stdin, prints rows as
+//! tab-separated values. Uses the reconnecting [`RetryClient`], so the
+//! server can be bounced mid-session and the REPL keeps working.
+
+use oltap_client::{RetryClient, RetryConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut addr = "127.0.0.1:5433".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs HOST:PORT"),
+            "--help" | "-h" => {
+                eprintln!("usage: oltap_repl [--addr HOST:PORT]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut client = RetryClient::new(addr.clone(), RetryConfig::default());
+    eprintln!("connected target {addr}; one SQL statement per line, Ctrl-D to exit");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        eprint!("oltap> ");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        if sql.eq_ignore_ascii_case("exit") || sql.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        match client.query(sql) {
+            Ok(res) => {
+                if !res.schema.is_empty() {
+                    let header: Vec<&str> =
+                        res.schema.iter().map(|f| f.name.as_str()).collect();
+                    let _ = writeln!(out, "{}", header.join("\t"));
+                    for row in &res.rows {
+                        let cells: Vec<String> =
+                            row.values().iter().map(|v| v.to_string()).collect();
+                        let _ = writeln!(out, "{}", cells.join("\t"));
+                    }
+                    let _ = writeln!(out, "({} rows)", res.count);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "ok: {:?} count={} {}",
+                        res.done, res.count, res.note
+                    );
+                }
+                let _ = out.flush();
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -17,6 +17,32 @@ use std::time::{Duration, Instant};
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Optional parent: a child token also trips when any ancestor is
+    /// cancelled or past its deadline. Lets a per-connection token fan
+    /// out to per-query tokens (server drain / slow-client shedding
+    /// cancels the in-flight statement through the same machinery as an
+    /// explicit `cancel()`).
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    /// Walks this token and its ancestors; the first tripped condition
+    /// wins, explicit cancellation taking precedence over deadlines at
+    /// each level.
+    fn tripped(&self) -> Option<DbError> {
+        let mut cur = Some(self);
+        let mut deadline_hit = false;
+        while let Some(inner) = cur {
+            if inner.cancelled.load(Ordering::Acquire) {
+                return Some(DbError::Cancelled("query cancelled".into()));
+            }
+            if inner.deadline.is_some_and(|d| Instant::now() >= d) {
+                deadline_hit = true;
+            }
+            cur = inner.parent.as_deref();
+        }
+        deadline_hit.then(|| DbError::DeadlineExceeded("query deadline exceeded".into()))
+    }
 }
 
 /// A cheap, cloneable cancellation handle with an optional deadline.
@@ -41,6 +67,7 @@ impl CancellationToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                parent: None,
             }),
         }
     }
@@ -62,19 +89,34 @@ impl CancellationToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(deadline),
+                parent: None,
             }),
         }
     }
 
-    /// Requests cancellation; all clones observe it.
+    /// A child token that trips when `self` does *or* when its own
+    /// (optional) timeout expires or it is cancelled directly. Cancelling
+    /// the child does not affect the parent, so one connection-lifetime
+    /// token can gate many successive per-query tokens.
+    pub fn child(&self, timeout: Option<Duration>) -> Self {
+        CancellationToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: timeout.map(|t| Instant::now() + t),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Requests cancellation; all clones (and children) observe it.
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
-    /// True if explicitly cancelled or past the deadline.
+    /// True if explicitly cancelled or past the deadline (own or any
+    /// ancestor's).
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Acquire)
-            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+        self.inner.tripped().is_some()
     }
 
     /// The configured deadline, if any.
@@ -88,15 +130,10 @@ impl CancellationToken {
     /// [`DbError::DeadlineExceeded`] — the two are accounted differently
     /// by the admission layer.
     pub fn check(&self) -> Result<()> {
-        if self.inner.cancelled.load(Ordering::Acquire) {
-            return Err(DbError::Cancelled("query cancelled".into()));
+        match self.inner.tripped() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        if let Some(d) = self.inner.deadline {
-            if Instant::now() >= d {
-                return Err(DbError::DeadlineExceeded("query deadline exceeded".into()));
-            }
-        }
-        Ok(())
     }
 }
 
@@ -135,6 +172,32 @@ mod tests {
         let t = CancellationToken::with_timeout(Duration::from_secs(3600));
         t.cancel();
         assert!(matches!(t.check(), Err(DbError::Cancelled(_))));
+    }
+
+    #[test]
+    fn child_trips_with_parent_but_not_vice_versa() {
+        let parent = CancellationToken::new();
+        let child = parent.child(None);
+        assert!(child.check().is_ok());
+        parent.cancel();
+        assert!(matches!(child.check(), Err(DbError::Cancelled(_))));
+
+        let parent = CancellationToken::new();
+        let child = parent.child(None);
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must not leak upward");
+    }
+
+    #[test]
+    fn child_combines_own_timeout_with_parent_cancel() {
+        let parent = CancellationToken::new();
+        let child = parent.child(Some(Duration::ZERO));
+        // Own deadline expired: deadline classification.
+        assert!(matches!(child.check(), Err(DbError::DeadlineExceeded(_))));
+        // Explicit ancestor cancel outranks the deadline.
+        parent.cancel();
+        assert!(matches!(child.check(), Err(DbError::Cancelled(_))));
     }
 
     #[test]

@@ -92,6 +92,20 @@ pub enum DbError {
     /// An injected fault fired (chaos testing only; never in production
     /// paths unless a [`crate::fault::FaultInjector`] is installed).
     FaultInjected(String),
+    /// The server cannot take this request right now but expects to
+    /// recover: it is draining for shutdown, at its connection cap, or
+    /// shedding load at the edge. Distinct from
+    /// [`DbError::ResourceExhausted`] (a sized resource claim failed) —
+    /// this is an admission-surface rejection carrying an explicit
+    /// retry-after hint the client's backoff must honor as a floor.
+    Unavailable {
+        /// Why the request was turned away ("draining", "connection
+        /// limit", ...).
+        reason: String,
+        /// Minimum milliseconds the client should wait before retrying
+        /// (0 = retry at the client's own backoff pace).
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -132,6 +146,13 @@ impl fmt::Display for DbError {
                 "resource exhausted: class {class} requested {requested} B, {available} B available"
             ),
             DbError::FaultInjected(m) => write!(f, "fault injected: {m}"),
+            DbError::Unavailable {
+                reason,
+                retry_after_ms,
+            } => write!(
+                f,
+                "unavailable: {reason} (retry after {retry_after_ms} ms)"
+            ),
         }
     }
 }

@@ -96,6 +96,26 @@ pub mod points {
     /// reclaimed (Drop on the unpublished segment, purge-at-open after a
     /// real crash).
     pub const STORAGE_FREEZE_CRASH: &str = "storage.freeze_crash";
+
+    /// Fail an accepted connection before its session starts (as if the
+    /// accept syscall or the initial socket setup failed). The accept loop
+    /// must drop that one connection and keep serving; the client sees a
+    /// reset and retries with backoff.
+    pub const NET_ACCEPT_FAIL: &str = "net.accept_fail";
+    /// Tear a wire-protocol frame mid-read: the reader observes a
+    /// truncated or corrupted payload. CRC verification must catch it and
+    /// surface a typed `Corruption` — never a hang, never garbage rows.
+    pub const NET_READ_TORN: &str = "net.read_torn";
+    /// Write only a prefix of a response frame, then fail the connection.
+    /// The peer must detect the torn frame (short read / CRC mismatch)
+    /// and the server must release every resource the dead connection
+    /// held (admission tickets, governor bytes, open transactions).
+    pub const NET_WRITE_PARTIAL: &str = "net.write_partial";
+    /// Drop the connection abruptly while a query is in flight (after the
+    /// request was read, before its response is written). Open
+    /// transactions must roll back; no admission ticket or governor byte
+    /// may leak.
+    pub const NET_CONN_DROP_MID_QUERY: &str = "net.conn_drop_mid_query";
 }
 
 /// Configuration of one named fault point.

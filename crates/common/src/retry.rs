@@ -8,6 +8,8 @@
 //! runs stay replayable (wall-clock sleeps still vary, but the *schedule*
 //! of attempted delays does not).
 
+use crate::cancel::CancellationToken;
+use crate::error::Result;
 use std::time::{Duration, Instant};
 
 /// Iterator-style exponential backoff: `delay = min(base * 2^attempt, cap)`
@@ -76,6 +78,42 @@ impl Backoff {
         std::thread::sleep(self.next_delay());
     }
 
+    /// The configured base delay.
+    pub fn base(&self) -> Duration {
+        self.base
+    }
+
+    /// The configured delay cap (before jitter; jitter may add up to 50%).
+    pub fn cap(&self) -> Duration {
+        self.cap
+    }
+
+    /// Sleeps for `max(delay, floor)` where `delay` is the next delay in
+    /// the schedule, checking `cancel` every few milliseconds so a
+    /// retry loop sheds promptly when its query is cancelled or the
+    /// server told it to stop. `floor` carries a server-provided
+    /// retry-after hint (pass [`Duration::ZERO`] for none). Returns the
+    /// token's typed error if it tripped mid-sleep.
+    pub fn sleep_cancellable(
+        &mut self,
+        cancel: &CancellationToken,
+        floor: Duration,
+    ) -> Result<()> {
+        let total = self.next_delay().max(floor);
+        let deadline = Instant::now() + total;
+        // Sleep in short slices so cancellation is observed within a few
+        // milliseconds even for capped (tens-of-ms) delays.
+        const SLICE: Duration = Duration::from_millis(2);
+        loop {
+            cancel.check()?;
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(());
+            }
+            std::thread::sleep(SLICE.min(deadline - now));
+        }
+    }
+
     /// Sleeps for the next delay, but never past `deadline`; returns false
     /// if the deadline has already passed (caller should give up).
     pub fn sleep_until_deadline(&mut self, deadline: Instant) -> bool {
@@ -125,6 +163,21 @@ mod tests {
         // After reset the base component is back to 1ms (delays are small).
         let again = b.next_delay();
         assert!(again < first + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn cancellable_sleep_returns_typed_error() {
+        let mut b = Backoff::new(Duration::from_secs(10), Duration::from_secs(10));
+        let token = CancellationToken::new();
+        token.cancel();
+        let err = b.sleep_cancellable(&token, Duration::ZERO).unwrap_err();
+        assert!(matches!(err, crate::DbError::Cancelled(_)), "{err}");
+        // An uncancelled short sleep completes and honors the floor.
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(1));
+        let start = Instant::now();
+        b.sleep_cancellable(&CancellationToken::new(), Duration::from_millis(5))
+            .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
     }
 
     #[test]

@@ -231,6 +231,14 @@ impl TableHandle {
             _ => None,
         }
     }
+
+    /// Restores access heat persisted before a restart (column tables only;
+    /// other formats have no freeze pass and ignore the seed).
+    pub fn seed_heat(&self, total: u64) {
+        if let TableHandle::Column(t) = self {
+            t.seed_heat(total);
+        }
+    }
 }
 
 /// The named-table registry.

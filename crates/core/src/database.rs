@@ -121,6 +121,11 @@ pub struct Database {
     /// maintenance watermark, so each pass raises this floor to the
     /// watermark it ran at.
     history_floor: AtomicU64,
+    /// Sidecar file holding per-table access heat (durable databases
+    /// only). Snapshotted after every maintenance pass and reloaded at
+    /// open so a restart does not zero the hot/cold state and let the
+    /// freeze pass immediately re-freeze the working set.
+    heat_path: Option<PathBuf>,
 }
 
 /// Sequence for per-database temp roots (ephemeral databases).
@@ -173,6 +178,7 @@ impl Database {
             spill_root: default_spill_root(None),
             pager: None,
             history_floor: AtomicU64::new(0),
+            heat_path: None,
         })
     }
 
@@ -222,6 +228,10 @@ impl Database {
             }
             None => None,
         };
+        let heat_path = config
+            .wal_path
+            .as_ref()
+            .map(|p| default_db_dir(Some(p), ".heat"));
         let db = Arc::new(Database {
             catalog: RwLock::new(Catalog::new()),
             txn_mgr: Arc::new(TransactionManager::new()),
@@ -235,12 +245,17 @@ impl Database {
             spill_root,
             pager,
             history_floor: AtomicU64::new(0),
+            heat_path,
         });
         db.set_admission_config(config.admission);
         // Spill files never outlive a process on purpose; anything under
         // the root at open time is leakage from a crash.
         purge_spill_root(&db.spill_root)?;
         db.recover()?;
+        // After the catalog is rebuilt, restore the pre-crash access heat
+        // so the freeze pass does not treat every recovered segment as
+        // cold (recovery rebuilds segments from the WAL with zero heat).
+        db.restore_heat();
         Ok(db)
     }
 
@@ -545,15 +560,81 @@ impl Database {
         // Merge/GC/freeze destroy versions at or below the watermark, so
         // `AS OF` reads below it are no longer answerable.
         self.history_floor.fetch_max(watermark, Ordering::SeqCst);
-        let catalog = self.catalog.read();
         let mut notes = Vec::new();
-        for (name, handle) in catalog.handles() {
-            match handle.maintain_full(watermark, &self.faults) {
-                Ok(note) => notes.push((name.clone(), note)),
-                Err(e) => notes.push((name.clone(), format!("error: {e}"))),
+        {
+            let catalog = self.catalog.read();
+            for (name, handle) in catalog.handles() {
+                match handle.maintain_full(watermark, &self.faults) {
+                    Ok(note) => notes.push((name.clone(), note)),
+                    Err(e) => notes.push((name.clone(), format!("error: {e}"))),
+                }
             }
         }
+        // Snapshot post-decay heat so a restart restores the hot/cold
+        // state instead of treating every recovered segment as cold.
+        self.persist_heat();
         MaintenanceStats { watermark, notes }
+    }
+
+    /// Writes the per-table heat snapshot next to the WAL (tmp+rename,
+    /// CRC-framed records). Best-effort: heat is advisory — a lost
+    /// snapshot only means segments restart cold — so I/O errors are
+    /// swallowed rather than failing the maintenance pass.
+    fn persist_heat(&self) {
+        let Some(path) = &self.heat_path else { return };
+        let mut buf = Vec::new();
+        for (name, handle) in self.catalog.read().handles() {
+            let Some(hs) = handle.heat_stats() else { continue };
+            let mut payload = Vec::with_capacity(name.len() + 12);
+            payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+            payload.extend_from_slice(&hs.total_heat.to_le_bytes());
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&oltap_txn::wal::crc32(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        let tmp = path.with_extension("heat.tmp");
+        if std::fs::write(&tmp, &buf).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+
+    /// Reloads the heat snapshot written by [`Database::persist_heat`].
+    /// Tolerates a missing file (first open, or an operator reset) and
+    /// stops at the first torn or CRC-failing record — the snapshot is a
+    /// hint, never a correctness input.
+    fn restore_heat(&self) {
+        let Some(path) = &self.heat_path else { return };
+        let Ok(bytes) = std::fs::read(path) else { return };
+        let catalog = self.catalog.read();
+        let mut off = 0usize;
+        while off + 8 <= bytes.len() {
+            let len =
+                u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            off += 8;
+            if off + len > bytes.len() {
+                return; // torn tail
+            }
+            let payload = &bytes[off..off + len];
+            off += len;
+            if oltap_txn::wal::crc32(payload) != crc || payload.len() < 12 {
+                return;
+            }
+            let nlen = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+            if payload.len() != 4 + nlen + 8 {
+                return;
+            }
+            let Ok(name) = std::str::from_utf8(&payload[4..4 + nlen]) else {
+                return;
+            };
+            let heat =
+                u64::from_le_bytes(payload[4 + nlen..].try_into().unwrap());
+            // Tables dropped since the snapshot simply skip their record.
+            if let Ok(handle) = catalog.get(name) {
+                handle.seed_heat(heat);
+            }
+        }
     }
 
     /// Oldest timestamp an `AS OF` read may target (see maintenance).
@@ -1314,6 +1395,68 @@ mod tests {
             db.query("SELECT v FROM t WHERE id = 3").unwrap()[0][0],
             Value::Int(0)
         );
+    }
+
+    #[test]
+    fn heat_snapshot_survives_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "oltap_heat_{}_{}",
+            std::process::id(),
+            SPILL_ROOT_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("heat.wal");
+        let heat_file = dir.join("heat.wal.heat");
+        {
+            let db = Database::open(&wal).unwrap();
+            db.execute(
+                "CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT) USING FORMAT COLUMN",
+            )
+            .unwrap();
+            let vals: Vec<String> = (0..300).map(|i| format!("({i}, {i})")).collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", vals.join(", ")))
+                .unwrap();
+            db.maintenance(); // merge the delta into a main segment
+            for _ in 0..16 {
+                db.query("SELECT SUM(v) FROM t").unwrap(); // heat it up
+            }
+            db.maintenance(); // decays + snapshots the heat
+            assert!(heat_file.exists(), "maintenance must write the snapshot");
+            assert!(db.stats().heat.total_heat > 0);
+            // "crash": drop without any shutdown protocol.
+        }
+        {
+            // Restart with the snapshot: two idle maintenance ticks are
+            // enough to freeze a cold segment, but the restored heat must
+            // keep the previously-hot one unfrozen.
+            let db = Database::open(&wal).unwrap();
+            db.maintenance();
+            db.maintenance();
+            assert_eq!(
+                db.stats().heat.frozen_segments,
+                0,
+                "restart instantly re-froze a hot segment"
+            );
+            assert_eq!(
+                db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+                Value::Int(300)
+            );
+        }
+        {
+            // Control: delete the snapshot and the same idle ticks freeze
+            // the (now heatless) segment.
+            std::fs::remove_file(&heat_file).unwrap();
+            let db = Database::open(&wal).unwrap();
+            db.maintenance();
+            db.maintenance();
+            db.maintenance();
+            assert!(
+                db.stats().heat.frozen_segments >= 1,
+                "without the snapshot the recovered segment must freeze: {:?}",
+                db.stats().heat
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub use database::{
     BufferConfig, Database, DbConfig, DbStats, MaintenanceDaemon, MaintenanceStats, MemoryConfig,
 };
 pub use parallel::ParallelExec;
-pub use session::{QueryResult, Session};
+pub use session::{QueryResult, Session, SessionActivity};

@@ -50,13 +50,37 @@ impl QueryResult {
     }
 }
 
+/// A live view of what a session is doing right now, shared with the
+/// owner of the connection (the network server) so a drain can decide
+/// per class: cancel analytic queries immediately, give transactional
+/// work a grace period.
+#[derive(Debug, Clone, Default)]
+pub struct SessionActivity(Arc<parking_lot::Mutex<Option<WorkloadClass>>>);
+
+impl SessionActivity {
+    /// The workload class of the statement executing right now (`None`
+    /// when the session is idle between statements).
+    pub fn current(&self) -> Option<WorkloadClass> {
+        *self.0.lock()
+    }
+
+    fn set(&self, class: Option<WorkloadClass>) {
+        *self.0.lock() = class;
+    }
+}
+
 /// An interactive session: holds at most one open transaction.
 pub struct Session {
     db: Arc<Database>,
     txn: Option<Transaction>,
     pending_ops: Vec<WalOp>,
     query_timeout: Option<std::time::Duration>,
+    /// Connection-scoped cancellation: when set, every statement's
+    /// per-query token is a child of this one, so tripping it (peer went
+    /// away, deadline, drain) cancels whatever the session is running.
+    session_cancel: Option<CancellationToken>,
     active_cancel: parking_lot::Mutex<Option<CancellationToken>>,
+    activity: SessionActivity,
 }
 
 impl Session {
@@ -66,7 +90,9 @@ impl Session {
             txn: None,
             pending_ops: Vec::new(),
             query_timeout: None,
+            session_cancel: None,
             active_cancel: parking_lot::Mutex::new(None),
+            activity: SessionActivity::default(),
         }
     }
 
@@ -80,6 +106,20 @@ impl Session {
     /// `None` disables the timeout.
     pub fn set_query_timeout(&mut self, timeout: Option<std::time::Duration>) {
         self.query_timeout = timeout;
+    }
+
+    /// Installs (or clears) a connection-scoped cancellation token. Every
+    /// subsequent statement checks it on entry and links its per-query
+    /// token under it, so the connection owner can cancel in-flight work
+    /// without a handle to the individual query.
+    pub fn set_session_cancel(&mut self, token: Option<CancellationToken>) {
+        self.session_cancel = token;
+    }
+
+    /// A shared view of the statement class currently executing (for
+    /// class-aware drains; see [`SessionActivity`]).
+    pub fn activity(&self) -> SessionActivity {
+        self.activity.clone()
     }
 
     /// A handle to cancel the currently running SELECT (if any) from
@@ -98,6 +138,11 @@ impl Session {
     /// Executes an already parsed statement (`sql` is kept for DDL
     /// logging).
     pub fn execute_statement(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
+        // A tripped connection token rejects new statements immediately —
+        // the connection is dead, draining, or past its deadline.
+        if let Some(conn) = &self.session_cancel {
+            conn.check()?;
+        }
         match stmt {
             Statement::Begin => {
                 if self.txn.is_some() {
@@ -175,30 +220,47 @@ impl Session {
             }
             None => self.snapshot(),
         };
-        let cancel = match self.query_timeout {
-            Some(t) => CancellationToken::with_timeout(t),
-            None => CancellationToken::new(),
+        // Per-query token: a child of the connection token when one is
+        // installed, so peer loss / deadlines / drain cancel the query.
+        let cancel = match (&self.session_cancel, self.query_timeout) {
+            (Some(conn), t) => conn.child(t),
+            (None, Some(t)) => CancellationToken::with_timeout(t),
+            (None, None) => CancellationToken::new(),
         };
         *self.active_cancel.lock() = Some(cancel.clone());
         let catalog = self.db.catalog_read();
         let plan = optimize(bind_select(sel, &*catalog)?)?;
         let schema = plan.output_schema()?;
         let class = classify_plan(&plan);
+        self.activity.set(Some(class));
         // Admission gate first (may queue the query), then the per-query
         // budget; the ticket is RAII and outlives execution.
-        let _ticket = self.db.admit(class)?;
-        let ctx = ExecContext {
-            read_ts,
-            me,
-            batch_size: oltap_common::vector::BATCH_SIZE,
-            cancel,
-            mem: self.db.exec_resources(class)?,
-            faults: Arc::clone(self.db.faults()),
+        let admitted = self.db.admit(class);
+        let result = match admitted {
+            Ok(_ticket) => {
+                let ctx = ExecContext {
+                    read_ts,
+                    me,
+                    batch_size: oltap_common::vector::BATCH_SIZE,
+                    cancel,
+                    mem: match self.db.exec_resources(class) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            self.activity.set(None);
+                            *self.active_cancel.lock() = None;
+                            return Err(e);
+                        }
+                    },
+                    faults: Arc::clone(self.db.faults()),
+                };
+                match self.db.parallel_exec() {
+                    Some(pexec) => pexec.execute(&plan, &catalog, &ctx),
+                    None => execute_plan(&plan, &catalog, &ctx),
+                }
+            }
+            Err(e) => Err(e),
         };
-        let result = match self.db.parallel_exec() {
-            Some(pexec) => pexec.execute(&plan, &catalog, &ctx),
-            None => execute_plan(&plan, &catalog, &ctx),
-        };
+        self.activity.set(None);
         *self.active_cancel.lock() = None;
         let rows: Vec<Row> = result?.iter().flat_map(|b| b.to_rows()).collect();
         Ok(QueryResult::Rows { schema, rows })
@@ -222,6 +284,15 @@ impl Session {
 
     /// Runs DML in the open transaction, or in a fresh auto-commit one.
     fn execute_dml(&mut self, stmt: Statement) -> Result<QueryResult> {
+        // DML is transactional work by definition: drains see Oltp and
+        // grant the grace period instead of cancelling immediately.
+        self.activity.set(Some(WorkloadClass::Oltp));
+        let out = self.execute_dml_inner(stmt);
+        self.activity.set(None);
+        out
+    }
+
+    fn execute_dml_inner(&mut self, stmt: Statement) -> Result<QueryResult> {
         if self.txn.is_some() {
             // Split borrows: take the txn out during execution.
             let txn = self.txn.take().unwrap();

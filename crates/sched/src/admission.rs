@@ -181,6 +181,24 @@ impl AdmissionController {
         (g.running_oltp, g.running_olap)
     }
 
+    /// OLAP queries currently queued for a slot (edge-shedding signal).
+    pub fn queue_depth(&self) -> usize {
+        self.gate.lock().waiting_olap
+    }
+
+    /// How long a rejected client should wait before retrying, derived
+    /// from the current queue depth: an empty queue suggests a quick
+    /// retry, a deep one spreads retries across multiple queue-timeout
+    /// windows so the shed load does not reconverge as a thundering
+    /// herd. The network front end attaches this to every typed
+    /// rejection it sends.
+    pub fn retry_after_hint(&self) -> Duration {
+        let depth = self.queue_depth() as u32;
+        let base = Duration::from_millis(25);
+        (base + self.cfg.queue_timeout.saturating_mul(depth) / 4)
+            .min(Duration::from_secs(5))
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> AdmissionStats {
         AdmissionStats {
@@ -281,6 +299,27 @@ mod tests {
         waiter.join().unwrap().unwrap();
         assert_eq!(ctrl.stats().olap_queued, 1);
         assert_eq!(ctrl.stats().olap_timeouts, 0);
+    }
+
+    #[test]
+    fn retry_after_hint_grows_with_queue_depth() {
+        let ctrl = AdmissionController::new(AdmissionConfig {
+            queue_timeout: Duration::from_secs(5),
+            ..quick_cfg()
+        });
+        let empty = ctrl.retry_after_hint();
+        let _a = ctrl.admit(WorkloadClass::Olap).unwrap();
+        let _b = ctrl.admit(WorkloadClass::Olap).unwrap();
+        let ctrl2 = Arc::clone(&ctrl);
+        let waiter = std::thread::spawn(move || ctrl2.admit(WorkloadClass::Olap).map(|_| ()));
+        while ctrl.queue_depth() == 0 {
+            std::thread::yield_now();
+        }
+        let queued = ctrl.retry_after_hint();
+        assert!(queued > empty, "{queued:?} vs {empty:?}");
+        assert!(queued <= Duration::from_secs(5), "hint is capped");
+        drop(_a);
+        waiter.join().unwrap().unwrap();
     }
 
     #[test]

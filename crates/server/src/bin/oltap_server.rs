@@ -1,0 +1,82 @@
+//! Standalone oltapdb server.
+//!
+//! ```text
+//! oltap_server [--addr HOST:PORT] [--wal PATH] [--max-conns N]
+//! ```
+//!
+//! Serves the wire protocol until SIGINT-less environments kill it; on
+//! orderly process exit the server drains (finish OLTP, cancel OLAP,
+//! bounded). With `--wal` the database is durable and recovers on
+//! restart; without it the store is in-memory.
+
+use oltap_core::Database;
+use oltap_server::{Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:5433".into(),
+        ..ServerConfig::default()
+    };
+    let mut wal: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = args.next().expect("--addr needs HOST:PORT"),
+            "--wal" => wal = Some(args.next().expect("--wal needs PATH").into()),
+            "--max-conns" => {
+                cfg.max_conns = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-conns needs a number")
+            }
+            "--query-timeout-ms" => {
+                cfg.query_timeout = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_millis)
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: oltap_server [--addr HOST:PORT] [--wal PATH] \
+                     [--max-conns N] [--query-timeout-ms MS]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = match &wal {
+        Some(path) => Database::open(path),
+        None => Ok(Database::new()),
+    };
+    let db = match db {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("failed to open database: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::start(Arc::clone(&db), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "oltap_server listening on {} ({} wal)",
+        server.local_addr(),
+        if wal.is_some() { "durable" } else { "no" }
+    );
+    // Serve forever; park cheaply. Process kill is covered by WAL
+    // recovery, orderly exit by the Drop-drain.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,27 @@
+//! # oltap-server
+//!
+//! The network front end for oltapdb: a length-prefixed, CRC-checked
+//! framed wire protocol ([`wire`]) served over TCP by a multi-threaded
+//! server ([`server`]) that extends the engine's robustness guarantees
+//! to the edge:
+//!
+//! * per-connection sessions wired into admission control and the
+//!   memory governor, so OLTP priority and memory discipline survive at
+//!   the network boundary;
+//! * bounded response queues with slow-client backpressure — a client
+//!   that stops reading blocks the producer and eventually has its
+//!   query cancelled, never an unbounded buffer;
+//! * read/write deadlines and idle timeouts that cancel in-flight work
+//!   through the engine's cooperative cancellation tokens;
+//! * overload shedding with typed [`oltap_common::DbError::Unavailable`]
+//!   responses carrying retry-after hints;
+//! * `net.*` fault injection points for chaos tests (torn frames,
+//!   partial writes, dropped connections, accept failures);
+//! * graceful bounded drain: analytic work cancelled immediately,
+//!   transactional work given a grace period, stragglers force-closed.
+
+pub mod server;
+pub mod wire;
+
+pub use server::{DrainReport, Server, ServerConfig, ServerStats};
+pub use wire::{DoneKind, Request, Response, MAX_FRAME, PROTOCOL_VERSION};

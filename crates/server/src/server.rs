@@ -1,0 +1,949 @@
+//! The TCP front end: accept loop, per-connection sessions, backpressure,
+//! deadlines, and graceful drain.
+//!
+//! ## Threading model
+//!
+//! One accept thread polls a nonblocking listener (so a drain can stop it
+//! promptly). Each connection gets a **reader** thread — owns the
+//! [`oltap_core::Session`], parses request frames, executes statements —
+//! and a **writer** thread draining a bounded [`ResponseQueue`]. The
+//! split is what makes slow-client backpressure observable: the reader
+//! (producer) blocks when the queue is full instead of buffering
+//! unboundedly, and a client that stops reading eventually trips the
+//! connection's cancel token, which cancels the in-flight query at its
+//! next batch boundary through the engine's cooperative cancellation.
+//!
+//! ## Edge robustness
+//!
+//! * Every statement runs under a per-query token parented to the
+//!   connection token ([`oltap_common::CancellationToken::child`]), so
+//!   peer loss, write stalls, idle deadlines, and drain all cancel
+//!   in-flight work the same way.
+//! * Response bytes queued for a connection are claimed from the
+//!   [`MemoryGovernor`] (OLAP class — large result sets are analytic);
+//!   when the governor says no, the result is replaced by a typed
+//!   [`DbError::ResourceExhausted`] instead of buffering past the limit.
+//! * Overload (connection cap, draining) answers with
+//!   [`DbError::Unavailable`] carrying a retry-after hint derived from
+//!   the admission queue depth; the client's backoff honors it as a
+//!   floor.
+//! * The `net.*` fault points ([`points::NET_ACCEPT_FAIL`],
+//!   [`points::NET_READ_TORN`], [`points::NET_WRITE_PARTIAL`],
+//!   [`points::NET_CONN_DROP_MID_QUERY`]) inject edge failures
+//!   deterministically for chaos tests.
+//! * [`Server::drain`] stops accepting, cancels analytic work
+//!   immediately, gives transactional work a grace period, then cancels
+//!   and force-closes stragglers — always bounded.
+
+use crate::wire::{
+    frame_bytes, read_frame, DoneKind, Request, Response, MAX_FRAME, PROTOCOL_VERSION,
+};
+use oltap_common::fault::{points, FaultInjector};
+use oltap_common::mem::{MemoryBudget, WorkloadClass};
+use oltap_common::{CancellationToken, DbError, Result};
+use oltap_core::{Database, QueryResult, SessionActivity};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tick used by all polling waits (accept loop, idle peek, queue waits):
+/// short enough that drains and cancellation propagate promptly, long
+/// enough not to burn CPU.
+const POLL_TICK: Duration = Duration::from_millis(10);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (tests).
+    pub addr: String,
+    /// Connection cap; excess connections are refused with
+    /// [`DbError::Unavailable`] and a retry-after hint.
+    pub max_conns: usize,
+    /// Deadline for reading one frame once its first byte arrived. A
+    /// peer that stalls mid-frame is cut off (torn frame).
+    pub read_timeout: Duration,
+    /// Deadline for writing one frame. A peer that stops reading long
+    /// enough to stall the writer past this gets disconnected and its
+    /// in-flight query cancelled.
+    pub write_timeout: Duration,
+    /// Connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// Per-statement timeout applied to every session (`None` = none).
+    pub query_timeout: Option<Duration>,
+    /// Response-queue capacity in frames (per connection).
+    pub queue_frames: usize,
+    /// Response-queue capacity in bytes (per connection); also the size
+    /// of the per-connection governor claim for queued responses.
+    pub queue_bytes: usize,
+    /// Rows per `Rows` frame when streaming a result set.
+    pub rows_per_frame: usize,
+    /// Grace period [`Server::drain`] gives transactional (OLTP) work
+    /// before cancelling it; analytic work is cancelled immediately.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_conns: 256,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(300),
+            query_timeout: None,
+            queue_frames: 32,
+            queue_bytes: 4 * 1024 * 1024,
+            rows_per_frame: 512,
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Monotonic counters exposed for tests and operators.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    queries: AtomicU64,
+    statement_errors: AtomicU64,
+    torn_requests: AtomicU64,
+    partial_writes: AtomicU64,
+    dropped_mid_query: AtomicU64,
+    shed_responses: AtomicU64,
+    slow_client_disconnects: AtomicU64,
+    active: AtomicUsize,
+}
+
+/// A point-in-time snapshot of [`Server`] counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (past the fault/cap/drain gate).
+    pub accepted: u64,
+    /// Connections refused (cap, drain, or `net.accept_fail`).
+    pub refused: u64,
+    /// Query requests received.
+    pub queries: u64,
+    /// Statements that returned a typed error (connection survived).
+    pub statement_errors: u64,
+    /// Requests rejected by the `net.read_torn` fault.
+    pub torn_requests: u64,
+    /// Responses torn by the `net.write_partial` fault.
+    pub partial_writes: u64,
+    /// Connections dropped by `net.conn_drop_mid_query`.
+    pub dropped_mid_query: u64,
+    /// Result streams replaced by `ResourceExhausted` (governor refusal).
+    pub shed_responses: u64,
+    /// Connections cut because the client stalled the writer.
+    pub slow_client_disconnects: u64,
+    /// Currently live connections.
+    pub active: usize,
+}
+
+/// Outcome of a [`Server::drain`].
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Connections live when the drain started.
+    pub conns_at_start: usize,
+    /// Analytic queries cancelled immediately.
+    pub cancelled_olap: usize,
+    /// Connections still busy at the grace cutoff and cancelled then.
+    pub cancelled_after_grace: usize,
+    /// Connections whose sockets had to be force-closed.
+    pub forced: usize,
+    /// Wall-clock duration of the drain.
+    pub duration: Duration,
+}
+
+// ---------------------------------------------------------------- queue
+
+enum Pop {
+    Frame(Vec<u8>, u64),
+    Timeout,
+    Closed,
+}
+
+struct QueueInner {
+    frames: VecDeque<(Vec<u8>, u64)>,
+    bytes: usize,
+    closed: bool,
+}
+
+/// Bounded per-connection response queue. `push` blocks while the queue
+/// is full (slow-client backpressure on the producer); `pop` is the
+/// writer's side. Closing wakes both ends.
+struct ResponseQueue {
+    inner: Mutex<QueueInner>,
+    changed: Condvar,
+    cap_frames: usize,
+    cap_bytes: usize,
+}
+
+impl ResponseQueue {
+    fn new(cap_frames: usize, cap_bytes: usize) -> Arc<ResponseQueue> {
+        Arc::new(ResponseQueue {
+            inner: Mutex::new(QueueInner {
+                frames: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+            }),
+            changed: Condvar::new(),
+            cap_frames: cap_frames.max(1),
+            cap_bytes: cap_bytes.max(1),
+        })
+    }
+
+    /// Enqueues one encoded frame (`reserved` governor bytes ride along
+    /// and are released when the writer dequeues it). Blocks while full;
+    /// gives up with [`DbError::DeadlineExceeded`] after `stall`, and
+    /// with the token's error if the connection is cancelled mid-wait.
+    fn push(
+        &self,
+        frame: Vec<u8>,
+        reserved: u64,
+        cancel: &CancellationToken,
+        stall: Duration,
+    ) -> Result<()> {
+        let deadline = Instant::now() + stall;
+        let mut g = self.inner.lock();
+        loop {
+            if g.closed {
+                return Err(DbError::Io("connection closed".into()));
+            }
+            cancel.check()?;
+            let fits = g.frames.len() < self.cap_frames
+                && (g.bytes == 0 || g.bytes + frame.len() <= self.cap_bytes);
+            if fits {
+                g.bytes += frame.len();
+                g.frames.push_back((frame, reserved));
+                self.changed.notify_all();
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(DbError::DeadlineExceeded(
+                    "slow client: response queue full past the write deadline".into(),
+                ));
+            }
+            self.changed.wait_for(&mut g, POLL_TICK);
+        }
+    }
+
+    fn pop(&self, wait: Duration) -> Pop {
+        let mut g = self.inner.lock();
+        if g.frames.is_empty() {
+            if g.closed {
+                return Pop::Closed;
+            }
+            self.changed.wait_for(&mut g, wait);
+        }
+        match g.frames.pop_front() {
+            Some((f, reserved)) => {
+                g.bytes -= f.len();
+                self.changed.notify_all();
+                Pop::Frame(f, reserved)
+            }
+            None if g.closed => Pop::Closed,
+            None => Pop::Timeout,
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.changed.notify_all();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.lock().frames.is_empty()
+    }
+}
+
+// ------------------------------------------------------------- registry
+
+/// What the server keeps about a live connection for drain decisions.
+struct ConnEntry {
+    cancel: CancellationToken,
+    activity: SessionActivity,
+    stream: TcpStream,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    faults: Arc<FaultInjector>,
+    draining: AtomicBool,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    reapable: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_conn: AtomicU64,
+    counters: Counters,
+}
+
+impl Shared {
+    /// Retry-after hint for admission-surface refusals: scales with the
+    /// OLAP admission queue when one is configured, small floor
+    /// otherwise.
+    fn retry_hint_ms(&self) -> u64 {
+        match self.db.admission() {
+            Some(ctrl) => ctrl.retry_after_hint().as_millis() as u64,
+            None => 25,
+        }
+    }
+}
+
+/// The network front end. Binds on [`Server::start`], serves until
+/// [`Server::drain`] (Drop drains implicitly).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+    drained: AtomicBool,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts accepting connections against `db`.
+    pub fn start(db: Arc<Database>, cfg: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            faults: Arc::clone(db.faults()),
+            db,
+            cfg,
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            reapable: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(1),
+            counters: Counters::default(),
+        });
+        let s2 = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("oltap-accept".into())
+            .spawn(move || accept_loop(listener, s2))
+            .expect("spawn accept loop");
+        Ok(Server {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+            drained: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (use with port 0 in tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            refused: c.refused.load(Ordering::Relaxed),
+            queries: c.queries.load(Ordering::Relaxed),
+            statement_errors: c.statement_errors.load(Ordering::Relaxed),
+            torn_requests: c.torn_requests.load(Ordering::Relaxed),
+            partial_writes: c.partial_writes.load(Ordering::Relaxed),
+            dropped_mid_query: c.dropped_mid_query.load(Ordering::Relaxed),
+            shed_responses: c.shed_responses.load(Ordering::Relaxed),
+            slow_client_disconnects: c.slow_client_disconnects.load(Ordering::Relaxed),
+            active: c.active.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live connection count.
+    pub fn active_connections(&self) -> usize {
+        self.shared.counters.active.load(Ordering::Relaxed)
+    }
+
+    /// Graceful, bounded shutdown: stop accepting, cancel analytic work
+    /// immediately, give transactional work the configured grace, then
+    /// cancel and (as a last resort) force-close stragglers. Idempotent.
+    pub fn drain(&self) -> DrainReport {
+        let start = Instant::now();
+        let mut report = DrainReport::default();
+        if self.drained.swap(true, Ordering::SeqCst) {
+            return report;
+        }
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+        {
+            let conns = self.shared.conns.lock();
+            report.conns_at_start = conns.len();
+            for entry in conns.values() {
+                if entry.activity.current() == Some(WorkloadClass::Olap) {
+                    entry.cancel.cancel();
+                    report.cancelled_olap += 1;
+                }
+            }
+        }
+        // Grace: transactional work finishes; idle readers notice the
+        // drain flag on their next poll tick and leave.
+        let grace_end = start + self.shared.cfg.drain_grace;
+        while !self.shared.conns.lock().is_empty() && Instant::now() < grace_end {
+            std::thread::sleep(POLL_TICK);
+        }
+        // Cutoff: cancel whatever is still running.
+        {
+            let conns = self.shared.conns.lock();
+            report.cancelled_after_grace = conns.len();
+            for entry in conns.values() {
+                entry.cancel.cancel();
+            }
+        }
+        let cancel_end = Instant::now() + Duration::from_secs(5);
+        while !self.shared.conns.lock().is_empty() && Instant::now() < cancel_end {
+            std::thread::sleep(POLL_TICK);
+        }
+        // Last resort: sever the sockets of anything still alive.
+        {
+            let conns = self.shared.conns.lock();
+            report.forced = conns.len();
+            for entry in conns.values() {
+                let _ = entry.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let force_end = Instant::now() + Duration::from_secs(2);
+        while !self.shared.conns.lock().is_empty() && Instant::now() < force_end {
+            std::thread::sleep(POLL_TICK);
+        }
+        for h in self.shared.reapable.lock().drain(..) {
+            let _ = h.join();
+        }
+        report.duration = start.elapsed();
+        report
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.drain();
+    }
+}
+
+// ---------------------------------------------------------- accept loop
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_accept(stream, &shared),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(POLL_TICK);
+            }
+            // Transient accept errors (EMFILE, ECONNABORTED): keep
+            // serving; the listener itself is still healthy.
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+fn handle_accept(stream: TcpStream, shared: &Arc<Shared>) {
+    let c = &shared.counters;
+    // Injected accept failure: the connection vanishes before any
+    // protocol exchange, exactly like a kernel-level accept error.
+    if shared.faults.should_fire(points::NET_ACCEPT_FAIL) {
+        c.refused.fetch_add(1, Ordering::Relaxed);
+        drop(stream);
+        return;
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        c.refused.fetch_add(1, Ordering::Relaxed);
+        refuse(stream, shared, "draining");
+        return;
+    }
+    if c.active.load(Ordering::Relaxed) >= shared.cfg.max_conns {
+        c.refused.fetch_add(1, Ordering::Relaxed);
+        refuse(stream, shared, "connection limit");
+        return;
+    }
+    c.accepted.fetch_add(1, Ordering::Relaxed);
+    c.active.fetch_add(1, Ordering::Relaxed);
+    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let s2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("oltap-conn-{id}"))
+        .spawn(move || {
+            serve_connection(id, stream, &s2);
+            s2.conns.lock().remove(&id);
+            s2.counters.active.fetch_sub(1, Ordering::Relaxed);
+        })
+        .expect("spawn connection thread");
+    shared.reapable.lock().push(handle);
+}
+
+/// Best-effort typed refusal (the peer may already be gone).
+fn refuse(mut stream: TcpStream, shared: &Shared, reason: &str) {
+    let retry = shared.retry_hint_ms();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    // Absorb the Hello so the refusal frame is read in sequence.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = read_frame(&mut stream);
+    let payload = Response::Error {
+        error: DbError::Unavailable {
+            reason: reason.into(),
+            retry_after_ms: retry,
+        },
+        retry_after_ms: retry,
+    }
+    .encode();
+    let _ = stream.write_all(&frame_bytes(&payload));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+// ----------------------------------------------------------- connection
+
+fn serve_connection(id: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // Handshake first, synchronously: no session or threads exist yet.
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    match read_frame(&mut stream) {
+        Ok(Some(payload)) => match Request::decode(&payload) {
+            Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+                let ack = Response::HelloAck {
+                    version: PROTOCOL_VERSION,
+                }
+                .encode();
+                if stream.write_all(&frame_bytes(&ack)).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Hello { version }) => {
+                let payload = Response::Error {
+                    error: DbError::Unsupported(format!(
+                        "protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                    )),
+                    retry_after_ms: 0,
+                }
+                .encode();
+                let _ = stream.write_all(&frame_bytes(&payload));
+                return;
+            }
+            _ => {
+                let payload = Response::Error {
+                    error: DbError::InvalidArgument(
+                        "first message must be Hello".into(),
+                    ),
+                    retry_after_ms: 0,
+                }
+                .encode();
+                let _ = stream.write_all(&frame_bytes(&payload));
+                return;
+            }
+        },
+        _ => return, // dead or garbled before the handshake
+    }
+
+    let cancel = CancellationToken::new();
+    let mut session = shared.db.session();
+    session.set_session_cancel(Some(cancel.clone()));
+    session.set_query_timeout(shared.cfg.query_timeout);
+    let activity = session.activity();
+    let queue = ResponseQueue::new(shared.cfg.queue_frames, shared.cfg.queue_bytes);
+    // Governor claim for queued response bytes (OLAP class: large result
+    // sets are analytic; control frames are exempt). `None` (ungoverned
+    // database) means the queue caps alone bound the buffering.
+    let budget: Option<MemoryBudget> = shared
+        .db
+        .memory_governor()
+        .map(|g| g.budget(WorkloadClass::Olap, shared.cfg.queue_bytes as u64));
+
+    let Ok(wstream) = stream.try_clone() else {
+        return;
+    };
+    shared.conns.lock().insert(
+        id,
+        ConnEntry {
+            cancel: cancel.clone(),
+            activity,
+            stream: match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            },
+        },
+    );
+
+    let writer = {
+        let queue = Arc::clone(&queue);
+        let cancel = cancel.clone();
+        let shared = Arc::clone(shared);
+        let budget = budget.clone();
+        std::thread::Builder::new()
+            .name(format!("oltap-conn-{id}-w"))
+            .spawn(move || writer_loop(wstream, queue, budget, cancel, shared))
+            .expect("spawn connection writer")
+    };
+
+    reader_loop(&mut stream, &mut session, &queue, &budget, &cancel, shared);
+
+    // Cleanup: the session drop aborts any open transaction (releasing
+    // its locks and versions); closing the queue stops the writer.
+    drop(session);
+    queue.close();
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn reader_loop(
+    stream: &mut TcpStream,
+    session: &mut oltap_core::Session,
+    queue: &Arc<ResponseQueue>,
+    budget: &Option<MemoryBudget>,
+    cancel: &CancellationToken,
+    shared: &Arc<Shared>,
+) {
+    let cfg = &shared.cfg;
+    let c = &shared.counters;
+    let mut last_active = Instant::now();
+    loop {
+        if cancel.is_cancelled() {
+            return;
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            let retry = shared.retry_hint_ms();
+            let _ = send_control(
+                queue,
+                cancel,
+                cfg,
+                Response::Error {
+                    error: DbError::Unavailable {
+                        reason: "draining".into(),
+                        retry_after_ms: retry,
+                    },
+                    retry_after_ms: retry,
+                },
+            );
+            // Give the writer a moment to flush the notice.
+            let flush_end = Instant::now() + Duration::from_millis(250);
+            while !queue.is_empty() && Instant::now() < flush_end {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            return;
+        }
+        // Idle poll: peek one byte with a short timeout so the loop can
+        // observe drain/cancel/idle deadlines between requests.
+        let _ = stream.set_read_timeout(Some(POLL_TICK));
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // orderly EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_active.elapsed() >= cfg.idle_timeout {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // Bytes are on the wire: read the whole frame under the real
+        // deadline (a peer stalling mid-frame is a torn frame).
+        let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+        let request = match read_frame(stream) {
+            Ok(Some(payload)) => match Request::decode(&payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    let _ = send_control(
+                        queue,
+                        cancel,
+                        cfg,
+                        Response::Error {
+                            error: e,
+                            retry_after_ms: 0,
+                        },
+                    );
+                    return; // desynchronized stream: close
+                }
+            },
+            Ok(None) => return,
+            Err(_) => return, // torn frame or transport error
+        };
+        last_active = Instant::now();
+        match request {
+            Request::Close => return,
+            Request::Hello { .. } => {
+                if send_control(
+                    queue,
+                    cancel,
+                    cfg,
+                    Response::Error {
+                        error: DbError::InvalidArgument(
+                            "duplicate Hello after handshake".into(),
+                        ),
+                        retry_after_ms: 0,
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+            Request::Query { sql } => {
+                c.queries.fetch_add(1, Ordering::Relaxed);
+                // Injected edge faults, in request order: a torn request
+                // is reported then the connection closes; a dropped
+                // connection vanishes mid-query with no response at all
+                // (the client sees a dead socket; the session drop must
+                // roll back any open transaction).
+                if shared.faults.should_fire(points::NET_READ_TORN) {
+                    c.torn_requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = send_control(
+                        queue,
+                        cancel,
+                        cfg,
+                        Response::Error {
+                            error: DbError::Corruption(
+                                "torn request frame".into(),
+                            ),
+                            retry_after_ms: 0,
+                        },
+                    );
+                    let flush_end = Instant::now() + Duration::from_millis(250);
+                    while !queue.is_empty() && Instant::now() < flush_end {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    return;
+                }
+                if shared
+                    .faults
+                    .should_fire(points::NET_CONN_DROP_MID_QUERY)
+                {
+                    c.dropped_mid_query.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+                if stream_result(session.execute(&sql), queue, budget, cancel, shared)
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Sends one small control frame (ack/done/error): exempt from the
+/// governor claim so refusals and completions are always deliverable.
+fn send_control(
+    queue: &Arc<ResponseQueue>,
+    cancel: &CancellationToken,
+    cfg: &ServerConfig,
+    resp: Response,
+) -> Result<()> {
+    queue.push(frame_bytes(&resp.encode()), 0, cancel, cfg.write_timeout)
+}
+
+/// Streams one statement result into the response queue. Returns `Err`
+/// only for connection-fatal conditions (queue closed/stalled, peer
+/// cancelled); statement errors are sent to the client and are `Ok`.
+fn stream_result(
+    result: Result<QueryResult>,
+    queue: &Arc<ResponseQueue>,
+    budget: &Option<MemoryBudget>,
+    cancel: &CancellationToken,
+    shared: &Arc<Shared>,
+) -> Result<()> {
+    let cfg = &shared.cfg;
+    let c = &shared.counters;
+    match result {
+        Ok(QueryResult::Rows { schema, rows }) => {
+            let total = rows.len() as u64;
+            let frames = encode_row_frames(&schema, rows, cfg.rows_per_frame);
+            for payload in frames {
+                let frame = frame_bytes(&payload);
+                // Claim queued response bytes from the governor; a
+                // refusal sheds the rest of this result with a typed
+                // error instead of buffering past the limit.
+                let reserved = frame.len() as u64;
+                if let Some(b) = budget {
+                    if let Err(e) = b.try_reserve(reserved) {
+                        c.shed_responses.fetch_add(1, Ordering::Relaxed);
+                        c.statement_errors.fetch_add(1, Ordering::Relaxed);
+                        let retry = shared.retry_hint_ms();
+                        return send_control(
+                            queue,
+                            cancel,
+                            cfg,
+                            Response::Error {
+                                error: e,
+                                retry_after_ms: retry,
+                            },
+                        );
+                    }
+                }
+                if let Err(e) = queue.push(frame, reserved, cancel, cfg.write_timeout) {
+                    // Undo the claim for the frame that never queued.
+                    if let Some(b) = budget {
+                        b.release(reserved);
+                    }
+                    return Err(e);
+                }
+            }
+            send_control(
+                queue,
+                cancel,
+                cfg,
+                Response::Done {
+                    kind: DoneKind::RowsEnd,
+                    count: total,
+                    note: String::new(),
+                },
+            )
+        }
+        Ok(QueryResult::Affected(n)) => send_control(
+            queue,
+            cancel,
+            cfg,
+            Response::Done {
+                kind: DoneKind::Affected,
+                count: n as u64,
+                note: String::new(),
+            },
+        ),
+        Ok(QueryResult::Ddl) => send_control(
+            queue,
+            cancel,
+            cfg,
+            Response::Done {
+                kind: DoneKind::Ddl,
+                count: 0,
+                note: String::new(),
+            },
+        ),
+        Ok(QueryResult::Txn(kind)) => send_control(
+            queue,
+            cancel,
+            cfg,
+            Response::Done {
+                kind: DoneKind::Txn,
+                count: 0,
+                note: kind.to_string(),
+            },
+        ),
+        Err(e) => {
+            c.statement_errors.fetch_add(1, Ordering::Relaxed);
+            // A tripped *connection* (not per-query deadline) is fatal.
+            if cancel.is_cancelled() {
+                return Err(e);
+            }
+            let retry = match &e {
+                DbError::Unavailable { retry_after_ms, .. } => *retry_after_ms,
+                DbError::ResourceExhausted { .. } | DbError::DeadlineExceeded(_) => {
+                    shared.retry_hint_ms()
+                }
+                _ => 0,
+            };
+            send_control(
+                queue,
+                cancel,
+                cfg,
+                Response::Error {
+                    error: e,
+                    retry_after_ms: retry,
+                },
+            )
+        }
+    }
+}
+
+/// Splits a result set into `Schema` + chunked `Rows` payloads, keeping
+/// every frame under [`MAX_FRAME`].
+fn encode_row_frames(
+    schema: &oltap_common::schema::SchemaRef,
+    rows: Vec<oltap_common::Row>,
+    rows_per_frame: usize,
+) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(2 + rows.len() / rows_per_frame.max(1));
+    out.push(
+        Response::Schema {
+            fields: schema.fields().to_vec(),
+        }
+        .encode(),
+    );
+    let mut rows = rows;
+    let chunk = rows_per_frame.max(1);
+    while !rows.is_empty() {
+        let rest = rows.split_off(rows.len().min(chunk));
+        let payload = Response::Rows { rows }.encode();
+        debug_assert!(payload.len() <= MAX_FRAME);
+        out.push(payload);
+        rows = rest;
+    }
+    out
+}
+
+// --------------------------------------------------------------- writer
+
+fn writer_loop(
+    mut stream: TcpStream,
+    queue: Arc<ResponseQueue>,
+    budget: Option<MemoryBudget>,
+    cancel: CancellationToken,
+    shared: Arc<Shared>,
+) {
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    loop {
+        match queue.pop(POLL_TICK) {
+            Pop::Frame(frame, reserved) => {
+                // Injected partial write: half the frame goes out, then
+                // the socket dies — the client must detect the torn
+                // frame via CRC/length and the in-flight query must be
+                // cancelled server-side.
+                if shared.faults.should_fire(points::NET_WRITE_PARTIAL) {
+                    shared
+                        .counters
+                        .partial_writes
+                        .fetch_add(1, Ordering::Relaxed);
+                    let half = (frame.len() / 2).max(1);
+                    let _ = stream.write_all(&frame[..half]);
+                    let _ = stream.flush();
+                    let _ = stream.shutdown(Shutdown::Both);
+                    if let Some(b) = &budget {
+                        b.release(reserved);
+                    }
+                    cancel.cancel();
+                    queue.close();
+                    break;
+                }
+                let res = stream.write_all(&frame).and_then(|_| stream.flush());
+                if let Some(b) = &budget {
+                    b.release(reserved);
+                }
+                if res.is_err() {
+                    // Slow or dead client: cut the connection and cancel
+                    // whatever the reader is executing for it.
+                    shared
+                        .counters
+                        .slow_client_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    cancel.cancel();
+                    queue.close();
+                    break;
+                }
+            }
+            Pop::Closed => break,
+            Pop::Timeout => {
+                if cancel.is_cancelled() && queue.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    // Drain any frames left after close, releasing their claims.
+    while let Pop::Frame(_, reserved) = queue.pop(Duration::ZERO) {
+        if let Some(b) = &budget {
+            b.release(reserved);
+        }
+    }
+}

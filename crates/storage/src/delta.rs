@@ -173,6 +173,11 @@ pub struct DeltaMainTable {
     frozen_total: AtomicU64,
     freeze_bytes_before: AtomicU64,
     freeze_bytes_after: AtomicU64,
+    /// Heat restored from a pre-restart snapshot that could not be applied
+    /// yet because recovery replays the WAL into the *delta* — no segments
+    /// exist until the first merge. The first merge after a seed drains
+    /// this into the segment it builds.
+    pending_seed_heat: AtomicU64,
 }
 
 impl std::fmt::Debug for DeltaMainTable {
@@ -207,6 +212,30 @@ impl DeltaMainTable {
             frozen_total: AtomicU64::new(0),
             freeze_bytes_before: AtomicU64::new(0),
             freeze_bytes_after: AtomicU64::new(0),
+            pending_seed_heat: AtomicU64::new(0),
+        }
+    }
+
+    /// Restores access heat persisted before a restart. Existing segments
+    /// are seeded immediately; when none exist yet (the recovery case —
+    /// replayed rows sit in the delta until the first merge), the seed is
+    /// held and applied to the first merged segment. Without this, every
+    /// restart zeroes all heat and the freeze pass would re-freeze the
+    /// working set after two idle maintenance ticks.
+    pub fn seed_heat(&self, total: u64) {
+        if total == 0 {
+            return;
+        }
+        let state = self.state.read();
+        if state.segments.is_empty() {
+            self.pending_seed_heat.fetch_add(total, Ordering::Relaxed);
+        } else {
+            // The snapshot is table-granular; every live segment gets the
+            // full coldness reprieve (conservative: freezing late is
+            // recoverable, freezing the working set is a latency cliff).
+            for seg in &state.segments {
+                seg.seed_heat(total);
+            }
         }
     }
 
@@ -475,7 +504,12 @@ impl DeltaMainTable {
         for r in drained {
             builder.push_row(r)?;
         }
-        state.segments.push(Arc::new(builder.finish()?));
+        let seg = Arc::new(builder.finish()?);
+        // Apply heat restored from a pre-restart snapshot to the first
+        // merged segment (recovery replays the WAL into the delta, so the
+        // seed had nowhere to land until now).
+        seg.seed_heat(self.pending_seed_heat.swap(0, Ordering::Relaxed));
+        state.segments.push(seg);
         // Compact the delta index: drop chains now dead to every snapshot
         // (their data lives in the new segment). Live/pending chains move
         // over by Arc.
@@ -1066,6 +1100,51 @@ mod tests {
         let stats = t.freeze(mgr.gc_watermark(), &faults, true).unwrap();
         assert_eq!(stats.segments_frozen, 1);
         assert_eq!(count(&t, mgr.now()), 200);
+    }
+
+    #[test]
+    fn seeded_heat_defers_freeze_after_restart() {
+        let faults = FaultInjector::disabled();
+
+        // Recovery case: rows sit in the delta (no segments yet) when the
+        // restored heat arrives; the first merge must inherit it.
+        let (mgr, t) = table();
+        let tx = mgr.begin();
+        for i in 0..50 {
+            t.insert(&tx, row![i as i64, "a", i as i64]).unwrap();
+        }
+        tx.commit().unwrap();
+        t.seed_heat(64);
+        t.merge(mgr.gc_watermark()).unwrap();
+        assert!(t.heat_stats().total_heat > 0);
+        // Two idle ticks freeze a cold segment; the seed keeps this one hot.
+        for _ in 0..2 {
+            let fs = t.freeze(mgr.gc_watermark(), &faults, false).unwrap();
+            assert_eq!(fs.segments_frozen, 0, "seeded segment froze early");
+        }
+
+        // Control: identical table without the seed freezes on the second
+        // idle tick.
+        let (mgr2, t2) = table();
+        let tx = mgr2.begin();
+        for i in 0..50 {
+            t2.insert(&tx, row![i as i64, "a", i as i64]).unwrap();
+        }
+        tx.commit().unwrap();
+        t2.merge(mgr2.gc_watermark()).unwrap();
+        let mut frozen = 0;
+        for _ in 0..2 {
+            frozen += t2
+                .freeze(mgr2.gc_watermark(), &faults, false)
+                .unwrap()
+                .segments_frozen;
+        }
+        assert_eq!(frozen, 1, "unseeded control did not freeze");
+
+        // Seeding with live segments applies immediately (no merge needed).
+        let before = t2.heat_stats().total_heat;
+        t2.seed_heat(16);
+        assert!(t2.heat_stats().total_heat > before);
     }
 
     #[test]

@@ -814,6 +814,23 @@ impl Segment {
         self.cold_ticks.load(Ordering::Relaxed)
     }
 
+    /// Seeds access heat restored from a pre-restart snapshot, spread
+    /// evenly across row groups (the snapshot is per-table: segment
+    /// boundaries do not survive a WAL-replay rebuild, so per-group
+    /// placement is unknowable). Resets `cold_ticks` — a segment that was
+    /// hot before the crash must earn its coldness again under the decay
+    /// schedule rather than freeze on the first post-restart tick.
+    pub fn seed_heat(&self, total: u64) {
+        if total == 0 {
+            return;
+        }
+        let per_group = (total / self.heat.len() as u64).max(1).min(u32::MAX as u64) as u32;
+        for h in &self.heat {
+            h.fetch_add(per_group, Ordering::Relaxed);
+        }
+        self.cold_ticks.store(0, Ordering::Relaxed);
+    }
+
     /// Scans served since this segment was frozen (0 for hot segments).
     pub fn frozen_scan_hits(&self) -> u64 {
         self.frozen_scan_hits.load(Ordering::Relaxed)

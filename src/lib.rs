@@ -3,11 +3,13 @@
 //! Umbrella crate re-exporting the full engine. See the workspace README
 //! for the architecture overview; start with [`oltap_core::Database`].
 
+pub use oltap_client as client;
 pub use oltap_common as common;
 pub use oltap_core as core;
 pub use oltap_dist as dist;
 pub use oltap_exec as exec;
 pub use oltap_sched as sched;
+pub use oltap_server as server;
 pub use oltap_sql as sql;
 pub use oltap_storage as storage;
 pub use oltap_txn as txn;

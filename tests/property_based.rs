@@ -1140,3 +1140,125 @@ fn as_of_matches_snapshot_oracle() {
         );
     }
 }
+
+// ===================================================================
+// Retry/backoff properties (`oltapdb::common::retry::Backoff`): the
+// client edge leans on these bounds for its reconnect loops, so they
+// are pinned here against the closed form
+// `delay = min(base * 2^attempt, cap) + jitter(0..50%)`.
+// ===================================================================
+
+/// Every delay stays within the closed-form envelope:
+/// `exp <= delay < exp * 1.5` where `exp = min(base << attempt, cap)`.
+#[test]
+fn prop_backoff_delays_within_jitter_envelope() {
+    use oltapdb::common::retry::Backoff;
+    use std::time::Duration;
+    for case in 0..200u64 {
+        let mut rng = rng_for(6000 + case);
+        let base_ms = rng.gen_range(1..50u64);
+        let cap_ms = rng.gen_range(base_ms..base_ms * 64);
+        let seed = rng.gen::<u64>();
+        let mut b = Backoff::new(
+            Duration::from_millis(base_ms),
+            Duration::from_millis(cap_ms),
+        )
+        .seeded(seed);
+        for attempt in 0..20u32 {
+            let exp = Duration::from_millis(base_ms)
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(Duration::from_millis(cap_ms));
+            let d = b.next_delay();
+            assert!(
+                d >= exp,
+                "attempt {attempt}: delay {d:?} below deterministic floor {exp:?} \
+                 (base={base_ms}ms cap={cap_ms}ms seed={seed:#x})"
+            );
+            let ceil = exp + exp.mul_f64(0.5);
+            assert!(
+                d <= ceil,
+                "attempt {attempt}: delay {d:?} above jitter ceiling {ceil:?} \
+                 (base={base_ms}ms cap={cap_ms}ms seed={seed:#x})"
+            );
+        }
+    }
+}
+
+/// Averaged over many seeds, successive delays are non-decreasing until
+/// the cap (exponential growth dominates the jitter noise), and a
+/// `reset()` starts the schedule over.
+#[test]
+fn prop_backoff_monotone_on_average_and_resets() {
+    use oltapdb::common::retry::Backoff;
+    use std::time::Duration;
+    let base = Duration::from_millis(4);
+    let cap = Duration::from_secs(2);
+    const SEEDS: u64 = 300;
+    const ATTEMPTS: usize = 8; // 4ms << 8 is still under the 2s cap
+    let mut sums = [Duration::ZERO; ATTEMPTS];
+    for s in 0..SEEDS {
+        let mut rng = rng_for(6200 + s);
+        let mut b = Backoff::new(base, cap).seeded(rng.gen());
+        for sum in sums.iter_mut() {
+            *sum += b.next_delay();
+        }
+        // After a reset, the schedule starts from the base again.
+        b.reset();
+        let restarted = b.next_delay();
+        assert!(
+            restarted < base * 2,
+            "reset must restart the schedule: got {restarted:?}"
+        );
+    }
+    for w in sums.windows(2) {
+        assert!(
+            w[1] > w[0],
+            "average delay must grow per attempt below the cap: {sums:?}"
+        );
+    }
+}
+
+/// A cancellable backoff sleep honors its floor (the server's
+/// retry-after hint) and returns promptly — not after the full delay —
+/// when the token trips mid-sleep.
+#[test]
+fn prop_backoff_sleep_honors_floor_and_cancels_promptly() {
+    use oltapdb::common::retry::Backoff;
+    use oltapdb::common::{CancellationToken, DbError};
+    use std::time::{Duration, Instant};
+
+    // Floor: a tiny backoff sleeps at least the requested retry-after.
+    let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(2)).seeded(7);
+    let cancel = CancellationToken::new();
+    let floor = Duration::from_millis(60);
+    let start = Instant::now();
+    b.sleep_cancellable(&cancel, floor).unwrap();
+    assert!(
+        start.elapsed() >= floor,
+        "sleep returned before the retry-after floor: {:?}",
+        start.elapsed()
+    );
+
+    // Prompt cancellation: a long sleep ends within the slice budget of
+    // the cancel, not after the full multi-second delay.
+    let mut b = Backoff::new(Duration::from_secs(5), Duration::from_secs(5)).seeded(7);
+    let cancel = CancellationToken::new();
+    let canceller = {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            cancel.cancel();
+        })
+    };
+    let start = Instant::now();
+    let err = b
+        .sleep_cancellable(&cancel, Duration::ZERO)
+        .expect_err("tripped token must abort the sleep");
+    assert!(matches!(err, DbError::Cancelled(_)), "got {err:?}");
+    assert!(
+        start.elapsed() < Duration::from_millis(500),
+        "cancellation must interrupt the sleep promptly, took {:?}",
+        start.elapsed()
+    );
+    canceller.join().unwrap();
+}
